@@ -1,0 +1,271 @@
+package gcassert_test
+
+// Benchmark harness regenerating the paper's evaluation (one benchmark per
+// figure, plus the ablations listed in DESIGN.md). These are testing.B
+// views of the same measurements `cmd/gcassert-bench` prints as tables:
+//
+//	BenchmarkFigure2RunTime       — total & mutator time, Base vs Infrastructure
+//	BenchmarkFigure3GCTime        — GC time, Base vs Infrastructure
+//	BenchmarkFigure4AssertRunTime — total time with assertions (db, pseudojbb)
+//	BenchmarkFigure5AssertGCTime  — GC time with assertions (db, pseudojbb)
+//	BenchmarkAblation*            — path tracking, ownee scaling, generational
+//
+// Every sub-benchmark reports gc-ms/op and mutator-ms/op metrics so the
+// figures' ratios can be read directly from `go test -bench`.
+
+import (
+	"fmt"
+	"testing"
+
+	"gcassert"
+	"gcassert/internal/bench"
+	"gcassert/internal/bench/workloads"
+)
+
+// runWorkloadBench measures one workload in one mode under testing.B.
+func runWorkloadBench(b *testing.B, w bench.Workload, mode bench.Mode) {
+	b.Helper()
+	vm := gcassert.New(gcassert.Options{
+		HeapBytes:      w.Heap,
+		Infrastructure: mode != bench.Base,
+	})
+	run := w.New(vm, mode == bench.WithAssertions)
+	run(0) // warmup iteration, as in the paper's methodology
+	gc0 := vm.GCStats().TotalGCTime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(i + 1)
+	}
+	b.StopTimer()
+	gcTime := vm.GCStats().TotalGCTime - gc0
+	gcMS := float64(gcTime.Milliseconds()) / float64(b.N)
+	b.ReportMetric(gcMS, "gc-ms/op")
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N)-gcMS, "mutator-ms/op")
+}
+
+// BenchmarkFigure2RunTime regenerates Figure 2: run-time overhead of the
+// assertion infrastructure across the full suite (compare Base vs
+// Infrastructure ns/op and mutator-ms/op).
+func BenchmarkFigure2RunTime(b *testing.B) {
+	for _, w := range workloads.All() {
+		for _, mode := range []bench.Mode{bench.Base, bench.Infra} {
+			w, mode := w, mode
+			b.Run(w.Name+"/"+mode.String(), func(b *testing.B) {
+				runWorkloadBench(b, w, mode)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure3GCTime regenerates Figure 3: GC-time overhead of the
+// infrastructure (compare gc-ms/op between modes). It measures a GC-heavy
+// subset so the GC signal dominates.
+func BenchmarkFigure3GCTime(b *testing.B) {
+	for _, name := range []string{"bloat", "fop", "hsqldb", "xalan", "pmd", "pseudojbb"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []bench.Mode{bench.Base, bench.Infra} {
+			w, mode := w, mode
+			b.Run(w.Name+"/"+mode.String(), func(b *testing.B) {
+				runWorkloadBench(b, w, mode)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4AssertRunTime regenerates Figure 4: total run time of
+// _209_db and pseudojbb with their paper instrumentation, vs Base and
+// Infrastructure.
+func BenchmarkFigure4AssertRunTime(b *testing.B) {
+	for _, w := range workloads.Asserting() {
+		for _, mode := range []bench.Mode{bench.Base, bench.Infra, bench.WithAssertions} {
+			w, mode := w, mode
+			b.Run(w.Name+"/"+mode.String(), func(b *testing.B) {
+				runWorkloadBench(b, w, mode)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure5AssertGCTime regenerates Figure 5: the GC-time view of the
+// same runs (read the gc-ms/op metric).
+func BenchmarkFigure5AssertGCTime(b *testing.B) {
+	for _, w := range workloads.Asserting() {
+		for _, mode := range []bench.Mode{bench.Base, bench.WithAssertions} {
+			w, mode := w, mode
+			b.Run(w.Name+"/"+mode.String(), func(b *testing.B) {
+				runWorkloadBench(b, w, mode)
+			})
+		}
+	}
+}
+
+// buildList allocates a linked list of n nodes rooted in fr slot 0 and
+// returns its head.
+func buildList(vm *gcassert.Runtime, th *gcassert.Thread, fr *gcassert.Frame, node gcassert.TypeID, n int) gcassert.Ref {
+	var head gcassert.Ref
+	for i := 0; i < n; i++ {
+		nd := th.New(node)
+		vm.SetRef(nd, 0, head)
+		head = nd
+		fr.Set(0, head)
+	}
+	return head
+}
+
+// BenchmarkAblationPathTracking isolates the infrastructure's main cost: a
+// full-heap trace of a fixed 200k-object list, with and without the
+// path-tracking worklist discipline (Ablation B in DESIGN.md).
+func BenchmarkAblationPathTracking(b *testing.B) {
+	for _, infra := range []bool{false, true} {
+		name := "Base"
+		if infra {
+			name = "Infrastructure"
+		}
+		infra := infra
+		b.Run(name, func(b *testing.B) {
+			vm := gcassert.New(gcassert.Options{HeapBytes: 32 << 20, Infrastructure: infra})
+			node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+			th := vm.NewThread("main")
+			fr := th.Push(1)
+			buildList(vm, th, fr, node, 200_000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vm.Collect()
+			}
+			b.StopTimer()
+			st := vm.GCStats()
+			b.ReportMetric(float64(st.MarkTime.Nanoseconds())/float64(st.Collections)/1e6, "mark-ms/gc")
+		})
+	}
+}
+
+// BenchmarkAblationOwneeScaling measures the per-GC ownership-phase cost as
+// the registered ownee count grows (Ablation C: the paper's n log n
+// membership checking).
+func BenchmarkAblationOwneeScaling(b *testing.B) {
+	for _, n := range []int{100, 1_000, 10_000, 50_000} {
+		n := n
+		b.Run(fmt.Sprintf("ownees-%d", n), func(b *testing.B) {
+			vm := gcassert.New(gcassert.Options{HeapBytes: 64 << 20, Infrastructure: true})
+			owner := vm.Define("Owner", gcassert.Field{Name: "elems", Ref: true})
+			elem := vm.Define("Elem", gcassert.Field{Name: "data", Ref: true})
+			th := vm.NewThread("main")
+			fr := th.Push(1)
+			o := th.New(owner)
+			fr.Set(0, o)
+			vm.SetRef(o, 0, th.NewArray(gcassert.TRefArray, n))
+			arr := vm.GetRef(o, 0)
+			for i := 0; i < n; i++ {
+				e := th.New(elem)
+				vm.SetRefAt(arr, i, e)
+				vm.AssertOwnedBy(o, e)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vm.Collect()
+			}
+			b.StopTimer()
+			st := vm.AssertionStats()
+			b.ReportMetric(float64(st.OwneesChecked)/float64(vm.GCStats().Collections), "ownees/gc")
+		})
+	}
+}
+
+// BenchmarkAblationGenerational measures assert-dead detection latency (in
+// collections) under the full-heap collector vs the sticky-mark generational
+// mode, where assertions are only checked at full collections (Ablation A,
+// the paper's §2.2 discussion).
+func BenchmarkAblationGenerational(b *testing.B) {
+	for _, gen := range []bool{false, true} {
+		name := "full-heap"
+		if gen {
+			name = "generational"
+		}
+		gen := gen
+		b.Run(name, func(b *testing.B) {
+			totalGCs := 0.0
+			for i := 0; i < b.N; i++ {
+				rep := &gcassert.CollectingReporter{}
+				vm := gcassert.New(gcassert.Options{
+					HeapBytes:      2 << 20,
+					Infrastructure: true,
+					Reporter:       rep,
+					Generational:   gen,
+					MinorRatio:     8,
+				})
+				node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+				th := vm.NewThread("main")
+				fr := th.Push(2)
+				leak := th.New(node)
+				fr.Set(0, leak)
+				vm.AssertDead(leak) // never dies: the violation to detect
+				gcs0 := vm.GCStats().Collections + vm.MinorGCStats().Collections
+				// Churn until the violation is reported.
+				for rep.Len() == 0 {
+					cfr := th.Push(1)
+					buildList(vm, th, cfr, node, 10_000)
+					th.Pop()
+				}
+				gcs := vm.GCStats().Collections + vm.MinorGCStats().Collections
+				totalGCs += float64(gcs - gcs0)
+			}
+			b.ReportMetric(totalGCs/float64(b.N), "gcs-until-detect")
+		})
+	}
+}
+
+// BenchmarkMicroAlloc measures the allocation fast path.
+func BenchmarkMicroAlloc(b *testing.B) {
+	vm := gcassert.New(gcassert.Options{HeapBytes: 64 << 20})
+	node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+	th := vm.NewThread("main")
+	fr := th.Push(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.Set(0, th.New(node))
+		if i%10_000 == 0 {
+			fr.Set(0, gcassert.Nil)
+		}
+	}
+}
+
+// BenchmarkMicroAssertDead measures the registration cost of assert-dead
+// (one header-bit store, per the paper's zero-metadata design).
+func BenchmarkMicroAssertDead(b *testing.B) {
+	vm := gcassert.New(gcassert.Options{HeapBytes: 16 << 20, Infrastructure: true})
+	node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+	th := vm.NewThread("main")
+	fr := th.Push(1)
+	o := th.New(node)
+	fr.Set(0, o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.AssertDead(o)
+	}
+}
+
+// BenchmarkMicroAssertOwnedBy measures ownership registration (append +
+// map insert; sorting is deferred to GC time).
+func BenchmarkMicroAssertOwnedBy(b *testing.B) {
+	vm := gcassert.New(gcassert.Options{HeapBytes: 64 << 20, Infrastructure: true})
+	owner := vm.Define("Owner", gcassert.Field{Name: "elems", Ref: true})
+	elem := vm.Define("Elem", gcassert.Field{Name: "data", Ref: true})
+	th := vm.NewThread("main")
+	fr := th.Push(2)
+	o := th.New(owner)
+	fr.Set(0, o)
+	const pool = 1 << 16
+	vm.SetRef(o, 0, th.NewArray(gcassert.TRefArray, pool))
+	arr := vm.GetRef(o, 0)
+	for i := 0; i < pool; i++ {
+		e := th.New(elem)
+		vm.SetRefAt(arr, i, e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.AssertOwnedBy(o, vm.RefAt(arr, i%pool))
+	}
+}

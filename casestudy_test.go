@@ -1,0 +1,282 @@
+package gcassert_test
+
+// Case-study tests: the qualitative results of the paper's §3.2, each
+// reproduced as a checkable test. See DESIGN.md's experiment index.
+
+import (
+	"strings"
+	"testing"
+
+	"gcassert"
+	"gcassert/internal/bench/db"
+	"gcassert/internal/bench/jbb"
+	"gcassert/internal/bench/workloads"
+)
+
+// runJBB executes the mini pseudojbb under the given config for a few
+// iterations and returns the collected violations.
+func runJBB(t *testing.T, mutate func(*jbb.Config)) (*gcassert.CollectingReporter, *jbb.JBB, *gcassert.Runtime) {
+	t.Helper()
+	rep := &gcassert.CollectingReporter{}
+	vm := gcassert.New(gcassert.Options{
+		HeapBytes:      6 << 20,
+		Infrastructure: true,
+		Reporter:       rep,
+	})
+	cfg := jbb.DefaultConfig()
+	cfg.Asserts = true
+	cfg.Transactions = 20000
+	mutate(&cfg)
+	j := jbb.New(vm, cfg)
+	for i := 0; i < 3; i++ {
+		j.RunIteration(i)
+	}
+	vm.Collect()
+	return rep, j, vm
+}
+
+// TestJBBCaseStudyLastOrderLeak reproduces §3.2.1 finding 1: destroyed
+// Orders stay reachable through Customer.lastOrder, and the reported path
+// names the Customer.
+func TestJBBCaseStudyLastOrderLeak(t *testing.T) {
+	rep, _, _ := runJBB(t, func(c *jbb.Config) { c.LeakLastOrder = true })
+	vs := rep.ByKind(gcassert.KindDead)
+	if len(vs) == 0 {
+		t.Fatal("no assert-dead violations for the lastOrder leak")
+	}
+	foundCustomerPath := false
+	for _, v := range vs {
+		if v.TypeName != "spec/jbb/Order" {
+			continue
+		}
+		for _, s := range v.Path {
+			if s.TypeName == "spec/jbb/Customer" && s.Field == "lastOrder" {
+				foundCustomerPath = true
+			}
+		}
+	}
+	if !foundCustomerPath {
+		t.Error("no violation path runs through Customer.lastOrder")
+	}
+}
+
+// TestJBBCaseStudyOldCompanyDrag reproduces finding 2: the dragged
+// oldCompany triggers assert-dead on the Company and an instance-limit
+// violation (two Companies live).
+func TestJBBCaseStudyOldCompanyDrag(t *testing.T) {
+	rep, j, _ := runJBB(t, func(c *jbb.Config) { c.DragOldCompany = true })
+	deadCompany := 0
+	for _, v := range rep.ByKind(gcassert.KindDead) {
+		if v.TypeName == "spec/jbb/Company" {
+			deadCompany++
+		}
+	}
+	if deadCompany == 0 {
+		t.Error("dragged Company not reported by assert-dead")
+	}
+	if len(rep.ByKind(gcassert.KindInstances)) == 0 {
+		t.Error("assert-instances(Company,1) did not fire during the drag")
+	}
+	_ = j
+}
+
+// TestJBBCaseStudyOrderTableLeak reproduces finding 3 (the Jump & McKinley
+// SPECjbb leak) and Figure 1: the path runs Company → Warehouse → District →
+// longBTree → longBTreeNode → Order.
+func TestJBBCaseStudyOrderTableLeak(t *testing.T) {
+	rep, _, _ := runJBB(t, func(c *jbb.Config) {
+		c.LeakOrderTable = true
+		c.DisableOwnedBy = true
+		c.Transactions = 8000 // bounded: the leak grows the heap
+	})
+	vs := rep.ByKind(gcassert.KindDead)
+	if len(vs) == 0 {
+		t.Fatal("orderTable leak not detected")
+	}
+	for _, v := range vs {
+		if v.TypeName != "spec/jbb/Order" {
+			continue
+		}
+		var names []string
+		for _, s := range v.Path {
+			names = append(names, s.TypeName)
+		}
+		path := strings.Join(names, " -> ")
+		if strings.Contains(path, "spec/jbb/Company") &&
+			strings.Contains(path, "spec/jbb/Warehouse") &&
+			strings.Contains(path, "spec/jbb/District") &&
+			strings.Contains(path, "longBTree") &&
+			strings.Contains(path, "longBTreeNode") &&
+			strings.HasSuffix(path, "spec/jbb/Order") {
+			return // Figure 1 reproduced
+		}
+	}
+	t.Error("no violation carries the Figure 1 path")
+}
+
+// TestFigure1PathReport checks the textual form of the Figure 1 report.
+func TestFigure1PathReport(t *testing.T) {
+	rep, _, _ := runJBB(t, func(c *jbb.Config) {
+		c.LeakOrderTable = true
+		c.DisableOwnedBy = true
+		c.Transactions = 8000
+	})
+	for _, v := range rep.ByKind(gcassert.KindDead) {
+		text := v.String()
+		if strings.Contains(text, "asserted dead is reachable") &&
+			strings.Contains(text, "Type: spec/jbb/Order") &&
+			strings.Contains(text, "Path to object:") &&
+			strings.Contains(text, "longBTreeNode") {
+			return
+		}
+	}
+	t.Error("no report matches the Figure 1 format")
+}
+
+// TestJBBRepairedIsClean: with all bugs fixed, thousands of assertions pass.
+func TestJBBRepairedIsClean(t *testing.T) {
+	rep, _, vm := runJBB(t, func(c *jbb.Config) {})
+	if rep.Len() != 0 {
+		vs := rep.Violations()
+		t.Fatalf("repaired jbb violated %d times; first: %v", len(vs), vs[0].String())
+	}
+	st := vm.AssertionStats()
+	if st.DeadAsserted == 0 || st.OwnedPairsAsserted == 0 || st.DeadVerified == 0 {
+		t.Errorf("expected assertion traffic: %+v", st)
+	}
+}
+
+// TestLusearchCaseStudy reproduces §3.2.2: 32 IndexSearcher instances live
+// against a limit of 1.
+func TestLusearchCaseStudy(t *testing.T) {
+	rep := &gcassert.CollectingReporter{}
+	vm := gcassert.New(gcassert.Options{HeapBytes: 16 << 20, Infrastructure: true, Reporter: rep})
+	run, searcher := workloads.NewLusearch(vm, true)
+	run(0)
+	vm.Collect()
+	if n, ok := vm.LiveInstances(searcher); !ok || n != 32 {
+		t.Errorf("live IndexSearchers = %d, want 32", n)
+	}
+	vs := rep.ByKind(gcassert.KindInstances)
+	if len(vs) == 0 {
+		t.Fatal("assert-instances did not fire")
+	}
+	if !strings.Contains(vs[0].Message, "32 instances live, limit 1") {
+		t.Errorf("message = %q", vs[0].Message)
+	}
+}
+
+// TestSwapLeakCaseStudy reproduces §3.2.3: the hidden inner-class reference
+// keeps swapped SObjects alive; the path shows SObject -> Rep -> SObject.
+func TestSwapLeakCaseStudy(t *testing.T) {
+	rep := &gcassert.CollectingReporter{}
+	vm := gcassert.New(gcassert.Options{HeapBytes: 8 << 20, Infrastructure: true, Reporter: rep})
+	sobject := vm.Define("SObject", gcassert.Field{Name: "rep", Ref: true})
+	srep := vm.Define("SObject$Rep", gcassert.Field{Name: "outer", Ref: true})
+	fRep := vm.FieldIndex(sobject, "rep")
+	fOuter := vm.FieldIndex(srep, "outer")
+	th := vm.NewThread("main")
+	fr := th.Push(2)
+	newS := func() gcassert.Ref {
+		o := th.New(sobject)
+		fr.Set(1, o)
+		r := th.New(srep)
+		vm.SetRef(o, fRep, r)
+		vm.SetRef(r, fOuter, o)
+		fr.Set(1, gcassert.Nil)
+		return o
+	}
+	const n = 16
+	arr := th.NewArray(gcassert.TRefArray, n)
+	fr.Set(0, arr)
+	for i := 0; i < n; i++ {
+		vm.SetRefAt(arr, i, newS())
+	}
+	for i := 0; i < n; i++ {
+		fresh := newS()
+		fr.Set(1, fresh)
+		old := vm.RefAt(arr, i)
+		or, frsh := vm.GetRef(old, fRep), vm.GetRef(fresh, fRep)
+		vm.SetRef(old, fRep, frsh)
+		vm.SetRef(fresh, fRep, or)
+		fr.Set(1, gcassert.Nil)
+		vm.AssertDead(fresh)
+	}
+	vm.Collect()
+	vs := rep.ByKind(gcassert.KindDead)
+	if len(vs) != n {
+		t.Fatalf("violations = %d, want %d (every swapped SObject leaks)", len(vs), n)
+	}
+	// The paper's path: SArray -> SObject -> SObject$Rep -> SObject.
+	v := vs[0]
+	var names []string
+	for _, s := range v.Path {
+		names = append(names, s.TypeName)
+	}
+	path := strings.Join(names, " -> ")
+	if !strings.Contains(path, "SObject -> SObject$Rep -> SObject") {
+		t.Errorf("path = %s", path)
+	}
+	// And the Rep hop is through the hidden outer reference.
+	found := false
+	for _, s := range v.Path {
+		if s.TypeName == "SObject$Rep" && s.Field == "outer" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("path does not expose the hidden outer reference")
+	}
+}
+
+// TestDBCaseStudyLeakRemoved: the seeded _209_db "recently deleted" cache
+// keeps removed entries alive; assert-dead reports them with a path through
+// the Database cache.
+func TestDBCaseStudyLeakRemoved(t *testing.T) {
+	rep := &gcassert.CollectingReporter{}
+	vm := gcassert.New(gcassert.Options{HeapBytes: 16 << 20, Infrastructure: true, Reporter: rep})
+	cfg := db.DefaultConfig()
+	cfg.Entries = 2000
+	cfg.Ops = 12000
+	cfg.Asserts = true
+	cfg.LeakRemoved = true
+	d := db.New(vm, cfg)
+	d.RunIteration(0)
+	vm.Collect()
+	vs := rep.ByKind(gcassert.KindDead)
+	if len(vs) == 0 {
+		t.Fatal("cache leak not detected")
+	}
+	foundCachePath := false
+	for _, v := range vs {
+		for _, s := range v.Path {
+			if s.Field == "cache" {
+				foundCachePath = true
+			}
+		}
+	}
+	if !foundCachePath {
+		t.Error("no path runs through Database.cache")
+	}
+}
+
+// TestDBRepairedIsClean: without the seeded leak, db's ~tens of thousands
+// of assertions all pass.
+func TestDBRepairedIsClean(t *testing.T) {
+	rep := &gcassert.CollectingReporter{}
+	vm := gcassert.New(gcassert.Options{HeapBytes: 16 << 20, Infrastructure: true, Reporter: rep})
+	cfg := db.DefaultConfig()
+	cfg.Entries = 2000
+	cfg.Ops = 12000
+	cfg.Asserts = true
+	d := db.New(vm, cfg)
+	d.RunIteration(0)
+	vm.Collect()
+	if rep.Len() != 0 {
+		t.Fatalf("repaired db violated: %v", rep.Violations()[0].String())
+	}
+	st := vm.AssertionStats()
+	if st.OwnedPairsAsserted == 0 || st.OwneesChecked == 0 {
+		t.Errorf("expected ownership traffic: %+v", st)
+	}
+}

@@ -1,0 +1,93 @@
+// Command gcassert-bench regenerates the paper's evaluation figures on the
+// synthetic benchmark suite.
+//
+// Usage:
+//
+//	gcassert-bench [-figure N] [-bench name] [-trials T] [-iters I] [-paper]
+//
+//	-figure 0      run everything (default): Figures 2, 3, 4 and 5
+//	-figure 2|3    infrastructure overhead across the full suite
+//	-figure 4|5    assertion overhead on _209_db and pseudojbb
+//	-bench name    restrict to one workload
+//	-paper         use the paper's full methodology (20 trials, 4 iterations)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gcassert/internal/bench"
+	"gcassert/internal/bench/workloads"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "figure to regenerate (2, 3, 4, 5; 0 = all)")
+	name := flag.String("bench", "", "run only the named workload")
+	trials := flag.Int("trials", 0, "override number of trials")
+	iters := flag.Int("iters", 0, "override iterations per trial")
+	paper := flag.Bool("paper", false, "use the paper's full methodology (20 trials x 4 iterations)")
+	flag.Parse()
+
+	opt := bench.DefaultOptions()
+	if *paper {
+		opt = bench.PaperOptions()
+	}
+	if *trials > 0 {
+		opt.Trials = *trials
+	}
+	if *iters > 0 {
+		opt.Iterations = *iters
+	}
+
+	suite := workloads.All()
+	if *name != "" {
+		w, err := workloads.ByName(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		suite = []bench.Workload{w}
+	}
+
+	wantInfraFigs := *figure == 0 || *figure == 2 || *figure == 3
+	wantAssertFigs := *figure == 0 || *figure == 4 || *figure == 5
+
+	var infraComps, assertComps []*bench.Comparison
+	if wantInfraFigs {
+		for _, w := range suite {
+			fmt.Fprintf(os.Stderr, "measuring %-12s (Base, Infrastructure; %d trials x %d iters)\n",
+				w.Name, opt.Trials, opt.Iterations)
+			infraComps = append(infraComps, bench.Compare(w, []bench.Mode{bench.Base, bench.Infra}, opt))
+		}
+	}
+	if wantAssertFigs {
+		for _, w := range suite {
+			if !w.HasAsserts {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "measuring %-12s (Base, Infrastructure, WithAssertions)\n", w.Name)
+			assertComps = append(assertComps,
+				bench.Compare(w, []bench.Mode{bench.Base, bench.Infra, bench.WithAssertions}, opt))
+		}
+	}
+
+	switch *figure {
+	case 0:
+		bench.PrintFigure2(os.Stdout, infraComps)
+		bench.PrintFigure3(os.Stdout, infraComps)
+		bench.PrintFigure4(os.Stdout, assertComps)
+		bench.PrintFigure5(os.Stdout, assertComps)
+	case 2:
+		bench.PrintFigure2(os.Stdout, infraComps)
+	case 3:
+		bench.PrintFigure3(os.Stdout, infraComps)
+	case 4:
+		bench.PrintFigure4(os.Stdout, assertComps)
+	case 5:
+		bench.PrintFigure5(os.Stdout, assertComps)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %d (want 2, 3, 4, 5 or 0)\n", *figure)
+		os.Exit(1)
+	}
+}

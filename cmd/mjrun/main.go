@@ -1,0 +1,68 @@
+// Command mjrun compiles and runs an MJ program (see internal/minivm) on
+// the gcassert managed runtime, printing assertion violations in the
+// paper's Figure 1 format as the collector finds them.
+//
+// Usage:
+//
+//	mjrun [-heap MiB] [-gen] [-stats] [-disasm] program.mj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gcassert"
+	"gcassert/internal/minivm"
+)
+
+func main() {
+	heapMB := flag.Int("heap", 16, "managed heap size in MiB")
+	gen := flag.Bool("gen", false, "use the generational collector (assertions checked at full GCs only)")
+	stats := flag.Bool("stats", false, "print GC and assertion statistics at exit")
+	disasm := flag.Bool("disasm", false, "print the compiled bytecode and exit")
+	optimize := flag.Bool("O", false, "run the peephole bytecode optimizer")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] program.mj")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *disasm {
+		unit, cerr := minivm.Compile(string(src))
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+			os.Exit(1)
+		}
+		if *optimize {
+			minivm.Optimize(unit)
+		}
+		fmt.Print(minivm.DisassembleUnit(unit))
+		return
+	}
+
+	res, err := minivm.CompileAndRun(string(src), minivm.RunOptions{
+		HeapBytes:    *heapMB << 20,
+		Out:          os.Stdout,
+		Reporter:     gcassert.NewWriterReporter(os.Stderr),
+		Generational: *gen,
+		Optimize:     *optimize,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *stats {
+		vm := res.VM
+		fmt.Fprintf(os.Stderr, "GC:        %s\n", vm.GCStats())
+		st := vm.AssertionStats()
+		fmt.Fprintf(os.Stderr, "asserted:  %d dead (%d verified), %d unshared, %d owned pairs\n",
+			st.DeadAsserted, st.DeadVerified, st.UnsharedAsserted, st.OwnedPairsAsserted)
+		fmt.Fprintf(os.Stderr, "violations: %d\n", st.Violations)
+	}
+}

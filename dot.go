@@ -1,0 +1,88 @@
+package gcassert
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gcassert/internal/collector"
+)
+
+// WriteDOT renders the reachable object graph in Graphviz DOT format, for
+// visual leak hunting alongside the textual path reports. Nodes are labeled
+// with their type; roots are drawn as boxes; edges are labeled with field
+// names. maxObjects bounds the output (0 = 4096); when the graph is larger,
+// a trailing comment records how many objects were omitted.
+func (r *Runtime) WriteDOT(w io.Writer, maxObjects int) error {
+	if maxObjects <= 0 {
+		maxObjects = 4096
+	}
+	space := r.Space()
+	reg := r.Registry()
+
+	if _, err := fmt.Fprintln(w, "digraph heap {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, "  node [shape=ellipse, fontsize=10];")
+
+	// BFS from the roots, bounded by maxObjects.
+	type edge struct {
+		src, dst Ref
+		label    string
+	}
+	visited := map[Ref]bool{}
+	var queue []Ref
+	var edges []edge
+	rootID := 0
+	r.RootScanner().Roots(func(root collector.Root) {
+		a := *root.Slot
+		if a == Nil {
+			return
+		}
+		name := fmt.Sprintf("root%d", rootID)
+		rootID++
+		fmt.Fprintf(w, "  %s [shape=box, label=%q];\n", name, root.Desc)
+		fmt.Fprintf(w, "  %s -> o%d;\n", name, uint32(a))
+		if !visited[a] && len(visited) < maxObjects {
+			visited[a] = true
+			queue = append(queue, a)
+		}
+	})
+	truncated := 0
+	for i := 0; i < len(queue); i++ {
+		a := queue[i]
+		space.ForEachRef(a, func(slot int, t Ref) {
+			label := reg.Info(space.TypeOf(a)).FieldName(slot)
+			edges = append(edges, edge{src: a, dst: t, label: label})
+			if !visited[t] {
+				if len(visited) >= maxObjects {
+					truncated++
+					return
+				}
+				visited[t] = true
+				queue = append(queue, t)
+			}
+		})
+	}
+	// Emit nodes in address order for deterministic output.
+	nodes := make([]Ref, 0, len(visited))
+	for a := range visited {
+		nodes = append(nodes, a)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, a := range nodes {
+		fmt.Fprintf(w, "  o%d [label=%q];\n", uint32(a), space.TypeName(a))
+	}
+	for _, e := range edges {
+		if !visited[e.dst] {
+			continue
+		}
+		fmt.Fprintf(w, "  o%d -> o%d [label=%q];\n", uint32(e.src), uint32(e.dst), e.label)
+	}
+	if truncated > 0 {
+		fmt.Fprintf(w, "  // truncated: %d additional objects not shown\n", truncated)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,40 @@
+// lusearch reproduces the paper's Lucene case study (§3.2.2): the Lucene
+// documentation recommends opening a single IndexSearcher and sharing it
+// across threads, but the DaCapo lusearch harness opens one per thread.
+// assert-instances(IndexSearcher, 1) reveals 32 live instances.
+//
+// Run with:
+//
+//	go run ./examples/lusearch
+package main
+
+import (
+	"fmt"
+
+	"gcassert"
+	"gcassert/internal/bench/workloads"
+)
+
+func main() {
+	rep := &gcassert.CollectingReporter{}
+	vm := gcassert.New(gcassert.Options{
+		HeapBytes:      16 << 20,
+		Infrastructure: true,
+		Reporter:       rep,
+	})
+
+	// Build the workload with its assertion: at most one IndexSearcher.
+	run, searcherType := workloads.NewLusearch(vm, true)
+	run(0)
+	vm.Collect()
+
+	live, _ := vm.LiveInstances(searcherType)
+	fmt.Printf("IndexSearcher instances live at GC: %d (Lucene docs recommend 1)\n\n", live)
+
+	for _, v := range rep.ByKind(gcassert.KindInstances) {
+		fmt.Println(v.String())
+		break
+	}
+	fmt.Println("fix: share one IndexSearcher across all threads — the library")
+	fmt.Println("could itself ship this assert-instances to warn its users.")
+}

@@ -1,0 +1,64 @@
+// Quickstart: the smallest useful GC-assertions program.
+//
+// We build a two-node list, assert that the tail must die after unlinking
+// it, and let the collector check the claim. The first collection reports a
+// violation (a stale reference still reaches the tail) with the full path
+// through the heap; after the fix, the assertion passes silently.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gcassert"
+)
+
+func main() {
+	vm := gcassert.New(gcassert.Options{
+		HeapBytes:      8 << 20,
+		Infrastructure: true,      // enable the assertion machinery
+		LogWriter:      os.Stdout, // print violations in Figure 1 style
+	})
+
+	// Define a managed type: class Node { Node next; long value; }
+	node := vm.Define("Node",
+		gcassert.Field{Name: "next", Ref: true},
+		gcassert.Field{Name: "value", Ref: false},
+	)
+	next := vm.FieldIndex(node, "next")
+
+	th := vm.NewThread("main")
+	fr := th.Push(2)
+
+	// head -> tail, plus a second, forgotten reference to tail in a local.
+	head := th.New(node)
+	fr.Set(0, head)
+	tail := th.New(node)
+	vm.SetRef(head, next, tail)
+	fr.Set(1, tail) // the "forgotten" local reference
+
+	// Unlink the tail and declare that it must now be garbage.
+	vm.SetRef(head, next, gcassert.Nil)
+	vm.AssertDead(tail)
+
+	fmt.Println("--- collecting with a stale reference still in place ---")
+	vm.Collect() // reports: tail is reachable, path = the local root
+
+	// The fix: clear the stale local, re-assert, and collect again.
+	tail2 := th.New(node)
+	vm.SetRef(head, next, tail2)
+	vm.SetRef(head, next, gcassert.Nil)
+	vm.AssertDead(tail2)
+	fr.Set(1, gcassert.Nil)
+
+	fmt.Println("--- collecting after the fix (silence means the object died) ---")
+	vm.Collect()
+
+	st := vm.AssertionStats()
+	fmt.Printf("asserted dead: %d, verified reclaimed: %d, violations: %d\n",
+		st.DeadAsserted, st.DeadVerified, st.Violations)
+}

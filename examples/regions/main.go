@@ -1,0 +1,85 @@
+// regions demonstrates start-region / assert-alldead (§2.3.2): a server
+// loop brackets its per-connection code with a region and asserts that all
+// memory allocated while servicing the connection is released afterwards —
+// the Apache-style region discipline, checked rather than enforced.
+//
+// A session cache that retains a response object violates the region
+// assertion; the report shows the path through the cache.
+//
+// Run with:
+//
+//	go run ./examples/regions
+package main
+
+import (
+	"fmt"
+
+	"gcassert"
+)
+
+func main() {
+	rep := &gcassert.CollectingReporter{}
+	vm := gcassert.New(gcassert.Options{
+		HeapBytes:      8 << 20,
+		Infrastructure: true,
+		Reporter:       rep,
+	})
+
+	request := vm.Define("Request",
+		gcassert.Field{Name: "body", Ref: true},
+	)
+	response := vm.Define("Response",
+		gcassert.Field{Name: "payload", Ref: true},
+	)
+	fBody := vm.FieldIndex(request, "body")
+	fPayload := vm.FieldIndex(response, "payload")
+
+	th := vm.NewThread("server")
+	fr := th.Push(1)
+
+	// The buggy session cache: a global that retains the last response.
+	cacheG := vm.NewGlobal("sessionCache")
+	cache := th.NewArray(gcassert.TRefArray, 8)
+	vm.SetGlobal(cacheG, cache)
+
+	serve := func(conn int, leakToCache bool) {
+		th.StartRegion()
+		cfr := th.Push(2)
+
+		req := th.New(request)
+		cfr.Set(0, req)
+		vm.SetRef(req, fBody, th.NewArray(gcassert.TWordArray, 64))
+
+		resp := th.New(response)
+		cfr.Set(1, resp)
+		vm.SetRef(resp, fPayload, th.NewArray(gcassert.TWordArray, 128))
+
+		if leakToCache {
+			// The bug: the response escapes into the session cache.
+			vm.SetRefAt(vm.GetGlobal(cacheG), conn%8, resp)
+		}
+
+		th.Pop() // connection state goes out of scope...
+		n := th.AssertAllDead()
+		fmt.Printf("connection %d: region closed, %d objects asserted dead\n", conn, n)
+	}
+
+	fmt.Println("--- clean connections ---")
+	for conn := 0; conn < 3; conn++ {
+		serve(conn, false)
+	}
+	vm.Collect()
+	fmt.Printf("violations so far: %d (all region allocations died)\n\n", rep.Len())
+
+	fmt.Println("--- a connection that leaks its response into a session cache ---")
+	serve(3, true)
+	vm.Collect()
+
+	for _, v := range rep.ByKind(gcassert.KindDead) {
+		fmt.Println(v.String())
+	}
+	st := vm.AssertionStats()
+	fmt.Printf("regions: %d started, %d allocations tracked, %d verified dead, %d violations\n",
+		st.RegionsStarted, st.RegionAllocs, st.DeadVerified, st.Violations)
+	_ = fr
+}

@@ -1,0 +1,199 @@
+package gcassert
+
+import (
+	"io"
+
+	"gcassert/internal/collector"
+	"gcassert/internal/core"
+	"gcassert/internal/heap"
+	"gcassert/internal/rt"
+)
+
+// Re-exported data types. These are aliases: values flow between the public
+// API and the internal packages without conversion.
+type (
+	// Ref is a managed heap reference; the zero Ref is nil.
+	Ref = heap.Addr
+	// TypeID identifies a registered object type.
+	TypeID = heap.TypeID
+	// Field declares one object field (name + whether it is a reference).
+	Field = heap.Field
+	// Violation describes a triggered assertion, including the full heap
+	// path from a root to the offending object.
+	Violation = core.Violation
+	// PathStep is one hop of a violation's heap path.
+	PathStep = core.PathStep
+	// Kind is an assertion kind.
+	Kind = core.Kind
+	// Reaction selects what happens when an assertion triggers.
+	Reaction = core.Reaction
+	// Policy maps assertion kinds to reactions.
+	Policy = core.Policy
+	// Reporter receives violations.
+	Reporter = core.Reporter
+	// CollectingReporter records violations in memory.
+	CollectingReporter = core.CollectingReporter
+	// HaltError is the panic payload of the ReactHalt reaction.
+	HaltError = core.HaltError
+	// Thread is a mutator context whose frames are GC roots.
+	Thread = rt.Thread
+	// Frame is a shadow-stack frame of local reference slots.
+	Frame = rt.Frame
+	// GCStats summarizes collector activity.
+	GCStats = collector.Stats
+	// Collection records one collection cycle.
+	Collection = collector.Collection
+	// AssertStats counts assertion-engine activity.
+	AssertStats = core.Stats
+	// HeapStats summarizes allocation activity.
+	HeapStats = heap.Stats
+)
+
+// Nil is the null reference.
+const Nil = heap.Nil
+
+// Assertion kinds.
+const (
+	KindDead              = core.KindDead
+	KindInstances         = core.KindInstances
+	KindUnshared          = core.KindUnshared
+	KindOwnedBy           = core.KindOwnedBy
+	KindImproperOwnership = core.KindImproperOwnership
+)
+
+// Reactions.
+const (
+	// ReactLog logs the violation and continues (the default).
+	ReactLog = core.ReactLog
+	// ReactHalt panics with *HaltError on the first violation.
+	ReactHalt = core.ReactHalt
+	// ReactForce forces the assertion true where possible: for lifetime
+	// assertions the collector severs every incoming reference so the
+	// object is reclaimed in the same cycle.
+	ReactForce = core.ReactForce
+)
+
+// Builtin array types.
+const (
+	// TRefArray is the builtin reference-array type.
+	TRefArray = heap.TRefArray
+	// TWordArray is the builtin scalar-array type.
+	TWordArray = heap.TWordArray
+)
+
+// NewWriterReporter returns a Reporter that prints each violation to w in
+// the paper's Figure 1 format.
+func NewWriterReporter(w io.Writer) Reporter { return core.NewWriterReporter(w) }
+
+// Options configures a Runtime.
+type Options struct {
+	// HeapBytes sizes the managed heap (default 64 MiB). The collector runs
+	// when allocation fails.
+	HeapBytes int
+	// Infrastructure enables the GC-assertions infrastructure. Without it
+	// the collector runs the unmodified base trace and assertion calls
+	// panic — this is the paper's Base configuration, used for overhead
+	// measurements.
+	Infrastructure bool
+	// Reporter receives violations; nil discards them (stats still count).
+	Reporter Reporter
+	// LogWriter, if non-nil, additionally prints violations to this writer.
+	LogWriter io.Writer
+	// Policy selects per-kind reactions (zero value: log everything).
+	Policy Policy
+	// OnViolation, if non-nil, chooses the reaction per violation at
+	// detection time, overriding Policy — the paper's programmatic-
+	// reaction interface (§2.6 future work). It runs inside the
+	// stop-the-world collection and must not allocate on the managed heap
+	// or register assertions.
+	OnViolation func(*Violation) Reaction
+	// Generational enables the sticky-mark-bit generational mode, in which
+	// assertions are checked only at full-heap collections (§2.2).
+	Generational bool
+	// MinorRatio is the number of minor collections between forced full
+	// collections in generational mode (default 4).
+	MinorRatio int
+}
+
+// Runtime is a managed runtime with GC assertions. All methods of the
+// embedded runtime (thread and global management, Collect, Define,
+// assertion registration) are part of the public API.
+type Runtime struct {
+	*rt.Runtime
+}
+
+// New creates a runtime.
+func New(opts Options) *Runtime {
+	r := &Runtime{rt.New(rt.Config{
+		HeapBytes:      opts.HeapBytes,
+		Infrastructure: opts.Infrastructure,
+		Reporter:       opts.Reporter,
+		LogWriter:      opts.LogWriter,
+		Policy:         opts.Policy,
+		Generational:   opts.Generational,
+		MinorRatio:     opts.MinorRatio,
+	})}
+	if opts.OnViolation != nil && r.Engine() != nil {
+		r.Engine().SetDecider(opts.OnViolation)
+	}
+	return r
+}
+
+// GetRef loads the reference field at slot of the object at a.
+func (r *Runtime) GetRef(a Ref, slot int) Ref { return r.Space().GetRef(a, slot) }
+
+// SetRef stores v into the reference field at slot of the object at a.
+func (r *Runtime) SetRef(a Ref, slot int, v Ref) { r.Space().SetRef(a, slot, v) }
+
+// GetScalar loads the scalar field at slot of the object at a.
+func (r *Runtime) GetScalar(a Ref, slot int) uint64 { return r.Space().GetScalar(a, slot) }
+
+// SetScalar stores v into the scalar field at slot of the object at a.
+func (r *Runtime) SetScalar(a Ref, slot int, v uint64) { r.Space().SetScalar(a, slot, v) }
+
+// RefAt loads element i of the reference array at a.
+func (r *Runtime) RefAt(a Ref, i int) Ref { return r.Space().RefAt(a, i) }
+
+// SetRefAt stores v into element i of the reference array at a.
+func (r *Runtime) SetRefAt(a Ref, i int, v Ref) { r.Space().SetRefAt(a, i, v) }
+
+// WordAt loads element i of the scalar array at a.
+func (r *Runtime) WordAt(a Ref, i int) uint64 { return r.Space().WordAt(a, i) }
+
+// SetWordAt stores v into element i of the scalar array at a.
+func (r *Runtime) SetWordAt(a Ref, i int, v uint64) { r.Space().SetWordAt(a, i, v) }
+
+// TypeName returns the type name of the object at a.
+func (r *Runtime) TypeName(a Ref) string { return r.Space().TypeName(a) }
+
+// ArrayLen returns the length of the array at a.
+func (r *Runtime) ArrayLen(a Ref) int { return r.Space().ArrayLen(a) }
+
+// FieldIndex resolves a field name of type t to its slot index.
+func (r *Runtime) FieldIndex(t TypeID, name string) int {
+	return r.Registry().Info(t).FieldIndex(name)
+}
+
+// GCStats returns cumulative collector statistics.
+func (r *Runtime) GCStats() GCStats { return r.Collector().Stats() }
+
+// AssertionStats returns the assertion engine's counters (zero value when
+// infrastructure mode is off).
+func (r *Runtime) AssertionStats() AssertStats {
+	if r.Engine() == nil {
+		return AssertStats{}
+	}
+	return r.Engine().Stats()
+}
+
+// HeapStats returns allocation statistics.
+func (r *Runtime) HeapStats() HeapStats { return r.Space().Stats() }
+
+// LiveInstances returns the live-instance count of t observed at the most
+// recent collection (only for types under AssertInstances tracking).
+func (r *Runtime) LiveInstances(t TypeID) (int64, bool) {
+	if r.Engine() == nil {
+		return 0, false
+	}
+	return r.Engine().LiveInstances(t)
+}

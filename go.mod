@@ -1,0 +1,3 @@
+module gcassert
+
+go 1.22

@@ -1,0 +1,57 @@
+package gcassert_test
+
+import (
+	"strings"
+	"testing"
+
+	"gcassert"
+)
+
+func TestHeapProfile(t *testing.T) {
+	vm := gcassert.New(gcassert.Options{HeapBytes: 8 << 20})
+	small := vm.Define("Small", gcassert.Field{Name: "x", Ref: false})
+	big := vm.Define("Big",
+		gcassert.Field{Name: "a", Ref: true}, gcassert.Field{Name: "b", Ref: true},
+		gcassert.Field{Name: "c", Ref: false}, gcassert.Field{Name: "d", Ref: false})
+	th := vm.NewThread("main")
+	fr := th.Push(0)
+	for i := 0; i < 10; i++ {
+		fr.Add(th.New(small))
+	}
+	for i := 0; i < 5; i++ {
+		fr.Add(th.New(big))
+	}
+	fr.Add(th.NewArray(gcassert.TWordArray, 1000))
+
+	prof := vm.HeapProfile()
+	got := map[string]gcassert.TypeProfile{}
+	for _, p := range prof {
+		got[p.TypeName] = p
+	}
+	if p := got["Small"]; p.Objects != 10 || p.Words != 10*2 {
+		t.Errorf("Small profile = %+v", p)
+	}
+	if p := got["Big"]; p.Objects != 5 || p.Words != 5*5 {
+		t.Errorf("Big profile = %+v", p)
+	}
+	if p := got["[word"]; p.Objects != 1 || p.Words != 1001 {
+		t.Errorf("word-array profile = %+v", p)
+	}
+	// Sorted by words, descending: the big array first.
+	if prof[0].TypeName != "[word" {
+		t.Errorf("profile[0] = %+v", prof[0])
+	}
+
+	var b strings.Builder
+	if err := vm.WriteHeapProfile(&b, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "[word") || !strings.Contains(out, "total") {
+		t.Errorf("profile table:\n%s", out)
+	}
+	// top=2 limits the rows: Small must be cut.
+	if strings.Contains(out, "Small") {
+		t.Errorf("top limit ignored:\n%s", out)
+	}
+}

@@ -1,0 +1,237 @@
+// Package db is a miniature SPEC JVM98 _209_db: an in-memory database of
+// Entry records addressed through a sorted index, exercised with a shuffled
+// mix of find/add/remove/scan operations.
+//
+// With assertions enabled it carries the paper's instrumentation (§3.1.1):
+// every Entry is asserted owned by its containing Database, and removals
+// place assert-dead on the removed Entry (the code location where the
+// original program nulls the instance variable). The live database of
+// several thousand entries makes this the workload with the largest
+// per-GC ownership checking load, matching the paper's ~15k ownees per GC.
+package db
+
+import (
+	"gcassert"
+	"gcassert/internal/bench/wutil"
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// Entries is the steady-state database size.
+	Entries int
+	// Ops is the number of operations per iteration.
+	Ops int
+	// FieldsPerEntry is the number of payload "strings" per entry.
+	FieldsPerEntry int
+	// Asserts enables the paper's instrumentation.
+	Asserts bool
+	// LeakRemoved seeds a bug for the case-study tests: removed entries are
+	// kept in a "recently deleted" cache, so their assert-dead fires.
+	LeakRemoved bool
+	// Seed drives the deterministic op mix.
+	Seed uint64
+}
+
+// DefaultConfig is the harness scale.
+func DefaultConfig() Config {
+	return Config{Entries: 12000, Ops: 60000, FieldsPerEntry: 3, Seed: 7}
+}
+
+// Managed field slots.
+const (
+	dbEntries = 0 // ref: TRefArray of entries (dense prefix)
+	dbCache   = 1 // ref: TRefArray: the seeded "recently deleted" cache
+	dbN       = 2 // scalar: number of live entries
+
+	entFields = 0 // ref: TRefArray of word-array payloads
+	entKey    = 1 // scalar: sort key
+	entID     = 2 // scalar
+)
+
+// DB is one bound instance.
+type DB struct {
+	cfg Config
+	vm  *gcassert.Runtime
+	th  *gcassert.Thread
+	rng *wutil.RNG
+
+	tDatabase, tEntry gcassert.TypeID
+
+	dbGlobal int
+	nextID   uint64
+	cachePos int
+}
+
+// New binds the workload to a runtime.
+func New(vm *gcassert.Runtime, cfg Config) *DB {
+	if cfg.Entries == 0 {
+		cfg = DefaultConfig()
+	}
+	d := &DB{cfg: cfg, vm: vm, rng: wutil.NewRNG(cfg.Seed)}
+	reg := vm.Registry()
+	def := func(name string, fields ...gcassert.Field) gcassert.TypeID {
+		if id, ok := reg.Lookup(name); ok {
+			return id
+		}
+		return vm.Define(name, fields...)
+	}
+	d.tDatabase = def("spec/db/Database",
+		gcassert.Field{Name: "entries", Ref: true},
+		gcassert.Field{Name: "cache", Ref: true},
+		gcassert.Field{Name: "n", Ref: false})
+	d.tEntry = def("spec/db/Entry",
+		gcassert.Field{Name: "fields", Ref: true},
+		gcassert.Field{Name: "key", Ref: false},
+		gcassert.Field{Name: "id", Ref: false})
+	d.th = vm.NewThread("db-main")
+	d.dbGlobal = vm.NewGlobal("database")
+	return d
+}
+
+// EntryType returns the Entry TypeID.
+func (d *DB) EntryType() gcassert.TypeID { return d.tEntry }
+
+// Database returns the managed database object.
+func (d *DB) Database() gcassert.Ref { return d.vm.GetGlobal(d.dbGlobal) }
+
+// Thread returns the mutator thread.
+func (d *DB) Thread() *gcassert.Thread { return d.th }
+
+// setup builds the initial database.
+func (d *DB) setup() {
+	vm, th, cfg := d.vm, d.th, d.cfg
+	fr := th.Push(1)
+	database := th.New(d.tDatabase)
+	fr.Set(0, database)
+	vm.SetRef(database, dbEntries, th.NewArray(gcassert.TRefArray, 2*cfg.Entries))
+	vm.SetRef(database, dbCache, th.NewArray(gcassert.TRefArray, 64))
+	vm.SetGlobal(d.dbGlobal, database)
+	th.Pop()
+	for i := 0; i < cfg.Entries; i++ {
+		d.add()
+	}
+}
+
+// newEntry allocates a fully populated entry, rooted in fr slot 0.
+func (d *DB) newEntry(fr *gcassert.Frame) gcassert.Ref {
+	vm, th, cfg := d.vm, d.th, d.cfg
+	e := th.New(d.tEntry)
+	fr.Set(0, e)
+	vm.SetScalar(e, entKey, d.rng.Next()%1_000_000)
+	vm.SetScalar(e, entID, d.nextID)
+	d.nextID++
+	vm.SetRef(e, entFields, th.NewArray(gcassert.TRefArray, cfg.FieldsPerEntry))
+	flds := vm.GetRef(e, entFields)
+	for i := 0; i < cfg.FieldsPerEntry; i++ {
+		vm.SetRefAt(flds, i, wutil.NewString(vm, th, d.rng, 4+d.rng.Intn(8)))
+	}
+	return e
+}
+
+// add inserts a new entry into the database.
+func (d *DB) add() {
+	vm, th := d.vm, d.th
+	fr := th.Push(1)
+	e := d.newEntry(fr)
+	database := d.Database()
+	entries := vm.GetRef(database, dbEntries)
+	n := int(vm.GetScalar(database, dbN))
+	if n == vm.ArrayLen(entries) {
+		// Grow the entry table.
+		ne := th.NewArray(gcassert.TRefArray, 2*n)
+		for i := 0; i < n; i++ {
+			vm.SetRefAt(ne, i, vm.RefAt(entries, i))
+		}
+		vm.SetRef(database, dbEntries, ne)
+		entries = ne
+	}
+	vm.SetRefAt(entries, n, e)
+	vm.SetScalar(database, dbN, uint64(n+1))
+	if d.cfg.Asserts {
+		vm.AssertOwnedBy(database, e)
+	}
+	th.Pop()
+}
+
+// remove deletes a random entry (swap-remove), asserting its death.
+func (d *DB) remove() {
+	vm := d.vm
+	database := d.Database()
+	n := int(vm.GetScalar(database, dbN))
+	if n == 0 {
+		return
+	}
+	entries := vm.GetRef(database, dbEntries)
+	i := d.rng.Intn(n)
+	e := vm.RefAt(entries, i)
+	vm.SetRefAt(entries, i, vm.RefAt(entries, n-1))
+	vm.SetRefAt(entries, n-1, gcassert.Nil)
+	vm.SetScalar(database, dbN, uint64(n-1))
+	if d.cfg.LeakRemoved {
+		// Seeded bug: keep the removed entry in a "recently deleted" cache.
+		cache := vm.GetRef(database, dbCache)
+		vm.SetRefAt(cache, d.cachePos%vm.ArrayLen(cache), e)
+		d.cachePos++
+	}
+	if d.cfg.Asserts {
+		vm.AssertDead(e)
+	}
+}
+
+// find performs a scan lookup by key over the dense prefix.
+func (d *DB) find() int {
+	vm := d.vm
+	database := d.Database()
+	n := int(vm.GetScalar(database, dbN))
+	if n == 0 {
+		return -1
+	}
+	entries := vm.GetRef(database, dbEntries)
+	key := d.rng.Next() % 1_000_000
+	// Probe a bounded window, like the original's sequential search.
+	start := d.rng.Intn(n)
+	for i := 0; i < 16 && i < n; i++ {
+		e := vm.RefAt(entries, (start+i)%n)
+		if vm.GetScalar(e, entKey) <= key {
+			return (start + i) % n
+		}
+	}
+	return -1
+}
+
+// scan touches every entry's first payload word (the "sort" pass).
+func (d *DB) scan() uint64 {
+	vm := d.vm
+	database := d.Database()
+	n := int(vm.GetScalar(database, dbN))
+	if n > 3000 {
+		n = 3000 // the original's sort pass touches a bounded window
+	}
+	entries := vm.GetRef(database, dbEntries)
+	var sum uint64
+	for i := 0; i < n; i++ {
+		e := vm.RefAt(entries, i)
+		flds := vm.GetRef(e, entFields)
+		sum += vm.WordAt(vm.RefAt(flds, 0), 0)
+	}
+	return sum
+}
+
+// RunIteration executes one iteration of the op mix.
+func (d *DB) RunIteration(iter int) {
+	if d.Database() == gcassert.Nil {
+		d.setup()
+	}
+	for op := 0; op < d.cfg.Ops; op++ {
+		switch p := d.rng.Intn(100); {
+		case p < 40:
+			d.find()
+		case p < 68:
+			d.add()
+		case p < 96:
+			d.remove()
+		default:
+			d.scan()
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package db
+
+import (
+	"testing"
+
+	"gcassert"
+)
+
+func newDB(t *testing.T, mutate func(*Config)) (*DB, *gcassert.Runtime, *gcassert.CollectingReporter) {
+	t.Helper()
+	rep := &gcassert.CollectingReporter{}
+	vm := gcassert.New(gcassert.Options{HeapBytes: 16 << 20, Infrastructure: true, Reporter: rep})
+	cfg := DefaultConfig()
+	cfg.Entries = 1500
+	cfg.Ops = 8000
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return New(vm, cfg), vm, rep
+}
+
+func TestSetupAndSteadyState(t *testing.T) {
+	d, vm, _ := newDB(t, nil)
+	d.RunIteration(0)
+	database := d.Database()
+	if database == gcassert.Nil {
+		t.Fatal("no database")
+	}
+	n := int(vm.GetScalar(database, dbN))
+	if n <= 0 {
+		t.Fatalf("database emptied out: n=%d", n)
+	}
+	// The dense prefix is fully populated; the rest of the table is nil.
+	entries := vm.GetRef(database, dbEntries)
+	for i := 0; i < n; i++ {
+		if vm.RefAt(entries, i) == gcassert.Nil {
+			t.Fatalf("hole at %d (n=%d)", i, n)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() uint64 {
+		d, vm, _ := newDB(t, nil)
+		d.RunIteration(0)
+		return vm.HeapStats().ObjectsAllocated
+	}
+	if run() != run() {
+		t.Error("nondeterministic")
+	}
+}
+
+func TestAssertsCleanOnRepaired(t *testing.T) {
+	d, vm, rep := newDB(t, func(c *Config) { c.Asserts = true })
+	d.RunIteration(0)
+	vm.Collect()
+	if rep.Len() != 0 {
+		t.Fatalf("violations: %v", rep.Violations()[0].String())
+	}
+	st := vm.AssertionStats()
+	if st.OwnedPairsAsserted == 0 || st.DeadAsserted == 0 || st.DeadVerified == 0 {
+		t.Errorf("assertion traffic: %+v", st)
+	}
+}
+
+func TestLeakRemovedCachesAreDetected(t *testing.T) {
+	d, vm, rep := newDB(t, func(c *Config) { c.Asserts = true; c.LeakRemoved = true })
+	d.RunIteration(0)
+	vm.Collect()
+	if len(rep.ByKind(gcassert.KindDead)) == 0 {
+		t.Fatal("cache leak not detected")
+	}
+}
+
+func TestGrowthPath(t *testing.T) {
+	// A tiny initial table forces the growth branch.
+	d, vm, _ := newDB(t, func(c *Config) { c.Entries = 10; c.Ops = 0 })
+	d.RunIteration(0)
+	for i := 0; i < 100; i++ {
+		d.add()
+	}
+	database := d.Database()
+	if n := int(vm.GetScalar(database, dbN)); n != 110 {
+		t.Errorf("n = %d, want 110", n)
+	}
+	entries := vm.GetRef(database, dbEntries)
+	if vm.ArrayLen(entries) < 110 {
+		t.Errorf("table not grown: %d", vm.ArrayLen(entries))
+	}
+}
+
+func TestEntryType(t *testing.T) {
+	d, vm, _ := newDB(t, nil)
+	if vm.Registry().Name(d.EntryType()) != "spec/db/Entry" {
+		t.Error("EntryType")
+	}
+	if d.Thread() == nil {
+		t.Error("Thread")
+	}
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"gcassert/internal/stats"
+)
+
+// PrintFigure2 reports the run-time overhead of the assertion infrastructure
+// (Base vs Infrastructure) for each workload, normalized to Base — the
+// paper's Figure 2 (geomean total +2.75%, mutator +1.12% in the paper).
+func PrintFigure2(w io.Writer, comps []*Comparison) {
+	fmt.Fprintln(w, "Figure 2: run-time overhead of GC assertion infrastructure (normalized to Base)")
+	fmt.Fprintf(w, "%-12s %12s %12s %14s %14s\n", "benchmark", "base (s)", "infra (s)", "total(norm)", "mutator(norm)")
+	var totals, muts []float64
+	for _, c := range comps {
+		base, infra := c.Results[Base], c.Results[Infra]
+		if base == nil || infra == nil {
+			continue
+		}
+		nt := c.Normalized(Infra, TotalTime)
+		nm := c.Normalized(Infra, MutatorTime)
+		totals = append(totals, nt)
+		muts = append(muts, nm)
+		fmt.Fprintf(w, "%-12s %8.4f±%.3f %8.4f±%.3f %14.4f %14.4f\n",
+			c.Workload, base.Total.Mean(), base.Total.CI90(),
+			infra.Total.Mean(), infra.Total.CI90(), nt, nm)
+	}
+	fmt.Fprintf(w, "%-12s %12s %12s %14.4f %14.4f\n", "geomean", "", "",
+		stats.GeoMean(totals), stats.GeoMean(muts))
+	fmt.Fprintf(w, "paper:       total +2.75%%, mutator +1.12%% (geomean)\n\n")
+}
+
+// PrintFigure3 reports the GC-time overhead of the infrastructure — the
+// paper's Figure 3 (geomean +13.36%, worst case bloat +30%).
+func PrintFigure3(w io.Writer, comps []*Comparison) {
+	fmt.Fprintln(w, "Figure 3: GC-time overhead of GC assertion infrastructure (normalized to Base)")
+	fmt.Fprintf(w, "%-12s %12s %12s %14s %8s\n", "benchmark", "baseGC (s)", "infraGC (s)", "GC(norm)", "GCs")
+	var norms []float64
+	worst, worstName := 0.0, ""
+	for _, c := range comps {
+		base, infra := c.Results[Base], c.Results[Infra]
+		if base == nil || infra == nil {
+			continue
+		}
+		n := c.Normalized(Infra, GCTime)
+		norms = append(norms, n)
+		if n > worst {
+			worst, worstName = n, c.Workload
+		}
+		fmt.Fprintf(w, "%-12s %8.4f±%.3f %8.4f±%.3f %14.4f %8.1f\n",
+			c.Workload, base.GC.Mean(), base.GC.CI90(),
+			infra.GC.Mean(), infra.GC.CI90(), n, infra.Collections.Mean())
+	}
+	fmt.Fprintf(w, "%-12s %12s %12s %14.4f\n", "geomean", "", "", stats.GeoMean(norms))
+	fmt.Fprintf(w, "worst:       %s at %.4f\n", worstName, worst)
+	fmt.Fprintf(w, "paper:       +13.36%% geomean, worst ~1.30 (bloat)\n\n")
+}
+
+// PrintFigure4 reports total run time with assertions added, for the
+// asserting workloads — the paper's Figure 4 (_209_db +1.02%, pseudojbb
+// +1.84% vs Base; both < 2%).
+func PrintFigure4(w io.Writer, comps []*Comparison) {
+	fmt.Fprintln(w, "Figure 4: run-time overhead with GC assertions added (normalized to Base)")
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %12s %12s\n", "benchmark", "base (s)", "infra(norm)", "asserts(norm)", "deadAsserts", "ownedPairs")
+	for _, c := range comps {
+		base, wa := c.Results[Base], c.Results[WithAssertions]
+		if base == nil || wa == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %8.4f±%.3f %12.4f %12.4f %12d %12d\n",
+			c.Workload, base.Total.Mean(), base.Total.CI90(),
+			c.Normalized(Infra, TotalTime), c.Normalized(WithAssertions, TotalTime),
+			wa.AssertStats.DeadAsserted, wa.AssertStats.OwnedPairsAsserted)
+	}
+	fmt.Fprintf(w, "paper:       _209_db +1.02%%, pseudojbb +1.84%% total (vs Base)\n\n")
+}
+
+// PrintFigure5 reports GC time with assertions added — the paper's Figure 5
+// (_209_db +49.7%, pseudojbb +15.3% vs Base), along with the ownership
+// checking volume (the paper reports ~15,274 ownees/GC for db and ~420 for
+// pseudojbb).
+func PrintFigure5(w io.Writer, comps []*Comparison) {
+	fmt.Fprintln(w, "Figure 5: GC-time overhead with GC assertions added (normalized to Base)")
+	fmt.Fprintf(w, "%-12s %12s %12s %14s %16s\n", "benchmark", "baseGC (s)", "infraGC(norm)", "asserts(norm)", "ownees/GC")
+	for _, c := range comps {
+		base, wa := c.Results[Base], c.Results[WithAssertions]
+		if base == nil || wa == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %8.4f±%.3f %12.4f %14.4f %16.1f\n",
+			c.Workload, base.GC.Mean(), base.GC.CI90(),
+			c.Normalized(Infra, GCTime), c.Normalized(WithAssertions, GCTime),
+			wa.OwneesCheckedPerGC())
+	}
+	fmt.Fprintf(w, "paper:       _209_db +49.7%%, pseudojbb +15.3%% GC time (vs Base)\n\n")
+}

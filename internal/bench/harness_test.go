@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"gcassert"
+)
+
+// tinyWorkload allocates and drops small lists; it supports assertions by
+// asserting death of dropped heads.
+func tinyWorkload() Workload {
+	return Workload{Name: "tiny", Heap: 2 << 20, HasAsserts: true,
+		New: func(vm *gcassert.Runtime, asserts bool) func(int) {
+			node := vm.Define("tiny/Node", gcassert.Field{Name: "next", Ref: true})
+			th := vm.NewThread("tiny")
+			fr := th.Push(1)
+			return func(int) {
+				for r := 0; r < 250; r++ {
+					var head gcassert.Ref
+					for i := 0; i < 800; i++ {
+						n := th.New(node)
+						vm.Space().SetRef(n, 0, head)
+						head = n
+						fr.Set(0, head)
+					}
+					if asserts {
+						vm.AssertDead(head)
+					}
+					fr.Set(0, gcassert.Nil)
+				}
+			}
+		}}
+}
+
+func TestRunProducesSamples(t *testing.T) {
+	w := tinyWorkload()
+	res := Run(w, Infra, Options{Trials: 3, Iterations: 2})
+	if res.Total.N() != 3 || res.GC.N() != 3 || res.Mutator.N() != 3 {
+		t.Fatalf("samples: total=%d gc=%d", res.Total.N(), res.GC.N())
+	}
+	if res.Total.Mean() <= 0 {
+		t.Error("nonpositive total")
+	}
+	if res.Mode != Infra || res.Workload != "tiny" {
+		t.Error("result identity")
+	}
+}
+
+func TestRunWithAssertionsRecordsStats(t *testing.T) {
+	w := tinyWorkload()
+	res := Run(w, WithAssertions, Options{Trials: 1, Iterations: 2})
+	if res.AssertStats.DeadAsserted == 0 {
+		t.Errorf("assert stats empty: %+v", res.AssertStats)
+	}
+	if res.TotalCollections == 0 {
+		t.Error("no collections recorded")
+	}
+}
+
+func TestCompareSkipsAssertModeWhenUnsupported(t *testing.T) {
+	w := tinyWorkload()
+	w.HasAsserts = false
+	c := Compare(w, []Mode{Base, Infra, WithAssertions}, Options{Trials: 1, Iterations: 1})
+	if _, ok := c.Results[WithAssertions]; ok {
+		t.Error("WithAssertions run despite HasAsserts=false")
+	}
+	if c.Normalized(Infra, TotalTime) <= 0 {
+		t.Error("normalized")
+	}
+	if c.Normalized(WithAssertions, TotalTime) != 0 {
+		t.Error("missing mode should normalize to 0")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{Base: "Base", Infra: "Infrastructure",
+		WithAssertions: "WithAssertions", Mode(9): "Mode(9)"} {
+		if m.String() != want {
+			t.Errorf("%d = %q", m, m.String())
+		}
+	}
+}
+
+func TestFigurePrinters(t *testing.T) {
+	w := tinyWorkload()
+	c := Compare(w, []Mode{Base, Infra, WithAssertions}, Options{Trials: 2, Iterations: 1})
+	comps := []*Comparison{c}
+	var b strings.Builder
+	PrintFigure2(&b, comps)
+	PrintFigure3(&b, comps)
+	PrintFigure4(&b, comps)
+	PrintFigure5(&b, comps)
+	out := b.String()
+	for _, want := range []string{
+		"Figure 2:", "Figure 3:", "Figure 4:", "Figure 5:",
+		"geomean", "tiny", "paper:", "ownees/GC",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figures output missing %q", want)
+		}
+	}
+}
+
+func TestOptionsPresets(t *testing.T) {
+	if o := DefaultOptions(); o.Trials <= 0 || o.Iterations <= 0 {
+		t.Error("DefaultOptions")
+	}
+	if o := PaperOptions(); o.Trials != 20 || o.Iterations != 4 {
+		t.Errorf("PaperOptions = %+v", o)
+	}
+}

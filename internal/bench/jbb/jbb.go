@@ -1,0 +1,417 @@
+// Package jbb is a miniature SPECjbb2000 / pseudojbb: a three-tier business
+// workload with data stored in B-trees rather than an external database
+// (§3.2.1 of the paper). A Company owns Warehouses, which own Districts;
+// each District stores its open Orders in a longBTree orderTable and its
+// Customers in an array. Transactions create orders, take payments, and
+// deliver (destroy) orders.
+//
+// The three bugs the paper found in SPECjbb2000 are reproducible through
+// Config knobs:
+//
+//   - LeakLastOrder: Customer.lastOrder is not cleared when an Order is
+//     destroyed, so destroyed Orders stay reachable from Customers.
+//   - DragOldCompany: the oldCompany local is not nulled after the previous
+//     Company is destroyed, dragging the whole old Company data structure
+//     for one extra iteration.
+//   - LeakOrderTable: DeliveryTransaction does not remove processed Orders
+//     from the orderTable (the known SPECjbb leak first reported by Jump &
+//     McKinley), producing the paper's Figure 1 path.
+//
+// With all knobs off the workload is the repaired program, used for the
+// Figure 4/5 performance runs: one assert-instances plus one assert-ownedby
+// per order added, all passing.
+package jbb
+
+import (
+	"gcassert"
+	"gcassert/internal/bench/wutil"
+	"gcassert/internal/btree"
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// Warehouses, Districts (per warehouse) and Customers (per district)
+	// size the long-lived object graph.
+	Warehouses int
+	Districts  int
+	Customers  int
+	// Transactions is the number of transactions per iteration.
+	Transactions int
+	// DeliveryBatch is how many oldest orders one delivery processes.
+	DeliveryBatch int
+	// Items sizes the company's item catalog (long-lived, not owned by any
+	// orderTable, so it is traced by the normal scan, not the ownership
+	// phase — as in the real benchmark, where the catalog dominates the
+	// live heap).
+	Items int
+
+	// Seeded bugs (see package comment).
+	LeakLastOrder  bool
+	DragOldCompany bool
+	LeakOrderTable bool
+
+	// Asserts registers the paper's assertions: assert-instances(Company,1),
+	// assert-ownedby(orderTable, order) in District.addOrder, and
+	// assert-dead(order) at the end of delivery processing plus
+	// assert-dead(company) in Company.destroy.
+	Asserts bool
+	// DisableOwnedBy suppresses only the assert-ownedby instrumentation, so
+	// case studies can observe the pure assert-dead paths (the paper's
+	// Figure 1 was produced this way, before they switched to ownership
+	// assertions in §3.2.1).
+	DisableOwnedBy bool
+
+	// Seed for the deterministic transaction mix.
+	Seed uint64
+}
+
+// DefaultConfig is the scale used by the harness.
+func DefaultConfig() Config {
+	return Config{
+		Warehouses:    2,
+		Districts:     5,
+		Customers:     60,
+		Transactions:  60000,
+		DeliveryBatch: 20,
+		Items:         15000,
+		Seed:          1,
+	}
+}
+
+// Managed field slots.
+const (
+	companyWarehouses = 0 // ref array
+	companyItems      = 1 // ref array: the item catalog
+
+	itemName  = 0 // ref: word array
+	itemPrice = 1 // scalar
+
+	whDistricts = 0 // ref array
+	whID        = 1 // scalar
+
+	distOrderTable = 0 // ref: longBTree
+	distCustomers  = 1 // ref array
+	distID         = 2 // scalar
+	distNextOrder  = 3 // scalar
+
+	custLastOrder = 0 // ref
+	custAddress   = 1 // ref
+	custID        = 2 // scalar
+
+	addrStreet = 0 // ref: word array
+
+	orderCustomer = 0 // ref
+	orderLines    = 1 // ref array
+	orderID       = 2 // scalar
+	orderStatus   = 3 // scalar
+
+	lineItem = 0 // scalar
+	lineQty  = 1 // scalar
+)
+
+// JBB is one bound instance of the workload.
+type JBB struct {
+	cfg Config
+	vm  *gcassert.Runtime
+	th  *gcassert.Thread
+	rng *wutil.RNG
+
+	tCompany, tWarehouse, tDistrict gcassert.TypeID
+	tCustomer, tAddress             gcassert.TypeID
+	tOrder, tOrderline, tItem       gcassert.TypeID
+
+	// companyGlobal roots the current company; mainFrame slot 0 holds the
+	// oldCompany local from the paper's drag bug; treeScratch is shared by
+	// every orderTable for rooting in-flight B-tree allocations.
+	companyGlobal int
+	mainFrame     *gcassert.Frame
+	treeScratch   *gcassert.Frame
+
+	// trees holds Go-side handles to the district orderTables of the
+	// current company, indexed [warehouse][district].
+	trees [][]*btree.Tree
+}
+
+// Types registers (or looks up) the workload's managed types.
+func (j *JBB) defineTypes() {
+	reg := j.vm.Registry()
+	def := func(name string, fields ...gcassert.Field) gcassert.TypeID {
+		if id, ok := reg.Lookup(name); ok {
+			return id
+		}
+		return j.vm.Define(name, fields...)
+	}
+	j.tCompany = def("spec/jbb/Company",
+		gcassert.Field{Name: "warehouses", Ref: true},
+		gcassert.Field{Name: "items", Ref: true})
+	j.tItem = def("spec/jbb/Item",
+		gcassert.Field{Name: "name", Ref: true},
+		gcassert.Field{Name: "price", Ref: false})
+	j.tWarehouse = def("spec/jbb/Warehouse",
+		gcassert.Field{Name: "districts", Ref: true},
+		gcassert.Field{Name: "id", Ref: false})
+	j.tDistrict = def("spec/jbb/District",
+		gcassert.Field{Name: "orderTable", Ref: true},
+		gcassert.Field{Name: "customers", Ref: true},
+		gcassert.Field{Name: "id", Ref: false},
+		gcassert.Field{Name: "nextOrder", Ref: false})
+	j.tCustomer = def("spec/jbb/Customer",
+		gcassert.Field{Name: "lastOrder", Ref: true},
+		gcassert.Field{Name: "address", Ref: true},
+		gcassert.Field{Name: "id", Ref: false})
+	j.tAddress = def("spec/jbb/Address", gcassert.Field{Name: "street", Ref: true})
+	j.tOrder = def("spec/jbb/Order",
+		gcassert.Field{Name: "customer", Ref: true},
+		gcassert.Field{Name: "lines", Ref: true},
+		gcassert.Field{Name: "id", Ref: false},
+		gcassert.Field{Name: "status", Ref: false})
+	j.tOrderline = def("spec/jbb/Orderline",
+		gcassert.Field{Name: "item", Ref: false},
+		gcassert.Field{Name: "qty", Ref: false})
+}
+
+// New binds the workload to a runtime.
+func New(vm *gcassert.Runtime, cfg Config) *JBB {
+	if cfg.Warehouses == 0 {
+		cfg = DefaultConfig()
+	}
+	j := &JBB{cfg: cfg, vm: vm, rng: wutil.NewRNG(cfg.Seed)}
+	j.defineTypes()
+	j.th = vm.NewThread("jbb-main")
+	j.companyGlobal = vm.NewGlobal("company")
+	j.mainFrame = j.th.Push(2) // slot 0: oldCompany, slot 1: scratch
+	j.treeScratch = j.th.Push(btree.ScratchSlots)
+	return j
+}
+
+// Thread returns the workload's mutator thread.
+func (j *JBB) Thread() *gcassert.Thread { return j.th }
+
+// Company returns the current company object.
+func (j *JBB) Company() gcassert.Ref { return j.vm.GetGlobal(j.companyGlobal) }
+
+// OrderType returns the Order TypeID (used by tests and examples).
+func (j *JBB) OrderType() gcassert.TypeID { return j.tOrder }
+
+// CompanyType returns the Company TypeID.
+func (j *JBB) CompanyType() gcassert.TypeID { return j.tCompany }
+
+// buildCompany allocates and populates a fresh company.
+func (j *JBB) buildCompany() gcassert.Ref {
+	vm, th, cfg := j.vm, j.th, j.cfg
+	fr := th.Push(2)
+	defer th.Pop()
+
+	company := th.New(j.tCompany)
+	fr.Set(0, company)
+	vm.SetRef(company, companyWarehouses, th.NewArray(gcassert.TRefArray, cfg.Warehouses))
+	// Populate the item catalog: the bulk of the long-lived heap.
+	vm.SetRef(company, companyItems, th.NewArray(gcassert.TRefArray, cfg.Items))
+	items := vm.GetRef(company, companyItems)
+	for i := 0; i < cfg.Items; i++ {
+		it := th.New(j.tItem)
+		vm.SetRefAt(items, i, it)
+		vm.SetScalar(it, itemPrice, j.rng.Next()%10000)
+		vm.SetRef(it, itemName, wutil.NewString(vm, th, j.rng, 4))
+	}
+
+	j.trees = make([][]*btree.Tree, cfg.Warehouses)
+	for w := 0; w < cfg.Warehouses; w++ {
+		wh := th.New(j.tWarehouse)
+		vm.SetRefAt(vm.GetRef(company, companyWarehouses), w, wh)
+		vm.SetScalar(wh, whID, uint64(w))
+		vm.SetRef(wh, whDistricts, th.NewArray(gcassert.TRefArray, cfg.Districts))
+		j.trees[w] = make([]*btree.Tree, cfg.Districts)
+		for d := 0; d < cfg.Districts; d++ {
+			dist := th.New(j.tDistrict)
+			vm.SetRefAt(vm.GetRef(wh, whDistricts), d, dist)
+			vm.SetScalar(dist, distID, uint64(d))
+			tree := btree.New(vm, th, j.treeScratch)
+			vm.SetRef(dist, distOrderTable, tree.Ref)
+			j.trees[w][d] = tree
+			vm.SetRef(dist, distCustomers, th.NewArray(gcassert.TRefArray, cfg.Customers))
+			for c := 0; c < cfg.Customers; c++ {
+				cust := th.New(j.tCustomer)
+				vm.SetRefAt(vm.GetRef(dist, distCustomers), c, cust)
+				vm.SetScalar(cust, custID, uint64(c))
+				addr := th.New(j.tAddress)
+				vm.SetRef(cust, custAddress, addr)
+				vm.SetRef(addr, addrStreet, wutil.NewString(vm, th, j.rng, 8))
+			}
+		}
+	}
+	return company
+}
+
+// district returns the managed district object (w, d) of the company.
+func (j *JBB) district(company gcassert.Ref, w, d int) gcassert.Ref {
+	vm := j.vm
+	wh := vm.RefAt(vm.GetRef(company, companyWarehouses), w)
+	return vm.RefAt(vm.GetRef(wh, whDistricts), d)
+}
+
+// addOrder creates an Order for a random customer of district (w, d),
+// inserts it into the orderTable, and applies the paper's instrumentation
+// (District.addOrder was the hook point for assert-ownedby).
+func (j *JBB) addOrder(company gcassert.Ref, w, d int) {
+	vm, th, cfg := j.vm, j.th, j.cfg
+	dist := j.district(company, w, d)
+	tree := j.trees[w][d]
+
+	fr := th.Push(1)
+	order := th.New(j.tOrder)
+	fr.Set(0, order)
+
+	cust := vm.RefAt(vm.GetRef(dist, distCustomers), j.rng.Intn(cfg.Customers))
+	vm.SetRef(order, orderCustomer, cust)
+	nLines := 5 + j.rng.Intn(10)
+	vm.SetRef(order, orderLines, th.NewArray(gcassert.TRefArray, nLines))
+	lines := vm.GetRef(order, orderLines)
+	items := vm.GetRef(company, companyItems)
+	for i := 0; i < nLines; i++ {
+		ln := th.New(j.tOrderline)
+		item := j.rng.Intn(j.cfg.Items)
+		// Price the line from the catalog (a read; orderlines hold the item
+		// id, not a reference, so the catalog stays outside owner regions).
+		price := vm.GetScalar(vm.RefAt(items, item), itemPrice)
+		vm.SetScalar(ln, lineItem, uint64(item))
+		vm.SetScalar(ln, lineQty, (1+uint64(j.rng.Intn(10)))*price%1_000_000)
+		vm.SetRefAt(lines, i, ln)
+	}
+
+	id := vm.GetScalar(dist, distNextOrder)
+	vm.SetScalar(dist, distNextOrder, id+1)
+	vm.SetScalar(order, orderID, id)
+	tree.Put(int64(id), order)
+	vm.SetRef(cust, custLastOrder, order)
+
+	if cfg.Asserts && !cfg.DisableOwnedBy {
+		vm.AssertOwnedBy(tree.Ref, order)
+	}
+	th.Pop()
+}
+
+// payment allocates transient history records for a random customer.
+func (j *JBB) payment(company gcassert.Ref, w, d int) {
+	vm, th := j.vm, j.th
+	dist := j.district(company, w, d)
+	cust := vm.RefAt(vm.GetRef(dist, distCustomers), j.rng.Intn(j.cfg.Customers))
+	fr := th.Push(1)
+	hist := wutil.NewString(vm, th, j.rng, 12)
+	fr.Set(0, hist)
+	// Record the customer id in the history record; the record itself is
+	// transient and dropped when the frame pops.
+	vm.SetWordAt(hist, 0, vm.GetScalar(cust, custID))
+	th.Pop()
+}
+
+// delivery processes (destroys) the oldest DeliveryBatch orders of district
+// (w, d): DeliveryTransaction.process() in SPECjbb.
+func (j *JBB) delivery(company gcassert.Ref, w, d int) {
+	vm, cfg := j.vm, j.cfg
+	tree := j.trees[w][d]
+	for i := 0; i < cfg.DeliveryBatch; i++ {
+		var oldest int64 = -1
+		tree.ForEach(func(k int64, v gcassert.Ref) bool {
+			oldest = k
+			return false
+		})
+		if oldest < 0 {
+			return
+		}
+		var order gcassert.Ref
+		if cfg.LeakOrderTable {
+			// The SPECjbb bug: the order is "completed" but never removed
+			// from the orderTable.
+			order, _ = tree.Get(oldest)
+		} else {
+			order, _ = tree.Remove(oldest)
+		}
+		j.destroyOrder(order)
+		if cfg.Asserts {
+			// The paper's instrumentation: at the end of
+			// DeliveryTransaction.process(), the order should be dead.
+			vm.AssertDead(order)
+		}
+	}
+}
+
+// destroyOrder is Order.destroy(): clear the back-references that would
+// keep the order alive, unless the seeded bug leaves them dangling.
+func (j *JBB) destroyOrder(order gcassert.Ref) {
+	vm := j.vm
+	vm.SetScalar(order, orderStatus, 1)
+	cust := vm.GetRef(order, orderCustomer)
+	if !j.cfg.LeakLastOrder && cust != gcassert.Nil && vm.GetRef(cust, custLastOrder) == order {
+		vm.SetRef(cust, custLastOrder, gcassert.Nil)
+	}
+}
+
+// orderStatusTx reads a random customer's last order.
+func (j *JBB) orderStatusTx(company gcassert.Ref, w, d int) uint64 {
+	vm := j.vm
+	dist := j.district(company, w, d)
+	cust := vm.RefAt(vm.GetRef(dist, distCustomers), j.rng.Intn(j.cfg.Customers))
+	if o := vm.GetRef(cust, custLastOrder); o != gcassert.Nil {
+		return vm.GetScalar(o, orderID)
+	}
+	return 0
+}
+
+// stockLevel walks the orderTable counting open orders.
+func (j *JBB) stockLevel(w, d int) int {
+	count := 0
+	j.trees[w][d].ForEach(func(int64, gcassert.Ref) bool {
+		count++
+		return count < 200
+	})
+	return count
+}
+
+// RunIteration executes one benchmark iteration: destroy the previous
+// company, build a fresh one, then run the transaction mix — the structure
+// of pseudojbb's main loop, including the oldCompany behavior (§3.2.1).
+func (j *JBB) RunIteration(iter int) {
+	vm, cfg := j.vm, j.cfg
+
+	old := vm.GetGlobal(j.companyGlobal)
+	if old != gcassert.Nil {
+		// Destroy the previous company. The paper's second bug: the
+		// oldCompany local variable remains visible through the whole
+		// method, dragging the previous Company for the iteration.
+		j.mainFrame.Set(0, old)
+		vm.SetGlobal(j.companyGlobal, gcassert.Nil)
+		if cfg.Asserts {
+			vm.AssertDead(old)
+		}
+		if !cfg.DragOldCompany {
+			j.mainFrame.Set(0, gcassert.Nil)
+		}
+	}
+
+	company := j.buildCompany()
+	vm.SetGlobal(j.companyGlobal, company)
+	if cfg.Asserts {
+		vm.AssertInstances(j.tCompany, 1)
+	}
+
+	for t := 0; t < cfg.Transactions; t++ {
+		w := j.rng.Intn(cfg.Warehouses)
+		d := j.rng.Intn(cfg.Districts)
+		switch p := j.rng.Intn(100); {
+		case p < 45:
+			j.addOrder(company, w, d)
+		case p < 88:
+			j.payment(company, w, d)
+		case p < 92:
+			j.delivery(company, w, d)
+		case p < 96:
+			j.orderStatusTx(company, w, d)
+		default:
+			j.stockLevel(w, d)
+		}
+	}
+
+	// End of iteration: the drag bug keeps oldCompany live until here.
+	j.mainFrame.Set(0, gcassert.Nil)
+}

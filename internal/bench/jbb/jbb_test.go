@@ -1,0 +1,117 @@
+package jbb
+
+import (
+	"testing"
+
+	"gcassert"
+)
+
+func newJBB(t *testing.T, mutate func(*Config)) (*JBB, *gcassert.Runtime, *gcassert.CollectingReporter) {
+	t.Helper()
+	rep := &gcassert.CollectingReporter{}
+	vm := gcassert.New(gcassert.Options{HeapBytes: 16 << 20, Infrastructure: true, Reporter: rep})
+	cfg := DefaultConfig()
+	cfg.Transactions = 4000
+	cfg.Items = 2000
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return New(vm, cfg), vm, rep
+}
+
+func TestIterationBuildsCompany(t *testing.T) {
+	j, vm, _ := newJBB(t, nil)
+	j.RunIteration(0)
+	company := j.Company()
+	if company == gcassert.Nil {
+		t.Fatal("no company after iteration")
+	}
+	if vm.TypeName(company) != "spec/jbb/Company" {
+		t.Errorf("company type = %s", vm.TypeName(company))
+	}
+	// The structure is navigable: warehouses -> districts -> orderTable.
+	whs := vm.GetRef(company, companyWarehouses)
+	if vm.ArrayLen(whs) != j.cfg.Warehouses {
+		t.Errorf("warehouses = %d", vm.ArrayLen(whs))
+	}
+	wh := vm.RefAt(whs, 0)
+	dists := vm.GetRef(wh, whDistricts)
+	dist := vm.RefAt(dists, 0)
+	if tbl := vm.GetRef(dist, distOrderTable); tbl == gcassert.Nil {
+		t.Error("district has no orderTable")
+	}
+	if items := vm.GetRef(company, companyItems); vm.ArrayLen(items) != j.cfg.Items {
+		t.Error("item catalog size")
+	}
+}
+
+func TestCompanyChurnsAcrossIterations(t *testing.T) {
+	j, _, _ := newJBB(t, nil)
+	j.RunIteration(0)
+	first := j.Company()
+	j.RunIteration(1)
+	second := j.Company()
+	if first == second {
+		t.Error("company not replaced between iterations")
+	}
+}
+
+func TestDeterministicTransactionMix(t *testing.T) {
+	run := func() gcassert.HeapStats {
+		j, vm, _ := newJBB(t, nil)
+		j.RunIteration(0)
+		return vm.HeapStats()
+	}
+	a, b := run(), run()
+	if a.ObjectsAllocated != b.ObjectsAllocated || a.WordsAllocated != b.WordsAllocated {
+		t.Errorf("nondeterministic allocation: %+v vs %+v", a, b)
+	}
+}
+
+func TestRepairedRunsCleanWithAsserts(t *testing.T) {
+	j, vm, rep := newJBB(t, func(c *Config) { c.Asserts = true })
+	j.RunIteration(0)
+	j.RunIteration(1)
+	vm.Collect()
+	if rep.Len() != 0 {
+		t.Fatalf("violations on repaired program: %v", rep.Violations()[0].String())
+	}
+	st := vm.AssertionStats()
+	if st.OwnedPairsAsserted == 0 || st.DeadAsserted == 0 {
+		t.Errorf("no assertion traffic: %+v", st)
+	}
+	if st.OwneesChecked == 0 {
+		t.Error("ownership phase never ran")
+	}
+}
+
+func TestNoAssertsMeansNoEngineTraffic(t *testing.T) {
+	j, vm, _ := newJBB(t, nil)
+	j.RunIteration(0)
+	vm.Collect()
+	st := vm.AssertionStats()
+	if st.DeadAsserted != 0 || st.OwnedPairsAsserted != 0 {
+		t.Errorf("unexpected assertions: %+v", st)
+	}
+}
+
+func TestZeroConfigUsesDefaults(t *testing.T) {
+	vm := gcassert.New(gcassert.Options{HeapBytes: 16 << 20})
+	j := New(vm, Config{})
+	if j.cfg.Warehouses != DefaultConfig().Warehouses {
+		t.Error("zero config not defaulted")
+	}
+}
+
+func TestTypeAccessors(t *testing.T) {
+	j, vm, _ := newJBB(t, nil)
+	if name := vm.Registry().Name(j.OrderType()); name != "spec/jbb/Order" {
+		t.Errorf("OrderType = %s", name)
+	}
+	if name := vm.Registry().Name(j.CompanyType()); name != "spec/jbb/Company" {
+		t.Errorf("CompanyType = %s", name)
+	}
+	if j.Thread() == nil {
+		t.Error("Thread nil")
+	}
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"testing"
+
+	"gcassert"
+	"gcassert/internal/bench/db"
+)
+
+// TestReproductionShape asserts the paper's headline shape on a small but
+// GC-heavy configuration: the assertion infrastructure costs more GC time
+// than Base, while full instrumentation keeps total time within a loose
+// bound of Base. Thresholds are deliberately generous — this is a shape
+// regression test, not a performance benchmark (EXPERIMENTS.md records the
+// measured magnitudes).
+func TestReproductionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based shape test")
+	}
+	w := Workload{Name: "shape-db", Heap: 8 << 20, HasAsserts: true,
+		New: func(vm *gcassert.Runtime, asserts bool) func(int) {
+			cfg := db.DefaultConfig()
+			cfg.Asserts = asserts
+			d := db.New(vm, cfg)
+			return d.RunIteration
+		}}
+	c := Compare(w, []Mode{Base, Infra, WithAssertions}, Options{Trials: 5, Iterations: 2})
+
+	gcNorm := c.Normalized(Infra, GCTime)
+	if gcNorm < 1.0 {
+		t.Errorf("infrastructure GC overhead = %.3f, expected > 1 (paper: ~1.13 geomean)", gcNorm)
+	}
+	totalNorm := c.Normalized(WithAssertions, TotalTime)
+	if totalNorm > 1.6 {
+		t.Errorf("WithAssertions total = %.3f x Base, expected close to 1 (paper: ~1.01)", totalNorm)
+	}
+	gcAsserts := c.Normalized(WithAssertions, GCTime)
+	if gcAsserts <= gcNorm {
+		t.Errorf("assertion checking should cost more GC time (%.3f) than bare infrastructure (%.3f)",
+			gcAsserts, gcNorm)
+	}
+	// The checking volume matches the paper's _209_db character: thousands
+	// of ownees checked per collection.
+	if r := c.Results[WithAssertions]; r.OwneesCheckedPerGC() < 1000 {
+		t.Errorf("ownees/GC = %.0f, expected thousands", r.OwneesCheckedPerGC())
+	}
+}
+
+// TestGenerationalDelaysDetectionShape is the §2.2 claim as a regression
+// test: the generational collector takes strictly more collections to
+// detect an assert-dead violation than the full-heap collector.
+func TestGenerationalDelaysDetectionShape(t *testing.T) {
+	detect := func(gen bool) uint64 {
+		rep := &gcassert.CollectingReporter{}
+		vm := gcassert.New(gcassert.Options{
+			HeapBytes:      2 << 20,
+			Infrastructure: true,
+			Reporter:       rep,
+			Generational:   gen,
+			MinorRatio:     8,
+		})
+		node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+		th := vm.NewThread("main")
+		fr := th.Push(1)
+		leak := th.New(node)
+		fr.Set(0, leak)
+		vm.AssertDead(leak)
+		for rep.Len() == 0 {
+			cfr := th.Push(1)
+			var head gcassert.Ref
+			for i := 0; i < 5000; i++ {
+				n := th.New(node)
+				vm.Space().SetRef(n, 0, head)
+				head = n
+				cfr.Set(0, head)
+			}
+			th.Pop()
+		}
+		return vm.GCStats().Collections + vm.MinorGCStats().Collections
+	}
+	full := detect(false)
+	gen := detect(true)
+	if gen <= full {
+		t.Errorf("generational detected after %d collections, full-heap after %d; expected a delay", gen, full)
+	}
+}

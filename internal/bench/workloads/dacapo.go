@@ -1,0 +1,622 @@
+// Package workloads assembles the synthetic benchmark suite used by the
+// evaluation harness: generators whose allocation volume, object-graph shape
+// and lifetime behavior mimic the DaCapo 2006 and SPEC JVM98 programs the
+// paper measures, plus the pseudojbb and _209_db workloads with their paper
+// instrumentation.
+//
+// Each generator is a distinct heap exercise — tree churn (antlr, fop),
+// large live graphs (bloat, hsqldb), map-heavy caches (eclipse, javac),
+// scalar-dominated computation (compress, mtrt), multi-threaded sharing
+// (lusearch) — so the infrastructure-overhead measurements cover the same
+// spectrum of GC loads as the paper's Figure 2/3. Every workload keeps a
+// persistent live set (retained rings, registries, indexes) in addition to
+// its transient churn, so mark phases trace a realistic object population,
+// and runs long enough per iteration for stable timing.
+package workloads
+
+import (
+	"gcassert"
+	"gcassert/internal/bench"
+	"gcassert/internal/bench/wutil"
+	"gcassert/internal/btree"
+)
+
+// mb is a mebibyte.
+const mb = 1 << 20
+
+// retainRing installs a global ref-array ring of n slots and returns a
+// function that retains v, evicting the oldest occupant.
+func retainRing(vm *gcassert.Runtime, th *gcassert.Thread, name string, n int) func(v gcassert.Ref) {
+	g := vm.NewGlobal(name)
+	ring := th.NewArray(gcassert.TRefArray, n)
+	vm.SetGlobal(g, ring)
+	pos := 0
+	return func(v gcassert.Ref) {
+		vm.SetRefAt(vm.GetGlobal(g), pos%n, v)
+		pos++
+	}
+}
+
+// antlr: parser-style AST churn — build random expression trees from token
+// streams, walk them, drop most but retain a ring of recent parse results.
+func antlr() bench.Workload {
+	return bench.Workload{Name: "antlr", Heap: 4 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		node := vm.Define("antlr/ASTNode",
+			gcassert.Field{Name: "left", Ref: true},
+			gcassert.Field{Name: "right", Ref: true},
+			gcassert.Field{Name: "token", Ref: false})
+		th := vm.NewThread("antlr")
+		rng := wutil.NewRNG(11)
+		fr := th.Push(1)
+		retain := retainRing(vm, th, "antlr/grammars", 64)
+
+		var build func(depth int) gcassert.Ref
+		build = func(depth int) gcassert.Ref {
+			n := th.New(node)
+			vm.SetScalar(n, 2, rng.Next()%512)
+			if depth <= 0 || rng.Intn(4) == 0 {
+				return n
+			}
+			sl := fr.Add(n)
+			l := build(depth - 1)
+			vm.SetRef(n, 0, l)
+			r := build(depth - 1)
+			vm.SetRef(n, 1, r)
+			fr.Truncate(sl)
+			return n
+		}
+		var eval func(n gcassert.Ref) uint64
+		eval = func(n gcassert.Ref) uint64 {
+			if n == gcassert.Nil {
+				return 0
+			}
+			return vm.GetScalar(n, 2) + eval(vm.GetRef(n, 0)) + eval(vm.GetRef(n, 1))
+		}
+		return func(int) {
+			for p := 0; p < 2000; p++ {
+				sl := fr.Add(build(10))
+				eval(fr.Get(sl))
+				if p%16 == 0 {
+					retain(fr.Get(sl))
+				}
+				fr.Truncate(sl)
+			}
+		}
+	}}
+}
+
+// bloat: bytecode-optimizer-style analysis — a large live control-flow
+// graph with per-pass bitset reallocation, the paper's worst GC-overhead
+// case (large live set, frequent collections).
+func bloat() bench.Workload {
+	return bench.Workload{Name: "bloat", Heap: 16 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		block := vm.Define("bloat/BasicBlock",
+			gcassert.Field{Name: "succs", Ref: true},
+			gcassert.Field{Name: "in", Ref: true},
+			gcassert.Field{Name: "out", Ref: true},
+			gcassert.Field{Name: "instrs", Ref: true})
+		th := vm.NewThread("bloat")
+		rng := wutil.NewRNG(13)
+		cfgGlobal := vm.NewGlobal("cfg")
+		const nBlocks = 26000
+		const setWords = 12
+
+		blocks := th.NewArray(gcassert.TRefArray, nBlocks)
+		vm.SetGlobal(cfgGlobal, blocks)
+		for i := 0; i < nBlocks; i++ {
+			b := th.New(block)
+			vm.SetRefAt(blocks, i, b)
+			vm.SetRef(b, 3, wutil.NewString(vm, th, rng, 6))
+			vm.SetRef(b, 0, th.NewArray(gcassert.TRefArray, 2))
+		}
+		for i := 0; i < nBlocks; i++ {
+			b := vm.RefAt(blocks, i)
+			succs := vm.GetRef(b, 0)
+			vm.SetRefAt(succs, 0, vm.RefAt(blocks, (i+1)%nBlocks))
+			vm.SetRefAt(succs, 1, vm.RefAt(blocks, rng.Intn(nBlocks)))
+		}
+
+		return func(int) {
+			blocks := vm.GetGlobal(cfgGlobal)
+			for pass := 0; pass < 4; pass++ {
+				for i := 0; i < nBlocks; i++ {
+					b := vm.RefAt(blocks, i)
+					vm.SetRef(b, 1, th.NewArray(gcassert.TWordArray, setWords))
+					vm.SetRef(b, 2, th.NewArray(gcassert.TWordArray, setWords))
+				}
+				for i := 0; i < nBlocks; i++ {
+					b := vm.RefAt(blocks, i)
+					out := vm.GetRef(b, 2)
+					succs := vm.GetRef(b, 0)
+					for s := 0; s < 2; s++ {
+						sb := vm.RefAt(succs, s)
+						in := vm.GetRef(sb, 1)
+						for w := 0; w < setWords; w++ {
+							vm.SetWordAt(out, w, vm.WordAt(out, w)|vm.WordAt(in, w))
+						}
+					}
+				}
+			}
+		}
+	}}
+}
+
+// chart: plot rendering — allocate point series, aggregate into raster
+// buffers, retain the recent rasters as the "report".
+func chart() bench.Workload {
+	return bench.Workload{Name: "chart", Heap: 6 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		series := vm.Define("chart/Series",
+			gcassert.Field{Name: "xs", Ref: true},
+			gcassert.Field{Name: "ys", Ref: true})
+		th := vm.NewThread("chart")
+		rng := wutil.NewRNG(17)
+		fr := th.Push(2)
+		retain := retainRing(vm, th, "chart/report", 48)
+		return func(int) {
+			for plot := 0; plot < 30; plot++ {
+				raster := th.NewArray(gcassert.TWordArray, 4096)
+				fr.Set(0, raster)
+				for s := 0; s < 40; s++ {
+					sr := th.New(series)
+					fr.Set(1, sr)
+					const npts = 600
+					vm.SetRef(sr, 0, th.NewArray(gcassert.TWordArray, npts))
+					vm.SetRef(sr, 1, th.NewArray(gcassert.TWordArray, npts))
+					xs, ys := vm.GetRef(sr, 0), vm.GetRef(sr, 1)
+					for i := 0; i < npts; i++ {
+						vm.SetWordAt(xs, i, rng.Next()%4096)
+						vm.SetWordAt(ys, i, rng.Next())
+					}
+					for i := 0; i < npts; i++ {
+						px := int(vm.WordAt(xs, i))
+						vm.SetWordAt(raster, px, vm.WordAt(raster, px)+vm.WordAt(ys, i)%255)
+					}
+					fr.Set(1, gcassert.Nil)
+				}
+				retain(raster)
+				fr.Set(0, gcassert.Nil)
+			}
+		}
+	}}
+}
+
+// eclipse: plugin-registry style map churn — a seeded registry of
+// descriptors with steady register/unregister/lookup traffic.
+func eclipse() bench.Workload {
+	return bench.Workload{Name: "eclipse", Heap: 6 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		desc := vm.Define("eclipse/Descriptor",
+			gcassert.Field{Name: "name", Ref: true},
+			gcassert.Field{Name: "deps", Ref: true},
+			gcassert.Field{Name: "id", Ref: false})
+		th := vm.NewThread("eclipse")
+		rng := wutil.NewRNG(19)
+		regGlobal := vm.NewGlobal("registry")
+		registry := wutil.NewHashMap(vm, th, 1024)
+		vm.SetGlobal(regGlobal, registry.Ref)
+		fr := th.Push(1)
+		next := uint64(0)
+		var live []uint64
+		register := func() {
+			d := th.New(desc)
+			fr.Set(0, d)
+			vm.SetScalar(d, 2, next)
+			vm.SetRef(d, 0, wutil.NewString(vm, th, rng, 6))
+			vm.SetRef(d, 1, th.NewArray(gcassert.TRefArray, 4))
+			registry.Put(next, d)
+			live = append(live, next)
+			next++
+			fr.Set(0, gcassert.Nil)
+		}
+		for i := 0; i < 6000; i++ {
+			register()
+		}
+		return func(int) {
+			for op := 0; op < 120000; op++ {
+				switch p := rng.Intn(10); {
+				case p < 3 && len(live) < 9000 || len(live) == 0:
+					register()
+				case p < 6:
+					i := rng.Intn(len(live))
+					registry.Remove(live[i])
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				default:
+					registry.Get(live[rng.Intn(len(live))])
+				}
+			}
+		}
+	}}
+}
+
+// fop: formatting-object tree — build wide layout trees with property
+// strings, run a layout pass, retain the last few "pages".
+func fop() bench.Workload {
+	return bench.Workload{Name: "fop", Heap: 8 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		fo := vm.Define("fop/FONode",
+			gcassert.Field{Name: "children", Ref: true},
+			gcassert.Field{Name: "props", Ref: true},
+			gcassert.Field{Name: "width", Ref: false})
+		th := vm.NewThread("fop")
+		rng := wutil.NewRNG(23)
+		fr := th.Push(1)
+		retain := retainRing(vm, th, "fop/pages", 8)
+		var build func(depth, fan int) gcassert.Ref
+		build = func(depth, fan int) gcassert.Ref {
+			n := th.New(fo)
+			sl := fr.Add(n)
+			vm.SetRef(n, 1, wutil.NewString(vm, th, rng, 4))
+			if depth > 0 {
+				vm.SetRef(n, 0, th.NewArray(gcassert.TRefArray, fan))
+				kids := vm.GetRef(n, 0)
+				for i := 0; i < fan; i++ {
+					c := build(depth-1, fan)
+					vm.SetRefAt(kids, i, c)
+				}
+			}
+			fr.Truncate(sl)
+			return n
+		}
+		var layout func(n gcassert.Ref) uint64
+		layout = func(n gcassert.Ref) uint64 {
+			w := vm.WordAt(vm.GetRef(n, 1), 0) % 80
+			kids := vm.GetRef(n, 0)
+			if kids != gcassert.Nil {
+				for i := 0; i < vm.ArrayLen(kids); i++ {
+					w += layout(vm.RefAt(kids, i))
+				}
+			}
+			vm.SetScalar(n, 2, w)
+			return w
+		}
+		return func(int) {
+			for page := 0; page < 40; page++ {
+				t := build(5, 6)
+				sl := fr.Add(t)
+				layout(t)
+				retain(t)
+				fr.Truncate(sl)
+			}
+		}
+	}}
+}
+
+// hsqldb: transactional table — rows in a B-tree with a large steady live
+// set and update/insert/delete churn.
+func hsqldb() bench.Workload {
+	return bench.Workload{Name: "hsqldb", Heap: 8 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		row := vm.Define("hsqldb/Row",
+			gcassert.Field{Name: "cols", Ref: true},
+			gcassert.Field{Name: "id", Ref: false})
+		th := vm.NewThread("hsqldb")
+		rng := wutil.NewRNG(29)
+		tblGlobal := vm.NewGlobal("table")
+		scratch := th.Push(btree.ScratchSlots)
+		table := btree.New(vm, th, scratch)
+		vm.SetGlobal(tblGlobal, table.Ref)
+		fr := th.Push(1)
+		nextID := int64(0)
+		var liveKeys []int64 // Go-side key list, for steady-state churn
+		insert := func() {
+			r := th.New(row)
+			fr.Set(0, r)
+			vm.SetScalar(r, 1, uint64(nextID))
+			vm.SetRef(r, 0, th.NewArray(gcassert.TRefArray, 4))
+			cols := vm.GetRef(r, 0)
+			for c := 0; c < 4; c++ {
+				vm.SetRefAt(cols, c, wutil.NewString(vm, th, rng, 5))
+			}
+			table.Put(nextID, r)
+			liveKeys = append(liveKeys, nextID)
+			nextID++
+			fr.Set(0, gcassert.Nil)
+		}
+		remove := func() {
+			i := rng.Intn(len(liveKeys))
+			table.Remove(liveKeys[i])
+			liveKeys[i] = liveKeys[len(liveKeys)-1]
+			liveKeys = liveKeys[:len(liveKeys)-1]
+		}
+		for i := 0; i < 9000; i++ {
+			insert()
+		}
+		return func(int) {
+			for tx := 0; tx < 40000; tx++ {
+				switch p := rng.Intn(10); {
+				case p < 3 && len(liveKeys) < 12000 || len(liveKeys) < 6000:
+					insert()
+				case p < 6 && len(liveKeys) > 0:
+					remove()
+				default:
+					if r, ok := table.Get(liveKeys[rng.Intn(len(liveKeys))]); ok {
+						cols := vm.GetRef(r, 0)
+						s := wutil.NewString(vm, th, rng, 5)
+						vm.SetRefAt(cols, rng.Intn(4), s)
+					}
+				}
+			}
+		}
+	}}
+}
+
+// jython: interpreter-style frame and small-dict churn with deep call
+// chains; compiled "code objects" persist in a module ring.
+func jython() bench.Workload {
+	return bench.Workload{Name: "jython", Heap: 4 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		pyframe := vm.Define("jython/PyFrame",
+			gcassert.Field{Name: "locals", Ref: true},
+			gcassert.Field{Name: "back", Ref: true},
+			gcassert.Field{Name: "lasti", Ref: false})
+		th := vm.NewThread("jython")
+		rng := wutil.NewRNG(31)
+		fr := th.Push(1)
+		retain := retainRing(vm, th, "jython/modules", 256)
+		var call func(back gcassert.Ref, depth int) uint64
+		call = func(back gcassert.Ref, depth int) uint64 {
+			f := th.New(pyframe)
+			sl := fr.Add(f)
+			vm.SetRef(f, 1, back)
+			vm.SetRef(f, 0, th.NewArray(gcassert.TRefArray, 8))
+			locals := vm.GetRef(f, 0)
+			for i := 0; i < 4; i++ {
+				vm.SetRefAt(locals, i, wutil.NewString(vm, th, rng, 3))
+			}
+			r := rng.Next() % 97
+			if depth > 0 {
+				r += call(f, depth-1)
+			}
+			vm.SetScalar(f, 2, r)
+			fr.Truncate(sl)
+			return r
+		}
+		return func(int) {
+			for c := 0; c < 6000; c++ {
+				call(gcassert.Nil, 20)
+				if c%32 == 0 {
+					code := wutil.NewString(vm, th, rng, 48)
+					retain(code)
+				}
+			}
+		}
+	}}
+}
+
+// luindex: inverted-index construction — tokenize documents into postings
+// lists held in a term map; the index is dropped and rebuilt per iteration.
+func luindex() bench.Workload {
+	return bench.Workload{Name: "luindex", Heap: 8 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		posting := vm.Define("luindex/Posting",
+			gcassert.Field{Name: "next", Ref: true},
+			gcassert.Field{Name: "doc", Ref: false})
+		th := vm.NewThread("luindex")
+		rng := wutil.NewRNG(37)
+		idxGlobal := vm.NewGlobal("index")
+		fr := th.Push(1)
+		return func(int) {
+			index := wutil.NewHashMap(vm, th, 1024)
+			vm.SetGlobal(idxGlobal, index.Ref)
+			for doc := 0; doc < 4800; doc++ {
+				for tok := 0; tok < 40; tok++ {
+					term := rng.Next() % 6000
+					p := th.New(posting)
+					fr.Set(0, p)
+					vm.SetScalar(p, 1, uint64(doc))
+					if head, ok := index.Get(term); ok {
+						vm.SetRef(p, 0, head)
+					}
+					index.Put(term, p)
+					fr.Set(0, gcassert.Nil)
+				}
+			}
+			vm.SetGlobal(idxGlobal, gcassert.Nil)
+		}
+	}}
+}
+
+// lusearchThreads is the number of searcher threads (the case study's 32).
+const lusearchThreads = 32
+
+// lusearch: multi-threaded text search over a shared index; each thread
+// allocates its own IndexSearcher (the §3.2.2 case study asserts there
+// should be only one).
+func lusearch() bench.Workload {
+	return bench.Workload{Name: "lusearch", Heap: 6 * mb, New: func(vm *gcassert.Runtime, asserts bool) func(int) {
+		run, _ := NewLusearch(vm, asserts)
+		return run
+	}}
+}
+
+// NewLusearch builds the lusearch workload and returns its iteration
+// function plus the IndexSearcher TypeID (for the case-study example). When
+// asserts is set, it registers the paper's assert-instances(IndexSearcher,1).
+func NewLusearch(vm *gcassert.Runtime, asserts bool) (func(int), gcassert.TypeID) {
+	searcher := vm.Define("lucene/IndexSearcher",
+		gcassert.Field{Name: "index", Ref: true},
+		gcassert.Field{Name: "hits", Ref: true})
+	posting := vm.Define("lucene/Posting",
+		gcassert.Field{Name: "next", Ref: true},
+		gcassert.Field{Name: "doc", Ref: false})
+	main := vm.NewThread("lusearch-main")
+	rng := wutil.NewRNG(41)
+	idxGlobal := vm.NewGlobal("sharedIndex")
+
+	index := wutil.NewHashMap(vm, main, 2048)
+	vm.SetGlobal(idxGlobal, index.Ref)
+	fr := main.Push(1)
+	const nTerms = 4000
+	for doc := 0; doc < 1600; doc++ {
+		for tok := 0; tok < 24; tok++ {
+			term := rng.Next() % nTerms
+			p := main.New(posting)
+			fr.Set(0, p)
+			vm.SetScalar(p, 1, uint64(doc))
+			if head, ok := index.Get(term); ok {
+				vm.SetRef(p, 0, head)
+			}
+			index.Put(term, p)
+			fr.Set(0, gcassert.Nil)
+		}
+	}
+	main.Pop()
+
+	if asserts {
+		// The Lucene docs recommend a single shared IndexSearcher (§3.2.2).
+		vm.AssertInstances(searcher, 1)
+	}
+
+	threads := make([]*gcassert.Thread, lusearchThreads)
+	frames := make([]*gcassert.Frame, lusearchThreads)
+	for i := range threads {
+		threads[i] = vm.NewThread("searcher")
+		frames[i] = threads[i].Push(2)
+	}
+
+	run := func(int) {
+		for i, th := range threads {
+			s := th.New(searcher)
+			frames[i].Set(0, s)
+			vm.SetRef(s, 0, vm.GetGlobal(idxGlobal))
+		}
+		for q := 0; q < 1400; q++ {
+			for i, th := range threads {
+				s := frames[i].Get(0)
+				hits := th.NewArray(gcassert.TWordArray, 16)
+				vm.SetRef(s, 1, hits)
+				if head, ok := index.Get(rng.Next() % nTerms); ok {
+					n := 0
+					for p := head; p != gcassert.Nil && n < 16; p = vm.GetRef(p, 0) {
+						vm.SetWordAt(hits, n, vm.GetScalar(p, 1))
+						n++
+					}
+				}
+			}
+		}
+		// Threads keep their searchers until the next iteration replaces
+		// them (so at GC time all 32 are live).
+	}
+	return run, searcher
+}
+
+// pmd: source-analysis style — retained ASTs per "file" with rule passes
+// emitting violation records retained in a report ring.
+func pmd() bench.Workload {
+	return bench.Workload{Name: "pmd", Heap: 6 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		node := vm.Define("pmd/Node",
+			gcassert.Field{Name: "kids", Ref: true},
+			gcassert.Field{Name: "kind", Ref: false})
+		viol := vm.Define("pmd/RuleViolation",
+			gcassert.Field{Name: "node", Ref: true},
+			gcassert.Field{Name: "msg", Ref: true})
+		th := vm.NewThread("pmd")
+		rng := wutil.NewRNG(43)
+		fr := th.Push(2)
+		retain := retainRing(vm, th, "pmd/reports", 24)
+		var build func(depth int) gcassert.Ref
+		build = func(depth int) gcassert.Ref {
+			n := th.New(node)
+			sl := fr.Add(n)
+			vm.SetScalar(n, 1, rng.Next()%40)
+			if depth > 0 {
+				fan := 1 + rng.Intn(4)
+				vm.SetRef(n, 0, th.NewArray(gcassert.TRefArray, fan))
+				kids := vm.GetRef(n, 0)
+				for i := 0; i < fan; i++ {
+					c := build(depth - 1)
+					vm.SetRefAt(kids, i, c)
+				}
+			}
+			fr.Truncate(sl)
+			return n
+		}
+		var check func(n, report gcassert.Ref, pos *int)
+		check = func(n, report gcassert.Ref, pos *int) {
+			if vm.GetScalar(n, 1)%7 == 0 && *pos < vm.ArrayLen(report) {
+				v := th.New(viol)
+				vm.SetRefAt(report, *pos, v)
+				vm.SetRef(v, 0, n)
+				*pos++
+			}
+			kids := vm.GetRef(n, 0)
+			if kids != gcassert.Nil {
+				for i := 0; i < vm.ArrayLen(kids); i++ {
+					check(vm.RefAt(kids, i), report, pos)
+				}
+			}
+		}
+		return func(int) {
+			for file := 0; file < 200; file++ {
+				ast := build(8)
+				fr.Set(0, ast)
+				report := th.NewArray(gcassert.TRefArray, 256)
+				fr.Set(1, report)
+				pos := 0
+				for rule := 0; rule < 4 && pos < 256; rule++ {
+					check(ast, report, &pos)
+				}
+				retain(report)
+				fr.Set(0, gcassert.Nil)
+				fr.Set(1, gcassert.Nil)
+			}
+		}
+	}}
+}
+
+// xalan: document transformation — a long-lived input tree transformed into
+// transient output trees with string churn.
+func xalan() bench.Workload {
+	return bench.Workload{Name: "xalan", Heap: 8 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		elem := vm.Define("xalan/Element",
+			gcassert.Field{Name: "kids", Ref: true},
+			gcassert.Field{Name: "text", Ref: true})
+		th := vm.NewThread("xalan")
+		rng := wutil.NewRNG(47)
+		inGlobal := vm.NewGlobal("inputDoc")
+		fr := th.Push(1)
+		var build func(depth int) gcassert.Ref
+		build = func(depth int) gcassert.Ref {
+			n := th.New(elem)
+			sl := fr.Add(n)
+			vm.SetRef(n, 1, wutil.NewString(vm, th, rng, 6))
+			if depth > 0 {
+				vm.SetRef(n, 0, th.NewArray(gcassert.TRefArray, 5))
+				kids := vm.GetRef(n, 0)
+				for i := 0; i < 5; i++ {
+					c := build(depth - 1)
+					vm.SetRefAt(kids, i, c)
+				}
+			}
+			fr.Truncate(sl)
+			return n
+		}
+		input := build(6)
+		vm.SetGlobal(inGlobal, input)
+		var transform func(in gcassert.Ref) gcassert.Ref
+		transform = func(in gcassert.Ref) gcassert.Ref {
+			out := th.New(elem)
+			sl := fr.Add(out)
+			src := vm.GetRef(in, 1)
+			dst := th.NewArray(gcassert.TWordArray, vm.ArrayLen(src))
+			vm.SetRef(out, 1, dst)
+			for i := 0; i < vm.ArrayLen(src); i++ {
+				vm.SetWordAt(dst, i, vm.WordAt(src, i)^0x5555)
+			}
+			kids := vm.GetRef(in, 0)
+			if kids != gcassert.Nil {
+				n := vm.ArrayLen(kids)
+				vm.SetRef(out, 0, th.NewArray(gcassert.TRefArray, n))
+				okids := vm.GetRef(out, 0)
+				for i := 0; i < n; i++ {
+					c := transform(vm.RefAt(kids, i))
+					vm.SetRefAt(okids, i, c)
+				}
+			}
+			fr.Truncate(sl)
+			return out
+		}
+		return func(int) {
+			for doc := 0; doc < 12; doc++ {
+				sl := fr.Add(transform(vm.GetGlobal(inGlobal)))
+				fr.Truncate(sl)
+			}
+		}
+	}}
+}

@@ -1,0 +1,287 @@
+package workloads
+
+import (
+	"gcassert"
+	"gcassert/internal/bench"
+	"gcassert/internal/bench/wutil"
+)
+
+// compress: scalar-array-dominated computation with few objects and little
+// GC load — the mutator-heavy end of the spectrum.
+func compress() bench.Workload {
+	return bench.Workload{Name: "compress", Heap: 3 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		th := vm.NewThread("compress")
+		rng := wutil.NewRNG(53)
+		fr := th.Push(2)
+		const bufWords = 64 << 10
+		return func(int) {
+			for block := 0; block < 24; block++ {
+				in := th.NewArray(gcassert.TWordArray, bufWords)
+				fr.Set(0, in)
+				out := th.NewArray(gcassert.TWordArray, bufWords)
+				fr.Set(1, out)
+				for i := 0; i < bufWords; i++ {
+					vm.SetWordAt(in, i, rng.Next()&0xFF)
+				}
+				// LZ-style pass: run-length fold with a rolling hash.
+				var h, o uint64
+				oi := 0
+				for i := 0; i < bufWords; i++ {
+					w := vm.WordAt(in, i)
+					h = h*131 + w
+					o ^= h
+					if w%7 == 0 {
+						vm.SetWordAt(out, oi, o)
+						oi = (oi + 1) % bufWords
+					}
+				}
+				// Decompress-style verification pass.
+				var sum uint64
+				for i := 0; i < bufWords; i++ {
+					sum += vm.WordAt(out, i)
+				}
+				vm.SetWordAt(out, 0, sum)
+				fr.Set(0, gcassert.Nil)
+				fr.Set(1, gcassert.Nil)
+			}
+		}
+	}}
+}
+
+// jess: rule-engine working memory — facts asserted into alpha-memory
+// lists, matched, and retracted in waves.
+func jess() bench.Workload {
+	return bench.Workload{Name: "jess", Heap: 3 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		fact := vm.Define("jess/Fact",
+			gcassert.Field{Name: "next", Ref: true},
+			gcassert.Field{Name: "slots", Ref: true},
+			gcassert.Field{Name: "kind", Ref: false})
+		th := vm.NewThread("jess")
+		rng := wutil.NewRNG(59)
+		const nKinds = 24
+		wmGlobal := vm.NewGlobal("workingMemory")
+		wm := th.NewArray(gcassert.TRefArray, nKinds)
+		vm.SetGlobal(wmGlobal, wm)
+		fr := th.Push(1)
+		return func(int) {
+			wm := vm.GetGlobal(wmGlobal)
+			for cycle := 0; cycle < 400; cycle++ {
+				// Assert a wave of facts.
+				for f := 0; f < 450; f++ {
+					k := rng.Intn(nKinds)
+					fo := th.New(fact)
+					fr.Set(0, fo)
+					vm.SetScalar(fo, 2, uint64(k))
+					vm.SetRef(fo, 1, wutil.NewString(vm, th, rng, 3))
+					vm.SetRef(fo, 0, vm.RefAt(wm, k))
+					vm.SetRefAt(wm, k, fo)
+					fr.Set(0, gcassert.Nil)
+				}
+				// Match: join pairs of alpha memories.
+				var fired uint64
+				for k := 0; k < nKinds; k++ {
+					for f := vm.RefAt(wm, k); f != gcassert.Nil; f = vm.GetRef(f, 0) {
+						fired += vm.WordAt(vm.GetRef(f, 1), 0) & 1
+					}
+				}
+				// Retract: drop roughly half the lists.
+				for k := 0; k < nKinds; k++ {
+					if rng.Intn(2) == 0 {
+						vm.SetRefAt(wm, k, gcassert.Nil)
+					}
+				}
+			}
+		}
+	}}
+}
+
+// javac: compiler front end — per-file ASTs plus symbol tables in nested
+// scopes; class symbols persist in a global table across files.
+func javac() bench.Workload {
+	return bench.Workload{Name: "javac", Heap: 4 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		sym := vm.Define("javac/Symbol",
+			gcassert.Field{Name: "name", Ref: true},
+			gcassert.Field{Name: "type", Ref: true},
+			gcassert.Field{Name: "id", Ref: false})
+		tnode := vm.Define("javac/Tree",
+			gcassert.Field{Name: "kids", Ref: true},
+			gcassert.Field{Name: "sym", Ref: true},
+			gcassert.Field{Name: "op", Ref: false})
+		th := vm.NewThread("javac")
+		rng := wutil.NewRNG(61)
+		classesGlobal := vm.NewGlobal("classTable")
+		classTable := wutil.NewHashMap(vm, th, 128)
+		vm.SetGlobal(classesGlobal, classTable.Ref)
+		fr := th.Push(3)
+		nextSym := uint64(0)
+
+		newSymbol := func() gcassert.Ref {
+			s := th.New(sym)
+			fr.Set(2, s)
+			vm.SetScalar(s, 2, nextSym)
+			nextSym++
+			vm.SetRef(s, 0, wutil.NewString(vm, th, rng, 3))
+			fr.Set(2, gcassert.Nil)
+			return s
+		}
+		var parse func(depth int, scope *wutil.HashMap) gcassert.Ref
+		parse = func(depth int, scope *wutil.HashMap) gcassert.Ref {
+			n := th.New(tnode)
+			sl := fr.Add(n)
+			vm.SetScalar(n, 2, rng.Next()%64)
+			if rng.Intn(3) == 0 {
+				s := newSymbol()
+				vm.SetRef(n, 1, s)
+				scope.Put(rng.Next()%512, s)
+			}
+			if depth > 0 {
+				fan := 1 + rng.Intn(3)
+				vm.SetRef(n, 0, th.NewArray(gcassert.TRefArray, fan))
+				kids := vm.GetRef(n, 0)
+				for i := 0; i < fan; i++ {
+					c := parse(depth-1, scope)
+					vm.SetRefAt(kids, i, c)
+				}
+			}
+			fr.Truncate(sl)
+			return n
+		}
+		return func(int) {
+			for file := 0; file < 500; file++ {
+				scope := wutil.NewHashMap(vm, th, 64)
+				fr.Set(0, scope.Ref)
+				ast := parse(7, scope)
+				fr.Set(1, ast)
+				// "Attribute" pass: walk symbols; promote one class symbol
+				// per file into the persistent class table.
+				cls := newSymbol()
+				fr.Set(2, cls)
+				classTable.Put(uint64(file)%4093, cls)
+				fr.Set(0, gcassert.Nil)
+				fr.Set(1, gcassert.Nil)
+				fr.Set(2, gcassert.Nil)
+			}
+		}
+	}}
+}
+
+// mtrt: raytracer — a persistent scene of spheres, two logical threads
+// tracing rays with heavy transient vector allocation.
+func mtrt() bench.Workload {
+	return bench.Workload{Name: "mtrt", Heap: 3 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		vec := vm.Define("mtrt/Vec",
+			gcassert.Field{Name: "x", Ref: false},
+			gcassert.Field{Name: "y", Ref: false},
+			gcassert.Field{Name: "z", Ref: false})
+		sphere := vm.Define("mtrt/Sphere",
+			gcassert.Field{Name: "center", Ref: true},
+			gcassert.Field{Name: "radius", Ref: false})
+		rng := wutil.NewRNG(67)
+		sceneGlobal := vm.NewGlobal("scene")
+		setup := vm.NewThread("mtrt-setup")
+		fr := setup.Push(1)
+		const nSpheres = 64
+		scene := setup.NewArray(gcassert.TRefArray, nSpheres)
+		vm.SetGlobal(sceneGlobal, scene)
+		for i := 0; i < nSpheres; i++ {
+			s := setup.New(sphere)
+			vm.SetRefAt(scene, i, s)
+			c := setup.New(vec)
+			vm.SetRef(s, 0, c)
+			vm.SetScalar(c, 0, rng.Next()%1000)
+			vm.SetScalar(c, 1, rng.Next()%1000)
+			vm.SetScalar(c, 2, rng.Next()%1000)
+			vm.SetScalar(s, 1, 1+rng.Next()%50)
+		}
+		setup.Pop()
+		_ = fr
+
+		threads := []*gcassert.Thread{vm.NewThread("rt0"), vm.NewThread("rt1")}
+		frames := []*gcassert.Frame{threads[0].Push(2), threads[1].Push(2)}
+		trace := func(ti int, px uint64) uint64 {
+			th, f := threads[ti], frames[ti]
+			scene := vm.GetGlobal(sceneGlobal)
+			// Transient ray + hit vectors per pixel.
+			dir := th.New(vec)
+			f.Set(0, dir)
+			vm.SetScalar(dir, 0, px%997)
+			vm.SetScalar(dir, 1, px/997)
+			vm.SetScalar(dir, 2, 1)
+			best := uint64(1 << 62)
+			for i := 0; i < nSpheres; i++ {
+				s := vm.RefAt(scene, i)
+				c := vm.GetRef(s, 0)
+				dx := vm.GetScalar(c, 0) - vm.GetScalar(dir, 0)%1000
+				dy := vm.GetScalar(c, 1) - vm.GetScalar(dir, 1)%1000
+				d2 := dx*dx + dy*dy
+				if d2 < best {
+					best = d2
+					hit := th.New(vec)
+					f.Set(1, hit)
+					vm.SetScalar(hit, 0, dx)
+					vm.SetScalar(hit, 1, dy)
+				}
+			}
+			f.Set(0, gcassert.Nil)
+			f.Set(1, gcassert.Nil)
+			return best
+		}
+		return func(int) {
+			for px := 0; px < 40000; px++ {
+				trace(px%2, uint64(px))
+			}
+		}
+	}}
+}
+
+// jack: parser-generator front end — token stream objects consumed into
+// production records, per "file".
+func jack() bench.Workload {
+	return bench.Workload{Name: "jack", Heap: 3 * mb, New: func(vm *gcassert.Runtime, _ bool) func(int) {
+		token := vm.Define("jack/Token",
+			gcassert.Field{Name: "next", Ref: true},
+			gcassert.Field{Name: "image", Ref: true},
+			gcassert.Field{Name: "kind", Ref: false})
+		prod := vm.Define("jack/Production",
+			gcassert.Field{Name: "tokens", Ref: true},
+			gcassert.Field{Name: "name", Ref: true})
+		th := vm.NewThread("jack")
+		rng := wutil.NewRNG(71)
+		fr := th.Push(3)
+		return func(int) {
+			for file := 0; file < 300; file++ {
+				// Lex: build a token list.
+				var head gcassert.Ref
+				for t := 0; t < 900; t++ {
+					tok := th.New(token)
+					fr.Set(0, tok)
+					vm.SetScalar(tok, 2, rng.Next()%40)
+					vm.SetRef(tok, 1, wutil.NewString(vm, th, rng, 2))
+					vm.SetRef(tok, 0, head)
+					head = tok
+					fr.Set(1, head)
+					fr.Set(0, gcassert.Nil)
+				}
+				// Parse: group tokens into productions.
+				outSlot := 2
+				var productions gcassert.Ref = th.NewArray(gcassert.TRefArray, 64)
+				fr.Set(outSlot, productions)
+				pi := 0
+				run := head
+				for run != gcassert.Nil && pi < 64 {
+					p := th.New(prod)
+					vm.SetRefAt(productions, pi, p)
+					pi++
+					vm.SetRef(p, 0, run)
+					// Advance a random number of tokens.
+					for skip := 1 + rng.Intn(20); skip > 0 && run != gcassert.Nil; skip-- {
+						run = vm.GetRef(run, 0)
+					}
+				}
+				fr.Set(0, gcassert.Nil)
+				fr.Set(1, gcassert.Nil)
+				fr.Set(2, gcassert.Nil)
+			}
+		}
+	}}
+}

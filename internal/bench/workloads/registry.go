@@ -1,0 +1,72 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gcassert"
+	"gcassert/internal/bench"
+	"gcassert/internal/bench/db"
+	"gcassert/internal/bench/jbb"
+)
+
+// pseudojbb wraps the mini SPECjbb2000 workload. With assertions it carries
+// the paper's instrumentation (assert-instances on Company, assert-ownedby
+// per order, assert-dead on destroy) over the repaired program, so the
+// assertions pass — the Figure 4/5 configuration.
+func pseudojbb() bench.Workload {
+	return bench.Workload{Name: "pseudojbb", Heap: 4 * mb, HasAsserts: true,
+		New: func(vm *gcassert.Runtime, asserts bool) func(int) {
+			cfg := jbb.DefaultConfig()
+			cfg.Asserts = asserts
+			j := jbb.New(vm, cfg)
+			return j.RunIteration
+		}}
+}
+
+// db209 wraps the mini _209_db workload; with assertions every entry is
+// owned by the database and removals assert death, also all passing.
+func db209() bench.Workload {
+	return bench.Workload{Name: "_209_db", Heap: 8 * mb, HasAsserts: true,
+		New: func(vm *gcassert.Runtime, asserts bool) func(int) {
+			cfg := db.DefaultConfig()
+			cfg.Asserts = asserts
+			d := db.New(vm, cfg)
+			return d.RunIteration
+		}}
+}
+
+// All returns the full benchmark suite in the paper's grouping: DaCapo
+// 2006, SPEC JVM98, and pseudojbb.
+func All() []bench.Workload {
+	return []bench.Workload{
+		// DaCapo 2006 analogues.
+		antlr(), bloat(), chart(), eclipse(), fop(),
+		hsqldb(), jython(), luindex(), lusearch(), pmd(), xalan(),
+		// SPEC JVM98 analogues.
+		compress(), jess(), db209(), javac(), mtrt(), jack(),
+		// SPEC JBB2000 with fixed workload.
+		pseudojbb(),
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (bench.Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return bench.Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Asserting returns the workloads that define a WithAssertions variant
+// (the paper's Figure 4/5 set: _209_db and pseudojbb).
+func Asserting() []bench.Workload {
+	var out []bench.Workload
+	for _, w := range All() {
+		if w.HasAsserts {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package workloads
+
+import (
+	"testing"
+
+	"gcassert"
+)
+
+// TestWorkloadsSteadyState runs every workload for several iterations and
+// checks the live heap does not grow unboundedly: the paper's methodology
+// (measure the 4th iteration at a fixed heap) requires steady-state
+// workloads. A workload whose live set keeps growing would OOM its fixed
+// heap in longer runs.
+func TestWorkloadsSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long steady-state run")
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			vm := gcassert.New(gcassert.Options{HeapBytes: w.Heap})
+			run := w.New(vm, false)
+			run(0)
+			run(1)
+			vm.Collect()
+			live2 := vm.HeapStats().LiveWords
+			for i := 2; i < 6; i++ {
+				run(i)
+			}
+			vm.Collect()
+			live6 := vm.HeapStats().LiveWords
+			// Allow modest drift, but not systematic growth.
+			if live6 > live2+live2/2+20000 {
+				t.Errorf("live set grew from %d to %d words over 4 extra iterations", live2, live6)
+			}
+		})
+	}
+}

@@ -1,0 +1,237 @@
+// Package wutil provides shared building blocks for the synthetic
+// benchmark workloads: a deterministic PRNG and common managed data
+// structures (hash map, string-like word arrays).
+//
+// Allocation discipline: a reference returned by Thread.New is invisible to
+// the collector until it is stored into a rooted object or a frame slot. The
+// helpers here therefore either perform a single allocation and link it
+// before allocating again, or root intermediates in a scratch frame, so that
+// a collection triggered by heap exhaustion can never reclaim an in-flight
+// object.
+package wutil
+
+import "gcassert"
+
+// RNG is a deterministic xorshift64* generator, so every trial of every
+// workload replays the identical allocation sequence.
+type RNG uint64
+
+// NewRNG seeds a generator (zero seeds are remapped).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r := RNG(seed)
+	return &r
+}
+
+// Next returns the next 64 pseudo-random bits.
+func (r *RNG) Next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = RNG(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("wutil: Intn with n <= 0")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// HashMapTypeName and HashEntryTypeName are the managed types of HashMap.
+const (
+	HashMapTypeName   = "util/HashMap"
+	HashEntryTypeName = "util/HashMap$Entry"
+)
+
+// HashMap slots.
+const (
+	hmBuckets = iota // ref: TRefArray of bucket heads
+	hmSize           // scalar: number of entries
+)
+
+// Entry slots.
+const (
+	heNext = iota // ref: next entry in bucket
+	heVal         // ref: value
+	heKey         // scalar: key
+)
+
+// HashMap is a managed chained hash table with uint64 keys and reference
+// values, standing in for java.util.HashMap in the workloads. The caller
+// must keep Ref rooted.
+type HashMap struct {
+	vm        *gcassert.Runtime
+	th        *gcassert.Thread
+	entryType gcassert.TypeID
+	// Ref is the managed map object.
+	Ref gcassert.Ref
+}
+
+// HashMapTypes registers (or looks up) the map's managed types.
+func HashMapTypes(vm *gcassert.Runtime) (mt, et gcassert.TypeID) {
+	reg := vm.Registry()
+	mt, ok := reg.Lookup(HashMapTypeName)
+	if !ok {
+		mt = vm.Define(HashMapTypeName,
+			gcassert.Field{Name: "buckets", Ref: true},
+			gcassert.Field{Name: "size", Ref: false},
+		)
+	}
+	et, ok = reg.Lookup(HashEntryTypeName)
+	if !ok {
+		et = vm.Define(HashEntryTypeName,
+			gcassert.Field{Name: "next", Ref: true},
+			gcassert.Field{Name: "value", Ref: true},
+			gcassert.Field{Name: "key", Ref: false},
+		)
+	}
+	return mt, et
+}
+
+// NewHashMap allocates a managed map with the given initial bucket count.
+func NewHashMap(vm *gcassert.Runtime, th *gcassert.Thread, buckets int) *HashMap {
+	if buckets < 4 {
+		buckets = 4
+	}
+	mt, et := HashMapTypes(vm)
+	m := &HashMap{vm: vm, th: th, entryType: et}
+	// Root the map object across the bucket-array allocation.
+	fr := th.Push(1)
+	obj := th.New(mt)
+	fr.Set(0, obj)
+	vm.SetRef(obj, hmBuckets, th.NewArray(gcassert.TRefArray, buckets))
+	th.Pop()
+	m.Ref = obj
+	return m
+}
+
+// Len returns the number of entries.
+func (m *HashMap) Len() int { return int(m.vm.GetScalar(m.Ref, hmSize)) }
+
+func hashKey(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xFF51AFD7ED558CCD
+	k ^= k >> 33
+	return k
+}
+
+// Put inserts or replaces the value under key, returning the previous value
+// if the key was present.
+func (m *HashMap) Put(key uint64, val gcassert.Ref) (gcassert.Ref, bool) {
+	vm := m.vm
+	buckets := vm.GetRef(m.Ref, hmBuckets)
+	n := vm.ArrayLen(buckets)
+	b := int(hashKey(key) % uint64(n))
+	for e := vm.RefAt(buckets, b); e != gcassert.Nil; e = vm.GetRef(e, heNext) {
+		if vm.GetScalar(e, heKey) == key {
+			prev := vm.GetRef(e, heVal)
+			vm.SetRef(e, heVal, val)
+			return prev, true
+		}
+	}
+	// Single allocation, linked before any further allocation: the value
+	// must already be rooted by the caller.
+	e := m.th.New(m.entryType)
+	vm.SetScalar(e, heKey, key)
+	vm.SetRef(e, heVal, val)
+	vm.SetRef(e, heNext, vm.RefAt(buckets, b))
+	vm.SetRefAt(buckets, b, e)
+	size := m.Len() + 1
+	vm.SetScalar(m.Ref, hmSize, uint64(size))
+	if size > 2*n {
+		m.grow(2 * n)
+	}
+	return gcassert.Nil, false
+}
+
+// Get returns the value stored under key.
+func (m *HashMap) Get(key uint64) (gcassert.Ref, bool) {
+	vm := m.vm
+	buckets := vm.GetRef(m.Ref, hmBuckets)
+	b := int(hashKey(key) % uint64(vm.ArrayLen(buckets)))
+	for e := vm.RefAt(buckets, b); e != gcassert.Nil; e = vm.GetRef(e, heNext) {
+		if vm.GetScalar(e, heKey) == key {
+			return vm.GetRef(e, heVal), true
+		}
+	}
+	return gcassert.Nil, false
+}
+
+// Remove deletes key, returning its value if present.
+func (m *HashMap) Remove(key uint64) (gcassert.Ref, bool) {
+	vm := m.vm
+	buckets := vm.GetRef(m.Ref, hmBuckets)
+	b := int(hashKey(key) % uint64(vm.ArrayLen(buckets)))
+	var prev gcassert.Ref
+	for e := vm.RefAt(buckets, b); e != gcassert.Nil; e = vm.GetRef(e, heNext) {
+		if vm.GetScalar(e, heKey) == key {
+			v := vm.GetRef(e, heVal)
+			next := vm.GetRef(e, heNext)
+			if prev == gcassert.Nil {
+				vm.SetRefAt(buckets, b, next)
+			} else {
+				vm.SetRef(prev, heNext, next)
+			}
+			vm.SetScalar(m.Ref, hmSize, uint64(m.Len()-1))
+			return v, true
+		}
+		prev = e
+	}
+	return gcassert.Nil, false
+}
+
+// ForEach visits every (key, value) pair in unspecified order.
+func (m *HashMap) ForEach(fn func(key uint64, val gcassert.Ref) bool) {
+	vm := m.vm
+	buckets := vm.GetRef(m.Ref, hmBuckets)
+	n := vm.ArrayLen(buckets)
+	for b := 0; b < n; b++ {
+		for e := vm.RefAt(buckets, b); e != gcassert.Nil; e = vm.GetRef(e, heNext) {
+			if !fn(vm.GetScalar(e, heKey), vm.GetRef(e, heVal)) {
+				return
+			}
+		}
+	}
+}
+
+// grow rehashes into a larger bucket array.
+func (m *HashMap) grow(newN int) {
+	vm := m.vm
+	// The new array is the only in-flight allocation; the old buckets stay
+	// reachable via the map object until the final store.
+	nb := m.th.NewArray(gcassert.TRefArray, newN)
+	old := vm.GetRef(m.Ref, hmBuckets)
+	oldN := vm.ArrayLen(old)
+	for b := 0; b < oldN; b++ {
+		e := vm.RefAt(old, b)
+		for e != gcassert.Nil {
+			next := vm.GetRef(e, heNext)
+			nbIdx := int(hashKey(vm.GetScalar(e, heKey)) % uint64(newN))
+			vm.SetRef(e, heNext, vm.RefAt(nb, nbIdx))
+			vm.SetRefAt(nb, nbIdx, e)
+			e = next
+		}
+	}
+	vm.SetRef(m.Ref, hmBuckets, nb)
+}
+
+// NewString allocates a managed word array of length n filled from the RNG,
+// standing in for string/char[] payloads.
+func NewString(vm *gcassert.Runtime, th *gcassert.Thread, rng *RNG, n int) gcassert.Ref {
+	a := th.NewArray(gcassert.TWordArray, n)
+	for i := 0; i < n; i++ {
+		vm.SetWordAt(a, i, rng.Next())
+	}
+	return a
+}

@@ -1,0 +1,232 @@
+package wutil
+
+import (
+	"math/rand"
+	"testing"
+
+	"gcassert"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/100 times", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Next() == 0 && r.Next() == 0 {
+		t.Error("zero seed produced zeros")
+	}
+}
+
+func TestRNGIntnAndFloat(t *testing.T) {
+	r := NewRNG(7)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for d, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("digit %d count %d: badly skewed", d, c)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func newVM(t *testing.T, heapBytes int) (*gcassert.Runtime, *gcassert.Thread) {
+	t.Helper()
+	vm := gcassert.New(gcassert.Options{HeapBytes: heapBytes})
+	return vm, vm.NewThread("main")
+}
+
+func TestHashMapBasics(t *testing.T) {
+	vm, th := newVM(t, 8<<20)
+	g := vm.NewGlobal("map")
+	m := NewHashMap(vm, th, 8)
+	vm.SetGlobal(g, m.Ref)
+	node := vm.Define("V", gcassert.Field{Name: "x", Ref: false})
+	fr := th.Push(1)
+
+	if m.Len() != 0 {
+		t.Error("fresh map not empty")
+	}
+	if _, ok := m.Get(1); ok {
+		t.Error("Get on empty")
+	}
+	v := th.New(node)
+	fr.Set(0, v)
+	if _, replaced := m.Put(1, v); replaced {
+		t.Error("first Put replaced")
+	}
+	got, ok := m.Get(1)
+	if !ok || got != v {
+		t.Error("Get after Put")
+	}
+	v2 := th.New(node)
+	fr.Set(0, v2)
+	prev, replaced := m.Put(1, v2)
+	if !replaced || prev != v {
+		t.Error("replace semantics")
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	rv, ok := m.Remove(1)
+	if !ok || rv != v2 {
+		t.Error("Remove")
+	}
+	if _, ok := m.Remove(1); ok {
+		t.Error("double Remove")
+	}
+}
+
+func TestHashMapGrowAndModel(t *testing.T) {
+	vm, th := newVM(t, 32<<20)
+	g := vm.NewGlobal("map")
+	m := NewHashMap(vm, th, 4) // tiny: forces many growths
+	vm.SetGlobal(g, m.Ref)
+	node := vm.Define("V", gcassert.Field{Name: "x", Ref: false})
+	fr := th.Push(1)
+	rng := rand.New(rand.NewSource(3))
+	model := map[uint64]uint64{}
+	for op := 0; op < 20000; op++ {
+		k := uint64(rng.Intn(4000))
+		switch rng.Intn(3) {
+		case 0:
+			v := th.New(node)
+			fr.Set(0, v)
+			vm.SetScalar(v, 0, k*7)
+			m.Put(k, v)
+			model[k] = k * 7
+			fr.Set(0, gcassert.Nil)
+		case 1:
+			v, ok := m.Get(k)
+			_, inModel := model[k]
+			if ok != inModel {
+				t.Fatalf("op %d: Get mismatch", op)
+			}
+			if ok && vm.GetScalar(v, 0) != model[k] {
+				t.Fatalf("op %d: value mismatch", op)
+			}
+		case 2:
+			_, ok := m.Remove(k)
+			if _, inModel := model[k]; ok != inModel {
+				t.Fatalf("op %d: Remove mismatch", op)
+			}
+			delete(model, k)
+		}
+		if m.Len() != len(model) {
+			t.Fatalf("op %d: Len=%d model=%d", op, m.Len(), len(model))
+		}
+	}
+	// ForEach covers exactly the model.
+	seen := map[uint64]bool{}
+	m.ForEach(func(k uint64, v gcassert.Ref) bool {
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+		if vm.GetScalar(v, 0) != model[k] {
+			t.Fatalf("ForEach value mismatch at %d", k)
+		}
+		return true
+	})
+	if len(seen) != len(model) {
+		t.Fatalf("ForEach saw %d keys, model %d", len(seen), len(model))
+	}
+}
+
+func TestHashMapSurvivesGC(t *testing.T) {
+	vm, th := newVM(t, 2<<20)
+	g := vm.NewGlobal("map")
+	m := NewHashMap(vm, th, 64)
+	vm.SetGlobal(g, m.Ref)
+	rng := NewRNG(5)
+	fr := th.Push(1)
+	for k := uint64(0); k < 2000; k++ {
+		s := NewString(vm, th, rng, 6)
+		fr.Set(0, s)
+		m.Put(k, s)
+		fr.Set(0, gcassert.Nil)
+		// Churn to force collections.
+		fr.Set(0, th.NewArray(gcassert.TWordArray, 128))
+		fr.Set(0, gcassert.Nil)
+	}
+	if vm.Collector().GCCount() == 0 {
+		t.Fatal("no GCs; test ineffective")
+	}
+	for k := uint64(0); k < 2000; k++ {
+		if _, ok := m.Get(k); !ok {
+			t.Fatalf("key %d lost across GC", k)
+		}
+	}
+}
+
+func TestHashMapForEachEarlyStop(t *testing.T) {
+	vm, th := newVM(t, 8<<20)
+	g := vm.NewGlobal("map")
+	m := NewHashMap(vm, th, 8)
+	vm.SetGlobal(g, m.Ref)
+	fr := th.Push(1)
+	for k := uint64(0); k < 10; k++ {
+		s := th.NewArray(gcassert.TWordArray, 1)
+		fr.Set(0, s)
+		m.Put(k, s)
+		fr.Set(0, gcassert.Nil)
+	}
+	n := 0
+	m.ForEach(func(uint64, gcassert.Ref) bool { n++; return n < 4 })
+	if n != 4 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestNewString(t *testing.T) {
+	vm, th := newVM(t, 8<<20)
+	rng := NewRNG(11)
+	fr := th.Push(1)
+	s := NewString(vm, th, rng, 16)
+	fr.Set(0, s)
+	if vm.ArrayLen(s) != 16 {
+		t.Errorf("len = %d", vm.ArrayLen(s))
+	}
+	zero := 0
+	for i := 0; i < 16; i++ {
+		if vm.WordAt(s, i) == 0 {
+			zero++
+		}
+	}
+	if zero == 16 {
+		t.Error("string not filled")
+	}
+}

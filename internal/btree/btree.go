@@ -1,0 +1,305 @@
+// Package btree implements longBTree: a B-tree with int64 keys and managed
+// references as values, stored entirely on the managed heap. It stands in
+// for the spec/jbb/infra/Collections/longBTree that SPECjbb2000 uses for its
+// orderTable — the data structure through which the paper's Figure 1 leak
+// path runs (Company → Warehouse → District → longBTree → longBTreeNode →
+// Order).
+//
+// All nodes are managed objects, so the collector traces them like any other
+// program data and assertion violations report paths through the tree.
+package btree
+
+import (
+	"gcassert"
+)
+
+// Minimum degree of the tree: nodes hold between Degree-1 and 2*Degree-1
+// keys (except the root, which may hold fewer).
+const (
+	degree  = 8
+	maxKeys = 2*degree - 1
+	maxKids = 2 * degree
+	minKeys = degree - 1
+)
+
+// ScratchSlots is the number of frame slots a Tree needs for rooting
+// in-flight allocations. Several trees on the same thread may share one
+// scratch frame, since operations never overlap.
+const ScratchSlots = 4
+
+// Type names registered for the tree's managed objects.
+const (
+	TreeTypeName = "spec/jbb/infra/Collections/longBTree"
+	NodeTypeName = "spec/jbb/infra/Collections/longBTreeNode"
+)
+
+// Field slots of the tree object.
+const (
+	treeRoot = iota // ref: root node
+	treeSize        // scalar: number of stored pairs
+)
+
+// Field slots of a node object.
+const (
+	nodeKeys = iota // ref: TWordArray of maxKeys keys
+	nodeVals        // ref: TRefArray of maxKeys values
+	nodeKids        // ref: TRefArray of maxKids children (nil array for leaves)
+	nodeN           // scalar: number of keys in use
+	nodeLeaf        // scalar: 1 for leaves
+)
+
+// Types registers (or looks up) the tree's managed types in the runtime's
+// registry and returns (tree, node) type IDs.
+func Types(vm *gcassert.Runtime) (gcassert.TypeID, gcassert.TypeID) {
+	reg := vm.Registry()
+	tt, ok := reg.Lookup(TreeTypeName)
+	if !ok {
+		tt = vm.Define(TreeTypeName,
+			gcassert.Field{Name: "root", Ref: true},
+			gcassert.Field{Name: "size", Ref: false},
+		)
+	}
+	nt, ok := reg.Lookup(NodeTypeName)
+	if !ok {
+		nt = vm.Define(NodeTypeName,
+			gcassert.Field{Name: "keys", Ref: true},
+			gcassert.Field{Name: "vals", Ref: true},
+			gcassert.Field{Name: "children", Ref: true},
+			gcassert.Field{Name: "n", Ref: false},
+			gcassert.Field{Name: "leaf", Ref: false},
+		)
+	}
+	return tt, nt
+}
+
+// Tree is a handle to a managed longBTree. The caller must keep Ref rooted
+// (in a frame slot or global); the handle itself holds no GC-visible state.
+type Tree struct {
+	vm       *gcassert.Runtime
+	th       *gcassert.Thread
+	nodeType gcassert.TypeID
+	// Ref is the managed tree object.
+	Ref gcassert.Ref
+	// scratch roots in-flight allocations (e.g. split siblings) so a
+	// collection triggered mid-operation cannot reclaim them.
+	scratch *gcassert.Frame
+}
+
+// New allocates a managed longBTree. The returned handle's Ref must be kept
+// rooted by the caller. scratch is a frame with at least ScratchSlots slots
+// used to root in-flight allocations; pass nil to have the tree push its own
+// frame on th (which then stays pushed for the life of the thread — callers
+// creating many trees should share one scratch frame instead).
+func New(vm *gcassert.Runtime, th *gcassert.Thread, scratch *gcassert.Frame) *Tree {
+	tt, nt := Types(vm)
+	if scratch == nil {
+		scratch = th.Push(ScratchSlots)
+	} else if scratch.Len() < ScratchSlots {
+		panic("btree: scratch frame too small")
+	}
+	t := &Tree{vm: vm, th: th, nodeType: nt, scratch: scratch}
+	// Root the tree object in the scratch frame while building the root.
+	tree := th.New(tt)
+	t.scratch.Set(0, tree)
+	root := t.newNode(true)
+	vm.SetRef(tree, treeRoot, root)
+	t.scratch.Set(0, gcassert.Nil)
+	t.Ref = tree
+	return t
+}
+
+// newNode allocates a node and its arrays, keeping everything rooted in the
+// scratch frame during the intermediate allocations.
+func (t *Tree) newNode(leaf bool) gcassert.Ref {
+	vm, th := t.vm, t.th
+	n := th.New(t.nodeType)
+	t.scratch.Set(1, n)
+	vm.SetRef(n, nodeKeys, th.NewArray(gcassert.TWordArray, maxKeys))
+	vm.SetRef(n, nodeVals, th.NewArray(gcassert.TRefArray, maxKeys))
+	if !leaf {
+		vm.SetRef(n, nodeKids, th.NewArray(gcassert.TRefArray, maxKids))
+	}
+	if leaf {
+		vm.SetScalar(n, nodeLeaf, 1)
+	}
+	t.scratch.Set(1, gcassert.Nil)
+	return n
+}
+
+// Len returns the number of stored pairs.
+func (t *Tree) Len() int { return int(t.vm.GetScalar(t.Ref, treeSize)) }
+
+// --- node accessors -------------------------------------------------------
+
+func (t *Tree) nKeys(n gcassert.Ref) int   { return int(t.vm.GetScalar(n, nodeN)) }
+func (t *Tree) setN(n gcassert.Ref, v int) { t.vm.SetScalar(n, nodeN, uint64(v)) }
+func (t *Tree) isLeaf(n gcassert.Ref) bool { return t.vm.GetScalar(n, nodeLeaf) == 1 }
+
+func (t *Tree) key(n gcassert.Ref, i int) int64 {
+	return int64(t.vm.WordAt(t.vm.GetRef(n, nodeKeys), i))
+}
+func (t *Tree) setKey(n gcassert.Ref, i int, k int64) {
+	t.vm.SetWordAt(t.vm.GetRef(n, nodeKeys), i, uint64(k))
+}
+func (t *Tree) val(n gcassert.Ref, i int) gcassert.Ref {
+	return t.vm.RefAt(t.vm.GetRef(n, nodeVals), i)
+}
+func (t *Tree) setVal(n gcassert.Ref, i int, v gcassert.Ref) {
+	t.vm.SetRefAt(t.vm.GetRef(n, nodeVals), i, v)
+}
+func (t *Tree) kid(n gcassert.Ref, i int) gcassert.Ref {
+	return t.vm.RefAt(t.vm.GetRef(n, nodeKids), i)
+}
+func (t *Tree) setKid(n gcassert.Ref, i int, v gcassert.Ref) {
+	t.vm.SetRefAt(t.vm.GetRef(n, nodeKids), i, v)
+}
+
+// findKey returns the first index i in n with key(i) >= k.
+func (t *Tree) findKey(n gcassert.Ref, k int64) int {
+	lo, hi := 0, t.nKeys(n)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.key(n, mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under k.
+func (t *Tree) Get(k int64) (gcassert.Ref, bool) {
+	n := t.vm.GetRef(t.Ref, treeRoot)
+	for {
+		i := t.findKey(n, k)
+		if i < t.nKeys(n) && t.key(n, i) == k {
+			return t.val(n, i), true
+		}
+		if t.isLeaf(n) {
+			return gcassert.Nil, false
+		}
+		n = t.kid(n, i)
+	}
+}
+
+// Put stores v under k, replacing any existing value. It returns the
+// previous value, if any.
+func (t *Tree) Put(k int64, v gcassert.Ref) (gcassert.Ref, bool) {
+	// Root the value across possible allocations in splits.
+	t.scratch.Set(2, v)
+	defer t.scratch.Set(2, gcassert.Nil)
+
+	root := t.vm.GetRef(t.Ref, treeRoot)
+	if t.nKeys(root) == maxKeys {
+		// Grow the tree: new root with the old root as child 0, then split.
+		newRoot := t.newNode(false)
+		t.setKid(newRoot, 0, root)
+		t.vm.SetRef(t.Ref, treeRoot, newRoot)
+		t.splitChild(newRoot, 0)
+		root = newRoot
+	}
+	prev, replaced := t.insertNonFull(root, k, v)
+	if !replaced {
+		t.vm.SetScalar(t.Ref, treeSize, uint64(t.Len()+1))
+	}
+	return prev, replaced
+}
+
+// splitChild splits the full i-th child of parent (which must be non-full).
+func (t *Tree) splitChild(parent gcassert.Ref, i int) {
+	child := t.kid(parent, i)
+	sib := t.newNode(t.isLeaf(child))
+	// sib is only reachable via scratch until linked below; newNode rooted
+	// it during its own allocations, but the link into parent happens before
+	// any further allocation, so holding it in a Go local here is safe.
+	// Move the upper degree-1 keys (and kids) of child into sib.
+	for j := 0; j < minKeys; j++ {
+		t.setKey(sib, j, t.key(child, j+degree))
+		t.setVal(sib, j, t.val(child, j+degree))
+		t.setVal(child, j+degree, gcassert.Nil)
+	}
+	if !t.isLeaf(child) {
+		for j := 0; j < degree; j++ {
+			t.setKid(sib, j, t.kid(child, j+degree))
+			t.setKid(child, j+degree, gcassert.Nil)
+		}
+	}
+	t.setN(sib, minKeys)
+	// The median key[degree-1] moves up into the parent.
+	mk, mv := t.key(child, degree-1), t.val(child, degree-1)
+	t.setVal(child, degree-1, gcassert.Nil)
+	t.setN(child, minKeys)
+	// Shift parent's keys/kids right to make room at i.
+	pn := t.nKeys(parent)
+	for j := pn; j > i; j-- {
+		t.setKey(parent, j, t.key(parent, j-1))
+		t.setVal(parent, j, t.val(parent, j-1))
+	}
+	for j := pn + 1; j > i+1; j-- {
+		t.setKid(parent, j, t.kid(parent, j-1))
+	}
+	t.setKey(parent, i, mk)
+	t.setVal(parent, i, mv)
+	t.setKid(parent, i+1, sib)
+	t.setN(parent, pn+1)
+}
+
+// insertNonFull inserts into a node known to be non-full.
+func (t *Tree) insertNonFull(n gcassert.Ref, k int64, v gcassert.Ref) (gcassert.Ref, bool) {
+	for {
+		i := t.findKey(n, k)
+		if i < t.nKeys(n) && t.key(n, i) == k {
+			prev := t.val(n, i)
+			t.setVal(n, i, v)
+			return prev, true
+		}
+		if t.isLeaf(n) {
+			for j := t.nKeys(n); j > i; j-- {
+				t.setKey(n, j, t.key(n, j-1))
+				t.setVal(n, j, t.val(n, j-1))
+			}
+			t.setKey(n, i, k)
+			t.setVal(n, i, v)
+			t.setN(n, t.nKeys(n)+1)
+			return gcassert.Nil, false
+		}
+		child := t.kid(n, i)
+		if t.nKeys(child) == maxKeys {
+			t.splitChild(n, i)
+			// After the split the separator at i may equal or precede k.
+			if k > t.key(n, i) {
+				i++
+			} else if k == t.key(n, i) {
+				prev := t.val(n, i)
+				t.setVal(n, i, v)
+				return prev, true
+			}
+			child = t.kid(n, i)
+		}
+		n = child
+	}
+}
+
+// ForEach visits all pairs in ascending key order, stopping if fn returns
+// false.
+func (t *Tree) ForEach(fn func(k int64, v gcassert.Ref) bool) {
+	t.walk(t.vm.GetRef(t.Ref, treeRoot), fn)
+}
+
+func (t *Tree) walk(n gcassert.Ref, fn func(int64, gcassert.Ref) bool) bool {
+	cnt := t.nKeys(n)
+	leaf := t.isLeaf(n)
+	for i := 0; i < cnt; i++ {
+		if !leaf && !t.walk(t.kid(n, i), fn) {
+			return false
+		}
+		if !fn(t.key(n, i), t.val(n, i)) {
+			return false
+		}
+	}
+	if !leaf {
+		return t.walk(t.kid(n, cnt), fn)
+	}
+	return true
+}

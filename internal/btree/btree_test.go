@@ -1,0 +1,324 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"gcassert"
+)
+
+// harness builds a VM, a thread, a rooted tree, and a payload type.
+type harness struct {
+	vm   *gcassert.Runtime
+	th   *gcassert.Thread
+	tree *Tree
+	val  gcassert.TypeID
+}
+
+func newHarness(t *testing.T, heapBytes int) *harness {
+	t.Helper()
+	if heapBytes == 0 {
+		heapBytes = 16 << 20
+	}
+	vm := gcassert.New(gcassert.Options{HeapBytes: heapBytes, Infrastructure: true})
+	val := vm.Define("Val", gcassert.Field{Name: "k", Ref: false})
+	th := vm.NewThread("main")
+	tr := New(vm, th, nil)
+	g := vm.NewGlobal("tree")
+	vm.SetGlobal(g, tr.Ref)
+	return &harness{vm: vm, th: th, tree: tr, val: val}
+}
+
+// newVal allocates a payload object recording its key.
+func (h *harness) newVal(k int64) gcassert.Ref {
+	v := h.th.New(h.val)
+	h.vm.SetScalar(v, 0, uint64(k))
+	return v
+}
+
+func TestEmptyTree(t *testing.T) {
+	h := newHarness(t, 0)
+	if h.tree.Len() != 0 {
+		t.Error("fresh tree not empty")
+	}
+	if _, ok := h.tree.Get(42); ok {
+		t.Error("Get on empty tree")
+	}
+	if _, ok := h.tree.Remove(42); ok {
+		t.Error("Remove on empty tree")
+	}
+	n := 0
+	h.tree.ForEach(func(int64, gcassert.Ref) bool { n++; return true })
+	if n != 0 {
+		t.Error("ForEach on empty tree")
+	}
+}
+
+func TestPutGetSequential(t *testing.T) {
+	h := newHarness(t, 0)
+	const n = 2000
+	for i := int64(0); i < n; i++ {
+		if _, replaced := h.tree.Put(i, h.newVal(i)); replaced {
+			t.Fatalf("unexpected replace at %d", i)
+		}
+	}
+	if h.tree.Len() != n {
+		t.Fatalf("Len = %d", h.tree.Len())
+	}
+	for i := int64(0); i < n; i++ {
+		v, ok := h.tree.Get(i)
+		if !ok {
+			t.Fatalf("Get(%d) missing", i)
+		}
+		if got := int64(h.vm.GetScalar(v, 0)); got != i {
+			t.Fatalf("Get(%d) = val %d", i, got)
+		}
+	}
+	if _, ok := h.tree.Get(n + 10); ok {
+		t.Error("Get of absent key")
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	h := newHarness(t, 0)
+	v1, v2 := h.newVal(1), h.newVal(2)
+	h.tree.Put(7, v1)
+	prev, replaced := h.tree.Put(7, v2)
+	if !replaced || prev != v1 {
+		t.Fatalf("replace: prev=%v replaced=%v", prev, replaced)
+	}
+	if h.tree.Len() != 1 {
+		t.Errorf("Len = %d", h.tree.Len())
+	}
+	got, _ := h.tree.Get(7)
+	if got != v2 {
+		t.Error("Get after replace")
+	}
+}
+
+func TestForEachOrdered(t *testing.T) {
+	h := newHarness(t, 0)
+	keys := []int64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	for _, k := range keys {
+		h.tree.Put(k, h.newVal(k))
+	}
+	var got []int64
+	h.tree.ForEach(func(k int64, v gcassert.Ref) bool {
+		got = append(got, k)
+		return true
+	})
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("not ascending: %v", got)
+		}
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("visited %d keys", len(got))
+	}
+	// Early stop.
+	n := 0
+	h.tree.ForEach(func(int64, gcassert.Ref) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestRemoveSequentialAndReverse(t *testing.T) {
+	h := newHarness(t, 0)
+	const n = 1200
+	for i := int64(0); i < n; i++ {
+		h.tree.Put(i, h.newVal(i))
+	}
+	// Remove even keys ascending, odd keys descending.
+	for i := int64(0); i < n; i += 2 {
+		v, ok := h.tree.Remove(i)
+		if !ok || int64(h.vm.GetScalar(v, 0)) != i {
+			t.Fatalf("Remove(%d) = %v, %v", i, v, ok)
+		}
+	}
+	for i := int64(n - 1); i >= 0; i -= 2 {
+		if _, ok := h.tree.Remove(i); !ok {
+			t.Fatalf("Remove(%d) failed", i)
+		}
+	}
+	if h.tree.Len() != 0 {
+		t.Fatalf("Len = %d after removing all", h.tree.Len())
+	}
+	if _, ok := h.tree.Remove(0); ok {
+		t.Error("double remove")
+	}
+}
+
+// TestRandomizedAgainstMap drives the tree with a long random op sequence
+// and checks every observable against a plain Go map.
+func TestRandomizedAgainstMap(t *testing.T) {
+	h := newHarness(t, 32<<20)
+	rng := rand.New(rand.NewSource(4))
+	model := map[int64]int64{} // key -> val key
+	const ops = 30000
+	const keyspace = 3000
+	for op := 0; op < ops; op++ {
+		k := int64(rng.Intn(keyspace))
+		switch rng.Intn(3) {
+		case 0: // put
+			_, replaced := h.tree.Put(k, h.newVal(k*1000+int64(op)))
+			if _, inModel := model[k]; replaced != inModel {
+				t.Fatalf("op %d: Put replaced=%v, model=%v", op, replaced, inModel)
+			}
+			model[k] = k*1000 + int64(op)
+		case 1: // get
+			v, ok := h.tree.Get(k)
+			mv, inModel := model[k]
+			if ok != inModel {
+				t.Fatalf("op %d: Get(%d) ok=%v model=%v", op, k, ok, inModel)
+			}
+			if ok && int64(h.vm.GetScalar(v, 0)) != mv {
+				t.Fatalf("op %d: Get(%d) wrong value", op, k)
+			}
+		case 2: // remove
+			v, ok := h.tree.Remove(k)
+			mv, inModel := model[k]
+			if ok != inModel {
+				t.Fatalf("op %d: Remove(%d) ok=%v model=%v", op, k, ok, inModel)
+			}
+			if ok && int64(h.vm.GetScalar(v, 0)) != mv {
+				t.Fatalf("op %d: Remove(%d) wrong value", op, k)
+			}
+			delete(model, k)
+		}
+		if h.tree.Len() != len(model) {
+			t.Fatalf("op %d: Len=%d model=%d", op, h.tree.Len(), len(model))
+		}
+	}
+	// Final sweep: every model key present, in order.
+	prev := int64(-1)
+	count := 0
+	h.tree.ForEach(func(k int64, v gcassert.Ref) bool {
+		if k <= prev {
+			t.Fatalf("order violation at %d", k)
+		}
+		if model[k] != int64(h.vm.GetScalar(v, 0)) {
+			t.Fatalf("final value mismatch at %d", k)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != len(model) {
+		t.Fatalf("ForEach visited %d, model has %d", count, len(model))
+	}
+}
+
+// TestSurvivesGCChurn interleaves tree operations with garbage pressure so
+// collections run mid-operation; the tree must stay intact (this exercises
+// the scratch-frame rooting of in-flight node allocations).
+func TestSurvivesGCChurn(t *testing.T) {
+	h := newHarness(t, 2<<20) // small heap: frequent collections
+	rng := rand.New(rand.NewSource(9))
+	model := map[int64]bool{}
+	fr := h.th.Push(1)
+	for op := 0; op < 20000; op++ {
+		k := int64(rng.Intn(2000))
+		if rng.Intn(2) == 0 {
+			h.tree.Put(k, h.newVal(k))
+			model[k] = true
+		} else {
+			_, ok := h.tree.Remove(k)
+			if ok != model[k] {
+				t.Fatalf("op %d: remove mismatch", op)
+			}
+			delete(model, k)
+		}
+		// Garbage pressure.
+		fr.Set(0, h.th.NewArray(gcassert.TWordArray, 64))
+		fr.Set(0, gcassert.Nil)
+	}
+	if h.vm.Collector().GCCount() == 0 {
+		t.Fatal("no collections during churn; test ineffective")
+	}
+	for k := range model {
+		if v, ok := h.tree.Get(k); !ok || int64(h.vm.GetScalar(v, 0)) != k {
+			t.Fatalf("key %d lost after churn", k)
+		}
+	}
+}
+
+// TestStructureInvariants validates the B-tree shape after heavy mixed use:
+// key counts per node within bounds, keys ordered, leaves at uniform depth.
+func TestStructureInvariants(t *testing.T) {
+	h := newHarness(t, 32<<20)
+	rng := rand.New(rand.NewSource(17))
+	for op := 0; op < 20000; op++ {
+		k := int64(rng.Intn(5000))
+		if rng.Intn(3) != 0 {
+			h.tree.Put(k, h.newVal(k))
+		} else {
+			h.tree.Remove(k)
+		}
+	}
+	vm := h.vm
+	root := vm.GetRef(h.tree.Ref, treeRoot)
+	leafDepth := -1
+	var walk func(n gcassert.Ref, depth int, lo, hi int64)
+	walk = func(n gcassert.Ref, depth int, lo, hi int64) {
+		cnt := h.tree.nKeys(n)
+		if n != root && cnt < minKeys {
+			t.Fatalf("underfull node: %d keys", cnt)
+		}
+		if cnt > maxKeys {
+			t.Fatalf("overfull node: %d keys", cnt)
+		}
+		prev := lo
+		for i := 0; i < cnt; i++ {
+			k := h.tree.key(n, i)
+			if k < prev || k > hi {
+				t.Fatalf("key %d out of range [%d,%d]", k, prev, hi)
+			}
+			prev = k
+		}
+		if h.tree.isLeaf(n) {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				t.Fatalf("leaves at depths %d and %d", leafDepth, depth)
+			}
+			return
+		}
+		for i := 0; i <= cnt; i++ {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = h.tree.key(n, i-1)
+			}
+			if i < cnt {
+				chi = h.tree.key(n, i)
+			}
+			kid := h.tree.kid(n, i)
+			if kid == gcassert.Nil {
+				t.Fatal("nil child in internal node")
+			}
+			walk(kid, depth+1, clo, chi)
+		}
+	}
+	walk(root, 0, -1<<62, 1<<62)
+}
+
+func TestScratchFrameValidation(t *testing.T) {
+	vm := gcassert.New(gcassert.Options{HeapBytes: 4 << 20})
+	th := vm.NewThread("main")
+	small := th.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for undersized scratch frame")
+		}
+	}()
+	New(vm, th, small)
+}
+
+func TestTypesIdempotent(t *testing.T) {
+	vm := gcassert.New(gcassert.Options{HeapBytes: 4 << 20})
+	t1, n1 := Types(vm)
+	t2, n2 := Types(vm)
+	if t1 != t2 || n1 != n2 {
+		t.Error("Types not idempotent")
+	}
+}

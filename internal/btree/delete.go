@@ -1,0 +1,194 @@
+package btree
+
+import "gcassert"
+
+// Remove deletes k from the tree, returning the removed value if present.
+// It uses the standard preemptive B-tree deletion: while descending, every
+// visited child is first brought to at least degree keys by borrowing from a
+// sibling or merging, so the deletion itself never needs to back up.
+func (t *Tree) Remove(k int64) (gcassert.Ref, bool) {
+	root := t.vm.GetRef(t.Ref, treeRoot)
+	v, ok := t.remove(root, k)
+	// Shrink the tree when the root has emptied out.
+	if t.nKeys(root) == 0 && !t.isLeaf(root) {
+		t.vm.SetRef(t.Ref, treeRoot, t.kid(root, 0))
+	}
+	if ok {
+		t.vm.SetScalar(t.Ref, treeSize, uint64(t.Len()-1))
+	}
+	return v, ok
+}
+
+func (t *Tree) remove(n gcassert.Ref, k int64) (gcassert.Ref, bool) {
+	for {
+		i := t.findKey(n, k)
+		found := i < t.nKeys(n) && t.key(n, i) == k
+		if t.isLeaf(n) {
+			if !found {
+				return gcassert.Nil, false
+			}
+			v := t.val(n, i)
+			cnt := t.nKeys(n)
+			for j := i; j < cnt-1; j++ {
+				t.setKey(n, j, t.key(n, j+1))
+				t.setVal(n, j, t.val(n, j+1))
+			}
+			t.setVal(n, cnt-1, gcassert.Nil)
+			t.setN(n, cnt-1)
+			return v, true
+		}
+		if found {
+			return t.removeInternal(n, i, k), true
+		}
+		child := t.ensureDegree(n, i)
+		n = child
+	}
+}
+
+// removeInternal removes the key at index i of internal node n.
+func (t *Tree) removeInternal(n gcassert.Ref, i int, k int64) gcassert.Ref {
+	v := t.val(n, i)
+	left, right := t.kid(n, i), t.kid(n, i+1)
+	switch {
+	case t.nKeys(left) >= degree:
+		// Replace with the predecessor, then delete it from the left subtree.
+		pk, pv := t.maxPair(left)
+		t.setKey(n, i, pk)
+		t.setVal(n, i, pv)
+		t.remove(t.ensureDegree(n, i), pk)
+	case t.nKeys(right) >= degree:
+		sk, sv := t.minPair(right)
+		t.setKey(n, i, sk)
+		t.setVal(n, i, sv)
+		t.remove(t.ensureDegree(n, i+1), sk)
+	default:
+		// Both children minimal: merge them around the key, then delete
+		// from the merged node.
+		merged := t.merge(n, i)
+		t.remove(merged, k)
+	}
+	return v
+}
+
+// maxPair returns the largest pair in the subtree rooted at n.
+func (t *Tree) maxPair(n gcassert.Ref) (int64, gcassert.Ref) {
+	for !t.isLeaf(n) {
+		n = t.kid(n, t.nKeys(n))
+	}
+	i := t.nKeys(n) - 1
+	return t.key(n, i), t.val(n, i)
+}
+
+// minPair returns the smallest pair in the subtree rooted at n.
+func (t *Tree) minPair(n gcassert.Ref) (int64, gcassert.Ref) {
+	for !t.isLeaf(n) {
+		n = t.kid(n, 0)
+	}
+	return t.key(n, 0), t.val(n, 0)
+}
+
+// ensureDegree guarantees the i-th child of n has at least degree keys,
+// borrowing from a sibling or merging as needed, and returns the child that
+// now covers the i-th position.
+func (t *Tree) ensureDegree(n gcassert.Ref, i int) gcassert.Ref {
+	child := t.kid(n, i)
+	if t.nKeys(child) >= degree {
+		return child
+	}
+	if i > 0 && t.nKeys(t.kid(n, i-1)) >= degree {
+		t.borrowLeft(n, i)
+		return child
+	}
+	if i < t.nKeys(n) && t.nKeys(t.kid(n, i+1)) >= degree {
+		t.borrowRight(n, i)
+		return child
+	}
+	if i < t.nKeys(n) {
+		return t.merge(n, i)
+	}
+	return t.merge(n, i-1)
+}
+
+// borrowLeft rotates one pair from the left sibling through the parent into
+// child i.
+func (t *Tree) borrowLeft(n gcassert.Ref, i int) {
+	child, left := t.kid(n, i), t.kid(n, i-1)
+	cn, ln := t.nKeys(child), t.nKeys(left)
+	for j := cn; j > 0; j-- {
+		t.setKey(child, j, t.key(child, j-1))
+		t.setVal(child, j, t.val(child, j-1))
+	}
+	if !t.isLeaf(child) {
+		for j := cn + 1; j > 0; j-- {
+			t.setKid(child, j, t.kid(child, j-1))
+		}
+		t.setKid(child, 0, t.kid(left, ln))
+		t.setKid(left, ln, gcassert.Nil)
+	}
+	t.setKey(child, 0, t.key(n, i-1))
+	t.setVal(child, 0, t.val(n, i-1))
+	t.setKey(n, i-1, t.key(left, ln-1))
+	t.setVal(n, i-1, t.val(left, ln-1))
+	t.setVal(left, ln-1, gcassert.Nil)
+	t.setN(child, cn+1)
+	t.setN(left, ln-1)
+}
+
+// borrowRight rotates one pair from the right sibling through the parent
+// into child i.
+func (t *Tree) borrowRight(n gcassert.Ref, i int) {
+	child, right := t.kid(n, i), t.kid(n, i+1)
+	cn, rn := t.nKeys(child), t.nKeys(right)
+	t.setKey(child, cn, t.key(n, i))
+	t.setVal(child, cn, t.val(n, i))
+	if !t.isLeaf(child) {
+		t.setKid(child, cn+1, t.kid(right, 0))
+	}
+	t.setKey(n, i, t.key(right, 0))
+	t.setVal(n, i, t.val(right, 0))
+	for j := 0; j < rn-1; j++ {
+		t.setKey(right, j, t.key(right, j+1))
+		t.setVal(right, j, t.val(right, j+1))
+	}
+	t.setVal(right, rn-1, gcassert.Nil)
+	if !t.isLeaf(right) {
+		for j := 0; j < rn; j++ {
+			t.setKid(right, j, t.kid(right, j+1))
+		}
+		t.setKid(right, rn, gcassert.Nil)
+	}
+	t.setN(child, cn+1)
+	t.setN(right, rn-1)
+}
+
+// merge folds the key at i and the (i+1)-th child into the i-th child,
+// returning the merged node. Both children must hold degree-1 keys.
+func (t *Tree) merge(n gcassert.Ref, i int) gcassert.Ref {
+	child, right := t.kid(n, i), t.kid(n, i+1)
+	cn, rn := t.nKeys(child), t.nKeys(right)
+	t.setKey(child, cn, t.key(n, i))
+	t.setVal(child, cn, t.val(n, i))
+	for j := 0; j < rn; j++ {
+		t.setKey(child, cn+1+j, t.key(right, j))
+		t.setVal(child, cn+1+j, t.val(right, j))
+	}
+	if !t.isLeaf(child) {
+		for j := 0; j <= rn; j++ {
+			t.setKid(child, cn+1+j, t.kid(right, j))
+		}
+	}
+	t.setN(child, cn+1+rn)
+	// Remove key i and child i+1 from the parent.
+	pn := t.nKeys(n)
+	for j := i; j < pn-1; j++ {
+		t.setKey(n, j, t.key(n, j+1))
+		t.setVal(n, j, t.val(n, j+1))
+	}
+	t.setVal(n, pn-1, gcassert.Nil)
+	for j := i + 1; j < pn; j++ {
+		t.setKid(n, j, t.kid(n, j+1))
+	}
+	t.setKid(n, pn, gcassert.Nil)
+	t.setN(n, pn-1)
+	return child
+}

@@ -1,0 +1,73 @@
+package collector
+
+import (
+	"fmt"
+	"time"
+)
+
+// Collection records one collection cycle.
+type Collection struct {
+	// Seq is the collection's sequence number (0-based).
+	Seq uint64
+	// Reason records why the collection ran ("alloc-failure", "forced", ...).
+	Reason string
+	// OwnershipTime is the time spent in the assertion engine's ownership
+	// pre-phase (zero in Base mode or with no ownership assertions).
+	OwnershipTime time.Duration
+	// MarkTime is the time spent in the root scan and transitive mark.
+	MarkTime time.Duration
+	// SweepTime is the time spent sweeping.
+	SweepTime time.Duration
+	// TotalTime is the full stop-the-world pause.
+	TotalTime time.Duration
+	// RootsScanned is the number of root slots examined.
+	RootsScanned int
+	// ObjectsMarked is the number of objects marked during the normal scan.
+	ObjectsMarked int
+	// ObjectsFreed and WordsFreed summarize the sweep.
+	ObjectsFreed int
+	WordsFreed   int
+	// ObjectsLive is the number of survivors after the sweep.
+	ObjectsLive int
+}
+
+func (c Collection) String() string {
+	return fmt.Sprintf("GC#%d(%s): %v (own %v, mark %v, sweep %v) marked=%d freed=%d live=%d",
+		c.Seq, c.Reason, c.TotalTime, c.OwnershipTime, c.MarkTime, c.SweepTime,
+		c.ObjectsMarked, c.ObjectsFreed, c.ObjectsLive)
+}
+
+// Stats accumulates collection statistics across cycles.
+type Stats struct {
+	// Collections is the number of completed cycles.
+	Collections uint64
+	// TotalGCTime is the sum of all pauses.
+	TotalGCTime time.Duration
+	// OwnershipTime, MarkTime and SweepTime are per-phase sums.
+	OwnershipTime time.Duration
+	MarkTime      time.Duration
+	SweepTime     time.Duration
+	// MaxPause is the longest single pause.
+	MaxPause time.Duration
+	// ObjectsMarked and ObjectsFreed are cumulative totals.
+	ObjectsMarked uint64
+	ObjectsFreed  uint64
+}
+
+func (s *Stats) add(c Collection) {
+	s.Collections++
+	s.TotalGCTime += c.TotalTime
+	s.OwnershipTime += c.OwnershipTime
+	s.MarkTime += c.MarkTime
+	s.SweepTime += c.SweepTime
+	if c.TotalTime > s.MaxPause {
+		s.MaxPause = c.TotalTime
+	}
+	s.ObjectsMarked += uint64(c.ObjectsMarked)
+	s.ObjectsFreed += uint64(c.ObjectsFreed)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d collections, %v total GC time (own %v, mark %v, sweep %v), max pause %v",
+		s.Collections, s.TotalGCTime, s.OwnershipTime, s.MarkTime, s.SweepTime, s.MaxPause)
+}

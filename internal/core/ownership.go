@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gcassert/internal/collector"
+	"gcassert/internal/heap"
+)
+
+// visitedBit marks ownership-phase worklist entries whose children have been
+// scanned, giving the same path-reconstruction property as the collector's
+// main trace.
+const visitedBit heap.Addr = 1
+
+// ownershipPhase implements the paper's modified trace order (§2.5.2): before
+// root scanning, trace from each owner object *without marking the owner
+// itself*. An ownee reached from its own owner is marked owned and the scan
+// truncates at it; ownees are queued and their subtrees traced after the
+// owner's direct region, so back edges into the owner's structure do not
+// cause false positives. Encountering a different owner marks it and stops
+// (it gets its own scan); encountering an ownee of a different owner is
+// improper use (owner regions must be disjoint).
+//
+// Everything marked here is skipped by the normal scan, so no object is
+// processed twice and the ownership check itself adds no per-object memory.
+func (e *Engine) ownershipPhase(c *collector.Collector) {
+	if len(e.owners) == 0 {
+		return
+	}
+	e.inOwnership = true
+	e.gcSeq = c.GCCount()
+	// Sort any ownee arrays that grew since the last collection, so the
+	// membership checks below are binary searches.
+	for i := range e.owners {
+		if e.owners[i].dirty {
+			rec := &e.owners[i]
+			sort.Slice(rec.ownees, func(a, b int) bool { return rec.ownees[a] < rec.ownees[b] })
+			rec.dirty = false
+		}
+	}
+	for i := range e.owners {
+		e.curOwner = i
+		rec := &e.owners[i]
+		e.ostack = e.ostack[:0]
+		e.owneeQueue = e.owneeQueue[:0]
+		// Seed with the owner. The scan loop never marks the entry it pops
+		// (marking happens edge-side), so the owner stays unmarked: it must
+		// prove its own liveness via the root scan.
+		e.ostack = append(e.ostack, rec.owner)
+		e.drainOwnership()
+		// Now trace the subtrees hanging off the queued ownees. The queue
+		// grows as nested ownees of the same owner are discovered.
+		for qi := 0; qi < len(e.owneeQueue); qi++ {
+			e.ostack = append(e.ostack[:0], e.owneeQueue[qi])
+			e.drainOwnership()
+		}
+	}
+	e.inOwnership = false
+}
+
+func (e *Engine) drainOwnership() {
+	for len(e.ostack) > 0 {
+		top := e.ostack[len(e.ostack)-1]
+		if top&visitedBit != 0 {
+			e.ostack = e.ostack[:len(e.ostack)-1]
+			continue
+		}
+		e.ostack[len(e.ostack)-1] = top | visitedBit
+		e.ownParent = top
+		e.space.ForEachRef(top, e.ownVisit)
+	}
+}
+
+// ownVisit processes one edge discovered during the ownership phase.
+func (e *Engine) ownVisit(slot int, t heap.Addr) {
+	s := e.space
+	rec := &e.owners[e.curOwner]
+	if t == rec.owner {
+		// A back edge to the owner itself: the owner must not be marked by
+		// its own scan (it proves liveness via the root scan).
+		return
+	}
+	f := s.Flags(t)
+
+	// The dead check applies to every edge of the ownership phase, whatever
+	// kind of object it reaches — in particular to ownees, which would
+	// otherwise be marked here and never re-examined by the normal scan.
+	if f&heap.FlagDead != 0 {
+		act := e.onDeadReachable(e.gcSeq, t, f, e.ownerRootDesc(rec.owner), e.ownershipPath())
+		if act == collector.EdgeClear {
+			s.ClearRefSlot(e.ownParent, slot)
+			return
+		}
+	}
+
+	if f&heap.FlagOwnee != 0 {
+		e.stats.OwneesChecked++
+		if !e.belongsTo(rec, t) {
+			// Overlap between owner regions: improper use of the assertion.
+			if f&flagLogged == 0 {
+				e.stats.ImproperOwnership++
+				e.markLogged(t)
+				e.report(&Violation{
+					Kind:     KindImproperOwnership,
+					GC:       e.gcSeq,
+					Object:   t,
+					TypeName: s.TypeName(t),
+					Root:     e.ownerRootDesc(rec.owner),
+					Path:     buildPath(s, e.ownershipPath(), t),
+					Message: fmt.Sprintf("ownee of %s@%#x reached while scanning from %s@%#x; owner regions must be disjoint",
+						s.TypeName(e.owneeOwner[t]), uint32(e.owneeOwner[t]), s.TypeName(rec.owner), uint32(rec.owner)),
+				})
+			}
+		}
+		if f&heap.FlagMark == 0 {
+			s.SetMark(t)
+			e.countInstance(t)
+			e.owneeQueue = append(e.owneeQueue, t)
+		}
+		// Reached from an owner: consider it owned (for overlapping regions
+		// the improper-use warning above has already fired).
+		s.SetFlag(t, heap.FlagOwned)
+		return // truncate: the subtree is traced from the ownee queue
+	}
+
+	if f&heap.FlagOwner != 0 && t != rec.owner {
+		// Another owner: mark it and stop — it is scanned independently.
+		if f&heap.FlagMark == 0 {
+			s.SetMark(t)
+			e.countInstance(t)
+		}
+		return
+	}
+
+	if f&heap.FlagMark != 0 {
+		if f&heap.FlagUnshared != 0 && f&flagLogged == 0 {
+			e.onSharedUnshared(e.gcSeq, t, e.ownerRootDesc(rec.owner), e.ownershipPath())
+		}
+		return
+	}
+
+	s.SetMark(t)
+	e.countInstance(t)
+	e.ostack = append(e.ostack, t)
+}
+
+// belongsTo reports whether t is a registered ownee of rec, by binary search
+// over the sorted ownee array (the paper's n log n membership check).
+func (e *Engine) belongsTo(rec *ownerRec, t heap.Addr) bool {
+	i := sort.Search(len(rec.ownees), func(j int) bool { return rec.ownees[j] >= t })
+	return i < len(rec.ownees) && rec.ownees[i] == t
+}
+
+// countInstance counts a newly marked object for assert-instances tracking.
+func (e *Engine) countInstance(a heap.Addr) {
+	if len(e.tracked) == 0 {
+		return
+	}
+	if t := e.space.TypeOf(a); int(t) < len(e.counts) {
+		e.counts[t]++
+	}
+}
+
+// ownershipPath snapshots the owner-to-current-object path from the
+// ownership worklist (entries with the visited bit, bottom first).
+func (e *Engine) ownershipPath() []heap.Addr {
+	var path []heap.Addr
+	for _, entry := range e.ostack {
+		if entry&visitedBit != 0 {
+			path = append(path, entry&^visitedBit)
+		}
+	}
+	return path
+}
+
+// ownerRootDesc describes the owner whose region is being scanned, used as
+// the "root" of paths reported during the ownership phase.
+func (e *Engine) ownerRootDesc(owner heap.Addr) string {
+	return fmt.Sprintf("owner %s@%#x", e.space.TypeName(owner), uint32(owner))
+}

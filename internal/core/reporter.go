@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Reporter receives triggered assertions. Implementations must not touch the
+// heap: they run inside the stop-the-world collection.
+type Reporter interface {
+	// Report is invoked once per violation, at detection time.
+	Report(v *Violation)
+}
+
+// WriterReporter formats each violation in the paper's Figure 1 style and
+// writes it to an io.Writer.
+type WriterReporter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterReporter returns a Reporter printing to w.
+func NewWriterReporter(w io.Writer) *WriterReporter { return &WriterReporter{w: w} }
+
+// Report writes the formatted violation.
+func (r *WriterReporter) Report(v *Violation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fmt.Fprintln(r.w, v.String())
+}
+
+// CollectingReporter records violations in memory; tests and the case-study
+// examples use it to inspect what the collector found.
+type CollectingReporter struct {
+	mu         sync.Mutex
+	violations []Violation
+}
+
+// Report appends a copy of the violation.
+func (r *CollectingReporter) Report(v *Violation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.violations = append(r.violations, *v)
+}
+
+// Violations returns a snapshot of everything reported so far.
+func (r *CollectingReporter) Violations() []Violation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Violation(nil), r.violations...)
+}
+
+// ByKind returns the recorded violations of one kind.
+func (r *CollectingReporter) ByKind(k Kind) []Violation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Violation
+	for _, v := range r.violations {
+		if v.Kind == k {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Len returns the number of recorded violations.
+func (r *CollectingReporter) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.violations)
+}
+
+// Reset discards all recorded violations.
+func (r *CollectingReporter) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.violations = nil
+}
+
+// TeeReporter fans a violation out to several reporters.
+type TeeReporter []Reporter
+
+// Report forwards v to every underlying reporter.
+func (t TeeReporter) Report(v *Violation) {
+	for _, r := range t {
+		r.Report(v)
+	}
+}
+
+// Reaction selects what the system does when an assertion triggers (§2.6).
+type Reaction uint8
+
+// Reactions.
+const (
+	// ReactLog logs the error and continues executing (the paper's default:
+	// it retains the semantics of the program without assertions).
+	ReactLog Reaction = iota
+	// ReactHalt logs the error and halts by panicking with *HaltError, for
+	// assertions whose failure indicates a non-recoverable error.
+	ReactHalt
+	// ReactForce forces the assertion to be true where possible: for
+	// lifetime assertions the collector nulls out every incoming reference
+	// so the object is reclaimed in the current cycle. Kinds that cannot be
+	// forced fall back to logging.
+	ReactForce
+)
+
+func (r Reaction) String() string {
+	switch r {
+	case ReactLog:
+		return "log"
+	case ReactHalt:
+		return "halt"
+	case ReactForce:
+		return "force"
+	default:
+		return fmt.Sprintf("Reaction(%d)", uint8(r))
+	}
+}
+
+// Policy maps each assertion kind to a reaction.
+type Policy [numKinds]Reaction
+
+// DefaultPolicy logs and continues for every kind, like the paper's system.
+func DefaultPolicy() Policy { return Policy{} }
+
+// With returns a copy of the policy with kind k set to r.
+func (p Policy) With(k Kind, r Reaction) Policy {
+	p[k] = r
+	return p
+}
+
+// HaltError is the panic payload raised by the ReactHalt reaction.
+type HaltError struct {
+	// Violation is the assertion that triggered the halt.
+	Violation Violation
+}
+
+// Error describes the halt.
+func (e *HaltError) Error() string {
+	return "gcassert: halted on assertion violation: " + e.Violation.String()
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gcassert/internal/heap"
+)
+
+func sampleViolation() *Violation {
+	return &Violation{
+		Kind:     KindDead,
+		GC:       3,
+		Object:   heap.Addr(64),
+		TypeName: "spec/jbb/Order",
+		Root:     "global:company",
+		Path: []PathStep{
+			{Addr: 8, TypeName: "spec/jbb/Company", Field: "warehouses"},
+			{Addr: 16, TypeName: "[Object", Field: "[0]"},
+			{Addr: 64, TypeName: "spec/jbb/Order"},
+		},
+	}
+}
+
+func TestViolationFigure1Format(t *testing.T) {
+	s := sampleViolation().String()
+	for _, want := range []string{
+		"Warning: an object that was asserted dead is reachable.",
+		"Type: spec/jbb/Order",
+		"Path to object:",
+		"root global:company",
+		"spec/jbb/Company .warehouses",
+		"-> [Object .[0]",
+		"-> spec/jbb/Order",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestViolationFormatWithoutPath(t *testing.T) {
+	v := &Violation{Kind: KindInstances, TypeName: "T", Message: "5 instances live, limit 1"}
+	s := v.String()
+	if strings.Contains(s, "Path to object") {
+		t.Errorf("instances report should have no path:\n%s", s)
+	}
+	if !strings.Contains(s, "instance limit exceeded") || !strings.Contains(s, "Detail: 5 instances") {
+		t.Errorf("report:\n%s", s)
+	}
+}
+
+func TestWriterReporter(t *testing.T) {
+	var b strings.Builder
+	r := NewWriterReporter(&b)
+	r.Report(sampleViolation())
+	if !strings.Contains(b.String(), "Warning:") {
+		t.Errorf("writer output: %q", b.String())
+	}
+}
+
+func TestCollectingReporter(t *testing.T) {
+	r := &CollectingReporter{}
+	r.Report(sampleViolation())
+	v2 := sampleViolation()
+	v2.Kind = KindUnshared
+	r.Report(v2)
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if len(r.ByKind(KindDead)) != 1 || len(r.ByKind(KindUnshared)) != 1 || len(r.ByKind(KindOwnedBy)) != 0 {
+		t.Error("ByKind filtering")
+	}
+	// Violations returns a copy.
+	vs := r.Violations()
+	vs[0].TypeName = "mutated"
+	if r.Violations()[0].TypeName == "mutated" {
+		t.Error("Violations must return a copy")
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("Reset")
+	}
+}
+
+func TestTeeReporter(t *testing.T) {
+	a, b := &CollectingReporter{}, &CollectingReporter{}
+	TeeReporter{a, b}.Report(sampleViolation())
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Error("tee did not fan out")
+	}
+}
+
+func TestDeciderOverridesPolicy(t *testing.T) {
+	reg := heap.NewRegistry()
+	node := reg.Define("Node", heap.Field{Name: "next", Ref: true})
+	_ = node
+	s := heap.NewSpace(reg, 1<<20)
+	rep := &CollectingReporter{}
+	e := NewEngine(s, rep, DefaultPolicy())
+	decided := 0
+	e.SetDecider(func(v *Violation) Reaction {
+		decided++
+		return ReactLog
+	})
+	// The decider is consulted through report(); drive it directly.
+	e.report(&Violation{Kind: KindDead, TypeName: "Node"})
+	if decided != 1 || rep.Len() != 1 {
+		t.Errorf("decided=%d reported=%d", decided, rep.Len())
+	}
+}
+
+func TestPolicyWith(t *testing.T) {
+	p := DefaultPolicy().With(KindDead, ReactForce).With(KindUnshared, ReactHalt)
+	if p[KindDead] != ReactForce || p[KindUnshared] != ReactHalt || p[KindOwnedBy] != ReactLog {
+		t.Errorf("policy = %v", p)
+	}
+}
+
+func TestKindHeadlines(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.headline() == "" || k.headline() == "assertion violated" {
+			t.Errorf("kind %v has generic headline", k)
+		}
+	}
+}
+
+func TestBuildPathResolvesFields(t *testing.T) {
+	reg := heap.NewRegistry()
+	node := reg.Define("Node", heap.Field{Name: "left", Ref: true}, heap.Field{Name: "right", Ref: true})
+	s := heap.NewSpace(reg, 1<<20)
+	a, _ := s.Allocate(node, 0)
+	b, _ := s.Allocate(node, 0)
+	c, _ := s.Allocate(node, 0)
+	s.SetRef(a, 1, b)
+	s.SetRef(b, 0, c)
+	steps := buildPath(s, []heap.Addr{a, b}, c)
+	if len(steps) != 3 {
+		t.Fatalf("steps = %+v", steps)
+	}
+	if steps[0].Field != "right" || steps[1].Field != "left" || steps[2].Field != "" {
+		t.Errorf("fields = %q %q %q", steps[0].Field, steps[1].Field, steps[2].Field)
+	}
+}

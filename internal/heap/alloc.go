@@ -1,0 +1,91 @@
+package heap
+
+import "fmt"
+
+// Allocate allocates an object of type t. For array kinds, arrayLen gives the
+// element count; for KindObject it must be 0. It returns the new object's
+// address, or ok=false when the heap is exhausted (the runtime then triggers
+// a collection and retries).
+func (s *Space) Allocate(t TypeID, arrayLen int) (Addr, bool) {
+	ti := s.reg.Info(t)
+	if ti.Kind == KindObject && arrayLen != 0 {
+		panic(fmt.Sprintf("heap: arrayLen %d for non-array type %s", arrayLen, ti.Name))
+	}
+	if arrayLen < 0 {
+		panic(fmt.Sprintf("heap: negative array length %d", arrayLen))
+	}
+	size := ti.SizeWords(arrayLen)
+	if size > maxSmallWords {
+		return s.allocLarge(t, arrayLen, size)
+	}
+	class := classFor(size)
+	for {
+		pl := s.partial[class]
+		for len(pl) > 0 {
+			bi := pl[len(pl)-1]
+			b := &s.blocks[bi]
+			if b.freeHead != Nil {
+				a := b.freeHead
+				b.freeHead = Addr(s.words[a.word()])
+				b.liveCells++
+				bitSet(b.allocBits, s.cellIndex(b, a))
+				s.initObject(a, t, arrayLen, classSizes[class])
+				return a, true
+			}
+			pl = pl[:len(pl)-1]
+			s.partial[class] = pl
+		}
+		if !s.carveBlock(class) {
+			return Nil, false
+		}
+	}
+}
+
+// allocLarge allocates an object spanning one or more dedicated blocks.
+func (s *Space) allocLarge(t TypeID, arrayLen, size int) (Addr, bool) {
+	nblk := (size + BlockWords - 1) / BlockWords
+	first, ok := s.findRun(nblk)
+	if !ok {
+		return Nil, false
+	}
+	b := &s.blocks[first]
+	b.class = blkLargeHead
+	b.spanLen = int32(nblk)
+	b.liveCells = 1
+	for i := 1; i < nblk; i++ {
+		s.blocks[first+uint32(i)].class = blkLargeCont
+	}
+	a := blockStart(first)
+	// Account the whole span as the object's storage, matching what the
+	// sweep returns to the free pool when the object dies.
+	s.initObject(a, t, arrayLen, nblk*BlockWords)
+	return a, true
+}
+
+// initObject zeroes the cell and writes a fresh header.
+func (s *Space) initObject(a Addr, t TypeID, arrayLen, cellWords int) {
+	w := a.word()
+	for i := 0; i < cellWords; i++ {
+		s.words[w+uint32(i)] = 0
+	}
+	s.words[w] = makeHeader(t, arrayLen)
+	s.stats.ObjectsAllocated++
+	s.stats.WordsAllocated += uint64(cellWords)
+	s.stats.LiveObjects++
+	s.stats.LiveWords += uint64(cellWords)
+}
+
+// FreeWords reports how many words are currently free (free blocks plus free
+// cells in partial blocks). It is an O(blocks) diagnostic.
+func (s *Space) FreeWords() int {
+	free := len(s.freeBlocks) * BlockWords
+	for class := range s.partial {
+		cellWords := classSizes[class]
+		for _, bi := range s.partial[class] {
+			b := &s.blocks[bi]
+			ncells := BlockWords / cellWords
+			free += (ncells - int(b.liveCells)) * cellWords
+		}
+	}
+	return free
+}

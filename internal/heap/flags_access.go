@@ -1,0 +1,6 @@
+package heap
+
+// Flags returns all header flag bits of the object at a in one read. The
+// assertion engine uses it so each traced edge costs a single header load,
+// matching the paper's "the data is already in cache" argument (§2.3.1).
+func (s *Space) Flags(a Addr) Flag { return Flag(s.words[a.word()] & flagMask) }

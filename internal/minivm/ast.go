@@ -1,0 +1,233 @@
+package minivm
+
+// AST node definitions for MJ.
+
+// TypeExpr is a syntactic type: "int", a class name, or an array of either.
+type TypeExpr struct {
+	Pos Pos
+	// Name is "int" or a class name; empty for void.
+	Name string
+	// Dims is the number of array dimensions.
+	Dims int
+	// Void marks the absence of a type (method returns only).
+	Void bool
+}
+
+func (t TypeExpr) String() string {
+	if t.Void {
+		return "void"
+	}
+	s := t.Name
+	for i := 0; i < t.Dims; i++ {
+		s += "[]"
+	}
+	return s
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Classes []*ClassDecl
+}
+
+// ClassDecl is one class.
+type ClassDecl struct {
+	Pos     Pos
+	Name    string
+	Fields  []*FieldDecl
+	Methods []*MethodDecl
+}
+
+// FieldDecl is one field.
+type FieldDecl struct {
+	Pos  Pos
+	Type TypeExpr
+	Name string
+}
+
+// Param is one method parameter.
+type Param struct {
+	Pos  Pos
+	Type TypeExpr
+	Name string
+}
+
+// MethodDecl is one method.
+type MethodDecl struct {
+	Pos    Pos
+	Ret    TypeExpr
+	Name   string
+	Params []*Param
+	Body   *BlockStmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is "{ stmts }".
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarDeclStmt is "type name [= init];".
+type VarDeclStmt struct {
+	Pos  Pos
+	Type TypeExpr
+	Name string
+	Init Expr // may be nil
+}
+
+// AssignStmt is "lvalue = value;". Target is an IdentExpr, FieldExpr or
+// IndexExpr.
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr
+	Value  Expr
+}
+
+// IfStmt is "if (cond) then [else els]".
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is "while (cond) body".
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is "for (init; cond; post) body"; each header part may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+}
+
+// BreakStmt is "break;".
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt is "continue;".
+type ContinueStmt struct{ Pos Pos }
+
+// ReturnStmt is "return [expr];".
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // may be nil
+}
+
+// ExprStmt is "expr;".
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDeclStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	// Span returns the expression's source position.
+	Span() Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// NullLit is "null".
+type NullLit struct{ Pos Pos }
+
+// ThisExpr is "this".
+type ThisExpr struct{ Pos Pos }
+
+// IdentExpr is a bare identifier (local, parameter, or implicit this-field).
+type IdentExpr struct {
+	Pos  Pos
+	Name string
+}
+
+// FieldExpr is "x.name" (when not a call).
+type FieldExpr struct {
+	Pos  Pos
+	X    Expr
+	Name string
+}
+
+// IndexExpr is "x[i]".
+type IndexExpr struct {
+	Pos   Pos
+	X     Expr
+	Index Expr
+}
+
+// CallExpr is "x.name(args)" (X == nil for bare calls: intrinsics or
+// this-method calls).
+type CallExpr struct {
+	Pos  Pos
+	X    Expr // receiver; nil for bare calls
+	Name string
+	Args []Expr
+}
+
+// NewExpr is "new C()" or "new T[n]".
+type NewExpr struct {
+	Pos Pos
+	// Type is the element/class type.
+	Type TypeExpr
+	// Len is non-nil for array creation.
+	Len Expr
+}
+
+// UnaryExpr is "-x" or "!x".
+type UnaryExpr struct {
+	Pos Pos
+	Op  TokKind
+	X   Expr
+}
+
+// BinaryExpr is "x op y".
+type BinaryExpr struct {
+	Pos  Pos
+	Op   TokKind
+	X, Y Expr
+}
+
+func (*IntLit) exprNode()     {}
+func (*NullLit) exprNode()    {}
+func (*ThisExpr) exprNode()   {}
+func (*IdentExpr) exprNode()  {}
+func (*FieldExpr) exprNode()  {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*NewExpr) exprNode()    {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+
+// Span implementations.
+func (e *IntLit) Span() Pos     { return e.Pos }
+func (e *NullLit) Span() Pos    { return e.Pos }
+func (e *ThisExpr) Span() Pos   { return e.Pos }
+func (e *IdentExpr) Span() Pos  { return e.Pos }
+func (e *FieldExpr) Span() Pos  { return e.Pos }
+func (e *IndexExpr) Span() Pos  { return e.Pos }
+func (e *CallExpr) Span() Pos   { return e.Pos }
+func (e *NewExpr) Span() Pos    { return e.Pos }
+func (e *UnaryExpr) Span() Pos  { return e.Pos }
+func (e *BinaryExpr) Span() Pos { return e.Pos }

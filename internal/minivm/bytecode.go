@@ -1,0 +1,122 @@
+package minivm
+
+import "fmt"
+
+// Op is a bytecode opcode. The instruction set is a typed stack machine:
+// reference-carrying and integer-carrying variants are distinct opcodes so
+// the interpreter can maintain its shadow GC roots without dynamic tags.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNop Op = iota
+	// Constants.
+	OpConstInt // push K
+	OpNull     // push null reference
+	// Locals. A = local slot.
+	OpLoadInt
+	OpLoadRef
+	OpStoreInt
+	OpStoreRef
+	// Stack housekeeping.
+	OpPopInt
+	OpPopRef
+	// Fields. A = field slot; object on top of stack (value above it for put).
+	OpGetFInt
+	OpGetFRef
+	OpPutFInt
+	OpPutFRef
+	// Arrays.
+	OpNewArrInt // pop len, push new int array
+	OpNewArrRef // pop len, push new ref array
+	OpALoadInt  // pop idx, arr; push arr[idx]
+	OpALoadRef
+	OpAStoreInt // pop val, idx, arr; arr[idx] = val
+	OpAStoreRef
+	OpLen // pop arr, push length
+	// Objects. A = class index.
+	OpNewObj
+	// Arithmetic and logic (ints).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpNeg
+	OpNot
+	OpEqInt
+	OpNeInt
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	// Reference comparison.
+	OpEqRef
+	OpNeRef
+	// Control flow. A = target pc.
+	OpJmp
+	OpJz // pop int; jump if zero
+	// Calls. A = method ID (receiver and args on stack).
+	OpCall
+	OpRetVoid
+	OpRetInt
+	OpRetRef
+	// Intrinsics.
+	OpPrint           // pop int, print it
+	OpGC              // force a collection
+	OpAssertDead      // pop ref
+	OpAssertUnshared  // pop ref
+	OpAssertInstances // A = class index, K = limit
+	OpAssertOwnedBy   // pop ownee, owner
+	OpRegionStart
+	OpRegionAllDead // push int (count asserted)
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConstInt: "const", OpNull: "null",
+	OpLoadInt: "load.i", OpLoadRef: "load.r", OpStoreInt: "store.i", OpStoreRef: "store.r",
+	OpPopInt: "pop.i", OpPopRef: "pop.r",
+	OpGetFInt: "getf.i", OpGetFRef: "getf.r", OpPutFInt: "putf.i", OpPutFRef: "putf.r",
+	OpNewArrInt: "newarr.i", OpNewArrRef: "newarr.r",
+	OpALoadInt: "aload.i", OpALoadRef: "aload.r", OpAStoreInt: "astore.i", OpAStoreRef: "astore.r",
+	OpLen: "len", OpNewObj: "new",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpNeg: "neg", OpNot: "not",
+	OpEqInt: "eq.i", OpNeInt: "ne.i", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+	OpEqRef: "eq.r", OpNeRef: "ne.r",
+	OpJmp: "jmp", OpJz: "jz", OpCall: "call",
+	OpRetVoid: "ret.v", OpRetInt: "ret.i", OpRetRef: "ret.r",
+	OpPrint: "print", OpGC: "gc",
+	OpAssertDead: "assert.dead", OpAssertUnshared: "assert.unshared",
+	OpAssertInstances: "assert.instances", OpAssertOwnedBy: "assert.ownedby",
+	OpRegionStart: "region.start", OpRegionAllDead: "region.alldead",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Instr is one instruction: an opcode with an int operand A (slot, target,
+// class or method index) and a literal operand K.
+type Instr struct {
+	Op Op
+	A  int
+	K  int64
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case OpConstInt:
+		return fmt.Sprintf("%s %d", i.Op, i.K)
+	case OpAssertInstances:
+		return fmt.Sprintf("%s class=%d limit=%d", i.Op, i.A, i.K)
+	case OpLoadInt, OpLoadRef, OpStoreInt, OpStoreRef, OpGetFInt, OpGetFRef,
+		OpPutFInt, OpPutFRef, OpJmp, OpJz, OpCall, OpNewObj:
+		return fmt.Sprintf("%s %d", i.Op, i.A)
+	default:
+		return i.Op.String()
+	}
+}

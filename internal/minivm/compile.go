@@ -1,0 +1,513 @@
+package minivm
+
+import "fmt"
+
+// Compile parses, type-checks and compiles MJ source into a Unit.
+func Compile(src string) (*Unit, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{unit: &Unit{classByName: map[string]*ClassInfo{}}}
+	if err := c.collect(prog); err != nil {
+		return nil, err
+	}
+	for _, ci := range c.unit.Classes {
+		for _, m := range ci.Methods {
+			if err := c.compileMethod(m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	main, ok := c.unit.Class("Main")
+	if !ok {
+		return nil, errf(Pos{1, 1}, "no class Main")
+	}
+	mm, ok := main.Methods["main"]
+	if !ok {
+		return nil, errf(main.Decl.Pos, "class Main has no method main")
+	}
+	if len(mm.Params) != 0 || mm.Ret.Kind != KVoid {
+		return nil, errf(mm.Decl.Pos, "Main.main must be 'void main()'")
+	}
+	c.unit.Main = mm
+	return c.unit, nil
+}
+
+type compiler struct {
+	unit *Unit
+}
+
+// collect builds the class and method tables and resolves all signatures.
+func (c *compiler) collect(prog *Program) *Error {
+	for _, cd := range prog.Classes {
+		if _, dup := c.unit.classByName[cd.Name]; dup {
+			return errf(cd.Pos, "duplicate class %s", cd.Name)
+		}
+		if cd.Name == "int" || cd.Name == "void" {
+			return errf(cd.Pos, "invalid class name %q", cd.Name)
+		}
+		ci := &ClassInfo{
+			Name: cd.Name, Decl: cd, Index: len(c.unit.Classes),
+			Methods:      map[string]*MethodInfo{},
+			fieldsByName: map[string]*FieldInfo{},
+		}
+		c.unit.Classes = append(c.unit.Classes, ci)
+		c.unit.classByName[cd.Name] = ci
+	}
+	for _, ci := range c.unit.Classes {
+		for _, fd := range ci.Decl.Fields {
+			if _, dup := ci.fieldsByName[fd.Name]; dup {
+				return errf(fd.Pos, "duplicate field %s.%s", ci.Name, fd.Name)
+			}
+			ft, err := c.resolveType(fd.Type)
+			if err != nil {
+				return err
+			}
+			fi := &FieldInfo{Name: fd.Name, Type: ft, Slot: len(ci.Fields)}
+			ci.Fields = append(ci.Fields, fi)
+			ci.fieldsByName[fd.Name] = fi
+		}
+		for _, md := range ci.Decl.Methods {
+			if _, dup := ci.Methods[md.Name]; dup {
+				return errf(md.Pos, "duplicate method %s.%s (no overloading)", ci.Name, md.Name)
+			}
+			mi := &MethodInfo{Class: ci, Name: md.Name, Decl: md, ID: len(c.unit.Methods)}
+			if md.Ret.Void {
+				mi.Ret = typeVoid
+			} else {
+				rt, err := c.resolveType(md.Ret)
+				if err != nil {
+					return err
+				}
+				mi.Ret = rt
+			}
+			for _, p := range md.Params {
+				pt, err := c.resolveType(p.Type)
+				if err != nil {
+					return err
+				}
+				mi.Params = append(mi.Params, pt)
+			}
+			ci.Methods[md.Name] = mi
+			c.unit.Methods = append(c.unit.Methods, mi)
+		}
+	}
+	return nil
+}
+
+// resolveType converts a syntactic type to a semantic one.
+func (c *compiler) resolveType(t TypeExpr) (*Type, *Error) {
+	var base *Type
+	if t.Name == "int" {
+		base = typeInt
+	} else {
+		ci, ok := c.unit.classByName[t.Name]
+		if !ok {
+			return nil, errf(t.Pos, "unknown type %s", t.Name)
+		}
+		base = &Type{Kind: KClass, Class: ci}
+	}
+	for i := 0; i < t.Dims; i++ {
+		base = &Type{Kind: KArray, Elem: base}
+	}
+	return base, nil
+}
+
+// loopCtx tracks the pending break/continue jumps of one enclosing loop.
+type loopCtx struct {
+	breaks    []int
+	continues []int
+}
+
+// mcompiler compiles one method body.
+type mcompiler struct {
+	c *compiler
+	m *MethodInfo
+
+	scopes     []map[string]int
+	localTypes []*Type
+	loops      []*loopCtx
+
+	depth, maxDepth int
+}
+
+func (c *compiler) compileMethod(m *MethodInfo) *Error {
+	mc := &mcompiler{c: c, m: m}
+	mc.pushScope()
+	// Local 0 is this; params follow.
+	mc.declare(m.Decl.Pos, "this", &Type{Kind: KClass, Class: m.Class})
+	for i, p := range m.Decl.Params {
+		if _, err := mc.declareChecked(p.Pos, p.Name, m.Params[i]); err != nil {
+			return err
+		}
+	}
+	if err := mc.block(m.Decl.Body); err != nil {
+		return err
+	}
+	mc.popScope()
+	// Implicit return: void methods fall off the end; non-void methods
+	// default-return zero/null (MJ semantics; simpler than flow analysis).
+	end := m.Decl.Body.Pos
+	switch {
+	case m.Ret.Kind == KVoid:
+		mc.emit(end, Instr{Op: OpRetVoid}, 0, 0)
+	case m.Ret.IsRef():
+		mc.emit(end, Instr{Op: OpNull}, 0, 1)
+		mc.emit(end, Instr{Op: OpRetRef}, 1, 0)
+	default:
+		mc.emit(end, Instr{Op: OpConstInt, K: 0}, 0, 1)
+		mc.emit(end, Instr{Op: OpRetInt}, 1, 0)
+	}
+	m.NumLocals = len(mc.localTypes)
+	m.MaxStack = mc.maxDepth
+	m.RefSlot = make([]bool, m.NumLocals)
+	for i, t := range mc.localTypes {
+		m.RefSlot[i] = t.IsRef()
+	}
+	return nil
+}
+
+// emit appends an instruction, tracking stack depth (pops then pushes).
+func (mc *mcompiler) emit(pos Pos, i Instr, pops, pushes int) int {
+	mc.m.Code = append(mc.m.Code, i)
+	mc.m.Pos = append(mc.m.Pos, pos)
+	mc.depth += pushes - pops
+	if mc.depth > mc.maxDepth {
+		mc.maxDepth = mc.depth
+	}
+	if mc.depth < 0 {
+		panic(fmt.Sprintf("minivm: compiler stack underflow at %s in %s", pos, mc.m.Sig()))
+	}
+	return len(mc.m.Code) - 1
+}
+
+// patch sets the jump target of instruction idx to the current pc.
+func (mc *mcompiler) patch(idx int) { mc.m.Code[idx].A = len(mc.m.Code) }
+
+func (mc *mcompiler) pushScope() { mc.scopes = append(mc.scopes, map[string]int{}) }
+func (mc *mcompiler) popScope()  { mc.scopes = mc.scopes[:len(mc.scopes)-1] }
+
+func (mc *mcompiler) pushLoop() *loopCtx {
+	ctx := &loopCtx{}
+	mc.loops = append(mc.loops, ctx)
+	return ctx
+}
+func (mc *mcompiler) popLoop() { mc.loops = mc.loops[:len(mc.loops)-1] }
+func (mc *mcompiler) curLoop() *loopCtx {
+	if len(mc.loops) == 0 {
+		return nil
+	}
+	return mc.loops[len(mc.loops)-1]
+}
+
+func (mc *mcompiler) declare(pos Pos, name string, t *Type) int {
+	slot := len(mc.localTypes)
+	mc.localTypes = append(mc.localTypes, t)
+	mc.scopes[len(mc.scopes)-1][name] = slot
+	return slot
+}
+
+func (mc *mcompiler) declareChecked(pos Pos, name string, t *Type) (int, *Error) {
+	if _, dup := mc.scopes[len(mc.scopes)-1][name]; dup {
+		return 0, errf(pos, "duplicate variable %s", name)
+	}
+	return mc.declare(pos, name, t), nil
+}
+
+// lookup resolves a name to a local slot, innermost scope first.
+func (mc *mcompiler) lookup(name string) (int, bool) {
+	for i := len(mc.scopes) - 1; i >= 0; i-- {
+		if slot, ok := mc.scopes[i][name]; ok {
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (mc *mcompiler) block(b *BlockStmt) *Error {
+	mc.pushScope()
+	defer mc.popScope()
+	for _, s := range b.Stmts {
+		if err := mc.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (mc *mcompiler) stmt(s Stmt) *Error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return mc.block(s)
+	case *VarDeclStmt:
+		t, err := mc.c.resolveType(s.Type)
+		if err != nil {
+			return err
+		}
+		slot, err := mc.declareChecked(s.Pos, s.Name, t)
+		if err != nil {
+			return err
+		}
+		if s.Init != nil {
+			it, err := mc.expr(s.Init)
+			if err != nil {
+				return err
+			}
+			if !assignable(t, it) {
+				return errf(s.Pos, "cannot initialize %s %s with %s", t, s.Name, it)
+			}
+			mc.emitStore(s.Pos, slot, t)
+		}
+		return nil
+	case *AssignStmt:
+		return mc.assign(s)
+	case *IfStmt:
+		ct, err := mc.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if ct.Kind != KInt {
+			return errf(s.Pos, "if condition must be int, got %s", ct)
+		}
+		jz := mc.emit(s.Pos, Instr{Op: OpJz}, 1, 0)
+		if err := mc.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			jmp := mc.emit(s.Pos, Instr{Op: OpJmp}, 0, 0)
+			mc.patch(jz)
+			if err := mc.stmt(s.Else); err != nil {
+				return err
+			}
+			mc.patch(jmp)
+		} else {
+			mc.patch(jz)
+		}
+		return nil
+	case *WhileStmt:
+		top := len(mc.m.Code)
+		ct, err := mc.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if ct.Kind != KInt {
+			return errf(s.Pos, "while condition must be int, got %s", ct)
+		}
+		jz := mc.emit(s.Pos, Instr{Op: OpJz}, 1, 0)
+		ctx := mc.pushLoop()
+		if err := mc.stmt(s.Body); err != nil {
+			return err
+		}
+		mc.popLoop()
+		// continue re-tests the condition; break exits past the loop.
+		for _, c := range ctx.continues {
+			mc.m.Code[c].A = top
+		}
+		mc.emit(s.Pos, Instr{Op: OpJmp, A: top}, 0, 0)
+		mc.patch(jz)
+		for _, b := range ctx.breaks {
+			mc.patch(b)
+		}
+		return nil
+	case *ForStmt:
+		mc.pushScope()
+		if s.Init != nil {
+			if err := mc.stmt(s.Init); err != nil {
+				mc.popScope()
+				return err
+			}
+		}
+		top := len(mc.m.Code)
+		jz := -1
+		if s.Cond != nil {
+			ct, err := mc.expr(s.Cond)
+			if err != nil {
+				mc.popScope()
+				return err
+			}
+			if ct.Kind != KInt {
+				mc.popScope()
+				return errf(s.Pos, "for condition must be int, got %s", ct)
+			}
+			jz = mc.emit(s.Pos, Instr{Op: OpJz}, 1, 0)
+		}
+		ctx := mc.pushLoop()
+		if err := mc.stmt(s.Body); err != nil {
+			mc.popLoop()
+			mc.popScope()
+			return err
+		}
+		mc.popLoop()
+		// continue lands on the post clause.
+		for _, c := range ctx.continues {
+			mc.patch(c)
+		}
+		if s.Post != nil {
+			if err := mc.stmt(s.Post); err != nil {
+				mc.popScope()
+				return err
+			}
+		}
+		mc.emit(s.Pos, Instr{Op: OpJmp, A: top}, 0, 0)
+		if jz >= 0 {
+			mc.patch(jz)
+		}
+		for _, b := range ctx.breaks {
+			mc.patch(b)
+		}
+		mc.popScope()
+		return nil
+	case *BreakStmt:
+		ctx := mc.curLoop()
+		if ctx == nil {
+			return errf(s.Pos, "break outside a loop")
+		}
+		ctx.breaks = append(ctx.breaks, mc.emit(s.Pos, Instr{Op: OpJmp}, 0, 0))
+		return nil
+	case *ContinueStmt:
+		ctx := mc.curLoop()
+		if ctx == nil {
+			return errf(s.Pos, "continue outside a loop")
+		}
+		ctx.continues = append(ctx.continues, mc.emit(s.Pos, Instr{Op: OpJmp}, 0, 0))
+		return nil
+	case *ReturnStmt:
+		if s.Value == nil {
+			if mc.m.Ret.Kind != KVoid {
+				return errf(s.Pos, "method %s must return %s", mc.m.Sig(), mc.m.Ret)
+			}
+			mc.emit(s.Pos, Instr{Op: OpRetVoid}, 0, 0)
+			return nil
+		}
+		if mc.m.Ret.Kind == KVoid {
+			return errf(s.Pos, "void method %s cannot return a value", mc.m.Sig())
+		}
+		vt, err := mc.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		if !assignable(mc.m.Ret, vt) {
+			return errf(s.Pos, "cannot return %s from %s", vt, mc.m.Sig())
+		}
+		if mc.m.Ret.IsRef() {
+			mc.emit(s.Pos, Instr{Op: OpRetRef}, 1, 0)
+		} else {
+			mc.emit(s.Pos, Instr{Op: OpRetInt}, 1, 0)
+		}
+		return nil
+	case *ExprStmt:
+		t, err := mc.expr(s.X)
+		if err != nil {
+			return err
+		}
+		switch {
+		case t.Kind == KVoid:
+		case t.IsRef():
+			mc.emit(s.Pos, Instr{Op: OpPopRef}, 1, 0)
+		default:
+			mc.emit(s.Pos, Instr{Op: OpPopInt}, 1, 0)
+		}
+		return nil
+	default:
+		return errf(Pos{}, "internal: unknown statement %T", s)
+	}
+}
+
+// emitStore stores the top of stack to a local slot of the given type.
+func (mc *mcompiler) emitStore(pos Pos, slot int, t *Type) {
+	if t.IsRef() {
+		mc.emit(pos, Instr{Op: OpStoreRef, A: slot}, 1, 0)
+	} else {
+		mc.emit(pos, Instr{Op: OpStoreInt, A: slot}, 1, 0)
+	}
+}
+
+func (mc *mcompiler) assign(s *AssignStmt) *Error {
+	switch target := s.Target.(type) {
+	case *IdentExpr:
+		if slot, ok := mc.lookup(target.Name); ok {
+			t := mc.localTypes[slot]
+			vt, err := mc.expr(s.Value)
+			if err != nil {
+				return err
+			}
+			if !assignable(t, vt) {
+				return errf(s.Pos, "cannot assign %s to %s %s", vt, t, target.Name)
+			}
+			mc.emitStore(s.Pos, slot, t)
+			return nil
+		}
+		// Implicit this-field.
+		fi, ok := mc.m.Class.Field(target.Name)
+		if !ok {
+			return errf(target.Pos, "undefined: %s", target.Name)
+		}
+		mc.emit(s.Pos, Instr{Op: OpLoadRef, A: 0}, 0, 1) // this
+		return mc.emitPutField(s.Pos, fi, s.Value)
+	case *FieldExpr:
+		xt, err := mc.expr(target.X)
+		if err != nil {
+			return err
+		}
+		if xt.Kind != KClass {
+			return errf(target.Pos, "field access on non-object %s", xt)
+		}
+		fi, ok := xt.Class.Field(target.Name)
+		if !ok {
+			return errf(target.Pos, "%s has no field %s", xt.Class.Name, target.Name)
+		}
+		return mc.emitPutField(s.Pos, fi, s.Value)
+	case *IndexExpr:
+		at, err := mc.expr(target.X)
+		if err != nil {
+			return err
+		}
+		if at.Kind != KArray {
+			return errf(target.Pos, "index into non-array %s", at)
+		}
+		it, err := mc.expr(target.Index)
+		if err != nil {
+			return err
+		}
+		if it.Kind != KInt {
+			return errf(target.Pos, "array index must be int, got %s", it)
+		}
+		vt, err := mc.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		if !assignable(at.Elem, vt) {
+			return errf(s.Pos, "cannot store %s into %s", vt, at)
+		}
+		if at.Elem.IsRef() {
+			mc.emit(s.Pos, Instr{Op: OpAStoreRef}, 3, 0)
+		} else {
+			mc.emit(s.Pos, Instr{Op: OpAStoreInt}, 3, 0)
+		}
+		return nil
+	default:
+		return errf(s.Pos, "invalid assignment target")
+	}
+}
+
+// emitPutField compiles value and a putfield, assuming the object reference
+// is already on the stack.
+func (mc *mcompiler) emitPutField(pos Pos, fi *FieldInfo, value Expr) *Error {
+	vt, err := mc.expr(value)
+	if err != nil {
+		return err
+	}
+	if !assignable(fi.Type, vt) {
+		return errf(pos, "cannot assign %s to field %s (%s)", vt, fi.Name, fi.Type)
+	}
+	if fi.Type.IsRef() {
+		mc.emit(pos, Instr{Op: OpPutFRef, A: fi.Slot}, 2, 0)
+	} else {
+		mc.emit(pos, Instr{Op: OpPutFInt, A: fi.Slot}, 2, 0)
+	}
+	return nil
+}

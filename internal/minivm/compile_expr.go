@@ -1,0 +1,389 @@
+package minivm
+
+// Expression compilation.
+
+// expr compiles e, leaving its value on the stack, and returns its type
+// (typeVoid for void calls, which leave nothing).
+func (mc *mcompiler) expr(e Expr) (*Type, *Error) {
+	switch e := e.(type) {
+	case *IntLit:
+		mc.emit(e.Pos, Instr{Op: OpConstInt, K: e.Val}, 0, 1)
+		return typeInt, nil
+	case *NullLit:
+		mc.emit(e.Pos, Instr{Op: OpNull}, 0, 1)
+		return typeNull, nil
+	case *ThisExpr:
+		mc.emit(e.Pos, Instr{Op: OpLoadRef, A: 0}, 0, 1)
+		return &Type{Kind: KClass, Class: mc.m.Class}, nil
+	case *IdentExpr:
+		if slot, ok := mc.lookup(e.Name); ok {
+			t := mc.localTypes[slot]
+			if t.IsRef() {
+				mc.emit(e.Pos, Instr{Op: OpLoadRef, A: slot}, 0, 1)
+			} else {
+				mc.emit(e.Pos, Instr{Op: OpLoadInt, A: slot}, 0, 1)
+			}
+			return t, nil
+		}
+		// Implicit this-field read.
+		fi, ok := mc.m.Class.Field(e.Name)
+		if !ok {
+			return nil, errf(e.Pos, "undefined: %s", e.Name)
+		}
+		mc.emit(e.Pos, Instr{Op: OpLoadRef, A: 0}, 0, 1)
+		return mc.emitGetField(e.Pos, fi), nil
+	case *FieldExpr:
+		xt, err := mc.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if xt.Kind != KClass {
+			return nil, errf(e.Pos, "field access on non-object %s", xt)
+		}
+		fi, ok := xt.Class.Field(e.Name)
+		if !ok {
+			return nil, errf(e.Pos, "%s has no field %s", xt.Class.Name, e.Name)
+		}
+		return mc.emitGetField(e.Pos, fi), nil
+	case *IndexExpr:
+		at, err := mc.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if at.Kind != KArray {
+			return nil, errf(e.Pos, "index into non-array %s", at)
+		}
+		it, err := mc.expr(e.Index)
+		if err != nil {
+			return nil, err
+		}
+		if it.Kind != KInt {
+			return nil, errf(e.Pos, "array index must be int, got %s", it)
+		}
+		if at.Elem.IsRef() {
+			mc.emit(e.Pos, Instr{Op: OpALoadRef}, 2, 1)
+		} else {
+			mc.emit(e.Pos, Instr{Op: OpALoadInt}, 2, 1)
+		}
+		return at.Elem, nil
+	case *NewExpr:
+		return mc.newExpr(e)
+	case *CallExpr:
+		return mc.call(e)
+	case *UnaryExpr:
+		xt, err := mc.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if xt.Kind != KInt {
+			return nil, errf(e.Pos, "operator %s requires int, got %s", e.Op, xt)
+		}
+		if e.Op == TokMinus {
+			mc.emit(e.Pos, Instr{Op: OpNeg}, 1, 1)
+		} else {
+			mc.emit(e.Pos, Instr{Op: OpNot}, 1, 1)
+		}
+		return typeInt, nil
+	case *BinaryExpr:
+		return mc.binary(e)
+	default:
+		return nil, errf(e.Span(), "internal: unknown expression %T", e)
+	}
+}
+
+func (mc *mcompiler) emitGetField(pos Pos, fi *FieldInfo) *Type {
+	if fi.Type.IsRef() {
+		mc.emit(pos, Instr{Op: OpGetFRef, A: fi.Slot}, 1, 1)
+	} else {
+		mc.emit(pos, Instr{Op: OpGetFInt, A: fi.Slot}, 1, 1)
+	}
+	return fi.Type
+}
+
+func (mc *mcompiler) newExpr(e *NewExpr) (*Type, *Error) {
+	if e.Len == nil {
+		ci, ok := mc.c.unit.classByName[e.Type.Name]
+		if !ok || e.Type.Dims != 0 {
+			return nil, errf(e.Pos, "unknown class %s", e.Type)
+		}
+		mc.emit(e.Pos, Instr{Op: OpNewObj, A: ci.Index}, 0, 1)
+		return &Type{Kind: KClass, Class: ci}, nil
+	}
+	elem, err := mc.c.resolveType(e.Type)
+	if err != nil {
+		return nil, err
+	}
+	lt, err2 := mc.expr(e.Len)
+	if err2 != nil {
+		return nil, err2
+	}
+	if lt.Kind != KInt {
+		return nil, errf(e.Pos, "array length must be int, got %s", lt)
+	}
+	if elem.IsRef() {
+		mc.emit(e.Pos, Instr{Op: OpNewArrRef}, 1, 1)
+	} else {
+		mc.emit(e.Pos, Instr{Op: OpNewArrInt}, 1, 1)
+	}
+	return &Type{Kind: KArray, Elem: elem}, nil
+}
+
+func (mc *mcompiler) binary(e *BinaryExpr) (*Type, *Error) {
+	switch e.Op {
+	case TokAndAnd:
+		// x && y  ==>  x ? y : 0
+		if err := mc.intOperand(e.X, e.Op); err != nil {
+			return nil, err
+		}
+		jz := mc.emit(e.Pos, Instr{Op: OpJz}, 1, 0)
+		if err := mc.intOperand(e.Y, e.Op); err != nil {
+			return nil, err
+		}
+		jend := mc.emit(e.Pos, Instr{Op: OpJmp}, 0, 0)
+		mc.patch(jz)
+		mc.depth-- // the merge re-balances the two arms
+		mc.emit(e.Pos, Instr{Op: OpConstInt, K: 0}, 0, 1)
+		mc.patch(jend)
+		return typeInt, nil
+	case TokOrOr:
+		// x || y  ==>  x ? 1 : y
+		if err := mc.intOperand(e.X, e.Op); err != nil {
+			return nil, err
+		}
+		jz := mc.emit(e.Pos, Instr{Op: OpJz}, 1, 0)
+		mc.emit(e.Pos, Instr{Op: OpConstInt, K: 1}, 0, 1)
+		jend := mc.emit(e.Pos, Instr{Op: OpJmp}, 0, 0)
+		mc.patch(jz)
+		mc.depth--
+		if err := mc.intOperand(e.Y, e.Op); err != nil {
+			return nil, err
+		}
+		mc.patch(jend)
+		return typeInt, nil
+	}
+
+	xt, err := mc.expr(e.X)
+	if err != nil {
+		return nil, err
+	}
+	yt, err := mc.expr(e.Y)
+	if err != nil {
+		return nil, err
+	}
+
+	if e.Op == TokEq || e.Op == TokNe {
+		refCmp := xt.IsRef() || yt.IsRef()
+		if refCmp {
+			if !(assignable(xt, yt) || assignable(yt, xt)) {
+				return nil, errf(e.Pos, "cannot compare %s with %s", xt, yt)
+			}
+			if e.Op == TokEq {
+				mc.emit(e.Pos, Instr{Op: OpEqRef}, 2, 1)
+			} else {
+				mc.emit(e.Pos, Instr{Op: OpNeRef}, 2, 1)
+			}
+			return typeInt, nil
+		}
+	}
+
+	if xt.Kind != KInt || yt.Kind != KInt {
+		return nil, errf(e.Pos, "operator %s requires ints, got %s and %s", e.Op, xt, yt)
+	}
+	var op Op
+	switch e.Op {
+	case TokPlus:
+		op = OpAdd
+	case TokMinus:
+		op = OpSub
+	case TokStar:
+		op = OpMul
+	case TokSlash:
+		op = OpDiv
+	case TokPercent:
+		op = OpMod
+	case TokEq:
+		op = OpEqInt
+	case TokNe:
+		op = OpNeInt
+	case TokLt:
+		op = OpLt
+	case TokLe:
+		op = OpLe
+	case TokGt:
+		op = OpGt
+	case TokGe:
+		op = OpGe
+	default:
+		return nil, errf(e.Pos, "internal: unknown binary operator %s", e.Op)
+	}
+	mc.emit(e.Pos, Instr{Op: op}, 2, 1)
+	return typeInt, nil
+}
+
+func (mc *mcompiler) intOperand(e Expr, op TokKind) *Error {
+	t, err := mc.expr(e)
+	if err != nil {
+		return err
+	}
+	if t.Kind != KInt {
+		return errf(e.Span(), "operator %s requires int, got %s", op, t)
+	}
+	return nil
+}
+
+// call compiles method calls and intrinsics.
+func (mc *mcompiler) call(e *CallExpr) (*Type, *Error) {
+	if e.X == nil {
+		if t, handled, err := mc.intrinsic(e); handled {
+			return t, err
+		}
+		// Bare call: this.method(...).
+		mi, ok := mc.m.Class.Methods[e.Name]
+		if !ok {
+			return nil, errf(e.Pos, "undefined function or method %s", e.Name)
+		}
+		mc.emit(e.Pos, Instr{Op: OpLoadRef, A: 0}, 0, 1)
+		return mc.emitCall(e, mi)
+	}
+	xt, err := mc.expr(e.X)
+	if err != nil {
+		return nil, err
+	}
+	if xt.Kind != KClass {
+		return nil, errf(e.Pos, "method call on non-object %s", xt)
+	}
+	mi, ok := xt.Class.Methods[e.Name]
+	if !ok {
+		return nil, errf(e.Pos, "%s has no method %s", xt.Class.Name, e.Name)
+	}
+	return mc.emitCall(e, mi)
+}
+
+// emitCall assumes the receiver is already on the stack.
+func (mc *mcompiler) emitCall(e *CallExpr, mi *MethodInfo) (*Type, *Error) {
+	if len(e.Args) != len(mi.Params) {
+		return nil, errf(e.Pos, "%s takes %d arguments, got %d", mi.Sig(), len(mi.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		at, err := mc.expr(a)
+		if err != nil {
+			return nil, err
+		}
+		if !assignable(mi.Params[i], at) {
+			return nil, errf(a.Span(), "argument %d of %s: cannot use %s as %s", i+1, mi.Sig(), at, mi.Params[i])
+		}
+	}
+	pushes := 0
+	if mi.Ret.Kind != KVoid {
+		pushes = 1
+	}
+	mc.emit(e.Pos, Instr{Op: OpCall, A: mi.ID}, 1+len(mi.Params), pushes)
+	return mi.Ret, nil
+}
+
+// intrinsic compiles the builtin functions; handled reports whether the name
+// is an intrinsic.
+func (mc *mcompiler) intrinsic(e *CallExpr) (*Type, bool, *Error) {
+	fail := func(format string, args ...interface{}) (*Type, bool, *Error) {
+		return nil, true, errf(e.Pos, format, args...)
+	}
+	argTypes := func(want int) ([]*Type, *Error) {
+		if len(e.Args) != want {
+			return nil, errf(e.Pos, "%s takes %d argument(s), got %d", e.Name, want, len(e.Args))
+		}
+		var ts []*Type
+		for _, a := range e.Args {
+			t, err := mc.expr(a)
+			if err != nil {
+				return nil, err
+			}
+			ts = append(ts, t)
+		}
+		return ts, nil
+	}
+	switch e.Name {
+	case "print":
+		ts, err := argTypes(1)
+		if err != nil {
+			return nil, true, err
+		}
+		if ts[0].Kind != KInt {
+			return fail("print takes an int, got %s", ts[0])
+		}
+		mc.emit(e.Pos, Instr{Op: OpPrint}, 1, 0)
+		return typeVoid, true, nil
+	case "gc":
+		if _, err := argTypes(0); err != nil {
+			return nil, true, err
+		}
+		mc.emit(e.Pos, Instr{Op: OpGC}, 0, 0)
+		return typeVoid, true, nil
+	case "length":
+		ts, err := argTypes(1)
+		if err != nil {
+			return nil, true, err
+		}
+		if ts[0].Kind != KArray {
+			return fail("length takes an array, got %s", ts[0])
+		}
+		mc.emit(e.Pos, Instr{Op: OpLen}, 1, 1)
+		return typeInt, true, nil
+	case "assertDead", "assertUnshared":
+		ts, err := argTypes(1)
+		if err != nil {
+			return nil, true, err
+		}
+		if !ts[0].IsRef() || ts[0].Kind == KNull {
+			return fail("%s takes an object reference, got %s", e.Name, ts[0])
+		}
+		op := OpAssertDead
+		if e.Name == "assertUnshared" {
+			op = OpAssertUnshared
+		}
+		mc.emit(e.Pos, Instr{Op: op}, 1, 0)
+		return typeVoid, true, nil
+	case "assertInstances":
+		if len(e.Args) != 2 {
+			return fail("assertInstances takes (ClassName, limit)")
+		}
+		id, ok := e.Args[0].(*IdentExpr)
+		if !ok {
+			return fail("assertInstances: first argument must be a class name")
+		}
+		ci, ok := mc.c.unit.classByName[id.Name]
+		if !ok {
+			return fail("assertInstances: unknown class %s", id.Name)
+		}
+		lit, ok := e.Args[1].(*IntLit)
+		if !ok || lit.Val < 0 {
+			return fail("assertInstances: limit must be a non-negative integer literal")
+		}
+		mc.emit(e.Pos, Instr{Op: OpAssertInstances, A: ci.Index, K: lit.Val}, 0, 0)
+		return typeVoid, true, nil
+	case "assertOwnedBy":
+		ts, err := argTypes(2)
+		if err != nil {
+			return nil, true, err
+		}
+		for i, t := range ts {
+			if !t.IsRef() || t.Kind == KNull {
+				return fail("assertOwnedBy: argument %d must be an object reference, got %s", i+1, t)
+			}
+		}
+		mc.emit(e.Pos, Instr{Op: OpAssertOwnedBy}, 2, 0)
+		return typeVoid, true, nil
+	case "startRegion":
+		if _, err := argTypes(0); err != nil {
+			return nil, true, err
+		}
+		mc.emit(e.Pos, Instr{Op: OpRegionStart}, 0, 0)
+		return typeVoid, true, nil
+	case "assertAllDead":
+		if _, err := argTypes(0); err != nil {
+			return nil, true, err
+		}
+		mc.emit(e.Pos, Instr{Op: OpRegionAllDead}, 0, 1)
+		return typeInt, true, nil
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,192 @@
+package minivm
+
+// lexer tokenizes MJ source text. Line comments (//...) and block comments
+// (/*...*/) are skipped.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// peek returns the current byte, or 0 at EOF.
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '$'
+}
+
+// skipTrivia consumes whitespace and comments; it returns an error for an
+// unterminated block comment.
+func (l *lexer) skipTrivia() *Error {
+	for {
+		for isSpace(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '/' && l.peek2() == '/' {
+			for l.peek() != 0 && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		if l.peek() == '/' && l.peek2() == '*' {
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.peek() == 0 {
+					return errf(start, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+// next scans one token.
+func (l *lexer) next() (Token, *Error) {
+	if err := l.skipTrivia(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	c := l.peek()
+	if c == 0 {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	switch {
+	case isDigit(c):
+		var v int64
+		for isDigit(l.peek()) {
+			v = v*10 + int64(l.advance()-'0')
+			if v < 0 {
+				return Token{}, errf(pos, "integer literal overflow")
+			}
+		}
+		if isAlpha(l.peek()) {
+			return Token{}, errf(pos, "malformed number")
+		}
+		return Token{Kind: TokInt, Pos: pos, Val: v}, nil
+	case isAlpha(c):
+		start := l.off
+		for isAlpha(l.peek()) || isDigit(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.off]
+		if kw, ok := keywords[word]; ok {
+			return Token{Kind: kw, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Pos: pos, Text: word}, nil
+	}
+	l.advance()
+	two := func(second byte, yes, no TokKind) Token {
+		if l.peek() == second {
+			l.advance()
+			return Token{Kind: yes, Pos: pos}
+		}
+		return Token{Kind: no, Pos: pos}
+	}
+	switch c {
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case '.':
+		return Token{Kind: TokDot, Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: TokPercent, Pos: pos}, nil
+	case '=':
+		return two('=', TokEq, TokAssign), nil
+	case '!':
+		return two('=', TokNe, TokBang), nil
+	case '<':
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		return two('=', TokGe, TokGt), nil
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: TokAndAnd, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '&' (did you mean '&&'?)")
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: TokOrOr, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '|' (did you mean '||'?)")
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// lexAll tokenizes the whole source (including the trailing EOF token).
+func lexAll(src string) ([]Token, *Error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

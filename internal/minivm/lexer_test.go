@@ -1,0 +1,59 @@
+package minivm
+
+import "testing"
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lexAll(`class Foo { int x; } // comment
+/* block
+comment */ 42 <= == != && || ! new_x $y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokClass, TokIdent, TokLBrace, TokIntKw, TokIdent, TokSemi,
+		TokRBrace, TokInt, TokLe, TokEq, TokNe, TokAndAnd, TokOrOr, TokBang,
+		TokIdent, TokIdent, TokEOF}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i], k)
+		}
+	}
+	if toks[1].Text != "Foo" || toks[7].Val != 42 {
+		t.Error("token payloads wrong")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) || toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("positions: %v %v", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"#", "1abc", "&", "|", "/* unterminated", "999999999999999999999999"} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexAll(%q): expected error", src)
+		}
+	}
+}
+
+func TestLexAllOperators(t *testing.T) {
+	toks, err := lexAll("{ } ( ) [ ] ; , . = + - * / % < > this null return")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokLBrace, TokRBrace, TokLParen, TokRParen, TokLBracket,
+		TokRBracket, TokSemi, TokComma, TokDot, TokAssign, TokPlus, TokMinus,
+		TokStar, TokSlash, TokPercent, TokLt, TokGt, TokThis, TokNull, TokReturn, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}

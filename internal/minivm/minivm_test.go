@@ -1,0 +1,567 @@
+package minivm
+
+import (
+	"strings"
+	"testing"
+
+	"gcassert"
+)
+
+// run compiles and runs src, returning the print() output lines and the
+// collected violations.
+func run(t *testing.T, src string) ([]string, *gcassert.CollectingReporter) {
+	t.Helper()
+	var out strings.Builder
+	res, err := CompileAndRun(src, RunOptions{Out: &out, HeapBytes: 8 << 20, MaxSteps: 50_000_000})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	lines := strings.Fields(out.String())
+	return lines, res.Violations
+}
+
+// mustFailCompile asserts a compile error mentioning want.
+func mustFailCompile(t *testing.T, src, want string) {
+	t.Helper()
+	_, err := Compile(src)
+	if err == nil {
+		t.Fatalf("expected compile error containing %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err, want)
+	}
+}
+
+func TestHelloArithmetic(t *testing.T) {
+	lines, _ := run(t, `
+class Main {
+  void main() {
+    print(1 + 2 * 3);
+    print((1 + 2) * 3);
+    print(10 / 3);
+    print(10 % 3);
+    print(-5);
+    print(!0);
+    print(!7);
+  }
+}`)
+	want := []string{"7", "9", "3", "1", "-5", "1", "0"}
+	if strings.Join(lines, ",") != strings.Join(want, ",") {
+		t.Errorf("output = %v, want %v", lines, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	lines, _ := run(t, `
+class Main {
+  void main() {
+    int i = 0;
+    int sum = 0;
+    while (i < 10) {
+      if (i % 2 == 0) { sum = sum + i; } else { sum = sum + 1; }
+      i = i + 1;
+    }
+    print(sum);          // 0+1+2+1+4+1+6+1+8+1 = 25
+    if (sum == 25 && i == 10) { print(1); }
+    if (sum == 0 || i == 10) { print(2); }
+    if (sum != 25) { print(3); } else { print(4); }
+  }
+}`)
+	want := []string{"25", "1", "2", "4"}
+	if strings.Join(lines, ",") != strings.Join(want, ",") {
+		t.Errorf("output = %v, want %v", lines, want)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	lines, _ := run(t, `
+class Main {
+  int calls;
+  int bump() { calls = calls + 1; return 1; }
+  void main() {
+    int x = 0 && bump();
+    int y = 1 || bump();
+    print(calls);  // neither side effect ran
+    int z = 1 && bump();
+    int w = 0 || bump();
+    print(calls);  // both ran
+    print(x + y * 10 + z * 100 + w * 1000);
+  }
+}`)
+	want := []string{"0", "2", "1110"}
+	if strings.Join(lines, ",") != strings.Join(want, ",") {
+		t.Errorf("output = %v, want %v", lines, want)
+	}
+}
+
+func TestObjectsAndMethods(t *testing.T) {
+	lines, _ := run(t, `
+class Point {
+  int x;
+  int y;
+  void set(int ax, int ay) { x = ax; y = ay; }
+  int manhattan(Point o) {
+    int dx = x - o.x;
+    int dy = y - o.y;
+    if (dx < 0) dx = -dx;
+    if (dy < 0) dy = -dy;
+    return dx + dy;
+  }
+}
+class Main {
+  void main() {
+    Point a = new Point();
+    Point b = new Point();
+    a.set(1, 2);
+    b.set(4, 6);
+    print(a.manhattan(b));
+    print(b.manhattan(a));
+    print(a.x + b.y);
+  }
+}`)
+	want := []string{"7", "7", "7"}
+	if strings.Join(lines, ",") != strings.Join(want, ",") {
+		t.Errorf("output = %v, want %v", lines, want)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	lines, _ := run(t, `
+class Main {
+  int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+  }
+  int fact(int n) {
+    if (n <= 1) return 1;
+    return n * fact(n - 1);
+  }
+  void main() {
+    print(fib(15));
+    print(fact(10));
+  }
+}`)
+	want := []string{"610", "3628800"}
+	if strings.Join(lines, ",") != strings.Join(want, ",") {
+		t.Errorf("output = %v, want %v", lines, want)
+	}
+}
+
+func TestArraysAndLinkedList(t *testing.T) {
+	lines, _ := run(t, `
+class Node {
+  Node next;
+  int val;
+}
+class Main {
+  void main() {
+    int[] a = new int[5];
+    int i = 0;
+    while (i < length(a)) { a[i] = i * i; i = i + 1; }
+    print(a[4]);
+    Node[] nodes = new Node[3];
+    nodes[0] = new Node();
+    nodes[0].val = 42;
+    print(nodes[0].val);
+    if (nodes[1] == null) print(1);
+
+    // Build a list, sum it.
+    Node head = null;
+    i = 0;
+    while (i < 100) {
+      Node n = new Node();
+      n.val = i;
+      n.next = head;
+      head = n;
+      i = i + 1;
+    }
+    int sum = 0;
+    Node p = head;
+    while (p != null) { sum = sum + p.val; p = p.next; }
+    print(sum);
+  }
+}`)
+	want := []string{"16", "42", "1", "4950"}
+	if strings.Join(lines, ",") != strings.Join(want, ",") {
+		t.Errorf("output = %v, want %v", lines, want)
+	}
+}
+
+func TestGuestSurvivesGC(t *testing.T) {
+	// Churn enough garbage inside the guest to force collections, while a
+	// retained list must survive intact.
+	var out strings.Builder
+	res, err := CompileAndRun(`
+class Node { Node next; int val; }
+class Main {
+  void main() {
+    Node keep = null;
+    int i = 0;
+    while (i < 200) {
+      Node n = new Node();
+      n.val = i;
+      n.next = keep;
+      keep = n;
+      // garbage: a large transient array per step
+      int[] junk = new int[2000];
+      junk[0] = i;
+      i = i + 1;
+    }
+    int sum = 0;
+    while (keep != null) { sum = sum + keep.val; keep = keep.next; }
+    print(sum);  // 19900
+  }
+}`, RunOptions{Out: &out, HeapBytes: 2 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "19900" {
+		t.Errorf("output = %q", got)
+	}
+	if res.VM.Collector().GCCount() == 0 {
+		t.Error("no collections: GC pressure test ineffective")
+	}
+	if res.Violations.Len() != 0 {
+		t.Errorf("violations: %v", res.Violations.Violations())
+	}
+}
+
+func TestGuestAssertDead(t *testing.T) {
+	_, rep := run(t, `
+class Node { Node next; }
+class Main {
+  Node cache;
+  void main() {
+    Node n = new Node();
+    cache = n;          // forgotten reference
+    assertDead(n);      // we think n is garbage now...
+    n = null;
+    gc();
+  }
+}`)
+	vs := rep.ByKind(gcassert.KindDead)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", rep.Violations())
+	}
+	if vs[0].TypeName != "Node" {
+		t.Errorf("type = %s", vs[0].TypeName)
+	}
+	// The path should run through Main.cache.
+	found := false
+	for _, s := range vs[0].Path {
+		if s.TypeName == "Main" && s.Field == "cache" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("path misses Main.cache: %+v", vs[0].Path)
+	}
+}
+
+func TestGuestAssertDeadPasses(t *testing.T) {
+	_, rep := run(t, `
+class Node { Node next; }
+class Main {
+  void main() {
+    Node n = new Node();
+    assertDead(n);
+    n = null;
+    gc();
+  }
+}`)
+	if rep.Len() != 0 {
+		t.Fatalf("violations = %v", rep.Violations())
+	}
+}
+
+func TestGuestAssertUnshared(t *testing.T) {
+	// Note: a local variable holding the child would itself be a second
+	// path (roots count as encounters, as in the paper's mark-bit check),
+	// so the guest drops its local before collecting.
+	_, rep := run(t, `
+class Tree { Tree left; Tree right; }
+class Main {
+  void main() {
+    Tree root = new Tree();
+    Tree child = new Tree();
+    root.left = child;
+    child = null;
+    assertUnshared(root.left);
+    gc();                      // fine: one parent
+    root.right = root.left;    // now it's a DAG
+    gc();
+  }
+}`)
+	if n := len(rep.ByKind(gcassert.KindUnshared)); n != 1 {
+		t.Fatalf("unshared violations = %d: %v", n, rep.Violations())
+	}
+}
+
+func TestGuestAssertInstancesSingleton(t *testing.T) {
+	_, rep := run(t, `
+class Config { int x; }
+class Main {
+  void main() {
+    assertInstances(Config, 1);
+    Config a = new Config();
+    gc();                 // 1 instance: fine
+    Config b = new Config();
+    gc();                 // 2 instances: violation
+    a.x = b.x;
+  }
+}`)
+	if n := len(rep.ByKind(gcassert.KindInstances)); n != 1 {
+		t.Fatalf("instances violations = %d: %v", n, rep.Violations())
+	}
+}
+
+func TestGuestAssertOwnedBy(t *testing.T) {
+	_, rep := run(t, `
+class Table { Node[] slots; }
+class Node { int val; }
+class Main {
+  Node stray;
+  void main() {
+    Table t = new Table();
+    t.slots = new Node[4];
+    Node n = new Node();
+    t.slots[0] = n;
+    assertOwnedBy(t, n);
+    stray = n;            // extra reference: allowed while owned
+    gc();
+    t.slots[0] = null;    // removed from owner, stray keeps it alive
+    gc();
+  }
+}`)
+	if n := len(rep.ByKind(gcassert.KindOwnedBy)); n < 1 {
+		t.Fatalf("ownedby violations = %d: %v", n, rep.Violations())
+	}
+}
+
+func TestGuestRegions(t *testing.T) {
+	_, rep := run(t, `
+class Req { int id; }
+class Main {
+  Req leaked;
+  void main() {
+    int conn = 0;
+    while (conn < 3) {
+      startRegion();
+      Req r = new Req();
+      r.id = conn;
+      if (conn == 1) { leaked = r; }   // one connection leaks
+      r = null;
+      int n = assertAllDead();
+      print(n);
+      conn = conn + 1;
+    }
+    gc();
+  }
+}`)
+	if n := len(rep.ByKind(gcassert.KindDead)); n != 1 {
+		t.Fatalf("dead violations = %d: %v", n, rep.Violations())
+	}
+}
+
+// TestGuestSwapLeak is the paper's SwapLeak case study written in MJ.
+func TestGuestSwapLeak(t *testing.T) {
+	_, rep := run(t, `
+class SObject {
+  Rep rep;
+  void init() {
+    Rep r = new Rep();
+    r.outer = this;   // the hidden this$0 of a non-static inner class
+    rep = r;
+  }
+  void swap(SObject o) {
+    Rep mine = rep;
+    rep = o.rep;
+    o.rep = mine;
+  }
+}
+class Rep { SObject outer; }
+class Main {
+  void main() {
+    SObject[] arr = new SObject[8];
+    int i = 0;
+    while (i < 8) {
+      arr[i] = new SObject();
+      arr[i].init();
+      i = i + 1;
+    }
+    i = 0;
+    while (i < 8) {
+      SObject fresh = new SObject();
+      fresh.init();
+      arr[i].swap(fresh);
+      assertDead(fresh);  // the user's (wrong) expectation
+      fresh = null;
+      i = i + 1;
+    }
+    gc();
+  }
+}`)
+	vs := rep.ByKind(gcassert.KindDead)
+	if len(vs) != 8 {
+		t.Fatalf("dead violations = %d, want 8", len(vs))
+	}
+	// Path: ... SObject -> Rep(.outer) -> SObject.
+	var names []string
+	for _, s := range vs[0].Path {
+		names = append(names, s.TypeName)
+	}
+	path := strings.Join(names, " -> ")
+	if !strings.Contains(path, "SObject -> Rep -> SObject") {
+		t.Errorf("path = %s", path)
+	}
+}
+
+func TestGuestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"null-deref", "Node n = null; print(n.val);", "null pointer"},
+		{"null-call", "Main m = null; m.main();", "null receiver"},
+		{"div-zero", "int z = 0; print(1 / z);", "division by zero"},
+		{"mod-zero", "int z = 0; print(1 % z);", "division by zero"},
+		{"index-oob", "int[] a = new int[3]; print(a[3]);", "out of range"},
+		{"index-neg", "int[] a = new int[3]; print(a[0-1]);", "out of range"},
+		{"neg-len", "int[] a = new int[0-2]; print(length(a));", "negative array length"},
+		{"null-len", "int[] a = null; print(length(a));", "length of null"},
+		{"null-assert", "Node n = null; assertDead(n);", "assertDead(null)"},
+		{"region-unopened", "int n = assertAllDead(); print(n);", "no active region"},
+		{"region-double", "startRegion(); startRegion();", "already active"},
+		{"null-astore", "Node[] a = null; a[0] = null;", "null array"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			src := "class Node { int val; }\nclass Main { void main() { " + c.body + " } }"
+			_, err := CompileAndRun(src, RunOptions{HeapBytes: 4 << 20})
+			if err == nil {
+				t.Fatalf("expected runtime error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestGuestStepBudget(t *testing.T) {
+	_, err := CompileAndRun(`class Main { void main() { while (1) {} } }`,
+		RunOptions{HeapBytes: 4 << 20, MaxSteps: 100000})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no-main-class", "class A { void m() {} }", "no class Main"},
+		{"no-main-method", "class Main { void m() {} }", "no method main"},
+		{"main-sig", "class Main { int main() { return 0; } }", "void main()"},
+		{"dup-class", "class A {} class A {} class Main { void main() {} }", "duplicate class"},
+		{"dup-field", "class A { int x; int x; } class Main { void main() {} }", "duplicate field"},
+		{"dup-method", "class A { void m() {} void m() {} } class Main { void main() {} }", "duplicate method"},
+		{"unknown-type", "class Main { Foo f; void main() {} }", "unknown type"},
+		{"void-field", "class Main { void x; void main() {} }", "cannot have type void"},
+		{"undefined-var", "class Main { void main() { print(x); } }", "undefined"},
+		{"dup-var", "class Main { void main() { int x; int x; } }", "duplicate variable"},
+		{"type-mismatch", "class Main { void main() { int x = null; } }", "cannot initialize"},
+		{"assign-mismatch", "class A {} class Main { void main() { A a = new A(); int x = 0; x = a; } }", "cannot assign"},
+		{"bad-cond", "class A {} class Main { void main() { if (new A()) {} } }", "must be int"},
+		{"bad-while", "class A {} class Main { void main() { while (null) {} } }", "must be int"},
+		{"ret-void-val", "class Main { void main() { return 1; } }", "cannot return a value"},
+		{"ret-missing-val", "class Main { int f() { return; } void main() {} }", "must return"},
+		{"ret-wrong-type", "class A {} class Main { A f() { return 1; } void main() {} }", "cannot return"},
+		{"arg-count", "class Main { void f(int x) {} void main() { f(); } }", "takes 1 arguments"},
+		{"arg-type", "class A {} class Main { void f(int x) {} void main() { f(new A()); } }", "cannot use"},
+		{"no-such-method", "class A {} class Main { void main() { A a = new A(); a.zap(); } }", "has no method"},
+		{"no-such-field", "class A {} class Main { void main() { A a = new A(); print(a.x); } }", "has no field"},
+		{"call-on-int", "class Main { void main() { int x = 0; x.m(); } }", "non-object"},
+		{"index-non-array", "class Main { void main() { int x = 0; print(x[0]); } }", "non-array"},
+		{"bad-index-type", "class Main { void main() { int[] a = new int[1]; print(a[null]); } }", "index must be int"},
+		{"arith-on-ref", "class A {} class Main { void main() { A a = new A(); print(a + 1); } }", "requires ints"},
+		{"cmp-int-ref", "class A {} class Main { void main() { A a = new A(); print(a == 1); } }", "cannot compare"},
+		{"assign-to-call", "class Main { int f() { return 1; } void main() { f() = 2; } }", "assignment target"},
+		{"new-int", "class Main { void main() { int x = new int(); } }", "not a class"},
+		{"assert-instances-nonclass", "class Main { void main() { assertInstances(foo, 1); } }", "unknown class"},
+		{"assert-instances-lit", "class Main { void main() { int n = 2; assertInstances(Main, n); } }", "integer literal"},
+		{"assert-dead-int", "class Main { void main() { assertDead(1); } }", "object reference"},
+		{"length-non-array", "class Main { void main() { print(length(1)); } }", "takes an array"},
+		{"print-ref", "class A {} class Main { void main() { print(new A()); } }", "takes an int"},
+		{"undefined-call", "class Main { void main() { zap(); } }", "undefined function"},
+		{"empty", "", "empty program"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) { mustFailCompile(t, c.src, c.want) })
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"class",
+		"class A",
+		"class A {",
+		"class A { int }",
+		"class A { int x }",
+		"class A { void m( {} }",
+		"class A { void m() { if } }",
+		"class A { void m() { while (1) } }",
+		"class A { void m() { 1 + ; } }",
+		"class A { void m() { x = ; } }",
+		"class A { void m() { new A(; } }",
+		"class A { void m() { a[1; } }",
+		"int x;",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	unit, err := Compile(`class Main { void main() { int x = 1 + 2; print(x); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := DisassembleUnit(unit)
+	for _, want := range []string{"Main.main()", "const 1", "const 2", "add", "store.i", "print", "ret.v"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestMethodMetadata(t *testing.T) {
+	unit, err := Compile(`
+class Node { Node next; }
+class Main {
+  int f(int a, Node b) { Node c = b; int d = a; return d; }
+  void main() { f(1, null); }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, _ := unit.Class("Main")
+	f := ci.Methods["f"]
+	// locals: this, a, b, c, d
+	if f.NumLocals != 5 {
+		t.Errorf("NumLocals = %d", f.NumLocals)
+	}
+	wantRef := []bool{true, false, true, true, false}
+	for i, w := range wantRef {
+		if f.RefSlot[i] != w {
+			t.Errorf("RefSlot[%d] = %v, want %v", i, f.RefSlot[i], w)
+		}
+	}
+	if f.MaxStack < 1 {
+		t.Errorf("MaxStack = %d", f.MaxStack)
+	}
+	if f.Sig() != "Main.f(int, Node) int" {
+		t.Errorf("Sig = %q", f.Sig())
+	}
+}

@@ -1,0 +1,203 @@
+package minivm
+
+// Peephole bytecode optimizer: constant folding, algebraic simplification,
+// dead-store-free jump threading. Optimization is optional (mjrun -O /
+// RunOptions.Optimize) and must be semantics-preserving — the differential
+// tests in optimize_test.go run every guest program both ways and require
+// identical output, heap shape and violations.
+//
+// Passes (iterated to a fixed point):
+//
+//  1. constant folding:   const a; const b; <arith/cmp>  →  const (a op b)
+//  2. unary folding:      const a; neg/not               →  const (op a)
+//  3. branch folding:     const c; jz L                  →  jmp L / (drop)
+//  4. jump threading:     jmp/jz → jmp L where code[L] is jmp M  →  … M
+//  5. nop elision with pc remapping.
+
+// Optimize rewrites every method of the unit in place.
+func Optimize(u *Unit) {
+	for _, m := range u.Methods {
+		optimizeMethod(m)
+	}
+}
+
+// optimizeMethod iterates the peephole passes until nothing changes.
+func optimizeMethod(m *MethodInfo) {
+	for {
+		changed := foldConstants(m)
+		changed = threadJumps(m) || changed
+		changed = elideNops(m) || changed
+		if !changed {
+			return
+		}
+	}
+}
+
+// foldArith applies an integer arithmetic/comparison opcode to constants.
+// ok is false when the operation cannot be folded (division by zero is
+// left for runtime, preserving the error).
+func foldArith(op Op, a, b int64) (int64, bool) {
+	switch op {
+	case OpAdd:
+		return a + b, true
+	case OpSub:
+		return a - b, true
+	case OpMul:
+		return a * b, true
+	case OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case OpMod:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case OpEqInt:
+		return b2i(a == b), true
+	case OpNeInt:
+		return b2i(a != b), true
+	case OpLt:
+		return b2i(a < b), true
+	case OpLe:
+		return b2i(a <= b), true
+	case OpGt:
+		return b2i(a > b), true
+	case OpGe:
+		return b2i(a >= b), true
+	default:
+		return 0, false
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// jumpTargets returns whether any instruction jumps into the half-open
+// range (from, to]. Folding a multi-instruction window is only safe when
+// control cannot enter its middle.
+func jumpTargets(m *MethodInfo, from, to int) bool {
+	for _, in := range m.Code {
+		if in.Op == OpJmp || in.Op == OpJz {
+			if in.A > from && in.A <= to {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func foldConstants(m *MethodInfo) bool {
+	changed := false
+	code := m.Code
+	for i := 0; i+1 < len(code); i++ {
+		// const K ; neg/not
+		if code[i].Op == OpConstInt && !jumpTargets(m, i, i+1) {
+			switch code[i+1].Op {
+			case OpNeg:
+				code[i] = Instr{Op: OpConstInt, K: -code[i].K}
+				code[i+1] = Instr{Op: OpNop}
+				changed = true
+				continue
+			case OpNot:
+				code[i] = Instr{Op: OpConstInt, K: b2i(code[i].K == 0)}
+				code[i+1] = Instr{Op: OpNop}
+				changed = true
+				continue
+			case OpJz:
+				// const c ; jz L  →  jmp L (c == 0) or nothing (c != 0)
+				if code[i].K == 0 {
+					code[i] = Instr{Op: OpJmp, A: code[i+1].A}
+				} else {
+					code[i] = Instr{Op: OpNop}
+				}
+				code[i+1] = Instr{Op: OpNop}
+				changed = true
+				continue
+			case OpPopInt:
+				code[i] = Instr{Op: OpNop}
+				code[i+1] = Instr{Op: OpNop}
+				changed = true
+				continue
+			}
+		}
+		// const a ; const b ; binop
+		if i+2 < len(code) && code[i].Op == OpConstInt && code[i+1].Op == OpConstInt &&
+			!jumpTargets(m, i, i+2) {
+			if v, ok := foldArith(code[i+2].Op, code[i].K, code[i+1].K); ok {
+				code[i] = Instr{Op: OpConstInt, K: v}
+				code[i+1] = Instr{Op: OpNop}
+				code[i+2] = Instr{Op: OpNop}
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// threadJumps redirects jumps whose target is an unconditional jump.
+func threadJumps(m *MethodInfo) bool {
+	changed := false
+	for i := range m.Code {
+		in := &m.Code[i]
+		if in.Op != OpJmp && in.Op != OpJz {
+			continue
+		}
+		seen := 0
+		for in.A < len(m.Code) && m.Code[in.A].Op == OpJmp && seen < len(m.Code) {
+			next := m.Code[in.A].A
+			if next == in.A {
+				break // self-loop: leave it
+			}
+			in.A = next
+			seen++
+			changed = true
+		}
+	}
+	return changed
+}
+
+// elideNops removes OpNop instructions, remapping jump targets and the
+// position table.
+func elideNops(m *MethodInfo) bool {
+	nops := 0
+	for _, in := range m.Code {
+		if in.Op == OpNop {
+			nops++
+		}
+	}
+	if nops == 0 {
+		return false
+	}
+	// newPC[i] = position of instruction i after compaction (for a nop, the
+	// position of the next surviving instruction).
+	newPC := make([]int, len(m.Code)+1)
+	pc := 0
+	for i, in := range m.Code {
+		newPC[i] = pc
+		if in.Op != OpNop {
+			pc++
+		}
+	}
+	newPC[len(m.Code)] = pc
+	out := make([]Instr, 0, pc)
+	pos := make([]Pos, 0, pc)
+	for i, in := range m.Code {
+		if in.Op == OpNop {
+			continue
+		}
+		if in.Op == OpJmp || in.Op == OpJz {
+			in.A = newPC[in.A]
+		}
+		out = append(out, in)
+		pos = append(pos, m.Pos[i])
+	}
+	m.Code = out
+	m.Pos = pos
+	return true
+}

@@ -1,0 +1,184 @@
+package minivm
+
+import (
+	"strings"
+	"testing"
+)
+
+// runBoth compiles src twice — plain and optimized — runs both, and
+// requires identical output and violation counts.
+func runBoth(t *testing.T, src string) (plain, opt string) {
+	t.Helper()
+	exec := func(optimize bool) (string, int) {
+		var out strings.Builder
+		res, err := CompileAndRun(src, RunOptions{
+			Out: &out, HeapBytes: 4 << 20, Optimize: optimize, MaxSteps: 20_000_000,
+		})
+		if err != nil {
+			t.Fatalf("optimize=%v: %v", optimize, err)
+		}
+		return out.String(), res.Violations.Len()
+	}
+	p, pv := exec(false)
+	o, ov := exec(true)
+	if p != o {
+		t.Fatalf("optimized output differs:\nplain: %q\nopt:   %q", p, o)
+	}
+	if pv != ov {
+		t.Fatalf("violation counts differ: %d vs %d", pv, ov)
+	}
+	return p, o
+}
+
+func TestOptimizeConstantFolding(t *testing.T) {
+	unit, err := Compile(`class Main { void main() { print(2 + 3 * 4); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(unit)
+	dis := Disassemble(unit.Main)
+	if !strings.Contains(dis, "const 14") {
+		t.Errorf("expression not folded:\n%s", dis)
+	}
+	// Only const, print, ret should remain.
+	if got := len(unit.Main.Code); got != 3 {
+		t.Errorf("code length = %d, want 3:\n%s", got, dis)
+	}
+}
+
+func TestOptimizeBranchFolding(t *testing.T) {
+	unit, err := Compile(`class Main { void main() { if (1 < 2) { print(7); } else { print(8); } } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(unit)
+	dis := Disassemble(unit.Main)
+	// The comparison folds to const 1 and the jz is resolved away.
+	if strings.Contains(dis, "jz") || strings.Contains(dis, "lt") {
+		t.Errorf("branch not folded:\n%s", dis)
+	}
+}
+
+func TestOptimizePreservesDivisionByZero(t *testing.T) {
+	src := `class Main { void main() { print(1 / 0); } }`
+	for _, optimize := range []bool{false, true} {
+		_, err := CompileAndRun(src, RunOptions{HeapBytes: 2 << 20, Optimize: optimize})
+		if err == nil || !strings.Contains(err.Error(), "division by zero") {
+			t.Errorf("optimize=%v: err = %v", optimize, err)
+		}
+	}
+}
+
+func TestOptimizeDifferentialPrograms(t *testing.T) {
+	programs := map[string]string{
+		"arith": `class Main { void main() {
+			print(((1 + 2) * (3 + 4)) / (5 % 3));
+			print(-(2 * 3) + (10 / 2));
+			print(!(1 == 1) + (2 != 3) * 10);
+		} }`,
+		"loops": `class Main { void main() {
+			int i = 0; int sum = 0;
+			while (i < 100) { if (i % 3 == 0) { sum = sum + i; } i = i + 1; }
+			print(sum);
+		} }`,
+		"shortcircuit": `class Main {
+			int n;
+			int f() { n = n + 1; return 1; }
+			void main() {
+				int a = 1 && 0 || f();
+				int b = 0 && f();
+				print(a); print(b); print(n);
+			} }`,
+		"objects": `class P { int x; P next; }
+		class Main { void main() {
+			P head = null;
+			int i = 0;
+			while (i < 50) {
+				P p = new P();
+				p.x = i * (2 + 3);
+				p.next = head;
+				head = p;
+				i = i + 1;
+			}
+			int sum = 0;
+			while (head != null) { sum = sum + head.x; head = head.next; }
+			print(sum);
+		} }`,
+		"asserts": `class N { N next; }
+		class Main {
+			N keep;
+			void main() {
+				N a = new N();
+				keep = a;
+				assertDead(a);  // violates (1 + 1 == 2 folded around it)
+				if (1 + 1 == 2) { a = null; }
+				gc();
+			} }`,
+		"constwhile": `class Main { void main() {
+			int i = 0;
+			while (1 == 1) { i = i + 1; if (i >= 10) { return; } }
+		} }`,
+	}
+	for name, src := range programs {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) { runBoth(t, src) })
+	}
+}
+
+func TestOptimizeBST(t *testing.T) {
+	// The big guest stress program, both ways.
+	runBoth(t, bstProgram)
+}
+
+func TestOptimizeShrinksCode(t *testing.T) {
+	unit, err := Compile(bstProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := 0
+	for _, m := range unit.Methods {
+		before += len(m.Code)
+	}
+	Optimize(unit)
+	after := 0
+	for _, m := range unit.Methods {
+		after += len(m.Code)
+	}
+	if after > before {
+		t.Errorf("optimizer grew code: %d -> %d", before, after)
+	}
+}
+
+func TestOptimizeJumpThreading(t *testing.T) {
+	// Nested ifs with constant conditions produce jmp-to-jmp chains.
+	unit, err := Compile(`class Main { void main() {
+		int x = 5;
+		if (x > 0) { if (x > 1) { if (x > 2) { print(x); } } }
+	} }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(unit)
+	// No jump may target another unconditional jump.
+	m := unit.Main
+	for _, in := range m.Code {
+		if (in.Op == OpJmp || in.Op == OpJz) && in.A < len(m.Code) && m.Code[in.A].Op == OpJmp {
+			if m.Code[in.A].A != in.A { // tolerated self-loop
+				t.Errorf("unthreaded jump to jump: %v -> %v", in, m.Code[in.A])
+			}
+		}
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	unit, err := Compile(bstProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(unit)
+	snapshot := DisassembleUnit(unit)
+	Optimize(unit)
+	if DisassembleUnit(unit) != snapshot {
+		t.Error("second Optimize changed code")
+	}
+}

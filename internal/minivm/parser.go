@@ -1,0 +1,588 @@
+package minivm
+
+// Recursive-descent parser for MJ.
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a full MJ program.
+func Parse(src string) (*Program, error) {
+	toks, lerr := lexAll(src)
+	if lerr != nil {
+		return nil, lerr
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		cd, err := p.classDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Classes = append(prog.Classes, cd)
+	}
+	if len(prog.Classes) == 0 {
+		return nil, errf(p.cur().Pos, "empty program: at least one class required")
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) la(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+func (p *parser) at(k TokKind) bool { return p.cur().Kind == k }
+func (p *parser) advance() Token {
+	t := p.cur()
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k TokKind) (Token, *Error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// classDecl := "class" IDENT "{" member* "}"
+func (p *parser) classDecl() (*ClassDecl, *Error) {
+	kw, err := p.expect(TokClass)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	cd := &ClassDecl{Pos: kw.Pos, Name: name.Text}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, errf(kw.Pos, "unterminated class %s", cd.Name)
+		}
+		if err := p.member(cd); err != nil {
+			return nil, err
+		}
+	}
+	p.advance() // }
+	return cd, nil
+}
+
+// member := type IDENT ";"  |  (type|void) IDENT "(" params ")" block
+func (p *parser) member(cd *ClassDecl) *Error {
+	var ret TypeExpr
+	if p.at(TokVoid) {
+		ret = TypeExpr{Pos: p.advance().Pos, Void: true}
+	} else {
+		t, err := p.typeExpr()
+		if err != nil {
+			return err
+		}
+		ret = t
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if p.at(TokLParen) {
+		m := &MethodDecl{Pos: name.Pos, Ret: ret, Name: name.Text}
+		p.advance() // (
+		if !p.at(TokRParen) {
+			for {
+				pt, err := p.typeExpr()
+				if err != nil {
+					return err
+				}
+				pn, err := p.expect(TokIdent)
+				if err != nil {
+					return err
+				}
+				m.Params = append(m.Params, &Param{Pos: pn.Pos, Type: pt, Name: pn.Text})
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return err
+		}
+		body, berr := p.block()
+		if berr != nil {
+			return berr
+		}
+		m.Body = body
+		cd.Methods = append(cd.Methods, m)
+		return nil
+	}
+	if ret.Void {
+		return errf(name.Pos, "field %s cannot have type void", name.Text)
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	cd.Fields = append(cd.Fields, &FieldDecl{Pos: name.Pos, Type: ret, Name: name.Text})
+	return nil
+}
+
+// typeExpr := ("int" | IDENT) ("[" "]")*
+func (p *parser) typeExpr() (TypeExpr, *Error) {
+	var t TypeExpr
+	switch {
+	case p.at(TokIntKw):
+		t = TypeExpr{Pos: p.advance().Pos, Name: "int"}
+	case p.at(TokIdent):
+		tok := p.advance()
+		t = TypeExpr{Pos: tok.Pos, Name: tok.Text}
+	default:
+		return t, errf(p.cur().Pos, "expected type, found %s", p.cur())
+	}
+	for p.at(TokLBracket) && p.la(1).Kind == TokRBracket {
+		p.advance()
+		p.advance()
+		t.Dims++
+	}
+	return t, nil
+}
+
+// block := "{" stmt* "}"
+func (p *parser) block() (*BlockStmt, *Error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // }
+	return b, nil
+}
+
+// stmt dispatches on the leading token(s).
+func (p *parser) stmt() (Stmt, *Error) {
+	switch p.cur().Kind {
+	case TokLBrace:
+		return p.block()
+	case TokIf:
+		return p.ifStmt()
+	case TokWhile:
+		return p.whileStmt()
+	case TokFor:
+		return p.forStmt()
+	case TokBreak:
+		kw := p.advance()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: kw.Pos}, nil
+	case TokContinue:
+		kw := p.advance()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: kw.Pos}, nil
+	case TokReturn:
+		kw := p.advance()
+		if p.accept(TokSemi) {
+			return &ReturnStmt{Pos: kw.Pos}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: kw.Pos, Value: e}, nil
+	case TokIntKw:
+		return p.varDecl()
+	case TokIdent:
+		// Disambiguate "C x;" / "C[] x;" (declaration) from expressions.
+		if p.la(1).Kind == TokIdent {
+			return p.varDecl()
+		}
+		if p.la(1).Kind == TokLBracket && p.la(2).Kind == TokRBracket {
+			return p.varDecl()
+		}
+	}
+	// Expression or assignment statement.
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// simpleStmt parses an assignment or expression statement without consuming
+// the trailing semicolon (also used by for-loop headers).
+func (p *parser) simpleStmt() (Stmt, *Error) {
+	start := p.cur().Pos
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokAssign) {
+		switch e.(type) {
+		case *IdentExpr, *FieldExpr, *IndexExpr:
+		default:
+			return nil, errf(start, "invalid assignment target")
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: start, Target: e, Value: v}, nil
+	}
+	return &ExprStmt{Pos: start, X: e}, nil
+}
+
+// forStmt := "for" "(" [init] ";" [cond] ";" [post] ")" stmt
+// init is a variable declaration or a simple statement; post is a simple
+// statement.
+func (p *parser) forStmt() (Stmt, *Error) {
+	kw := p.advance()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{Pos: kw.Pos}
+	// Init clause (consumes its own semicolon when it is a declaration).
+	if !p.accept(TokSemi) {
+		isDecl := p.at(TokIntKw) ||
+			(p.at(TokIdent) && p.la(1).Kind == TokIdent) ||
+			(p.at(TokIdent) && p.la(1).Kind == TokLBracket && p.la(2).Kind == TokRBracket)
+		if isDecl {
+			init, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Init = init
+		} else {
+			init, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			f.Init = init
+		}
+	}
+	// Condition clause.
+	if !p.accept(TokSemi) {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = cond
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+	}
+	// Post clause.
+	if !p.at(TokRParen) {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) varDecl() (Stmt, *Error) {
+	t, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	var init Expr
+	if p.accept(TokAssign) {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		init = e
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &VarDeclStmt{Pos: t.Pos, Type: t, Name: name.Text, Init: init}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, *Error) {
+	kw := p.advance()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err2 := p.stmt()
+	if err2 != nil {
+		return nil, err2
+	}
+	var els Stmt
+	if p.accept(TokElse) {
+		e, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		els = e
+	}
+	return &IfStmt{Pos: kw.Pos, Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) whileStmt() (Stmt, *Error) {
+	kw := p.advance()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err2 := p.stmt()
+	if err2 != nil {
+		return nil, err2
+	}
+	return &WhileStmt{Pos: kw.Pos, Cond: cond, Body: body}, nil
+}
+
+// Expression grammar, by precedence (lowest first):
+//
+//	expr   := or
+//	or     := and ("||" and)*
+//	and    := eq ("&&" eq)*
+//	eq     := rel (("=="|"!=") rel)*
+//	rel    := add (("<"|"<="|">"|">=") add)*
+//	add    := mul (("+"|"-") mul)*
+//	mul    := unary (("*"|"/"|"%") unary)*
+//	unary  := ("-"|"!") unary | postfix
+func (p *parser) expr() (Expr, *Error) { return p.orExpr() }
+
+func (p *parser) binaryLevel(ops []TokKind, next func() (Expr, *Error)) (Expr, *Error) {
+	x, err := next()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.at(op) {
+				tok := p.advance()
+				y, err := next()
+				if err != nil {
+					return nil, err
+				}
+				x = &BinaryExpr{Pos: tok.Pos, Op: op, X: x, Y: y}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) orExpr() (Expr, *Error) {
+	return p.binaryLevel([]TokKind{TokOrOr}, p.andExpr)
+}
+func (p *parser) andExpr() (Expr, *Error) {
+	return p.binaryLevel([]TokKind{TokAndAnd}, p.eqExpr)
+}
+func (p *parser) eqExpr() (Expr, *Error) {
+	return p.binaryLevel([]TokKind{TokEq, TokNe}, p.relExpr)
+}
+func (p *parser) relExpr() (Expr, *Error) {
+	return p.binaryLevel([]TokKind{TokLt, TokLe, TokGt, TokGe}, p.addExpr)
+}
+func (p *parser) addExpr() (Expr, *Error) {
+	return p.binaryLevel([]TokKind{TokPlus, TokMinus}, p.mulExpr)
+}
+func (p *parser) mulExpr() (Expr, *Error) {
+	return p.binaryLevel([]TokKind{TokStar, TokSlash, TokPercent}, p.unaryExpr)
+}
+
+func (p *parser) unaryExpr() (Expr, *Error) {
+	if p.at(TokMinus) || p.at(TokBang) {
+		tok := p.advance()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: tok.Pos, Op: tok.Kind, X: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+// postfixExpr := primary ( "." IDENT [ "(" args ")" ] | "[" expr "]" )*
+func (p *parser) postfixExpr() (Expr, *Error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(TokDot):
+			p.advance()
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if p.at(TokLParen) {
+				args, err := p.args()
+				if err != nil {
+					return nil, err
+				}
+				x = &CallExpr{Pos: name.Pos, X: x, Name: name.Text, Args: args}
+			} else {
+				x = &FieldExpr{Pos: name.Pos, X: x, Name: name.Text}
+			}
+		case p.at(TokLBracket):
+			lb := p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Pos: lb.Pos, X: x, Index: idx}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) args() ([]Expr, *Error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if !p.at(TokRParen) {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) primaryExpr() (Expr, *Error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokInt:
+		p.advance()
+		return &IntLit{Pos: tok.Pos, Val: tok.Val}, nil
+	case TokNull:
+		p.advance()
+		return &NullLit{Pos: tok.Pos}, nil
+	case TokThis:
+		p.advance()
+		return &ThisExpr{Pos: tok.Pos}, nil
+	case TokLParen:
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokNew:
+		p.advance()
+		t, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.at(TokLBracket) {
+			p.advance()
+			n, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			// "new T[n]" creates an array with element type t.
+			return &NewExpr{Pos: tok.Pos, Type: t, Len: n}, nil
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if t.Dims != 0 || t.Name == "int" {
+			return nil, errf(tok.Pos, "new %s() is not a class instantiation", t)
+		}
+		return &NewExpr{Pos: tok.Pos, Type: t}, nil
+	case TokIdent:
+		p.advance()
+		if p.at(TokLParen) {
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Pos: tok.Pos, Name: tok.Text, Args: args}, nil
+		}
+		return &IdentExpr{Pos: tok.Pos, Name: tok.Text}, nil
+	}
+	return nil, errf(tok.Pos, "expected expression, found %s", tok)
+}

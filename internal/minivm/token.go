@@ -1,0 +1,133 @@
+// Package minivm implements MJ, a miniature Java-like language hosted on
+// the gcassert managed runtime: a lexer, recursive-descent parser, type
+// checker, bytecode compiler, and stack-machine interpreter whose objects
+// live on the managed heap and whose frames are GC roots.
+//
+// MJ exists to play the role Java plays in the paper: guest programs whose
+// data structures the collector traces and whose bugs GC assertions catch.
+// The paper's assertion interface is exposed as language intrinsics:
+//
+//	assertDead(e); assertUnshared(e);
+//	assertInstances(ClassName, n); assertOwnedBy(owner, ownee);
+//	startRegion(); assertAllDead(); gc(); print(e); length(a);
+//
+// A program is a set of classes; execution starts at Main.main().
+package minivm
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	// Punctuation and operators.
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokSemi     // ;
+	TokComma    // ,
+	TokDot      // .
+	TokAssign   // =
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokPercent  // %
+	TokEq       // ==
+	TokNe       // !=
+	TokLt       // <
+	TokLe       // <=
+	TokGt       // >
+	TokGe       // >=
+	TokAndAnd   // &&
+	TokOrOr     // ||
+	TokBang     // !
+	// Keywords.
+	TokClass
+	TokIntKw
+	TokVoid
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokBreak
+	TokContinue
+	TokReturn
+	TokNew
+	TokNull
+	TokThis
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokInt: "integer",
+	TokLBrace: "{", TokRBrace: "}", TokLParen: "(", TokRParen: ")",
+	TokLBracket: "[", TokRBracket: "]", TokSemi: ";", TokComma: ",",
+	TokDot: ".", TokAssign: "=", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokPercent: "%", TokEq: "==", TokNe: "!=", TokLt: "<",
+	TokLe: "<=", TokGt: ">", TokGe: ">=", TokAndAnd: "&&", TokOrOr: "||",
+	TokBang: "!", TokClass: "class", TokIntKw: "int", TokVoid: "void",
+	TokIf: "if", TokElse: "else", TokWhile: "while", TokFor: "for",
+	TokBreak: "break", TokContinue: "continue", TokReturn: "return",
+	TokNew: "new", TokNull: "null", TokThis: "this",
+}
+
+func (k TokKind) String() string {
+	if n, ok := tokNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("TokKind(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"class": TokClass, "int": TokIntKw, "void": TokVoid, "if": TokIf,
+	"else": TokElse, "while": TokWhile, "for": TokFor, "break": TokBreak,
+	"continue": TokContinue, "return": TokReturn, "new": TokNew,
+	"null": TokNull, "this": TokThis,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	// Text is the identifier spelling (TokIdent only).
+	Text string
+	// Val is the literal value (TokInt only).
+	Val int64
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("ident %q", t.Text)
+	case TokInt:
+		return fmt.Sprintf("int %d", t.Val)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a compile-time error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,162 @@
+package minivm
+
+import (
+	"fmt"
+
+	"gcassert"
+)
+
+// TypeKind classifies semantic types.
+type TypeKind uint8
+
+// Semantic type kinds.
+const (
+	KInt TypeKind = iota
+	KClass
+	KArray
+	KVoid
+	KNull // the type of the null literal: assignable to any reference type
+)
+
+// Type is a semantic type.
+type Type struct {
+	Kind  TypeKind
+	Class *ClassInfo // KClass
+	Elem  *Type      // KArray
+}
+
+// Predefined types.
+var (
+	typeInt  = &Type{Kind: KInt}
+	typeVoid = &Type{Kind: KVoid}
+	typeNull = &Type{Kind: KNull}
+)
+
+// IsRef reports whether values of the type are heap references.
+func (t *Type) IsRef() bool { return t.Kind == KClass || t.Kind == KArray || t.Kind == KNull }
+
+// String renders the type MJ-style.
+func (t *Type) String() string {
+	switch t.Kind {
+	case KInt:
+		return "int"
+	case KVoid:
+		return "void"
+	case KNull:
+		return "null"
+	case KClass:
+		return t.Class.Name
+	case KArray:
+		return t.Elem.String() + "[]"
+	default:
+		return fmt.Sprintf("Type(%d)", t.Kind)
+	}
+}
+
+// equal is structural type equality.
+func (t *Type) equal(o *Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KClass:
+		return t.Class == o.Class
+	case KArray:
+		return t.Elem.equal(o.Elem)
+	default:
+		return true
+	}
+}
+
+// assignable reports whether a value of type src may be stored where dst is
+// expected (null is assignable to any reference type).
+func assignable(dst, src *Type) bool {
+	if src.Kind == KNull && dst.IsRef() {
+		return true
+	}
+	return dst.equal(src)
+}
+
+// FieldInfo is a resolved field.
+type FieldInfo struct {
+	Name string
+	Type *Type
+	// Slot is the field's index in the managed object layout.
+	Slot int
+}
+
+// ClassInfo is a resolved class.
+type ClassInfo struct {
+	Name    string
+	Decl    *ClassDecl
+	Fields  []*FieldInfo
+	Methods map[string]*MethodInfo
+
+	fieldsByName map[string]*FieldInfo
+	// Index is the class's position in the unit's class table.
+	Index int
+}
+
+// Field resolves a field by name.
+func (c *ClassInfo) Field(name string) (*FieldInfo, bool) {
+	f, ok := c.fieldsByName[name]
+	return f, ok
+}
+
+// MethodInfo is a resolved, compiled method.
+type MethodInfo struct {
+	Class  *ClassInfo
+	Name   string
+	Params []*Type
+	Ret    *Type
+	Decl   *MethodDecl
+	// ID is the method's position in the unit's method table.
+	ID int
+
+	// Compiled form (filled by the compiler).
+	Code []Instr
+	// Pos maps each instruction to its source position (for diagnostics).
+	Pos []Pos
+	// NumLocals counts this + params + declared locals.
+	NumLocals int
+	// MaxStack is the operand-stack high-water mark.
+	MaxStack int
+	// RefSlot marks which local slots hold references.
+	RefSlot []bool
+}
+
+// Sig renders the method signature.
+func (m *MethodInfo) Sig() string {
+	s := m.Class.Name + "." + m.Name + "("
+	for i, p := range m.Params {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	return s + ") " + m.Ret.String()
+}
+
+// Unit is a compiled MJ program, ready to load into a runtime.
+type Unit struct {
+	Classes []*ClassInfo
+	Methods []*MethodInfo
+	// Main is Main.main().
+	Main *MethodInfo
+
+	classByName map[string]*ClassInfo
+}
+
+// Class resolves a class by name.
+func (u *Unit) Class(name string) (*ClassInfo, bool) {
+	c, ok := u.classByName[name]
+	return c, ok
+}
+
+// elemHeapType returns the builtin array TypeID for an array of elem.
+func elemHeapType(elem *Type) gcassert.TypeID {
+	if elem.IsRef() {
+		return gcassert.TRefArray
+	}
+	return gcassert.TWordArray
+}

@@ -1,0 +1,191 @@
+package rt
+
+import (
+	"testing"
+
+	"gcassert/internal/core"
+	"gcassert/internal/heap"
+)
+
+func newRT(t *testing.T, cfg Config) *Runtime {
+	t.Helper()
+	if cfg.HeapBytes == 0 {
+		cfg.HeapBytes = 2 << 20
+	}
+	return New(cfg)
+}
+
+func TestThreadFramesAreRoots(t *testing.T) {
+	r := newRT(t, Config{})
+	node := r.Define("Node", heap.Field{Name: "next", Ref: true})
+	th := r.NewThread("main")
+	fr := th.Push(1)
+	a := th.New(node)
+	fr.Set(0, a)
+	r.Collect()
+	if !r.Space().Contains(a) {
+		t.Fatal("rooted object collected")
+	}
+	th.Pop()
+	r.Collect()
+	if r.Space().Contains(a) {
+		t.Fatal("popped frame still a root")
+	}
+}
+
+func TestGlobalsAreRoots(t *testing.T) {
+	r := newRT(t, Config{})
+	node := r.Define("Node", heap.Field{Name: "next", Ref: true})
+	th := r.NewThread("main")
+	g := r.NewGlobal("g")
+	a := th.New(node)
+	r.SetGlobal(g, a)
+	r.Collect()
+	if !r.Space().Contains(a) || r.GetGlobal(g) != a {
+		t.Fatal("global lost")
+	}
+	r.SetGlobal(g, heap.Nil)
+	r.Collect()
+	if r.Space().Contains(a) {
+		t.Fatal("cleared global kept object alive")
+	}
+}
+
+func TestFrameAddTruncate(t *testing.T) {
+	r := newRT(t, Config{})
+	node := r.Define("Node", heap.Field{Name: "next", Ref: true})
+	th := r.NewThread("main")
+	fr := th.Push(1)
+	base := fr.Len()
+	a := th.New(node)
+	sl := fr.Add(a)
+	if fr.Len() != base+1 || fr.Get(sl) != a {
+		t.Error("Add")
+	}
+	fr.Truncate(base)
+	if fr.Len() != base {
+		t.Error("Truncate")
+	}
+	mustPanic(t, "truncate grow", func() { fr.Truncate(base + 5) })
+	mustPanic(t, "truncate negative", func() { fr.Truncate(-1) })
+	mustPanic(t, "pop empty", func() {
+		th2 := r.NewThread("t2")
+		th2.Pop()
+	})
+	if th.Depth() != 1 {
+		t.Errorf("Depth = %d", th.Depth())
+	}
+}
+
+func TestAllocTriggersGCAndOOM(t *testing.T) {
+	r := newRT(t, Config{HeapBytes: 2 * heap.BlockBytes})
+	th := r.NewThread("main")
+	// Transient churn succeeds indefinitely thanks to collect-on-failure.
+	for i := 0; i < 1000; i++ {
+		th.NewArray(heap.TWordArray, 1000)
+	}
+	if r.Collector().GCCount() == 0 {
+		t.Fatal("no collections happened")
+	}
+	// Retaining everything eventually panics with *OOMError.
+	fr := th.Push(0)
+	defer func() {
+		r := recover()
+		if _, ok := r.(*OOMError); !ok {
+			t.Fatalf("recover = %v, want *OOMError", r)
+		}
+	}()
+	for i := 0; i < 100000; i++ {
+		fr.Add(th.NewArray(heap.TWordArray, 1000))
+	}
+	t.Fatal("expected OOM")
+}
+
+func TestAssertionsRequireInfrastructure(t *testing.T) {
+	r := newRT(t, Config{Infrastructure: false})
+	node := r.Define("Node", heap.Field{Name: "next", Ref: true})
+	th := r.NewThread("main")
+	fr := th.Push(1)
+	a := th.New(node)
+	fr.Set(0, a)
+	mustPanic(t, "AssertDead", func() { r.AssertDead(a) })
+	mustPanic(t, "AssertUnshared", func() { r.AssertUnshared(a) })
+	mustPanic(t, "AssertInstances", func() { r.AssertInstances(node, 1) })
+	mustPanic(t, "AssertOwnedBy", func() { r.AssertOwnedBy(a, a) })
+	mustPanic(t, "StartRegion", func() { th.StartRegion() })
+	if r.Engine() != nil {
+		t.Error("engine should be nil in base mode")
+	}
+}
+
+func TestRegionViaThread(t *testing.T) {
+	rep := &core.CollectingReporter{}
+	r := newRT(t, Config{Infrastructure: true, Reporter: rep})
+	node := r.Define("Node", heap.Field{Name: "next", Ref: true})
+	th := r.NewThread("main")
+	fr := th.Push(1)
+	th.StartRegion()
+	if !th.InRegion() {
+		t.Error("InRegion")
+	}
+	var escape heap.Addr
+	for i := 0; i < 10; i++ {
+		o := th.New(node)
+		if i == 5 {
+			escape = o
+			fr.Set(0, o)
+		}
+	}
+	if n := th.AssertAllDead(); n != 10 {
+		t.Errorf("AssertAllDead = %d", n)
+	}
+	if th.InRegion() {
+		t.Error("region still open")
+	}
+	mustPanic(t, "double AssertAllDead", func() { th.AssertAllDead() })
+	r.Collect()
+	vs := rep.ByKind(core.KindDead)
+	if len(vs) != 1 || vs[0].Object != escape {
+		t.Errorf("violations = %v", vs)
+	}
+}
+
+func TestThreadsIndependentRegions(t *testing.T) {
+	r := newRT(t, Config{Infrastructure: true})
+	node := r.Define("Node", heap.Field{Name: "next", Ref: true})
+	t1 := r.NewThread("a")
+	t2 := r.NewThread("b")
+	t1.StartRegion()
+	// t2 allocations are not tracked by t1's region.
+	t2.New(node)
+	if n := t1.AssertAllDead(); n != 0 {
+		t.Errorf("thread isolation broken: %d", n)
+	}
+	if t1.ID() == t2.ID() || t1.Name() != "a" {
+		t.Error("thread identity")
+	}
+}
+
+func TestDefaultHeapSize(t *testing.T) {
+	r := New(Config{})
+	if r.Space().CapacityWords() < (64<<20)/heap.WordBytes {
+		t.Error("default heap too small")
+	}
+}
+
+func TestOOMErrorMessage(t *testing.T) {
+	e := &OOMError{Type: 7, Len: 3, Live: heap.Stats{LiveObjects: 10, LiveWords: 100}}
+	if e.Error() == "" {
+		t.Error("empty error")
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}

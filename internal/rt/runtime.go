@@ -1,0 +1,212 @@
+// Package rt is the managed runtime tying the heap, the collector and the
+// assertion engine together: it owns the root set (thread frames and
+// globals), the allocation path (with collect-on-exhaustion), and the
+// programmer-facing assertion entry points.
+//
+// The runtime models the paper's host VM at the level the assertions need:
+// mutator "threads" are cooperative contexts whose frames are scanned as
+// roots during stop-the-world collections. A Runtime and all of its threads
+// must be used from a single goroutine; collections happen synchronously
+// inside allocation or Collect calls, which is the stop-the-world discipline
+// the paper's collector relies on.
+package rt
+
+import (
+	"fmt"
+	"io"
+
+	"gcassert/internal/collector"
+	"gcassert/internal/core"
+	"gcassert/internal/heap"
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// HeapBytes is the managed heap size. The collector runs when allocation
+	// fails; like the paper's methodology, benchmarks size this at a small
+	// multiple of the live set. Default 64 MiB.
+	HeapBytes int
+	// Infrastructure enables the GC-assertions infrastructure in the
+	// collector (the paper's "Infrastructure" configuration). Without it the
+	// collector runs the unmodified Base trace and assertions are
+	// unavailable.
+	Infrastructure bool
+	// Reporter receives violations (default: a writer to Stderr is NOT
+	// installed; violations are recorded only if a reporter is given).
+	Reporter core.Reporter
+	// Policy selects per-kind reactions (default: log and continue).
+	Policy core.Policy
+	// Registry supplies a pre-built type registry; nil creates a fresh one.
+	Registry *heap.Registry
+	// Generational enables the sticky-mark-bit generational mode: minor
+	// collections trace only newly allocated objects (plus remembered-set
+	// entries) and assertions are checked only at full-heap collections, as
+	// the paper discusses for generational collectors (§2.2).
+	Generational bool
+	// MinorRatio, in generational mode, triggers a full collection after
+	// this many minor collections (default 4).
+	MinorRatio int
+	// LogWriter, if non-nil, receives a WriterReporter in addition to
+	// Reporter.
+	LogWriter io.Writer
+}
+
+// Runtime is a managed runtime instance.
+type Runtime struct {
+	reg    *heap.Registry
+	space  *heap.Space
+	engine *core.Engine
+	gc     *collector.Collector
+
+	threads  []*Thread
+	nextTID  uint64
+	globals  []heap.Addr
+	globNams []string
+
+	gen *generational
+}
+
+// New creates a runtime per cfg.
+func New(cfg Config) *Runtime {
+	if cfg.HeapBytes <= 0 {
+		cfg.HeapBytes = 64 << 20
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = heap.NewRegistry()
+	}
+	r := &Runtime{reg: reg, space: heap.NewSpace(reg, cfg.HeapBytes)}
+	var hooks collector.Hooks
+	if cfg.Infrastructure {
+		rep := cfg.Reporter
+		if cfg.LogWriter != nil {
+			wr := core.NewWriterReporter(cfg.LogWriter)
+			if rep != nil {
+				rep = core.TeeReporter{rep, wr}
+			} else {
+				rep = wr
+			}
+		}
+		r.engine = core.NewEngine(r.space, rep, cfg.Policy)
+		hooks = r.engine
+	}
+	r.gc = collector.New(r.space, (*rootScanner)(r), hooks, cfg.Infrastructure)
+	if cfg.Generational {
+		r.initGenerational(cfg)
+	}
+	return r
+}
+
+// Space exposes the heap for field and array access.
+func (r *Runtime) Space() *heap.Space { return r.space }
+
+// Registry exposes the type registry.
+func (r *Runtime) Registry() *heap.Registry { return r.reg }
+
+// Collector exposes the collector (for stats).
+func (r *Runtime) Collector() *collector.Collector { return r.gc }
+
+// Engine exposes the assertion engine, or nil when infrastructure mode is
+// off.
+func (r *Runtime) Engine() *core.Engine { return r.engine }
+
+// Collect forces a full collection.
+func (r *Runtime) Collect() collector.Collection {
+	if r.gen != nil {
+		return r.gen.fullCollect("forced")
+	}
+	return r.gc.Collect("forced")
+}
+
+// Define registers a new object type.
+func (r *Runtime) Define(name string, fields ...heap.Field) heap.TypeID {
+	return r.reg.Define(name, fields...)
+}
+
+// NewGlobal allocates a named global root slot and returns its index.
+func (r *Runtime) NewGlobal(name string) int {
+	r.globals = append(r.globals, heap.Nil)
+	r.globNams = append(r.globNams, "global:"+name)
+	return len(r.globals) - 1
+}
+
+// SetGlobal stores a reference in a global slot. Globals are scanned as
+// roots at every collection, so no write barrier is needed for them.
+func (r *Runtime) SetGlobal(g int, v heap.Addr) { r.globals[g] = v }
+
+// GetGlobal loads a global slot.
+func (r *Runtime) GetGlobal(g int) heap.Addr { return r.globals[g] }
+
+// NewThread creates a mutator context whose frames are scanned as roots.
+func (r *Runtime) NewThread(name string) *Thread {
+	t := &Thread{rt: r, id: r.nextTID, name: name}
+	r.nextTID++
+	r.threads = append(r.threads, t)
+	return t
+}
+
+// rootScanner adapts the runtime's globals and thread frames to the
+// collector's RootScanner interface.
+type rootScanner Runtime
+
+// Roots enumerates every global slot and every slot of every live frame.
+func (rs *rootScanner) Roots(yield func(collector.Root)) {
+	r := (*Runtime)(rs)
+	for i := range r.globals {
+		yield(collector.Root{Slot: &r.globals[i], Desc: r.globNams[i]})
+	}
+	for _, t := range r.threads {
+		for _, f := range t.frames {
+			for j := range f.slots {
+				yield(collector.Root{Slot: &f.slots[j], Desc: f.desc})
+			}
+		}
+	}
+	if r.gen != nil {
+		r.gen.extraRoots(yield)
+	}
+}
+
+// RootScanner exposes the runtime's root set (globals plus every thread
+// frame) for read-only heap walks such as heap probes.
+func (r *Runtime) RootScanner() collector.RootScanner { return (*rootScanner)(r) }
+
+// mustEngine returns the engine or panics with a helpful message.
+func (r *Runtime) mustEngine(op string) *core.Engine {
+	if r.engine == nil {
+		panic(fmt.Sprintf("rt: %s requires Infrastructure mode", op))
+	}
+	return r.engine
+}
+
+// AssertDead asserts the object must be unreachable at the next collection.
+func (r *Runtime) AssertDead(a heap.Addr) { r.mustEngine("AssertDead").AssertDead(a) }
+
+// AssertUnshared asserts the object has at most one incoming pointer.
+func (r *Runtime) AssertUnshared(a heap.Addr) { r.mustEngine("AssertUnshared").AssertUnshared(a) }
+
+// AssertInstances asserts at most limit live instances of t at each GC.
+func (r *Runtime) AssertInstances(t heap.TypeID, limit int64) {
+	r.mustEngine("AssertInstances").AssertInstances(t, limit)
+}
+
+// AssertOwnedBy asserts ownee must not outlive reachability via owner.
+func (r *Runtime) AssertOwnedBy(owner, ownee heap.Addr) {
+	r.mustEngine("AssertOwnedBy").AssertOwnedBy(owner, ownee)
+}
+
+// OOMError is the panic payload raised when the heap cannot satisfy an
+// allocation even after a full collection.
+type OOMError struct {
+	// Type is the type being allocated; Len the array length.
+	Type heap.TypeID
+	Len  int
+	// Live summarizes the heap at failure.
+	Live heap.Stats
+}
+
+// Error describes the exhaustion.
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("rt: out of memory allocating type %d (len %d); live: %d objects / %d words",
+		e.Type, e.Len, e.Live.LiveObjects, e.Live.LiveWords)
+}

@@ -1,0 +1,132 @@
+package rt
+
+import (
+	"fmt"
+
+	"gcassert/internal/heap"
+)
+
+// Thread is a mutator context. Its frames' slots are scanned as GC roots.
+// Threads are cooperative: they share the runtime's single-goroutine
+// stop-the-world discipline, like the logical threads of the paper's
+// benchmarks under a stop-the-world collector.
+type Thread struct {
+	rt       *Runtime
+	id       uint64
+	name     string
+	frames   []*Frame
+	inRegion bool
+}
+
+// Frame is one shadow-stack frame holding local reference slots.
+type Frame struct {
+	slots []heap.Addr
+	desc  string
+}
+
+// ID returns the thread's identifier.
+func (t *Thread) ID() uint64 { return t.id }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Push creates a frame with n local slots and returns it.
+func (t *Thread) Push(n int) *Frame {
+	f := &Frame{slots: make([]heap.Addr, n), desc: t.name + ".locals"}
+	t.frames = append(t.frames, f)
+	return f
+}
+
+// Pop discards the top frame; its slots stop being roots.
+func (t *Thread) Pop() {
+	if len(t.frames) == 0 {
+		panic("rt: Pop on empty frame stack")
+	}
+	t.frames = t.frames[:len(t.frames)-1]
+}
+
+// Depth returns the number of live frames.
+func (t *Thread) Depth() int { return len(t.frames) }
+
+// Set stores a reference in slot i.
+func (f *Frame) Set(i int, v heap.Addr) { f.slots[i] = v }
+
+// Get loads slot i.
+func (f *Frame) Get(i int) heap.Addr { return f.slots[i] }
+
+// Add appends a new slot holding v and returns its index.
+func (f *Frame) Add(v heap.Addr) int {
+	f.slots = append(f.slots, v)
+	return len(f.slots) - 1
+}
+
+// Len returns the number of slots in the frame.
+func (f *Frame) Len() int { return len(f.slots) }
+
+// Truncate shrinks the frame back to n slots, dropping the roots above it.
+// Recursive allocation patterns pair Add with Truncate the way a real stack
+// frame's locals go out of scope.
+func (f *Frame) Truncate(n int) {
+	if n < 0 || n > len(f.slots) {
+		panic("rt: Truncate out of range")
+	}
+	f.slots = f.slots[:n]
+}
+
+// New allocates an object of type typ, collecting (and, in generational
+// mode, escalating from minor to full collection) when the heap is
+// exhausted. It panics with *OOMError if memory cannot be found.
+func (t *Thread) New(typ heap.TypeID) heap.Addr { return t.alloc(typ, 0) }
+
+// NewArray allocates an array of type typ with n elements.
+func (t *Thread) NewArray(typ heap.TypeID, n int) heap.Addr { return t.alloc(typ, n) }
+
+func (t *Thread) alloc(typ heap.TypeID, n int) heap.Addr {
+	r := t.rt
+	a, ok := r.space.Allocate(typ, n)
+	if !ok {
+		r.collectForAlloc()
+		a, ok = r.space.Allocate(typ, n)
+		if !ok && r.gen != nil {
+			// Minor collection was not enough: escalate to a full cycle.
+			r.gen.fullCollect("alloc-failure-full")
+			a, ok = r.space.Allocate(typ, n)
+		}
+		if !ok {
+			panic(&OOMError{Type: typ, Len: n, Live: r.space.Stats()})
+		}
+	}
+	if t.inRegion {
+		r.engine.RecordRegionAlloc(t.id, a)
+	}
+	return a
+}
+
+// collectForAlloc runs the collection policy for an allocation failure.
+func (r *Runtime) collectForAlloc() {
+	if r.gen != nil {
+		r.gen.collect("alloc-failure")
+		return
+	}
+	r.gc.Collect("alloc-failure")
+}
+
+// StartRegion opens a start-region bracket on this thread (§2.3.2): every
+// object the thread allocates until AssertAllDead is recorded.
+func (t *Thread) StartRegion() {
+	t.rt.mustEngine("StartRegion").StartRegion(t.id)
+	t.inRegion = true
+}
+
+// InRegion reports whether the thread has an open region.
+func (t *Thread) InRegion() bool { return t.inRegion }
+
+// AssertAllDead closes the region and asserts death of everything allocated
+// in it that is still live, returning the number of objects asserted.
+func (t *Thread) AssertAllDead() int {
+	if !t.inRegion {
+		panic(fmt.Sprintf("rt: AssertAllDead on thread %q with no active region", t.name))
+	}
+	t.inRegion = false
+	return t.rt.engine.AssertAllDead(t.id)
+}

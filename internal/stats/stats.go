@@ -1,0 +1,137 @@
+// Package stats provides the small statistical toolkit the benchmark
+// harness needs to report results the way the paper does: means, geometric
+// means (used for the overhead summaries), and 90% confidence intervals
+// (the paper's error bars).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values are skipped (they would be log-undefined).
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Median returns the median of xs (0 for an empty slice).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// StdDev returns the sample standard deviation of xs (0 when len < 2).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// tTable90 holds two-sided 90% critical values of Student's t distribution
+// for 1..30 degrees of freedom; beyond 30 the normal approximation is used.
+var tTable90 = []float64{
+	6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+	1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+	1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+}
+
+// tCrit90 returns the two-sided 90% t critical value for df degrees of
+// freedom.
+func tCrit90(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	if df <= len(tTable90) {
+		return tTable90[df-1]
+	}
+	return 1.645 // normal approximation
+}
+
+// CI90 returns the half-width of the 90% confidence interval of the mean of
+// xs, using Student's t distribution — the paper's error bars.
+func CI90(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return tCrit90(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// Sample accumulates repeated measurements of one quantity.
+type Sample struct {
+	xs []float64
+}
+
+// Add records one measurement.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// AddDuration records a time measurement in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of measurements.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns the raw measurements.
+func (s *Sample) Values() []float64 { return s.xs }
+
+// Mean returns the sample mean.
+func (s *Sample) Mean() float64 { return Mean(s.xs) }
+
+// CI90 returns the 90% confidence half-width.
+func (s *Sample) CI90() float64 { return CI90(s.xs) }
+
+// String formats the sample as "mean ± ci90".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean(), s.CI90())
+}
+
+// Ratio returns the ratio of two sample means (b relative to a), guarding
+// against a zero denominator.
+func Ratio(num, den *Sample) float64 {
+	d := den.Mean()
+	if d == 0 {
+		return 0
+	}
+	return num.Mean() / d
+}

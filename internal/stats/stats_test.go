@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil)")
+	}
+	if !almost(GeoMean([]float64{2, 8}), 4) {
+		t.Errorf("GeoMean(2,8) = %v", GeoMean([]float64{2, 8}))
+	}
+	// Non-positive entries are skipped.
+	if !almost(GeoMean([]float64{2, 8, 0, -1}), 4) {
+		t.Error("GeoMean with non-positive")
+	}
+	if GeoMean([]float64{0, -1}) != 0 {
+		t.Error("GeoMean all non-positive")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("Median(nil)")
+	}
+	if !almost(Median([]float64{3, 1, 2}), 2) {
+		t.Error("odd median")
+	}
+	if !almost(Median([]float64{4, 1, 2, 3}), 2.5) {
+		t.Error("even median")
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestStdDevAndCI(t *testing.T) {
+	if StdDev([]float64{5}) != 0 || CI90([]float64{5}) != 0 {
+		t.Error("single sample should have zero spread")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(StdDev(xs), math.Sqrt(32.0/7.0)) {
+		t.Errorf("StdDev = %v", StdDev(xs))
+	}
+	ci := CI90(xs)
+	if ci <= 0 {
+		t.Error("CI90 <= 0")
+	}
+	// t critical value for df=7 is 1.895.
+	want := 1.895 * StdDev(xs) / math.Sqrt(8)
+	if !almost(ci, want) {
+		t.Errorf("CI90 = %v, want %v", ci, want)
+	}
+	// Large df uses the normal approximation.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 7)
+	}
+	if CI90(big) <= 0 {
+		t.Error("CI90 big")
+	}
+	if tCrit90(0) != 0 {
+		t.Error("tCrit90(0)")
+	}
+}
+
+func TestSample(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	s.AddDuration(2 * time.Second)
+	if s.N() != 3 {
+		t.Errorf("N = %d", s.N())
+	}
+	if !almost(s.Mean(), 2) {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if len(s.Values()) != 3 {
+		t.Error("Values")
+	}
+	if s.String() == "" {
+		t.Error("String")
+	}
+	if s.CI90() <= 0 {
+		t.Error("CI90")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var a, b, z Sample
+	a.Add(3)
+	b.Add(2)
+	if !almost(Ratio(&a, &b), 1.5) {
+		t.Error("Ratio")
+	}
+	if Ratio(&a, &z) != 0 {
+		t.Error("Ratio zero denominator")
+	}
+}
+
+// Property: GeoMean of positive values lies between min and max, and the
+// geomean of a constant slice is the constant.
+func TestGeoMeanProperties(t *testing.T) {
+	prop := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 1e-6 && x < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		return g >= mn-1e-9 && g <= mx+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if !almost(GeoMean([]float64{7, 7, 7}), 7) {
+		t.Error("constant geomean")
+	}
+}
+
+// Property: mean is translation-equivariant.
+func TestMeanTranslation(t *testing.T) {
+	prop := func(xs []float64, c float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+		}
+		if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e12 {
+			return true
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + c
+		}
+		return math.Abs(Mean(shifted)-(Mean(xs)+c)) < 1e-3
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package gcassert
+
+import (
+	"gcassert/internal/collector"
+	"gcassert/internal/heap"
+)
+
+// Heap probes: the on-demand variant of the paper's checks. §4.1 contrasts
+// GC assertions with QVM's heap probes, which answer reachability questions
+// immediately at the program point instead of at the next collection. This
+// file provides that interface as a complement: a probe walks the heap right
+// now (paying a full traversal, like QVM's forced collections), while
+// assertions stay piggybacked on regular GCs.
+//
+// Probes never touch header bits, so they are safe to run between
+// collections; they use a side visited-set instead.
+
+// probeWalk runs a BFS from the roots, short-circuiting when target is
+// found (target == Nil walks everything). parent records the BFS tree.
+func (r *Runtime) probeWalk(target Ref) (found bool, parent map[Ref]Ref, rootOf map[Ref]string) {
+	space := r.Space()
+	parent = make(map[Ref]Ref)
+	rootOf = make(map[Ref]string)
+	var queue []Ref
+	var scanner collector.RootScanner = r.RootScanner()
+	scanner.Roots(func(root collector.Root) {
+		a := *root.Slot
+		if a == Nil {
+			return
+		}
+		if _, seen := parent[a]; !seen {
+			parent[a] = Nil
+			rootOf[a] = root.Desc
+			queue = append(queue, a)
+		}
+	})
+	for i := 0; i < len(queue); i++ {
+		a := queue[i]
+		if a == target {
+			return true, parent, rootOf
+		}
+		space.ForEachRef(a, func(_ int, t Ref) {
+			if _, seen := parent[t]; !seen {
+				parent[t] = a
+				queue = append(queue, t)
+			}
+		})
+	}
+	_, ok := parent[target]
+	return ok, parent, rootOf
+}
+
+// IsReachable reports whether the object is reachable from the roots right
+// now, via a full heap walk (a heap probe, not a GC assertion).
+func (r *Runtime) IsReachable(a Ref) bool {
+	if a == Nil {
+		return false
+	}
+	found, _, _ := r.probeWalk(a)
+	return found
+}
+
+// PathTo returns one current root-to-object path, in the same form as a
+// Violation's Path, plus the description of the root it starts from. ok is
+// false when the object is unreachable (it would be reclaimed by the next
+// collection).
+func (r *Runtime) PathTo(a Ref) (path []PathStep, root string, ok bool) {
+	if a == Nil {
+		return nil, "", false
+	}
+	found, parent, rootOf := r.probeWalk(a)
+	if !found {
+		return nil, "", false
+	}
+	// Rebuild the chain from the BFS tree: parent == Nil marks the objects
+	// that entered the queue directly from a root slot.
+	var chain []Ref
+	cur := a
+	for {
+		chain = append(chain, cur)
+		p := parent[cur]
+		if p == Nil {
+			root = rootOf[cur]
+			break
+		}
+		cur = p
+	}
+	// Reverse into root-first order and annotate with types and fields.
+	space := r.Space()
+	path = make([]PathStep, len(chain))
+	for i := range chain {
+		obj := chain[len(chain)-1-i]
+		path[i] = PathStep{Addr: obj, TypeName: space.TypeName(obj)}
+		if i > 0 {
+			path[i-1].Field = fieldLeadingTo(space, path[i-1].Addr, obj)
+		}
+	}
+	return path, root, true
+}
+
+// fieldLeadingTo finds the first slot of a that references target.
+func fieldLeadingTo(space *heap.Space, a, target Ref) string {
+	name := ""
+	space.ForEachRef(a, func(slot int, t Ref) {
+		if name == "" && t == target {
+			name = space.Registry().Info(space.TypeOf(a)).FieldName(slot)
+		}
+	})
+	return name
+}
+
+// RetainedBy returns how many live objects reference a directly (its
+// current in-degree), another probe-style query (assert-unshared's
+// condition, answered immediately).
+func (r *Runtime) RetainedBy(a Ref) int {
+	if a == Nil {
+		return 0
+	}
+	_, parent, _ := r.probeWalk(Nil)
+	space := r.Space()
+	n := 0
+	for obj := range parent {
+		space.ForEachRef(obj, func(_ int, t Ref) {
+			if t == a {
+				n++
+			}
+		})
+	}
+	return n
+}

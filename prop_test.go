@@ -1,0 +1,297 @@
+package gcassert_test
+
+// Property-based tests (testing/quick) for the system-level guarantees the
+// paper claims: no false positives — "any violation represents a mismatch
+// between the programmer's expectations and the actual behavior" — and
+// detection of every violation that persists across a GC boundary.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gcassert"
+)
+
+// graphWorld is a randomized mutator: a pool of objects with two ref fields,
+// a set of root slots, and a Go-side mirror of every edge.
+type graphWorld struct {
+	vm    *gcassert.Runtime
+	rep   *gcassert.CollectingReporter
+	th    *gcassert.Thread
+	fr    *gcassert.Frame
+	node  gcassert.TypeID
+	objs  []gcassert.Ref
+	edges map[gcassert.Ref][2]gcassert.Ref
+	roots []gcassert.Ref
+	nroot int
+}
+
+func newGraphWorld(t testing.TB, n, nroots int, rng *rand.Rand) *graphWorld {
+	t.Helper()
+	w := &graphWorld{rep: &gcassert.CollectingReporter{}, nroot: nroots}
+	w.vm = gcassert.New(gcassert.Options{HeapBytes: 8 << 20, Infrastructure: true, Reporter: w.rep})
+	w.node = w.vm.Define("N",
+		gcassert.Field{Name: "a", Ref: true},
+		gcassert.Field{Name: "b", Ref: true})
+	w.th = w.vm.NewThread("main")
+	w.fr = w.th.Push(nroots)
+	w.edges = make(map[gcassert.Ref][2]gcassert.Ref)
+	for i := 0; i < n; i++ {
+		w.objs = append(w.objs, w.th.New(w.node))
+		// Root everything during construction so nothing dies early.
+		if i < nroots {
+			w.fr.Set(i, w.objs[i])
+		}
+	}
+	// The constructor above can only root the first nroots objects; link
+	// the rest into a temporary chain from root 0 so they survive until the
+	// random edges are in place... simpler: no GC can run here because no
+	// allocation happens after the last New, so wiring edges now is safe.
+	for _, a := range w.objs {
+		var e [2]gcassert.Ref
+		for slot := 0; slot < 2; slot++ {
+			if rng.Intn(3) > 0 {
+				tgt := w.objs[rng.Intn(n)]
+				w.vm.SetRef(a, slot, tgt)
+				e[slot] = tgt
+			}
+		}
+		w.edges[a] = e
+	}
+	for i := 0; i < nroots; i++ {
+		r := w.objs[rng.Intn(n)]
+		w.fr.Set(i, r)
+		w.roots = append(w.roots, r)
+	}
+	return w
+}
+
+// reachable computes the oracle closure from the current roots.
+func (w *graphWorld) reachable() map[gcassert.Ref]bool {
+	seen := map[gcassert.Ref]bool{}
+	var stack []gcassert.Ref
+	for _, r := range w.roots {
+		if r != gcassert.Nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, tgt := range w.edges[a] {
+			if tgt != gcassert.Nil && !seen[tgt] {
+				seen[tgt] = true
+				stack = append(stack, tgt)
+			}
+		}
+	}
+	return seen
+}
+
+// incomingCount counts edges into a (roots do not count as pointers, per the
+// paper's "incoming pointer" definition over heap objects — but a root plus
+// a heap pointer is still one heap pointer).
+func (w *graphWorld) incomingCount(a gcassert.Ref, live map[gcassert.Ref]bool) int {
+	n := 0
+	for src, e := range w.edges {
+		if !live[src] {
+			continue
+		}
+		for _, tgt := range e {
+			if tgt == a {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestPropertyDeadAssertionExact: for a random graph and a random object,
+// assert-dead fires at the next GC iff the object is reachable — no false
+// positives, no false negatives.
+func TestPropertyDeadAssertionExact(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := newGraphWorld(t, 120, 6, rng)
+		target := w.objs[rng.Intn(len(w.objs))]
+		w.vm.AssertDead(target)
+		want := w.reachable()[target]
+		w.vm.Collect()
+		got := len(w.rep.ByKind(gcassert.KindDead)) == 1
+		if got != want {
+			t.Logf("seed %d: violation=%v, reachable=%v", seed, got, want)
+			return false
+		}
+		// Verified-dead accounting on the flip side.
+		if !want && w.vm.AssertionStats().DeadVerified != 1 {
+			t.Logf("seed %d: unreachable object not verified dead", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyUnsharedExact: assert-unshared fires iff the object has two or
+// more incoming heap pointers from live objects (or a root plus one pointer,
+// i.e. it is encountered more than once during the trace).
+func TestPropertyUnsharedExact(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := newGraphWorld(t, 100, 5, rng)
+		target := w.objs[rng.Intn(len(w.objs))]
+		live := w.reachable()
+		if !live[target] {
+			return true // dead objects are never encountered: vacuous
+		}
+		w.vm.AssertUnshared(target)
+
+		// Oracle: encounters = incoming edges from live objects + root
+		// slots holding it.
+		enc := w.incomingCount(target, live)
+		for _, r := range w.roots {
+			if r == target {
+				enc++
+			}
+		}
+		w.vm.Collect()
+		got := len(w.rep.ByKind(gcassert.KindUnshared)) > 0
+		want := enc > 1
+		if got != want {
+			t.Logf("seed %d: violation=%v, encounters=%d", seed, got, enc)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyInstanceCountsMatchOracle: the engine's per-type live count
+// equals the true number of reachable instances.
+func TestPropertyInstanceCountsMatchOracle(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := newGraphWorld(t, 150, 7, rng)
+		w.vm.AssertInstances(w.node, 1<<40) // huge limit: just count
+		w.vm.Collect()
+		n, ok := w.vm.LiveInstances(w.node)
+		if !ok {
+			return false
+		}
+		return n == int64(len(w.reachable()))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyViolationPathsAreReal: every reported path is a genuine chain
+// of references from a root to the offending object in the mirrored graph.
+func TestPropertyViolationPathsAreReal(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := newGraphWorld(t, 120, 6, rng)
+		// Assert-dead a handful of reachable objects to force violations.
+		live := w.reachable()
+		nAsserted := 0
+		for _, o := range w.objs {
+			if live[o] && rng.Intn(10) == 0 {
+				w.vm.AssertDead(o)
+				nAsserted++
+			}
+		}
+		w.vm.Collect()
+		vs := w.rep.ByKind(gcassert.KindDead)
+		if len(vs) != nAsserted {
+			t.Logf("seed %d: %d asserted, %d reported", seed, nAsserted, len(vs))
+			return false
+		}
+		for _, v := range vs {
+			p := v.Path
+			if len(p) == 0 || p[len(p)-1].Addr != v.Object {
+				t.Logf("seed %d: path does not end at object", seed)
+				return false
+			}
+			isRoot := false
+			for _, r := range w.roots {
+				if r == p[0].Addr {
+					isRoot = true
+				}
+			}
+			if !isRoot {
+				t.Logf("seed %d: path does not start at a root", seed)
+				return false
+			}
+			for i := 0; i+1 < len(p); i++ {
+				e := w.edges[p[i].Addr]
+				if e[0] != p[i+1].Addr && e[1] != p[i+1].Addr {
+					t.Logf("seed %d: fake edge in path", seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCollectionPreservesGraph: after arbitrary collections, every
+// surviving edge still reads back exactly as mirrored (no corruption, no
+// premature frees), across repeated mutate/collect rounds.
+func TestPropertyCollectionPreservesGraph(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := newGraphWorld(t, 100, 5, rng)
+		for round := 0; round < 5; round++ {
+			// Random mutations among currently-live objects.
+			live := w.reachable()
+			var liveList []gcassert.Ref
+			for a := range live {
+				liveList = append(liveList, a)
+			}
+			if len(liveList) == 0 {
+				return true
+			}
+			for m := 0; m < 20; m++ {
+				src := liveList[rng.Intn(len(liveList))]
+				slot := rng.Intn(2)
+				var tgt gcassert.Ref
+				if rng.Intn(4) > 0 {
+					tgt = liveList[rng.Intn(len(liveList))]
+				}
+				w.vm.SetRef(src, slot, tgt)
+				e := w.edges[src]
+				e[slot] = tgt
+				w.edges[src] = e
+			}
+			// Drop and rebind some roots.
+			for i := range w.roots {
+				if rng.Intn(3) == 0 {
+					w.roots[i] = liveList[rng.Intn(len(liveList))]
+					w.fr.Set(i, w.roots[i])
+				}
+			}
+			w.vm.Collect()
+			// Verify all reachable edges.
+			for a := range w.reachable() {
+				e := w.edges[a]
+				if w.vm.GetRef(a, 0) != e[0] || w.vm.GetRef(a, 1) != e[1] {
+					t.Logf("seed %d round %d: edge corruption", seed, round)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,261 @@
+package gcassert_test
+
+import (
+	"strings"
+	"testing"
+
+	"gcassert"
+)
+
+// newVM builds an infrastructure-mode runtime with a collecting reporter.
+func newVM(t *testing.T, opts gcassert.Options) (*gcassert.Runtime, *gcassert.CollectingReporter) {
+	t.Helper()
+	rep := &gcassert.CollectingReporter{}
+	opts.Infrastructure = true
+	opts.Reporter = rep
+	if opts.HeapBytes == 0 {
+		opts.HeapBytes = 8 << 20
+	}
+	return gcassert.New(opts), rep
+}
+
+func TestSmokeAssertDeadViolationAndPath(t *testing.T) {
+	vm, rep := newVM(t, gcassert.Options{})
+	node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+	next := vm.FieldIndex(node, "next")
+
+	th := vm.NewThread("main")
+	fr := th.Push(1)
+	a := th.New(node)
+	b := th.New(node)
+	vm.SetRef(a, next, b)
+	fr.Set(0, a)
+
+	vm.AssertDead(b) // b is reachable via a.next: must be reported
+	vm.Collect()
+
+	vs := rep.ByKind(gcassert.KindDead)
+	if len(vs) != 1 {
+		t.Fatalf("want 1 assert-dead violation, got %d (%v)", len(vs), rep.Violations())
+	}
+	v := vs[0]
+	if v.Object != b || v.TypeName != "Node" {
+		t.Errorf("violation object = %v type %q", v.Object, v.TypeName)
+	}
+	if len(v.Path) != 2 || v.Path[0].Addr != a || v.Path[1].Addr != b {
+		t.Fatalf("path = %+v, want a->b", v.Path)
+	}
+	if v.Path[0].Field != "next" {
+		t.Errorf("path[0].Field = %q, want next", v.Path[0].Field)
+	}
+	if !strings.Contains(v.String(), "asserted dead") {
+		t.Errorf("report text: %s", v.String())
+	}
+}
+
+func TestSmokeAssertDeadVerified(t *testing.T) {
+	vm, rep := newVM(t, gcassert.Options{})
+	node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+	th := vm.NewThread("main")
+	fr := th.Push(1)
+	a := th.New(node)
+	fr.Set(0, a)
+	vm.AssertDead(a)
+	fr.Set(0, gcassert.Nil) // drop the only reference
+	vm.Collect()
+	if n := rep.Len(); n != 0 {
+		t.Fatalf("want no violations, got %d: %v", n, rep.Violations())
+	}
+	if st := vm.AssertionStats(); st.DeadVerified != 1 {
+		t.Errorf("DeadVerified = %d, want 1", st.DeadVerified)
+	}
+}
+
+func TestSmokeForceTrue(t *testing.T) {
+	vm, rep := newVM(t, gcassert.Options{
+		Policy: gcassert.Policy{}.With(gcassert.KindDead, gcassert.ReactForce),
+	})
+	node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+	next := vm.FieldIndex(node, "next")
+	th := vm.NewThread("main")
+	fr := th.Push(2)
+	a := th.New(node)
+	b := th.New(node)
+	c := th.New(node)
+	vm.SetRef(a, next, c)
+	vm.SetRef(b, next, c) // two references keep c alive
+	fr.Set(0, a)
+	fr.Set(1, b)
+
+	vm.AssertDead(c)
+	vm.Collect()
+
+	if len(rep.ByKind(gcassert.KindDead)) != 1 {
+		t.Fatalf("want 1 violation, got %v", rep.Violations())
+	}
+	// Both incoming references must have been severed and c reclaimed.
+	if got := vm.GetRef(a, next); got != gcassert.Nil {
+		t.Errorf("a.next = %v, want nil", got)
+	}
+	if got := vm.GetRef(b, next); got != gcassert.Nil {
+		t.Errorf("b.next = %v, want nil", got)
+	}
+	if st := vm.AssertionStats(); st.DeadVerified != 1 {
+		t.Errorf("DeadVerified = %d, want 1 (c reclaimed this cycle)", st.DeadVerified)
+	}
+}
+
+func TestSmokeAssertUnshared(t *testing.T) {
+	vm, rep := newVM(t, gcassert.Options{})
+	node := vm.Define("Node", gcassert.Field{Name: "left", Ref: true}, gcassert.Field{Name: "right", Ref: true})
+	left, right := vm.FieldIndex(node, "left"), vm.FieldIndex(node, "right")
+	th := vm.NewThread("main")
+	fr := th.Push(1)
+	root := th.New(node)
+	child := th.New(node)
+	fr.Set(0, root)
+	vm.SetRef(root, left, child)
+	vm.AssertUnshared(child)
+	vm.Collect()
+	if rep.Len() != 0 {
+		t.Fatalf("single parent: want no violations, got %v", rep.Violations())
+	}
+	vm.SetRef(root, right, child) // now the "tree" is a DAG
+	vm.Collect()
+	vs := rep.ByKind(gcassert.KindUnshared)
+	if len(vs) != 1 {
+		t.Fatalf("want 1 unshared violation, got %v", rep.Violations())
+	}
+	if vs[0].Object != child {
+		t.Errorf("violation object = %v, want child %v", vs[0].Object, child)
+	}
+}
+
+func TestSmokeAssertInstances(t *testing.T) {
+	vm, rep := newVM(t, gcassert.Options{})
+	searcher := vm.Define("IndexSearcher")
+	th := vm.NewThread("main")
+	fr := th.Push(0)
+	vm.AssertInstances(searcher, 1)
+	for i := 0; i < 32; i++ {
+		fr.Add(th.New(searcher))
+	}
+	vm.Collect()
+	vs := rep.ByKind(gcassert.KindInstances)
+	if len(vs) != 1 {
+		t.Fatalf("want 1 instances violation, got %v", rep.Violations())
+	}
+	if !strings.Contains(vs[0].Message, "32 instances live, limit 1") {
+		t.Errorf("message = %q", vs[0].Message)
+	}
+	if n, ok := vm.LiveInstances(searcher); !ok || n != 32 {
+		t.Errorf("LiveInstances = %d,%v want 32,true", n, ok)
+	}
+}
+
+func TestSmokeAssertOwnedBy(t *testing.T) {
+	vm, rep := newVM(t, gcassert.Options{})
+	table := vm.Define("Table", gcassert.Field{Name: "slots", Ref: true})
+	order := vm.Define("Order", gcassert.Field{Name: "customer", Ref: true})
+	cust := vm.Define("Customer", gcassert.Field{Name: "lastOrder", Ref: true})
+	slots := vm.FieldIndex(table, "slots")
+	lastOrder := vm.FieldIndex(cust, "lastOrder")
+
+	th := vm.NewThread("main")
+	fr := th.Push(2)
+	tbl := th.New(table)
+	arr := th.NewArray(gcassert.TRefArray, 4)
+	vm.SetRef(tbl, slots, arr)
+	cu := th.New(cust)
+	fr.Set(0, tbl)
+	fr.Set(1, cu)
+
+	o := th.New(order)
+	vm.SetRefAt(arr, 0, o)
+	vm.SetRef(cu, lastOrder, o) // the stray reference that causes the leak
+	vm.AssertOwnedBy(tbl, o)
+
+	vm.Collect()
+	if rep.Len() != 0 {
+		t.Fatalf("owned via table: want no violations, got %v", rep.Violations())
+	}
+
+	// "Process" the order: remove it from the table. The customer's
+	// lastOrder now keeps it alive without its owner — the SPECjbb leak.
+	vm.SetRefAt(arr, 0, gcassert.Nil)
+	vm.Collect()
+	vs := rep.ByKind(gcassert.KindOwnedBy)
+	if len(vs) != 1 {
+		t.Fatalf("want 1 ownedby violation, got %v", rep.Violations())
+	}
+	v := vs[0]
+	if v.Object != o {
+		t.Errorf("violation object = %v, want order %v", v.Object, o)
+	}
+	// The path must run through the Customer.
+	var names []string
+	for _, s := range v.Path {
+		names = append(names, s.TypeName)
+	}
+	if want := []string{"Customer", "Order"}; len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Errorf("path types = %v, want %v", names, want)
+	}
+}
+
+func TestSmokeRegions(t *testing.T) {
+	vm, rep := newVM(t, gcassert.Options{})
+	node := vm.Define("Req", gcassert.Field{Name: "next", Ref: true})
+	th := vm.NewThread("server")
+	fr := th.Push(1)
+
+	th.StartRegion()
+	var leak gcassert.Ref
+	for i := 0; i < 100; i++ {
+		o := th.New(node)
+		if i == 42 {
+			leak = o
+		}
+	}
+	fr.Set(0, leak) // one request object escapes the region
+	n := th.AssertAllDead()
+	if n != 100 {
+		t.Fatalf("AssertAllDead = %d, want 100", n)
+	}
+	vm.Collect()
+	vs := rep.ByKind(gcassert.KindDead)
+	if len(vs) != 1 {
+		t.Fatalf("want exactly the escaping object reported, got %d", len(vs))
+	}
+	if vs[0].Object != leak {
+		t.Errorf("reported %v, want %v", vs[0].Object, leak)
+	}
+	if st := vm.AssertionStats(); st.DeadVerified != 99 {
+		t.Errorf("DeadVerified = %d, want 99", st.DeadVerified)
+	}
+}
+
+func TestSmokeChurnAndReuse(t *testing.T) {
+	vm, rep := newVM(t, gcassert.Options{HeapBytes: 4 << 20})
+	node := vm.Define("N", gcassert.Field{Name: "next", Ref: true}, gcassert.Field{Name: "v", Ref: false})
+	next := vm.FieldIndex(node, "next")
+	th := vm.NewThread("main")
+	fr := th.Push(1)
+	// Build and drop linked lists until several GCs have happened.
+	for round := 0; round < 400; round++ {
+		var head gcassert.Ref
+		for i := 0; i < 2000; i++ {
+			n := th.New(node)
+			vm.SetRef(n, next, head)
+			head = n
+			fr.Set(0, head)
+		}
+		fr.Set(0, gcassert.Nil)
+	}
+	vm.Collect()
+	if rep.Len() != 0 {
+		t.Fatalf("no assertions registered; got violations: %v", rep.Violations())
+	}
+	if gcs := vm.Collector().GCCount(); gcs < 3 {
+		t.Errorf("expected several collections, got %d", gcs)
+	}
+}
