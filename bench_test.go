@@ -217,6 +217,54 @@ func BenchmarkAblationGenerational(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOff verifies the acceptance criterion for the
+// observability layer: with telemetry disabled (the default), a full-heap
+// collection of a fixed 200k-object list shows exactly the collector's
+// pre-existing allocation baseline (2 allocs/op: the escaping Collection
+// record and the root-scan closure) — the nil Observer check adds nothing
+// to markBase/markInfra. Compare against BenchmarkTelemetryOn for the
+// enabled-mode cost (one Event plus its phase/kind slices per collection).
+func BenchmarkTelemetryOff(b *testing.B) {
+	for _, infra := range []bool{false, true} {
+		name := "Base"
+		if infra {
+			name = "Infrastructure"
+		}
+		infra := infra
+		b.Run(name, func(b *testing.B) {
+			vm := gcassert.New(gcassert.Options{HeapBytes: 32 << 20, Infrastructure: infra})
+			node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+			th := vm.NewThread("main")
+			fr := th.Push(1)
+			buildList(vm, th, fr, node, 200_000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vm.Collect()
+			}
+		})
+	}
+}
+
+// BenchmarkTelemetryOn is the enabled-mode counterpart of
+// BenchmarkTelemetryOff: same collection, telemetry recording every cycle.
+func BenchmarkTelemetryOn(b *testing.B) {
+	vm := gcassert.New(gcassert.Options{
+		HeapBytes:      32 << 20,
+		Infrastructure: true,
+		Telemetry:      true,
+	})
+	node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+	th := vm.NewThread("main")
+	fr := th.Push(1)
+	buildList(vm, th, fr, node, 200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.Collect()
+	}
+}
+
 // BenchmarkMicroAlloc measures the allocation fast path.
 func BenchmarkMicroAlloc(b *testing.B) {
 	vm := gcassert.New(gcassert.Options{HeapBytes: 64 << 20})

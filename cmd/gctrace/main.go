@@ -1,0 +1,183 @@
+// Command gctrace runs a registered workload with telemetry enabled and
+// exports the structured GC trace.
+//
+// Usage:
+//
+//	gctrace [-workload name] [-mode base|infra|assert] [-iters N]
+//	        [-format gctrace|jsonl|chrome|metrics] [-o file]
+//	        [-heap bytes] [-ring N] [-http addr] [-list]
+//
+//	-workload pseudojbb   workload to run (see -list)
+//	-mode infra           collector configuration (assert implies infra)
+//	-iters 2              workload iterations
+//	-format gctrace       export format:
+//	                        gctrace  one line per GC, like GODEBUG=gctrace=1
+//	                        jsonl    one JSON event per line
+//	                        chrome   trace_event JSON — open the file in
+//	                                 chrome://tracing or ui.perfetto.dev
+//	                        metrics  Prometheus text exposition
+//	-o file               write the export there (default stdout)
+//	-http addr            also serve /metrics and /debug/gcassert/* on addr
+//	                      (kept alive after the run until interrupted)
+//
+// After the export, a summary on stderr cross-checks the event stream
+// against the collector's cumulative stats: per-phase sums over the trace
+// must match GCStats totals (they are the same measurements), and pause
+// percentiles come from the telemetry histogram.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"gcassert"
+	"gcassert/internal/bench"
+	"gcassert/internal/bench/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "pseudojbb", "workload to run")
+	list := flag.Bool("list", false, "list workloads and exit")
+	mode := flag.String("mode", "infra", "base, infra, or assert")
+	iters := flag.Int("iters", 2, "workload iterations")
+	format := flag.String("format", "gctrace", "gctrace, jsonl, chrome, or metrics")
+	out := flag.String("o", "", "output file (default stdout)")
+	heapBytes := flag.Int("heap", 0, "override the workload's heap size (bytes)")
+	ring := flag.Int("ring", 1<<16, "GC event ring capacity")
+	httpAddr := flag.String("http", "", "serve telemetry endpoints on this address")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			asserts := ""
+			if w.HasAsserts {
+				asserts = " (has assertions)"
+			}
+			fmt.Printf("%-12s heap=%d%s\n", w.Name, w.Heap, asserts)
+		}
+		return
+	}
+
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *heapBytes > 0 {
+		w.Heap = *heapBytes
+	}
+	var m bench.Mode
+	switch *mode {
+	case "base":
+		m = bench.Base
+	case "infra":
+		m = bench.Infra
+	case "assert":
+		if !w.HasAsserts {
+			fmt.Fprintf(os.Stderr, "workload %s defines no assertions\n", w.Name)
+			os.Exit(1)
+		}
+		m = bench.WithAssertions
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want base, infra or assert)\n", *mode)
+		os.Exit(1)
+	}
+
+	vm := gcassert.New(gcassert.Options{
+		HeapBytes:         w.Heap,
+		Infrastructure:    m != bench.Base,
+		Telemetry:         true,
+		TelemetryRingSize: *ring,
+	})
+	tel := vm.Telemetry()
+
+	if *httpAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "serving telemetry on http://%s/metrics\n", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, tel.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	run := w.New(vm, m == bench.WithAssertions)
+	start := time.Now()
+	for i := 0; i < *iters; i++ {
+		run(i)
+	}
+	elapsed := time.Since(start)
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	switch *format {
+	case "gctrace":
+		err = tel.WriteGoTrace(dst)
+	case "jsonl":
+		err = tel.WriteJSONL(dst)
+	case "chrome":
+		err = tel.WriteChromeTrace(dst)
+	case "metrics":
+		err = tel.WriteMetrics(dst)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (want gctrace, jsonl, chrome or metrics)\n", *format)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	summarize(vm, elapsed)
+
+	if *httpAddr != "" {
+		fmt.Fprintln(os.Stderr, "run complete; telemetry server still up (interrupt to exit)")
+		select {}
+	}
+}
+
+// summarize cross-checks the event stream against the collector's
+// cumulative stats and prints pause percentiles.
+func summarize(vm *gcassert.Runtime, elapsed time.Duration) {
+	st := vm.GCStats()
+	events := vm.Telemetry().Events()
+	var own, mark, sweep, total int64
+	for i := range events {
+		e := &events[i]
+		own += e.PhaseNs("ownership")
+		mark += e.PhaseNs("mark")
+		sweep += e.PhaseNs("sweep")
+		total += e.TotalNs
+	}
+	dev := func(evNs int64, st time.Duration) string {
+		if st == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.3f%%", 100*(float64(evNs)/float64(st)-1))
+	}
+	fmt.Fprintf(os.Stderr, "\n%d collections in %v (%.1f%% of wall time in GC)\n",
+		st.Collections, elapsed.Round(time.Millisecond),
+		100*float64(st.TotalGCTime)/float64(elapsed))
+	fmt.Fprintf(os.Stderr, "event stream vs GCStats (deviation):\n")
+	fmt.Fprintf(os.Stderr, "  ownership %12v vs %12v  %s\n", time.Duration(own), st.OwnershipTime, dev(own, st.OwnershipTime))
+	fmt.Fprintf(os.Stderr, "  mark      %12v vs %12v  %s\n", time.Duration(mark), st.MarkTime, dev(mark, st.MarkTime))
+	fmt.Fprintf(os.Stderr, "  sweep     %12v vs %12v  %s\n", time.Duration(sweep), st.SweepTime, dev(sweep, st.SweepTime))
+	fmt.Fprintf(os.Stderr, "  total     %12v vs %12v  %s\n", time.Duration(total), st.TotalGCTime, dev(total, st.TotalGCTime))
+	h := vm.Telemetry().PauseHistogram()
+	fmt.Fprintf(os.Stderr, "pause: p50 %v  p90 %v  p99 %v  max %v\n",
+		h.Quantile(0.5).Round(time.Microsecond), h.Quantile(0.9).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond), h.Max().Round(time.Microsecond))
+	if n := vm.Telemetry().Ring().Total(); n > uint64(len(events)) {
+		fmt.Fprintf(os.Stderr, "note: ring retained %d of %d events; raise -ring for full-run exports\n", len(events), n)
+	}
+}

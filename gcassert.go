@@ -2,11 +2,13 @@ package gcassert
 
 import (
 	"io"
+	"net/http"
 
 	"gcassert/internal/collector"
 	"gcassert/internal/core"
 	"gcassert/internal/heap"
 	"gcassert/internal/rt"
+	"gcassert/internal/telemetry"
 )
 
 // Re-exported data types. These are aliases: values flow between the public
@@ -43,10 +45,35 @@ type (
 	GCStats = collector.Stats
 	// Collection records one collection cycle.
 	Collection = collector.Collection
+	// GCReason labels why a collection ran.
+	GCReason = collector.Reason
 	// AssertStats counts assertion-engine activity.
 	AssertStats = core.Stats
 	// HeapStats summarizes allocation activity.
 	HeapStats = heap.Stats
+	// Telemetry is the observability layer: GC event trace, metrics
+	// registry with pause histogram, violation log, and HTTP surface.
+	// Obtain it with Runtime.Telemetry() on a telemetry-enabled runtime.
+	Telemetry = telemetry.Tracer
+	// GCEvent is one structured GC trace record.
+	GCEvent = telemetry.Event
+	// PhaseSpan is one timed phase within a GCEvent.
+	PhaseSpan = telemetry.PhaseSpan
+	// KindCount is per-assertion-kind activity within a GCEvent.
+	KindCount = telemetry.KindCount
+	// Histogram is a log-bucketed duration histogram (pause times).
+	Histogram = telemetry.Histogram
+	// MetricsRegistry holds telemetry counters/gauges/histograms and
+	// renders Prometheus text format.
+	MetricsRegistry = telemetry.Registry
+)
+
+// Collection reasons recorded by the runtime.
+const (
+	// ReasonAllocFailure labels collections triggered by heap exhaustion.
+	ReasonAllocFailure = collector.ReasonAllocFailure
+	// ReasonForced labels explicit Collect calls.
+	ReasonForced = collector.ReasonForced
 )
 
 // Nil is the null reference.
@@ -113,6 +140,16 @@ type Options struct {
 	// MinorRatio is the number of minor collections between forced full
 	// collections in generational mode (default 4).
 	MinorRatio int
+	// Telemetry enables the observability layer (structured GC event
+	// trace, Prometheus metrics with a pause histogram, violation log,
+	// HTTP surface) — see Runtime.Telemetry. It works in every mode,
+	// including Base. Disabled (the default), the collector pays one
+	// nil-check per phase and the mark hot path gains zero allocations.
+	Telemetry bool
+	// TelemetryRingSize bounds the retained GC event trace (default 1024
+	// events; older events are evicted but cumulative metrics keep
+	// counting).
+	TelemetryRingSize int
 }
 
 // Runtime is a managed runtime with GC assertions. All methods of the
@@ -125,18 +162,36 @@ type Runtime struct {
 // New creates a runtime.
 func New(opts Options) *Runtime {
 	r := &Runtime{rt.New(rt.Config{
-		HeapBytes:      opts.HeapBytes,
-		Infrastructure: opts.Infrastructure,
-		Reporter:       opts.Reporter,
-		LogWriter:      opts.LogWriter,
-		Policy:         opts.Policy,
-		Generational:   opts.Generational,
-		MinorRatio:     opts.MinorRatio,
+		HeapBytes:         opts.HeapBytes,
+		Infrastructure:    opts.Infrastructure,
+		Reporter:          opts.Reporter,
+		LogWriter:         opts.LogWriter,
+		Policy:            opts.Policy,
+		Generational:      opts.Generational,
+		MinorRatio:        opts.MinorRatio,
+		Telemetry:         opts.Telemetry,
+		TelemetryRingSize: opts.TelemetryRingSize,
 	})}
 	if opts.OnViolation != nil && r.Engine() != nil {
 		r.Engine().SetDecider(opts.OnViolation)
 	}
+	if tel := r.Telemetry(); tel != nil {
+		tel.SetHeapProfile(func(w io.Writer) error { return r.WriteHeapProfile(w, 0) })
+	}
 	return r
+}
+
+// TelemetryHandler returns the telemetry HTTP surface (/metrics,
+// /debug/gcassert/trace, /debug/gcassert/violations,
+// /debug/gcassert/heap). It panics when the runtime was created without
+// the Telemetry option. All endpoints except the heap profile are safe to
+// scrape while the workload runs; see telemetry.Tracer.Handler.
+func (r *Runtime) TelemetryHandler() http.Handler {
+	tel := r.Telemetry()
+	if tel == nil {
+		panic("gcassert: TelemetryHandler requires Options.Telemetry")
+	}
+	return tel.Handler()
 }
 
 // GetRef loads the reference field at slot of the object at a.

@@ -56,13 +56,13 @@ func (r *Runtime) HeapProfile() []TypeProfile {
 // rows (0 = all).
 func (r *Runtime) WriteHeapProfile(w io.Writer, top int) error {
 	profile := r.HeapProfile()
-	if top > 0 && len(profile) > top {
-		profile = profile[:top]
-	}
 	totalObjs, totalWords := 0, 0
-	for _, p := range r.HeapProfile() {
+	for _, p := range profile {
 		totalObjs += p.Objects
 		totalWords += p.Words
+	}
+	if top > 0 && len(profile) > top {
+		profile = profile[:top]
 	}
 	if _, err := fmt.Fprintf(w, "%-44s %10s %12s %8s\n", "type", "objects", "bytes", "%"); err != nil {
 		return err

@@ -99,6 +99,9 @@ type Collector struct {
 	// KeepMarks makes the sweep retain survivors' mark bits (sticky marks),
 	// which the generational mode uses for minor collections.
 	KeepMarks bool
+	// Observer, if non-nil, receives collection-lifecycle callbacks
+	// (telemetry). The disabled path costs one nil-check per phase.
+	Observer Observer
 	// PreSweep, if non-nil, runs after marking (and after PostMark) and
 	// before the sweep. The generational mode uses it to prune the assertion
 	// engine's weak tables on minor collections, where hooks do not run.
@@ -127,17 +130,31 @@ func (c *Collector) Infrastructure() bool { return c.infra }
 func (c *Collector) GCCount() uint64 { return c.gcCount }
 
 // Collect runs one full stop-the-world collection and returns its record.
-// reason is recorded in the stats (e.g. "alloc-failure", "forced").
-func (c *Collector) Collect(reason string) Collection {
+// reason is recorded in the stats (typically ReasonAllocFailure or
+// ReasonForced).
+func (c *Collector) Collect(reason Reason) Collection {
 	start := time.Now()
 	col := Collection{Seq: c.gcCount, Reason: reason}
+	obs := c.Observer
+	if obs != nil {
+		obs.GCBegin(c.gcCount, reason)
+	}
 
 	if c.infra && c.hooks != nil {
+		if obs != nil {
+			obs.PhaseBegin(PhaseOwnership)
+		}
 		t0 := time.Now()
 		c.hooks.PreMark(c)
 		col.OwnershipTime = time.Since(t0)
+		if obs != nil {
+			obs.PhaseEnd(PhaseOwnership, col.OwnershipTime)
+		}
 	}
 
+	if obs != nil {
+		obs.PhaseBegin(PhaseMark)
+	}
 	t0 := time.Now()
 	if c.infra {
 		c.markInfra(&col)
@@ -145,6 +162,9 @@ func (c *Collector) Collect(reason string) Collection {
 		c.markBase(&col)
 	}
 	col.MarkTime = time.Since(t0)
+	if obs != nil {
+		obs.PhaseEnd(PhaseMark, col.MarkTime)
+	}
 
 	if c.infra && c.hooks != nil {
 		c.hooks.PostMark(c)
@@ -154,9 +174,15 @@ func (c *Collector) Collect(reason string) Collection {
 		c.PreSweep()
 	}
 
+	if obs != nil {
+		obs.PhaseBegin(PhaseSweep)
+	}
 	t0 = time.Now()
 	sw := c.space.Sweep(c.KeepMarks)
 	col.SweepTime = time.Since(t0)
+	if obs != nil {
+		obs.PhaseEnd(PhaseSweep, col.SweepTime)
+	}
 	col.ObjectsFreed = sw.ObjectsFreed
 	col.ObjectsLive = sw.ObjectsLive
 	col.WordsFreed = sw.WordsFreed
@@ -165,6 +191,9 @@ func (c *Collector) Collect(reason string) Collection {
 	c.gcCount++
 	c.stats.add(col)
 	c.last = col
+	if obs != nil {
+		obs.GCEnd(&col)
+	}
 	return col
 }
 

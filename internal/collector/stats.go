@@ -9,8 +9,9 @@ import (
 type Collection struct {
 	// Seq is the collection's sequence number (0-based).
 	Seq uint64
-	// Reason records why the collection ran ("alloc-failure", "forced", ...).
-	Reason string
+	// Reason records why the collection ran (ReasonAllocFailure,
+	// ReasonForced, ...).
+	Reason Reason
 	// OwnershipTime is the time spent in the assertion engine's ownership
 	// pre-phase (zero in Base mode or with no ownership assertions).
 	OwnershipTime time.Duration

@@ -38,8 +38,11 @@ func (e *Engine) OnEdge(c *collector.Collector, parent heap.Addr, slot int, chil
 				e.counts[t]++
 			}
 		}
-	} else if f&heap.FlagUnshared != 0 && f&flagLogged == 0 {
-		e.onSharedUnshared(c.GCCount(), child, c.CurrentRoot(), c.CurrentPath())
+	} else if f&heap.FlagUnshared != 0 {
+		e.stats.UnsharedChecks++
+		if f&flagLogged == 0 {
+			e.onSharedUnshared(c.GCCount(), child, c.CurrentRoot(), c.CurrentPath())
+		}
 	}
 	if f&heap.FlagOwnee != 0 && f&heap.FlagOwned == 0 && !e.inOwnership {
 		e.onUnownedReachable(c.GCCount(), child, c.CurrentRoot(), c.CurrentPath())
@@ -132,6 +135,7 @@ func (e *Engine) PostMark(c *collector.Collector) {
 
 	// assert-instances: compare per-type counts against limits (§2.4.1).
 	for _, t := range e.tracked {
+		e.stats.InstanceChecks++
 		if e.counts[t] > e.limits[t] {
 			e.stats.InstanceViolations++
 			e.report(&Violation{

@@ -78,6 +78,13 @@ func (r *CollectingReporter) Reset() {
 	r.violations = nil
 }
 
+// FuncReporter adapts a function to the Reporter interface. The telemetry
+// layer uses it to feed the violation stream without a dedicated type.
+type FuncReporter func(v *Violation)
+
+// Report invokes the function.
+func (f FuncReporter) Report(v *Violation) { f(v) }
+
 // TeeReporter fans a violation out to several reporters.
 type TeeReporter []Reporter
 

@@ -44,6 +44,9 @@ func (r *Runtime) initGenerational(cfg Config) {
 	}
 	g.minor = collector.New(r.space, (*rootScanner)(r), nil, false)
 	g.minor.KeepMarks = true
+	// Minor collections show up in the telemetry trace too (distinguished
+	// by their reason label, which lacks the "-full" suffix).
+	g.minor.Observer = r.gc.Observer
 	g.minor.PreSweep = func() {
 		if r.engine != nil {
 			r.engine.PruneWeak()
@@ -65,15 +68,15 @@ func (g *generational) barrier(src, val heap.Addr) {
 
 // collect runs the policy for an allocation failure: minor collections until
 // the ratio forces a full one.
-func (g *generational) collect(reason string) {
+func (g *generational) collect(reason collector.Reason) {
 	if g.sinceFull >= g.ratio {
-		g.fullCollect(reason + "-full")
+		g.fullCollect(reason.Full())
 		return
 	}
 	g.minorCollect(reason)
 }
 
-func (g *generational) minorCollect(reason string) {
+func (g *generational) minorCollect(reason collector.Reason) {
 	// Flatten the remembered set's outgoing references into scratch so the
 	// root scanner can hand out stable slot addresses.
 	g.scratch = g.scratch[:0]
@@ -89,7 +92,7 @@ func (g *generational) minorCollect(reason string) {
 	g.sinceFull++
 }
 
-func (g *generational) fullCollect(reason string) collector.Collection {
+func (g *generational) fullCollect(reason collector.Reason) collector.Collection {
 	s := g.r.space
 	// Un-stick all marks and clear remembered flags so the full trace is a
 	// clean slate.

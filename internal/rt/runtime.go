@@ -18,6 +18,7 @@ import (
 	"gcassert/internal/collector"
 	"gcassert/internal/core"
 	"gcassert/internal/heap"
+	"gcassert/internal/telemetry"
 )
 
 // Config configures a Runtime.
@@ -49,6 +50,14 @@ type Config struct {
 	// LogWriter, if non-nil, receives a WriterReporter in addition to
 	// Reporter.
 	LogWriter io.Writer
+	// Telemetry enables the observability layer: a structured GC event
+	// trace, a metrics registry with a pause histogram, and (in
+	// Infrastructure mode) a violation log, all reachable through
+	// Runtime.Telemetry(). Disabled, the collector pays one nil-check per
+	// phase and the mark hot path is untouched.
+	Telemetry bool
+	// TelemetryRingSize bounds the retained GC event trace (default 1024).
+	TelemetryRingSize int
 }
 
 // Runtime is a managed runtime instance.
@@ -64,6 +73,7 @@ type Runtime struct {
 	globNams []string
 
 	gen *generational
+	tel *telemetry.Tracer
 }
 
 // New creates a runtime per cfg.
@@ -76,6 +86,9 @@ func New(cfg Config) *Runtime {
 		reg = heap.NewRegistry()
 	}
 	r := &Runtime{reg: reg, space: heap.NewSpace(reg, cfg.HeapBytes)}
+	if cfg.Telemetry {
+		r.tel = telemetry.New(telemetry.Config{RingSize: cfg.TelemetryRingSize})
+	}
 	var hooks collector.Hooks
 	if cfg.Infrastructure {
 		rep := cfg.Reporter
@@ -87,10 +100,21 @@ func New(cfg Config) *Runtime {
 				rep = wr
 			}
 		}
+		if r.tel != nil {
+			tl := core.FuncReporter(func(v *core.Violation) { r.tel.LogViolation(v.String()) })
+			if rep != nil {
+				rep = core.TeeReporter{rep, tl}
+			} else {
+				rep = tl
+			}
+		}
 		r.engine = core.NewEngine(r.space, rep, cfg.Policy)
 		hooks = r.engine
 	}
 	r.gc = collector.New(r.space, (*rootScanner)(r), hooks, cfg.Infrastructure)
+	if r.tel != nil {
+		r.gc.Observer = newTelemetrySink(r, r.tel)
+	}
 	if cfg.Generational {
 		r.initGenerational(cfg)
 	}
@@ -110,12 +134,15 @@ func (r *Runtime) Collector() *collector.Collector { return r.gc }
 // off.
 func (r *Runtime) Engine() *core.Engine { return r.engine }
 
+// Telemetry exposes the observability layer, or nil when telemetry is off.
+func (r *Runtime) Telemetry() *telemetry.Tracer { return r.tel }
+
 // Collect forces a full collection.
 func (r *Runtime) Collect() collector.Collection {
 	if r.gen != nil {
-		return r.gen.fullCollect("forced")
+		return r.gen.fullCollect(collector.ReasonForced)
 	}
-	return r.gc.Collect("forced")
+	return r.gc.Collect(collector.ReasonForced)
 }
 
 // Define registers a new object type.

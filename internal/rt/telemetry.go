@@ -1,0 +1,109 @@
+package rt
+
+import (
+	"time"
+
+	"gcassert/internal/collector"
+	"gcassert/internal/core"
+	"gcassert/internal/heap"
+	"gcassert/internal/telemetry"
+)
+
+// telemetrySink adapts the collector's Observer callbacks into telemetry
+// Events. It lives only on telemetry-enabled runtimes; a disabled runtime
+// leaves the collector's Observer nil, so the Base trace is unperturbed.
+//
+// The sink runs inside stop-the-world collections on the runtime's
+// goroutine, so plain fields need no synchronization; the tracer it feeds
+// is the concurrency boundary.
+type telemetrySink struct {
+	r *Runtime
+	t *telemetry.Tracer
+
+	// engineBefore and heapLast are the stat snapshots used to compute
+	// per-collection deltas: engine stats at GCBegin (per-kind checks and
+	// violations of this cycle), heap stats carried across collections
+	// (allocation counters cover the whole inter-GC window).
+	engineBefore core.Stats
+	heapLast     heap.Stats
+
+	gcStart    time.Time
+	phaseStart time.Time
+	phases     []telemetry.PhaseSpan
+}
+
+var _ collector.Observer = (*telemetrySink)(nil)
+
+func newTelemetrySink(r *Runtime, t *telemetry.Tracer) *telemetrySink {
+	return &telemetrySink{r: r, t: t, heapLast: r.space.Stats()}
+}
+
+func (s *telemetrySink) GCBegin(seq uint64, reason collector.Reason) {
+	s.gcStart = time.Now()
+	s.phases = make([]telemetry.PhaseSpan, 0, 3)
+	s.t.RecordTrigger(string(reason))
+	if s.r.engine != nil {
+		s.engineBefore = s.r.engine.Stats()
+	}
+}
+
+func (s *telemetrySink) PhaseBegin(p collector.Phase) { s.phaseStart = time.Now() }
+
+func (s *telemetrySink) PhaseEnd(p collector.Phase, d time.Duration) {
+	s.phases = append(s.phases, telemetry.PhaseSpan{
+		Phase:       p.String(),
+		StartUnixNs: s.phaseStart.UnixNano(),
+		DurNs:       int64(d),
+	})
+}
+
+func (s *telemetrySink) GCEnd(col *collector.Collection) {
+	ev := &telemetry.Event{
+		Reason:        string(col.Reason),
+		StartUnixNs:   s.gcStart.UnixNano(),
+		TotalNs:       int64(col.TotalTime),
+		Phases:        s.phases,
+		RootsScanned:  col.RootsScanned,
+		ObjectsMarked: col.ObjectsMarked,
+		ObjectsFreed:  col.ObjectsFreed,
+		ObjectsLive:   col.ObjectsLive,
+		WordsFreed:    col.WordsFreed,
+	}
+	s.phases = nil
+	if s.r.engine != nil {
+		ev.Kinds = kindDeltas(s.engineBefore, s.r.engine.Stats())
+	}
+	hs := s.r.space.Stats()
+	s.t.AddAllocations(hs.ObjectsAllocated-s.heapLast.ObjectsAllocated,
+		hs.WordsAllocated-s.heapLast.WordsAllocated)
+	s.heapLast = hs
+	s.t.Record(ev)
+}
+
+// kindDeltas converts the engine-stats delta of one collection into
+// per-kind check/violation counts. "Checks" maps each kind to its natural
+// unit: dead = asserted-dead objects resolved (reclaimed or caught
+// reachable), instances = tracked-type limit comparisons, unshared =
+// re-encounters of unshared-flagged objects, ownedby = ownee membership
+// checks in the ownership phase. Improper-ownership has no separate check
+// step (it is detected during ownedby checking), so only its violations
+// are counted.
+func kindDeltas(before, after core.Stats) []telemetry.KindCount {
+	checks := [core.NumKinds]uint64{
+		core.KindDead: (after.DeadVerified + after.DeadViolations) -
+			(before.DeadVerified + before.DeadViolations),
+		core.KindInstances: after.InstanceChecks - before.InstanceChecks,
+		core.KindUnshared:  after.UnsharedChecks - before.UnsharedChecks,
+		core.KindOwnedBy:   after.OwneesChecked - before.OwneesChecked,
+	}
+	names := core.KindNames()
+	out := make([]telemetry.KindCount, core.NumKinds)
+	for k := 0; k < core.NumKinds; k++ {
+		out[k] = telemetry.KindCount{
+			Kind:       names[k],
+			Checks:     checks[k],
+			Violations: after.ViolationsByKind[k] - before.ViolationsByKind[k],
+		}
+	}
+	return out
+}

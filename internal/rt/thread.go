@@ -3,6 +3,7 @@ package rt
 import (
 	"fmt"
 
+	"gcassert/internal/collector"
 	"gcassert/internal/heap"
 )
 
@@ -89,7 +90,7 @@ func (t *Thread) alloc(typ heap.TypeID, n int) heap.Addr {
 		a, ok = r.space.Allocate(typ, n)
 		if !ok && r.gen != nil {
 			// Minor collection was not enough: escalate to a full cycle.
-			r.gen.fullCollect("alloc-failure-full")
+			r.gen.fullCollect(collector.ReasonAllocFailure.Full())
 			a, ok = r.space.Allocate(typ, n)
 		}
 		if !ok {
@@ -105,10 +106,10 @@ func (t *Thread) alloc(typ heap.TypeID, n int) heap.Addr {
 // collectForAlloc runs the collection policy for an allocation failure.
 func (r *Runtime) collectForAlloc() {
 	if r.gen != nil {
-		r.gen.collect("alloc-failure")
+		r.gen.collect(collector.ReasonAllocFailure)
 		return
 	}
-	r.gc.Collect("alloc-failure")
+	r.gc.Collect(collector.ReasonAllocFailure)
 }
 
 // StartRegion opens a start-region bracket on this thread (§2.3.2): every

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultPauseBuckets returns the log-spaced bucket upper bounds (in
+// seconds) used for GC pause histograms: 1µs doubling up to ~34s.
+func DefaultPauseBuckets() []float64 {
+	out := make([]float64, 26)
+	b := 1e-6
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}
+
+// Histogram is a log-bucketed duration histogram with atomic observation
+// and lock-free reads: Observe may race freely with quantile queries and
+// Prometheus rendering.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, in seconds
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count  atomic.Uint64
+	sumNs  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+// NewHistogram creates a histogram over the given ascending upper bounds
+// (in seconds). Values above the last bound land in an overflow bucket.
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+	for {
+		old := h.maxNs.Load()
+		if int64(d) <= old || h.maxNs.CompareAndSwap(old, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the bucket containing the target rank, the standard estimator for
+// log-bucketed histograms. Returns 0 with no observations; the estimate is
+// clamped to Max so q=1 is exact.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.Max().Seconds()
+			if i < len(h.bounds) && h.bounds[i] < hi {
+				hi = h.bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(c)
+			est := time.Duration((lo + (hi-lo)*frac) * float64(time.Second))
+			if m := h.Max(); est > m {
+				est = m
+			}
+			return est
+		}
+		cum += float64(c)
+	}
+	return h.Max()
+}
+
+// snapshot returns the per-bucket counts (for Prometheus rendering).
+func (h *Histogram) snapshot() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // bucket 0 (≤1ms)
+	h.Observe(time.Millisecond)       // boundary: still ≤1ms
+	h.Observe(5 * time.Millisecond)   // bucket 1 (≤10ms)
+	h.Observe(50 * time.Millisecond)  // bucket 2 (≤100ms)
+	h.Observe(2 * time.Second)        // overflow
+
+	want := []uint64{2, 1, 1, 1}
+	got := h.snapshot()
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	wantSum := 500*time.Microsecond + time.Millisecond + 5*time.Millisecond + 50*time.Millisecond + 2*time.Second
+	if h.Sum() != wantSum {
+		t.Errorf("Sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.Max() != 2*time.Second {
+		t.Errorf("Max = %v, want 2s", h.Max())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(DefaultPauseBuckets())
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", q)
+	}
+	// 100 observations spread linearly from 1ms to 100ms.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	// The bucketed estimate must land within the bucket containing the true
+	// quantile: true p50 = 50ms → bucket (32.8ms, 65.5ms].
+	checks := []struct {
+		q        float64
+		lo, hi   time.Duration
+		trueName string
+	}{
+		{0.5, 32 * time.Millisecond, 66 * time.Millisecond, "p50≈50ms"},
+		{0.9, 65 * time.Millisecond, 132 * time.Millisecond, "p90≈90ms"},
+		{0.99, 65 * time.Millisecond, 100 * time.Millisecond, "p99≈99ms"},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.lo || got > c.hi {
+			t.Errorf("Quantile(%v) = %v, want in [%v, %v] (%s)", c.q, got, c.lo, c.hi, c.trueName)
+		}
+	}
+	if p100 := h.Quantile(1); p100 != 100*time.Millisecond {
+		t.Errorf("Quantile(1) = %v, want exactly Max (100ms)", p100)
+	}
+	if p50, p99 := h.Quantile(0.5), h.Quantile(0.99); p50 > p99 {
+		t.Errorf("p50 %v > p99 %v", p50, p99)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if got := h.Quantile(1.5); got != h.Quantile(1) {
+		t.Errorf("Quantile(1.5) = %v, want clamp to Quantile(1)", got)
+	}
+	if got := h.Quantile(-1); got < 0 {
+		t.Errorf("Quantile(-1) = %v, want >= 0", got)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram(DefaultPauseBuckets())
+	h.Observe(3 * time.Millisecond)
+	// Every quantile of a single observation is clamped to Max.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got > 3*time.Millisecond {
+			t.Errorf("Quantile(%v) = %v, want <= 3ms", q, got)
+		}
+	}
+	if h.Quantile(1) != 3*time.Millisecond {
+		t.Errorf("Quantile(1) = %v, want 3ms", h.Quantile(1))
+	}
+}
+
+func TestDefaultPauseBuckets(t *testing.T) {
+	bs := DefaultPauseBuckets()
+	if len(bs) != 26 {
+		t.Fatalf("len = %d, want 26", len(bs))
+	}
+	if bs[0] != 1e-6 {
+		t.Errorf("first bound = %g, want 1e-6", bs[0])
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i] != 2*bs[i-1] {
+			t.Errorf("bucket %d = %g, want double of %g", i, bs[i], bs[i-1])
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the tracer's HTTP surface:
+//
+//	/metrics                     Prometheus text exposition
+//	/debug/gcassert/trace        GC event trace; ?format=jsonl (default),
+//	                             gctrace, or chrome (open in Perfetto)
+//	/debug/gcassert/violations   recent violation reports, oldest first
+//	/debug/gcassert/heap         live-heap profile by type
+//
+// Every endpoint except /debug/gcassert/heap reads only atomics and
+// mutex-guarded copies, so it is safe to scrape while the workload runs.
+// The heap endpoint walks the managed heap and must only be hit while the
+// runtime is quiescent (the runtime is single-goroutine; a scrape during a
+// mutator step reads a heap mid-mutation).
+func (t *Tracer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = t.WriteMetrics(w)
+	})
+	mux.HandleFunc("/debug/gcassert/trace", func(w http.ResponseWriter, r *http.Request) {
+		switch f := r.URL.Query().Get("format"); f {
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			_ = t.WriteChromeTrace(w)
+		case "gctrace":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = t.WriteGoTrace(w)
+		case "", "jsonl":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = t.WriteJSONL(w)
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (want jsonl, gctrace or chrome)", f), http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("/debug/gcassert/violations", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reports, total := t.Violations()
+		fmt.Fprintf(w, "# %d violations logged, %d retained\n", total, len(reports))
+		for _, rep := range reports {
+			fmt.Fprintln(w, rep)
+		}
+	})
+	mux.HandleFunc("/debug/gcassert/heap", func(w http.ResponseWriter, _ *http.Request) {
+		f := t.heapProfileFn()
+		if f == nil {
+			http.Error(w, "no heap profile source installed", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := f(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrometheusGolden pins the exact text exposition output: families
+// sorted by name, series by label set, histograms with cumulative buckets,
+// +Inf, _sum in seconds and _count.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_requests_total", "Requests served.", Label{"kind", "a"}).Add(3)
+	reg.Counter("test_requests_total", "Requests served.", Label{"kind", "b"}).Inc()
+	reg.Gauge("test_live", "Live objects.").Set(7)
+	h := reg.Histogram("test_pause_seconds", "Pause times.", []float64{0.001, 0.01})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# HELP test_live Live objects.
+# TYPE test_live gauge
+test_live 7
+# HELP test_pause_seconds Pause times.
+# TYPE test_pause_seconds histogram
+test_pause_seconds_bucket{le="0.001"} 1
+test_pause_seconds_bucket{le="0.01"} 2
+test_pause_seconds_bucket{le="+Inf"} 3
+test_pause_seconds_sum 0.0555
+test_pause_seconds_count 3
+# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total{kind="a"} 3
+test_requests_total{kind="b"} 1
+`
+	if got := b.String(); got != golden {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+func TestRegistryIdempotentLookup(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("x_total", "x", Label{"a", "1"})
+	c2 := reg.Counter("x_total", "x", Label{"a", "1"})
+	if c1 != c2 {
+		t.Error("same name+labels returned distinct counters")
+	}
+	c3 := reg.Counter("x_total", "x", Label{"a", "2"})
+	if c1 == c3 {
+		t.Error("distinct labels returned the same counter")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "x")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "esc", Label{"p", `a"b\c` + "\n"}).Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{p="a\"b\\c\n"} 1`) {
+		t.Errorf("escaping wrong:\n%s", b.String())
+	}
+}

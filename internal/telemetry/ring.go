@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Ring is a fixed-size lock-free ring buffer of GC events. It assumes a
+// single writer (the stop-the-world collector — collections never overlap)
+// and any number of concurrent readers. Slots hold atomic pointers to
+// immutable Events: a reader either sees a complete event or the one that
+// replaced it, never a torn record, and a snapshot never blocks the
+// collector.
+type Ring struct {
+	slots []atomic.Pointer[Event]
+	head  atomic.Uint64 // number of events ever pushed
+}
+
+// NewRing creates a ring holding the most recent n events (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Event], n)}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Total returns the number of events ever pushed (drops = Total - Len).
+func (r *Ring) Total() uint64 { return r.head.Load() }
+
+// Len returns the number of events currently retained.
+func (r *Ring) Len() int {
+	h := r.head.Load()
+	if h < uint64(len(r.slots)) {
+		return int(h)
+	}
+	return len(r.slots)
+}
+
+// Push appends an event, evicting the oldest when full. The event must not
+// be mutated after Push. Single writer only.
+func (r *Ring) Push(ev *Event) {
+	h := r.head.Load()
+	r.slots[h%uint64(len(r.slots))].Store(ev)
+	r.head.Store(h + 1)
+}
+
+// Snapshot returns copies of the retained events, oldest first. Under a
+// concurrent writer a slot may be read just after eviction, so the result
+// is sorted by sequence number to stay monotonic; it may span slightly
+// more than Cap() collections' worth of history but never tears an event.
+func (r *Ring) Snapshot() []Event {
+	h := r.head.Load()
+	n := uint64(len(r.slots))
+	start := uint64(0)
+	if h > n {
+		start = h - n
+	}
+	out := make([]Event, 0, h-start)
+	for i := start; i < h; i++ {
+		if p := r.slots[i%n].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingWrapAndOrder(t *testing.T) {
+	r := NewRing(4)
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("fresh ring: Len=%d Total=%d", r.Len(), r.Total())
+	}
+	for i := 0; i < 10; i++ {
+		r.Push(&Event{Seq: uint64(i)})
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d, want 10", r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4", len(snap))
+	}
+	for i, ev := range snap {
+		if want := uint64(6 + i); ev.Seq != want {
+			t.Errorf("snap[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	if r.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", r.Cap())
+	}
+	r.Push(&Event{Seq: 1})
+	r.Push(&Event{Seq: 2})
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Seq != 2 {
+		t.Fatalf("snapshot = %+v, want just seq 2", snap)
+	}
+}
+
+// TestRingConcurrentDrain exercises the single-writer/concurrent-reader
+// contract under the race detector: snapshots taken while the writer spins
+// must stay monotonic and never tear.
+func TestRingConcurrentDrain(t *testing.T) {
+	r := NewRing(8)
+	const writes = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			r.Push(&Event{Seq: uint64(i), TotalNs: int64(i)})
+		}
+	}()
+	for r.Total() < writes {
+		snap := r.Snapshot()
+		for i := 1; i < len(snap); i++ {
+			if snap[i].Seq <= snap[i-1].Seq {
+				t.Fatalf("non-monotonic snapshot: %d after %d", snap[i].Seq, snap[i-1].Seq)
+			}
+		}
+		for _, ev := range snap {
+			if ev.TotalNs != int64(ev.Seq) {
+				t.Fatalf("torn event: seq %d carries TotalNs %d", ev.Seq, ev.TotalNs)
+			}
+		}
+	}
+	wg.Wait()
+}
