@@ -265,6 +265,63 @@ func BenchmarkTelemetryOn(b *testing.B) {
 	}
 }
 
+// BenchmarkCensusOff verifies the acceptance criterion for the
+// introspection layer: with introspection disabled (the default), a
+// full-heap collection of a fixed 200k-object list stays at the collector's
+// pre-existing allocation baseline (2 allocs/op: the escaping Collection
+// record and the root-scan closure) — the nil OnMark check adds zero
+// allocations to the mark hot path. The b.N loop asserts this in-line so
+// `go test -bench BenchmarkCensusOff` fails loudly on a regression instead
+// of requiring a human to read allocs/op.
+func BenchmarkCensusOff(b *testing.B) {
+	for _, infra := range []bool{false, true} {
+		name := "Base"
+		if infra {
+			name = "Infrastructure"
+		}
+		infra := infra
+		b.Run(name, func(b *testing.B) {
+			vm := gcassert.New(gcassert.Options{HeapBytes: 32 << 20, Infrastructure: infra})
+			node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+			th := vm.NewThread("main")
+			fr := th.Push(1)
+			buildList(vm, th, fr, node, 200_000)
+			vm.Collect() // settle one-time lazy growth before measuring
+			b.ReportAllocs()
+			allocs := testing.AllocsPerRun(3, func() { vm.Collect() })
+			if allocs > 2 {
+				b.Fatalf("disabled-introspection collection allocates %.0f times/op, want <= 2 (baseline)", allocs)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vm.Collect()
+			}
+		})
+	}
+}
+
+// BenchmarkCensusOn is the enabled-mode counterpart: the same collection
+// with the census observing every mark. Compare ns/op against
+// BenchmarkCensusOff for the census overhead; the snapshot built at GCEnd
+// accounts for the extra allocs/op.
+func BenchmarkCensusOn(b *testing.B) {
+	vm := gcassert.New(gcassert.Options{HeapBytes: 32 << 20, Introspection: true})
+	node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+	th := vm.NewThread("main")
+	fr := th.Push(1)
+	buildList(vm, th, fr, node, 200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.Collect()
+	}
+	b.StopTimer()
+	snap, ok := vm.LatestCensus()
+	if !ok || snap.TotalObjects != 200_000 {
+		b.Fatalf("census snapshot missing or wrong: %+v", snap)
+	}
+}
+
 // BenchmarkMicroAlloc measures the allocation fast path.
 func BenchmarkMicroAlloc(b *testing.B) {
 	vm := gcassert.New(gcassert.Options{HeapBytes: 64 << 20})

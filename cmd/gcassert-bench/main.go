@@ -4,21 +4,30 @@
 // Usage:
 //
 //	gcassert-bench [-figure N] [-bench name] [-trials T] [-iters I] [-paper]
+//	               [-baseline file]
 //
 //	-figure 0      run everything (default): Figures 2, 3, 4 and 5
 //	-figure 2|3    infrastructure overhead across the full suite
 //	-figure 4|5    assertion overhead on _209_db and pseudojbb
 //	-bench name    restrict to one workload
 //	-paper         use the paper's full methodology (20 trials, 4 iterations)
+//	-baseline file instead of figures, run the baseline probe (ns/op, pause
+//	               percentiles, census overhead) on the assertion-bearing
+//	               workloads and write machine-readable JSON to file
+//	               ("-" for stdout)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"gcassert"
 	"gcassert/internal/bench"
 	"gcassert/internal/bench/workloads"
+	"gcassert/internal/bench/wutil"
 )
 
 func main() {
@@ -27,6 +36,7 @@ func main() {
 	trials := flag.Int("trials", 0, "override number of trials")
 	iters := flag.Int("iters", 0, "override iterations per trial")
 	paper := flag.Bool("paper", false, "use the paper's full methodology (20 trials x 4 iterations)")
+	baseline := flag.String("baseline", "", "write a machine-readable baseline JSON to this file and exit")
 	flag.Parse()
 
 	opt := bench.DefaultOptions()
@@ -48,6 +58,14 @@ func main() {
 			os.Exit(1)
 		}
 		suite = []bench.Workload{w}
+	}
+
+	if *baseline != "" {
+		if err := writeBaseline(*baseline, suite, opt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	wantInfraFigs := *figure == 0 || *figure == 2 || *figure == 3
@@ -90,4 +108,108 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown figure %d (want 2, 3, 4, 5 or 0)\n", *figure)
 		os.Exit(1)
 	}
+}
+
+// baselineDoc is the machine-readable baseline: one record per workload,
+// suitable for regression-diffing in CI or archiving next to figure output.
+type baselineDoc struct {
+	GeneratedUnix int64              `json:"generated_unix"`
+	Trials        int                `json:"trials"`
+	Iterations    int                `json:"iterations"`
+	Workloads     []workloadBaseline `json:"workloads"`
+}
+
+type workloadBaseline struct {
+	Name string `json:"name"`
+	// BaseNsPerOp and CensusNsPerOp are mean measured-iteration times with
+	// introspection off and on; CensusOverheadPct is their relative delta.
+	BaseNsPerOp       int64   `json:"base_ns_per_op"`
+	CensusNsPerOp     int64   `json:"census_ns_per_op"`
+	CensusOverheadPct float64 `json:"census_overhead_pct"`
+	// Pause percentiles come from a telemetry-enabled census run.
+	PauseP50Ns  int64  `json:"pause_p50_ns"`
+	PauseP99Ns  int64  `json:"pause_p99_ns"`
+	PauseMaxNs  int64  `json:"pause_max_ns"`
+	Collections uint64 `json:"collections"`
+	// CensusLiveWords is the final census total, which must equal the
+	// collector's live-words accounting (recorded so a drift is visible in
+	// the archived file, not only in tests).
+	CensusLiveWords uint64 `json:"census_live_words"`
+	LiveWordsMatch  bool   `json:"live_words_match"`
+}
+
+// measureIters runs the workload on a fresh runtime and returns the mean
+// measured-iteration time, averaged over trials (warmup iterations excluded),
+// plus the final runtime for stats inspection.
+func measureIters(w bench.Workload, opt bench.Options, mkOpts func() gcassert.Options) (time.Duration, *gcassert.Runtime) {
+	var sum time.Duration
+	var vm *gcassert.Runtime
+	for trial := 0; trial < opt.Trials; trial++ {
+		vm = gcassert.New(mkOpts())
+		run := w.New(vm, false)
+		for i := 0; i < opt.Iterations-1; i++ {
+			run(i)
+		}
+		start := time.Now()
+		run(opt.Iterations - 1)
+		sum += time.Since(start)
+	}
+	return sum / time.Duration(opt.Trials), vm
+}
+
+// writeBaseline measures the assertion-bearing workloads (the paper's
+// featured pair unless -bench narrowed the suite) and writes the JSON
+// baseline.
+func writeBaseline(path string, suite []bench.Workload, opt bench.Options) error {
+	doc := baselineDoc{
+		GeneratedUnix: time.Now().Unix(),
+		Trials:        opt.Trials,
+		Iterations:    opt.Iterations,
+	}
+	for _, w := range suite {
+		if !w.HasAsserts {
+			continue // baseline tracks the paper's featured workloads
+		}
+		fmt.Fprintf(os.Stderr, "baseline %-12s (%d trials x %d iters, base + census)\n",
+			w.Name, opt.Trials, opt.Iterations)
+		base, _ := measureIters(w, opt, func() gcassert.Options {
+			return gcassert.Options{HeapBytes: w.Heap}
+		})
+		census, vm := measureIters(w, opt, func() gcassert.Options {
+			return gcassert.Options{HeapBytes: w.Heap, Telemetry: true, Introspection: true}
+		})
+		wb := workloadBaseline{
+			Name:              w.Name,
+			BaseNsPerOp:       base.Nanoseconds(),
+			CensusNsPerOp:     census.Nanoseconds(),
+			CensusOverheadPct: 100 * (float64(census)/float64(base) - 1),
+			Collections:       vm.GCStats().Collections,
+		}
+		h := vm.Telemetry().PauseHistogram()
+		wb.PauseP50Ns = h.Quantile(0.5).Nanoseconds()
+		wb.PauseP99Ns = h.Quantile(0.99).Nanoseconds()
+		wb.PauseMaxNs = h.Max().Nanoseconds()
+		// Force one final collection so the census and the heap accounting
+		// describe the same instant, then cross-check them.
+		vm.Collect()
+		if snap, ok := vm.LatestCensus(); ok {
+			wb.CensusLiveWords = snap.TotalCellWords
+			wb.LiveWordsMatch = snap.TotalCellWords == vm.HeapStats().LiveWords
+		}
+		wutil.WriteGCSummary(os.Stderr, vm, census*time.Duration(opt.Trials))
+		doc.Workloads = append(doc.Workloads, wb)
+	}
+
+	dst := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }

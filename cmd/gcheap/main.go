@@ -1,0 +1,275 @@
+// Command gcheap runs a registered workload with heap introspection enabled
+// and reports what the heap did: the per-GC census trend, ranked leak
+// suspects with root-to-object paths, and dominator-tree top retainers.
+//
+// Usage:
+//
+//	gcheap [-workload name] [-iters N] [-heap bytes] [-leak]
+//	       [-window N] [-top N] [-retainers N] [-trend N]
+//	       [-json] [-dot file] [-http addr] [-list]
+//
+//	-workload pseudojbb  workload to run (see -list)
+//	-iters 3             workload iterations
+//	-leak                seed the pseudojbb orderTable leak (the paper's
+//	                     §3.2.1 bug) so the diagnostics have something to find;
+//	                     pseudojbb only
+//	-window 0            snapshots to diff for leak ranking (0 = all retained)
+//	-top 5               leak suspects to report
+//	-retainers 10        dominator top retainers to report (0 disables)
+//	-trend 8             census snapshots shown in the trend table
+//	-json                emit census + leak JSON documents instead of text
+//	-dot file            also write the dominator tree in Graphviz DOT format
+//	-http addr           serve /metrics and /debug/gcassert/* (census, leaks,
+//	                     trace, violations) on addr; stays up after the run
+//
+// The run always ends with a forced collection followed by a census/GCStats
+// cross-check: the census total must equal the collector's live-words
+// accounting exactly — they are two independent walks of the same marked
+// heap, so any deviation is a bug.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"gcassert"
+	"gcassert/internal/bench"
+	"gcassert/internal/bench/jbb"
+	"gcassert/internal/bench/workloads"
+	"gcassert/internal/bench/wutil"
+	"gcassert/internal/heap"
+)
+
+func main() {
+	workload := flag.String("workload", "pseudojbb", "workload to run")
+	list := flag.Bool("list", false, "list workloads and exit")
+	iters := flag.Int("iters", 3, "workload iterations")
+	heapBytes := flag.Int("heap", 0, "override the workload's heap size (bytes)")
+	leak := flag.Bool("leak", false, "seed the pseudojbb orderTable leak (pseudojbb only)")
+	window := flag.Int("window", 0, "snapshots to diff for leak ranking (0 = all)")
+	top := flag.Int("top", 5, "leak suspects to report")
+	retainers := flag.Int("retainers", 10, "dominator top retainers to report (0 = skip)")
+	trend := flag.Int("trend", 8, "census snapshots shown in the trend table")
+	jsonOut := flag.Bool("json", false, "emit census and leak JSON instead of text")
+	dotFile := flag.String("dot", "", "write the dominator tree as DOT to this file")
+	ring := flag.Int("ring", 256, "census snapshot ring capacity")
+	httpAddr := flag.String("http", "", "serve telemetry + census endpoints on this address")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-12s heap=%d\n", w.Name, w.Heap)
+		}
+		return
+	}
+
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *leak {
+		if w.Name != "pseudojbb" {
+			fmt.Fprintln(os.Stderr, "-leak is only meaningful with -workload pseudojbb")
+			os.Exit(1)
+		}
+		w = leakyPseudojbb(w.Heap)
+	}
+	if *heapBytes > 0 {
+		w.Heap = *heapBytes
+	}
+
+	vm := gcassert.New(gcassert.Options{
+		HeapBytes:      w.Heap,
+		Telemetry:      true,
+		Introspection:  true,
+		CensusRingSize: *ring,
+	})
+
+	if *httpAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "serving on http://%s/debug/gcassert/census\n", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, vm.TelemetryHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	run := w.New(vm, false)
+	start := time.Now()
+	runAll(vm, run, *iters)
+	elapsed := time.Since(start)
+	// A final forced collection pins the census to the instant the report
+	// describes; everything below reads that snapshot.
+	vm.Collect()
+
+	if *jsonOut {
+		if err := vm.WriteCensusJSON(os.Stdout, *trend); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := vm.WriteLeaksJSON(os.Stdout, *window, *top); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		printTrend(vm, *trend)
+		printSuspects(vm, *window, *top)
+		if *retainers > 0 {
+			printRetainers(vm, *retainers)
+		}
+	}
+	if *dotFile != "" {
+		f, err := os.Create(*dotFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := vm.WriteDominatorDOT(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "dominator tree written to %s\n", *dotFile)
+	}
+
+	crossCheck(vm)
+	wutil.WriteGCSummary(os.Stderr, vm, elapsed)
+
+	if *httpAddr != "" {
+		fmt.Fprintln(os.Stderr, "run complete; server still up (interrupt to exit)")
+		select {}
+	}
+}
+
+// leakyPseudojbb is pseudojbb with the §3.2.1 orderTable bug seeded:
+// DeliveryTransaction never removes delivered Orders from the B-tree, so
+// Order (and the B-tree nodes holding them) grow without bound — the ground
+// truth the leak ranking is expected to find.
+func leakyPseudojbb(heapBytes int) bench.Workload {
+	return bench.Workload{Name: "pseudojbb-leaky", Heap: heapBytes,
+		New: func(vm *gcassert.Runtime, asserts bool) func(int) {
+			cfg := jbb.DefaultConfig()
+			cfg.LeakOrderTable = true
+			j := jbb.New(vm, cfg)
+			return j.RunIteration
+		}}
+}
+
+// runAll executes the iterations, surviving heap exhaustion: a seeded leak
+// eventually OOMs a tight heap, and the census collected up to that point is
+// exactly what the diagnostics need.
+func runAll(vm *gcassert.Runtime, run func(int), iters int) {
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && strings.Contains(err.Error(), "out of memory") {
+				fmt.Fprintf(os.Stderr, "(heap exhausted mid-run: %v)\n", err)
+				return
+			}
+			panic(r)
+		}
+	}()
+	for i := 0; i < iters; i++ {
+		run(i)
+	}
+}
+
+func kb(words uint64) float64 { return float64(words*heap.WordBytes) / 1024 }
+
+// printTrend renders the last n census snapshots as a table.
+func printTrend(vm *gcassert.Runtime, n int) {
+	snaps := vm.CensusSnapshots()
+	total := len(snaps)
+	if n > 0 && total > n {
+		snaps = snaps[total-n:]
+	}
+	fmt.Printf("census trend (last %d of %d snapshots):\n", len(snaps), total)
+	fmt.Printf("  %6s  %-20s %10s %12s  %s\n", "gc", "reason", "objects", "KiB", "top type")
+	for i := range snaps {
+		s := &snaps[i]
+		topType := "-"
+		if len(s.Types) > 0 {
+			topType = fmt.Sprintf("%s (%.1f KiB)", s.Types[0].TypeName, kb(s.Types[0].Words))
+		}
+		fmt.Printf("  %6d  %-20s %10d %12.1f  %s\n",
+			s.GC, s.Reason, s.TotalObjects, kb(s.TotalWords), topType)
+	}
+	fmt.Println()
+}
+
+// printSuspects renders the ranked leak suspects with sampled root paths.
+func printSuspects(vm *gcassert.Runtime, window, top int) {
+	reports := vm.LeakSuspects(window, top)
+	if len(reports) == 0 {
+		fmt.Println("leak suspects: none (no type shows consistent growth)")
+		fmt.Println()
+		return
+	}
+	fmt.Printf("leak suspects (over GCs %d..%d):\n", reports[0].FirstGC, reports[0].LastGC)
+	for i, rep := range reports {
+		fmt.Printf("  #%d %-20s %+9.1f KiB/GC  growth %3.0f%%  (%.1f -> %.1f KiB, %d -> %d objects)\n",
+			i+1, rep.TypeName, kb(1)*rep.SlopeWordsPerGC, 100*rep.Growth,
+			kb(rep.StartWords), kb(rep.EndWords), rep.StartObjects, rep.EndObjects)
+		if len(rep.Path) > 0 {
+			fmt.Printf("     kept alive via root %s:\n", rep.Root)
+			fmt.Printf("       %s\n", formatPath(rep.Path))
+		}
+	}
+	fmt.Println()
+}
+
+// formatPath renders a root path in the violation-report style, one line.
+func formatPath(path []gcassert.PathStep) string {
+	var b strings.Builder
+	for i, s := range path {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(s.TypeName)
+		if s.Field != "" {
+			b.WriteString(" ." + s.Field)
+		}
+	}
+	return b.String()
+}
+
+// printRetainers renders the dominator analysis.
+func printRetainers(vm *gcassert.Runtime, n int) {
+	dom := vm.Dominators()
+	fmt.Printf("top retainers (dominator analysis over %d objects):\n", dom.Graph().NumObjects())
+	for _, r := range dom.TopRetainers(n) {
+		root := ""
+		if r.Root != "" {
+			root = "  [" + r.Root + "]"
+		}
+		fmt.Printf("  %-20s retains %10.1f KiB (%6d objects, shallow %.1f KiB)%s\n",
+			r.TypeName, kb(r.RetainedWords), r.Dominated, kb(r.ShallowWords), root)
+	}
+	fmt.Println("retained by type (subtree heads only):")
+	for _, t := range dom.TypeRetainers(n) {
+		fmt.Printf("  %-20s %10.1f KiB across %d heads\n", t.TypeName, kb(t.RetainedWords), t.Objects)
+	}
+	fmt.Println()
+}
+
+// crossCheck verifies the census against the collector's own accounting.
+func crossCheck(vm *gcassert.Runtime) {
+	snap, ok := vm.LatestCensus()
+	if !ok {
+		fmt.Fprintln(os.Stderr, "census cross-check: no snapshots (no collection ran)")
+		return
+	}
+	live := vm.HeapStats().LiveWords
+	if snap.TotalCellWords == live {
+		fmt.Fprintf(os.Stderr, "census cross-check: %d live words == GCStats %d  OK\n",
+			snap.TotalCellWords, live)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "census cross-check: FAILED — census %d words, GCStats %d\n",
+		snap.TotalCellWords, live)
+	os.Exit(1)
+}

@@ -36,6 +36,7 @@ import (
 	"gcassert"
 	"gcassert/internal/bench"
 	"gcassert/internal/bench/workloads"
+	"gcassert/internal/bench/wutil"
 )
 
 func main() {
@@ -138,46 +139,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	summarize(vm, elapsed)
+	wutil.WriteGCSummary(os.Stderr, vm, elapsed)
 
 	if *httpAddr != "" {
 		fmt.Fprintln(os.Stderr, "run complete; telemetry server still up (interrupt to exit)")
 		select {}
-	}
-}
-
-// summarize cross-checks the event stream against the collector's
-// cumulative stats and prints pause percentiles.
-func summarize(vm *gcassert.Runtime, elapsed time.Duration) {
-	st := vm.GCStats()
-	events := vm.Telemetry().Events()
-	var own, mark, sweep, total int64
-	for i := range events {
-		e := &events[i]
-		own += e.PhaseNs("ownership")
-		mark += e.PhaseNs("mark")
-		sweep += e.PhaseNs("sweep")
-		total += e.TotalNs
-	}
-	dev := func(evNs int64, st time.Duration) string {
-		if st == 0 {
-			return "n/a"
-		}
-		return fmt.Sprintf("%+.3f%%", 100*(float64(evNs)/float64(st)-1))
-	}
-	fmt.Fprintf(os.Stderr, "\n%d collections in %v (%.1f%% of wall time in GC)\n",
-		st.Collections, elapsed.Round(time.Millisecond),
-		100*float64(st.TotalGCTime)/float64(elapsed))
-	fmt.Fprintf(os.Stderr, "event stream vs GCStats (deviation):\n")
-	fmt.Fprintf(os.Stderr, "  ownership %12v vs %12v  %s\n", time.Duration(own), st.OwnershipTime, dev(own, st.OwnershipTime))
-	fmt.Fprintf(os.Stderr, "  mark      %12v vs %12v  %s\n", time.Duration(mark), st.MarkTime, dev(mark, st.MarkTime))
-	fmt.Fprintf(os.Stderr, "  sweep     %12v vs %12v  %s\n", time.Duration(sweep), st.SweepTime, dev(sweep, st.SweepTime))
-	fmt.Fprintf(os.Stderr, "  total     %12v vs %12v  %s\n", time.Duration(total), st.TotalGCTime, dev(total, st.TotalGCTime))
-	h := vm.Telemetry().PauseHistogram()
-	fmt.Fprintf(os.Stderr, "pause: p50 %v  p90 %v  p99 %v  max %v\n",
-		h.Quantile(0.5).Round(time.Microsecond), h.Quantile(0.9).Round(time.Microsecond),
-		h.Quantile(0.99).Round(time.Microsecond), h.Max().Round(time.Microsecond))
-	if n := vm.Telemetry().Ring().Total(); n > uint64(len(events)) {
-		fmt.Fprintf(os.Stderr, "note: ring retained %d of %d events; raise -ring for full-run exports\n", len(events), n)
 	}
 }

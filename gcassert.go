@@ -150,6 +150,16 @@ type Options struct {
 	// events; older events are evicted but cumulative metrics keep
 	// counting).
 	TelemetryRingSize int
+	// Introspection enables the heap-introspection layer: a per-type live
+	// census piggybacked on every full collection's mark phase, snapshot
+	// diffing with Cork-style leak-suspect ranking, and on-demand dominator
+	// / retained-size analysis — see Runtime.CensusSnapshots, LeakSuspects
+	// and Dominators. Works in every mode, including Base. Disabled (the
+	// default), the mark hot path pays one nil-check per marked object and
+	// allocates nothing.
+	Introspection bool
+	// CensusRingSize bounds the retained census snapshots (default 64).
+	CensusRingSize int
 }
 
 // Runtime is a managed runtime with GC assertions. All methods of the
@@ -171,12 +181,18 @@ func New(opts Options) *Runtime {
 		MinorRatio:        opts.MinorRatio,
 		Telemetry:         opts.Telemetry,
 		TelemetryRingSize: opts.TelemetryRingSize,
+		Introspection:     opts.Introspection,
+		CensusRingSize:    opts.CensusRingSize,
 	})}
 	if opts.OnViolation != nil && r.Engine() != nil {
 		r.Engine().SetDecider(opts.OnViolation)
 	}
 	if tel := r.Telemetry(); tel != nil {
 		tel.SetHeapProfile(func(w io.Writer) error { return r.WriteHeapProfile(w, 0) })
+		if census := r.Census(); census != nil {
+			tel.SetCensusSource(census.WriteJSON)
+			tel.SetLeakSource(census.WriteSuspectsJSON)
+		}
 	}
 	return r
 }

@@ -102,6 +102,14 @@ type Collector struct {
 	// Observer, if non-nil, receives collection-lifecycle callbacks
 	// (telemetry). The disabled path costs one nil-check per phase.
 	Observer Observer
+	// OnMark, if non-nil, is invoked once for every object the trace marks,
+	// in both Base and Infrastructure configurations. The heap-census
+	// introspection layer hangs off this: the collector already visits every
+	// live object, so a per-type census is one callback away (the paper's
+	// "nearly free" piggybacking argument applied to observability). When
+	// nil (the default) the mark hot path pays a single predictable branch
+	// and zero allocations, mirroring the Observer pattern.
+	OnMark func(heap.Addr)
 	// PreSweep, if non-nil, runs after marking (and after PostMark) and
 	// before the sweep. The generational mode uses it to prune the assertion
 	// engine's weak tables on minor collections, where hooks do not run.

@@ -1,0 +1,88 @@
+package collector
+
+import "gcassert/internal/heap"
+
+// Graph is an on-demand snapshot of the reachable object graph, captured by
+// a breadth-first walk from the roots without touching header bits (so it is
+// safe between collections, like a heap probe). Node 0 is a virtual
+// super-root whose successors are the objects held directly by root slots;
+// dominator analysis needs a single entry node, and the super-root provides
+// it without special-casing multi-rooted objects.
+//
+// The representation is dense — parallel slices indexed by node — because
+// the dominator pass (internal/heapdump) is array-based Lengauer-Tarjan and
+// a map-of-slices graph would double its constant factor.
+type Graph struct {
+	// Addrs maps node index to object address; Addrs[0] is heap.Nil (the
+	// virtual super-root).
+	Addrs []heap.Addr
+	// Succs holds each node's out-edges as node indices. Duplicate edges
+	// (two fields of one object holding the same target) are kept: they are
+	// harmless to dominators and preserving them keeps capture O(edges).
+	Succs [][]int32
+	// RootDesc records, for each directly-rooted node, the description of
+	// the first root slot found holding it (for leak reports).
+	RootDesc map[int32]string
+
+	index map[heap.Addr]int32
+}
+
+// NumNodes returns the node count including the virtual super-root.
+func (g *Graph) NumNodes() int { return len(g.Addrs) }
+
+// NumObjects returns the number of heap objects captured (nodes minus the
+// super-root).
+func (g *Graph) NumObjects() int { return len(g.Addrs) - 1 }
+
+// Index returns the node index of an address and whether it is in the graph.
+func (g *Graph) Index(a heap.Addr) (int32, bool) {
+	i, ok := g.index[a]
+	return i, ok
+}
+
+// CaptureGraph walks the heap from the collector's roots and returns the
+// reachable object graph. It allocates on the Go heap, not the managed one,
+// and runs in mutator context: callers must be quiescent (between mutator
+// steps), the same discipline as heap probes and profiles. Cost is one full
+// traversal — this is the on-demand half of introspection, deliberately not
+// piggybacked on the mark phase (recording every edge at every GC would
+// betray the paper's "nearly free" budget).
+func (c *Collector) CaptureGraph() *Graph {
+	g := &Graph{
+		Addrs:    []heap.Addr{heap.Nil},
+		Succs:    [][]int32{nil},
+		RootDesc: make(map[int32]string),
+		index:    map[heap.Addr]int32{},
+	}
+	intern := func(a heap.Addr) int32 {
+		if i, ok := g.index[a]; ok {
+			return i
+		}
+		i := int32(len(g.Addrs))
+		g.index[a] = i
+		g.Addrs = append(g.Addrs, a)
+		g.Succs = append(g.Succs, nil)
+		return i
+	}
+	c.roots.Roots(func(r Root) {
+		a := *r.Slot
+		if a == heap.Nil {
+			return
+		}
+		_, seen := g.index[a]
+		i := intern(a)
+		if !seen {
+			g.Succs[0] = append(g.Succs[0], i)
+			g.RootDesc[i] = r.Desc
+		}
+	})
+	// BFS; Addrs doubles as the worklist since interning appends in
+	// discovery order.
+	for n := int32(1); n < int32(len(g.Addrs)); n++ {
+		a := g.Addrs[n]
+		c.space.ForEachRef(a, func(_ int, t heap.Addr) {
+			g.Succs[n] = append(g.Succs[n], intern(t))
+		})
+	}
+	return g
+}

@@ -66,3 +66,35 @@ type Observer interface {
 	// GCEnd receives the completed record after stats are accumulated.
 	GCEnd(col *Collection)
 }
+
+// TeeObserver fans every callback out to multiple observers, in order. The
+// runtime uses it when both telemetry and heap introspection are enabled.
+type TeeObserver []Observer
+
+// GCBegin implements Observer.
+func (t TeeObserver) GCBegin(seq uint64, reason Reason) {
+	for _, o := range t {
+		o.GCBegin(seq, reason)
+	}
+}
+
+// PhaseBegin implements Observer.
+func (t TeeObserver) PhaseBegin(p Phase) {
+	for _, o := range t {
+		o.PhaseBegin(p)
+	}
+}
+
+// PhaseEnd implements Observer.
+func (t TeeObserver) PhaseEnd(p Phase, d time.Duration) {
+	for _, o := range t {
+		o.PhaseEnd(p, d)
+	}
+}
+
+// GCEnd implements Observer.
+func (t TeeObserver) GCEnd(col *Collection) {
+	for _, o := range t {
+		o.GCEnd(col)
+	}
+}

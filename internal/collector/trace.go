@@ -18,6 +18,9 @@ func (c *Collector) markBase(col *Collection) {
 		if a != heap.Nil && !c.space.Marked(a) {
 			c.space.SetMark(a)
 			col.ObjectsMarked++
+			if c.OnMark != nil {
+				c.OnMark(a)
+			}
 			c.stack = append(c.stack, a)
 		}
 		col.RootsScanned++
@@ -34,6 +37,9 @@ func (c *Collector) visitBase(slot int, t heap.Addr) {
 	if !c.space.Marked(t) {
 		c.space.SetMark(t)
 		c.col.ObjectsMarked++
+		if c.OnMark != nil {
+			c.OnMark(t)
+		}
 		c.stack = append(c.stack, t)
 	}
 }
@@ -69,6 +75,9 @@ func (c *Collector) markInfra(col *Collection) {
 		}
 		c.space.SetMark(a)
 		col.ObjectsMarked++
+		if c.OnMark != nil {
+			c.OnMark(a)
+		}
 		c.stack = append(c.stack, a)
 		c.drainInfra(col)
 	})
@@ -109,6 +118,9 @@ func (c *Collector) visitInfra(slot int, t heap.Addr) {
 	if !marked {
 		c.space.SetMark(t)
 		c.col.ObjectsMarked++
+		if c.OnMark != nil {
+			c.OnMark(t)
+		}
 		c.stack = append(c.stack, t)
 	}
 }

@@ -73,7 +73,7 @@ func (e *Engine) onDeadReachable(gc uint64, obj heap.Addr, f heap.Flag, root str
 		Object:   obj,
 		TypeName: s.TypeName(obj),
 		Root:     root,
-		Path:     buildPath(s, ancestors, obj),
+		Path:     BuildPath(s, ancestors, obj),
 	}
 	act := e.report(v)
 	if act != collector.EdgeClear {
@@ -95,7 +95,7 @@ func (e *Engine) onSharedUnshared(gc uint64, obj heap.Addr, root string, ancesto
 		Object:   obj,
 		TypeName: e.space.TypeName(obj),
 		Root:     root,
-		Path:     buildPath(e.space, ancestors, obj),
+		Path:     BuildPath(e.space, ancestors, obj),
 		Message:  "second path shown; the first path was traced earlier",
 	}
 	e.report(v)
@@ -118,7 +118,7 @@ func (e *Engine) onUnownedReachable(gc uint64, obj heap.Addr, root string, ances
 		Object:   obj,
 		TypeName: s.TypeName(obj),
 		Root:     root,
-		Path:     buildPath(s, ancestors, obj),
+		Path:     BuildPath(s, ancestors, obj),
 		Message:  msg,
 	}
 	e.report(v)

@@ -107,7 +107,7 @@ func (e *Engine) ownVisit(slot int, t heap.Addr) {
 					Object:   t,
 					TypeName: s.TypeName(t),
 					Root:     e.ownerRootDesc(rec.owner),
-					Path:     buildPath(s, e.ownershipPath(), t),
+					Path:     BuildPath(s, e.ownershipPath(), t),
 					Message: fmt.Sprintf("ownee of %s@%#x reached while scanning from %s@%#x; owner regions must be disjoint",
 						s.TypeName(e.owneeOwner[t]), uint32(e.owneeOwner[t]), s.TypeName(rec.owner), uint32(rec.owner)),
 				})

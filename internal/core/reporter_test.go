@@ -134,7 +134,7 @@ func TestBuildPathResolvesFields(t *testing.T) {
 	c, _ := s.Allocate(node, 0)
 	s.SetRef(a, 1, b)
 	s.SetRef(b, 0, c)
-	steps := buildPath(s, []heap.Addr{a, b}, c)
+	steps := BuildPath(s, []heap.Addr{a, b}, c)
 	if len(steps) != 3 {
 		t.Fatalf("steps = %+v", steps)
 	}

@@ -144,10 +144,13 @@ func (v *Violation) String() string {
 	return b.String()
 }
 
-// buildPath converts a chain of ancestor addresses plus the offending object
+// BuildPath converts a chain of ancestor addresses plus the offending object
 // into annotated PathSteps, resolving for each hop the field that holds the
 // next address. Violations are rare, so this does a per-hop reference scan.
-func buildPath(space *heap.Space, ancestors []heap.Addr, obj heap.Addr) []PathStep {
+// Exported because path reconstruction is shared machinery: heap probes and
+// the leak-suspect reports render their sampled paths in exactly the
+// violation-report form.
+func BuildPath(space *heap.Space, ancestors []heap.Addr, obj heap.Addr) []PathStep {
 	chain := make([]heap.Addr, 0, len(ancestors)+1)
 	chain = append(chain, ancestors...)
 	chain = append(chain, obj)
@@ -155,16 +158,16 @@ func buildPath(space *heap.Space, ancestors []heap.Addr, obj heap.Addr) []PathSt
 	for i, a := range chain {
 		steps[i] = PathStep{Addr: a, TypeName: space.TypeName(a)}
 		if i+1 < len(chain) {
-			steps[i].Field = fieldLeadingTo(space, a, chain[i+1])
+			steps[i].Field = FieldLeadingTo(space, a, chain[i+1])
 		}
 	}
 	return steps
 }
 
-// fieldLeadingTo returns the name of the first reference slot in a that
+// FieldLeadingTo returns the name of the first reference slot in a that
 // holds target, or "" if none does (possible if the mutator raced; we never
 // mutate during STW collection, so in practice it is always found).
-func fieldLeadingTo(space *heap.Space, a, target heap.Addr) string {
+func FieldLeadingTo(space *heap.Space, a, target heap.Addr) string {
 	name := ""
 	space.ForEachRef(a, func(slot int, t heap.Addr) {
 		if name == "" && t == target {

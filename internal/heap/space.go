@@ -226,3 +226,20 @@ func (s *Space) CheckRef(a Addr) {
 		panic(fmt.Sprintf("heap: invalid reference %#x", uint32(a)))
 	}
 }
+
+// CellWords returns the allocator footprint of the object at a in words: its
+// size-class cell for small objects, the whole block span for large ones.
+// This is the quantity the sweep returns to the free pool when the object
+// dies (and what Stats.LiveWords accumulates), so introspection totals built
+// from it reconcile exactly against the sweep's accounting.
+func (s *Space) CellWords(a Addr) int {
+	b := &s.blocks[a.block()]
+	switch {
+	case b.class >= 0:
+		return classSizes[b.class]
+	case b.class == blkLargeHead:
+		return int(b.spanLen) * BlockWords
+	default:
+		return 0
+	}
+}

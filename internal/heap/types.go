@@ -179,6 +179,17 @@ func (r *Registry) Info(id TypeID) *TypeInfo {
 // NumTypes returns the number of registered types (including builtins).
 func (r *Registry) NumTypes() int { return len(r.types) }
 
+// ForEachType calls fn for every registered type (builtins included), in
+// TypeID order. Side tables indexed by TypeID (census counters, per-type
+// gauges) use it to stay in sync with the registry.
+func (r *Registry) ForEachType(fn func(*TypeInfo)) {
+	for _, t := range r.types {
+		if t != nil && t.ID != TInvalid {
+			fn(t)
+		}
+	}
+}
+
 // Name returns the name of a type, tolerating unknown IDs (for diagnostics).
 func (r *Registry) Name(id TypeID) string {
 	if int(id) < len(r.types) && r.types[id] != nil {

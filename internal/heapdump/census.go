@@ -1,0 +1,304 @@
+// Package heapdump is the heap-introspection layer: it piggybacks a
+// per-type census on the collector's mark phase (one callback per marked
+// object — the tracer already visits every live object, so the census rides
+// the same "nearly free" budget the paper claims for assertion checks),
+// retains a bounded ring of per-GC snapshots, diffs them into Cork-style
+// leak-suspect rankings, and computes dominator trees / retained sizes over
+// an on-demand graph capture.
+//
+// The package answers the question PR 1's telemetry could not: not *when*
+// the GC ran, but *what the heap looked like* each time it did.
+//
+// Concurrency: census accumulation runs inside stop-the-world collections on
+// the runtime's goroutine; the snapshot ring is mutex-guarded so HTTP
+// scrapers may read Snapshots/Latest/Suspects while the workload runs.
+// Dominator analysis walks the managed heap and must only run while the
+// runtime is quiescent, like heap probes.
+package heapdump
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+
+	"gcassert/internal/collector"
+	"gcassert/internal/heap"
+)
+
+// NumSizeBuckets is the number of log2 size-histogram buckets per type.
+// Bucket i counts objects whose size in words w satisfies 2^(i-1) < w <= 2^i
+// (bucket 0: w <= 1); the last bucket absorbs everything larger, which at
+// 2^22 words exceeds any allocatable span.
+const NumSizeBuckets = 23
+
+// SizeBucket returns the histogram bucket for an object of the given size in
+// words.
+func SizeBucket(words int) int {
+	if words <= 1 {
+		return 0
+	}
+	b := bits.Len(uint(words - 1))
+	if b >= NumSizeBuckets {
+		return NumSizeBuckets - 1
+	}
+	return b
+}
+
+// TypeCensus is the live-heap footprint of one type at one collection.
+type TypeCensus struct {
+	// Type and TypeName identify the type.
+	Type     heap.TypeID `json:"type"`
+	TypeName string      `json:"type_name"`
+	// Objects is the number of live instances marked this cycle.
+	Objects uint64 `json:"objects"`
+	// Words is their total payload size in heap words (headers included);
+	// CellWords the allocator footprint (size-class cells / block spans) —
+	// the quantity that reconciles against heap.Stats.LiveWords.
+	Words     uint64 `json:"words"`
+	CellWords uint64 `json:"cell_words"`
+	// SizeHist is the log2 size histogram (see SizeBucket); trailing zero
+	// buckets are trimmed.
+	SizeHist []uint32 `json:"size_hist,omitempty"`
+}
+
+// Bytes returns the payload footprint in bytes.
+func (t *TypeCensus) Bytes() uint64 { return t.Words * heap.WordBytes }
+
+// CellBytes returns the allocator footprint in bytes.
+func (t *TypeCensus) CellBytes() uint64 { return t.CellWords * heap.WordBytes }
+
+// Snapshot is the per-type census of one collection.
+type Snapshot struct {
+	// GC is the collector's sequence number for the cycle; Reason its
+	// trigger label; UnixNs the census capture time.
+	GC     uint64 `json:"gc"`
+	Reason string `json:"reason"`
+	UnixNs int64  `json:"unix_ns"`
+	// TotalObjects / TotalWords / TotalCellWords sum the per-type rows.
+	// TotalObjects equals the cycle's ObjectsLive and TotalCellWords equals
+	// heap.Stats.LiveWords at the end of the cycle (property-tested).
+	TotalObjects   uint64 `json:"total_objects"`
+	TotalWords     uint64 `json:"total_words"`
+	TotalCellWords uint64 `json:"total_cell_words"`
+	// Types holds the non-empty per-type rows, largest payload first.
+	Types []TypeCensus `json:"types"`
+}
+
+// ByType returns the row for a type, or nil if the type had no live
+// instances in this snapshot.
+func (s *Snapshot) ByType(t heap.TypeID) *TypeCensus {
+	for i := range s.Types {
+		if s.Types[i].Type == t {
+			return &s.Types[i]
+		}
+	}
+	return nil
+}
+
+// Config configures a Census.
+type Config struct {
+	// Ring bounds the retained snapshots (default 64).
+	Ring int
+}
+
+// Census accumulates the per-type live census during each mark phase and
+// snapshots it at the end of every collection. It implements
+// collector.Observer for the GC lifecycle; the per-object half is Observe,
+// installed as the collector's OnMark callback.
+type Census struct {
+	space *heap.Space
+
+	// Accumulation arrays, indexed by TypeID; touched only inside
+	// stop-the-world collections.
+	objects   []uint64
+	words     []uint64
+	cellWords []uint64
+	hist      [][NumSizeBuckets]uint32
+	active    bool
+	seq       uint64
+	reason    collector.Reason
+
+	// onSnapshot, if set, runs after each snapshot is recorded (still inside
+	// the collection) — the runtime uses it to publish census gauges.
+	onSnapshot func(*Snapshot)
+
+	mu    sync.Mutex
+	ring  []Snapshot // ring[head] is the oldest retained snapshot
+	head  int
+	count int
+	total uint64
+}
+
+var _ collector.Observer = (*Census)(nil)
+
+// NewCensus creates a census over the space.
+func NewCensus(space *heap.Space, cfg Config) *Census {
+	if cfg.Ring <= 0 {
+		cfg.Ring = 64
+	}
+	return &Census{space: space, ring: make([]Snapshot, 0, cfg.Ring)}
+}
+
+// SetOnSnapshot installs a callback invoked after every recorded snapshot,
+// inside the stop-the-world collection. It must not touch the managed heap.
+func (c *Census) SetOnSnapshot(fn func(*Snapshot)) { c.onSnapshot = fn }
+
+// Observe accounts one marked object. It is installed as the collector's
+// OnMark callback and runs once per live object per collection.
+func (c *Census) Observe(a heap.Addr) {
+	t := c.space.TypeOf(a)
+	if int(t) >= len(c.objects) {
+		c.grow()
+	}
+	sz := c.space.Registry().Info(t).SizeWords(c.space.ArrayLen(a))
+	c.objects[t]++
+	c.words[t] += uint64(sz)
+	c.cellWords[t] += uint64(c.space.CellWords(a))
+	c.hist[t][SizeBucket(sz)]++
+}
+
+// grow extends the accumulation arrays to cover every registered type (types
+// may be defined between collections).
+func (c *Census) grow() {
+	n := c.space.Registry().NumTypes()
+	for len(c.objects) < n {
+		c.objects = append(c.objects, 0)
+		c.words = append(c.words, 0)
+		c.cellWords = append(c.cellWords, 0)
+		c.hist = append(c.hist, [NumSizeBuckets]uint32{})
+	}
+}
+
+// GCBegin implements collector.Observer: reset the accumulation arrays.
+func (c *Census) GCBegin(seq uint64, reason collector.Reason) {
+	c.grow()
+	for i := range c.objects {
+		c.objects[i] = 0
+		c.words[i] = 0
+		c.cellWords[i] = 0
+		c.hist[i] = [NumSizeBuckets]uint32{}
+	}
+	c.active = true
+	c.seq = seq
+	c.reason = reason
+}
+
+// PhaseBegin implements collector.Observer (no-op).
+func (c *Census) PhaseBegin(p collector.Phase) {}
+
+// PhaseEnd implements collector.Observer (no-op).
+func (c *Census) PhaseEnd(p collector.Phase, d time.Duration) {}
+
+// GCEnd implements collector.Observer: snapshot the accumulated census into
+// the ring. After the sweep the marked set is exactly the live set, so the
+// snapshot is the live heap at the end of the cycle.
+func (c *Census) GCEnd(col *collector.Collection) {
+	if !c.active {
+		return
+	}
+	c.active = false
+	snap := c.buildSnapshot()
+	c.mu.Lock()
+	if len(c.ring) < cap(c.ring) {
+		c.ring = append(c.ring, snap)
+	} else {
+		c.ring[c.head] = snap
+		c.head = (c.head + 1) % len(c.ring)
+	}
+	c.count = len(c.ring)
+	c.total++
+	c.mu.Unlock()
+	if c.onSnapshot != nil {
+		c.onSnapshot(&snap)
+	}
+}
+
+// buildSnapshot renders the accumulation arrays into a Snapshot, rows sorted
+// by payload words descending (name ascending on ties) for stable display.
+func (c *Census) buildSnapshot() Snapshot {
+	reg := c.space.Registry()
+	snap := Snapshot{GC: c.seq, Reason: string(c.reason), UnixNs: time.Now().UnixNano()}
+	for t := range c.objects {
+		if c.objects[t] == 0 {
+			continue
+		}
+		row := TypeCensus{
+			Type:      heap.TypeID(t),
+			TypeName:  reg.Name(heap.TypeID(t)),
+			Objects:   c.objects[t],
+			Words:     c.words[t],
+			CellWords: c.cellWords[t],
+		}
+		last := -1
+		for b := 0; b < NumSizeBuckets; b++ {
+			if c.hist[t][b] != 0 {
+				last = b
+			}
+		}
+		if last >= 0 {
+			row.SizeHist = append([]uint32(nil), c.hist[t][:last+1]...)
+		}
+		snap.TotalObjects += row.Objects
+		snap.TotalWords += row.Words
+		snap.TotalCellWords += row.CellWords
+		snap.Types = append(snap.Types, row)
+	}
+	sortRows(snap.Types)
+	return snap
+}
+
+// Snapshots returns the retained snapshots, oldest first.
+func (c *Census) Snapshots() []Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Snapshot, 0, c.count)
+	for i := 0; i < c.count; i++ {
+		out = append(out, c.ring[(c.head+i)%c.count])
+	}
+	return out
+}
+
+// Last returns the n most recent snapshots, oldest first (n <= 0 or n larger
+// than the retained count returns everything).
+func (c *Census) Last(n int) []Snapshot {
+	all := c.Snapshots()
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// Latest returns the most recent snapshot and whether one exists.
+func (c *Census) Latest() (Snapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.count == 0 {
+		return Snapshot{}, false
+	}
+	return c.ring[(c.head+c.count-1)%c.count], true
+}
+
+// Total returns the number of snapshots ever recorded (retained <= total
+// once the ring wraps).
+func (c *Census) Total() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+func sortRows(rows []TypeCensus) {
+	// Insertion sort: row counts are small (number of live types) and this
+	// avoids pulling package sort into the per-GC path's closure allocs.
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rowLess(&rows[j], &rows[j-1]); j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+func rowLess(a, b *TypeCensus) bool {
+	if a.Words != b.Words {
+		return a.Words > b.Words
+	}
+	return a.TypeName < b.TypeName
+}

@@ -1,0 +1,50 @@
+package heapdump
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON export envelopes. These are the wire format of the
+// /debug/gcassert/census and /debug/gcassert/leaks endpoints and of
+// `gcheap -json`; tools that archive snapshots feed the same shape back into
+// RankSuspects for offline analysis.
+
+// CensusDocument is the envelope for exported census snapshots.
+type CensusDocument struct {
+	// Total is the number of snapshots ever taken (>= len(Snapshots) once
+	// the ring has wrapped).
+	Total uint64 `json:"total"`
+	// Snapshots is oldest-first.
+	Snapshots []Snapshot `json:"snapshots"`
+}
+
+// LeaksDocument is the envelope for exported leak suspects.
+type LeaksDocument struct {
+	// Window is the number of snapshots diffed; Suspects is highest score
+	// first.
+	Window   int       `json:"window"`
+	Suspects []Suspect `json:"suspects"`
+}
+
+// WriteJSON writes the last n snapshots (n <= 0: all retained) as a
+// CensusDocument.
+func (c *Census) WriteJSON(w io.Writer, n int) error {
+	doc := CensusDocument{Total: c.Total(), Snapshots: c.Last(n)}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteSuspectsJSON ranks suspects over the last `window` snapshots and
+// writes them as a LeaksDocument.
+func (c *Census) WriteSuspectsJSON(w io.Writer, window, top int) error {
+	snaps := c.Last(window)
+	doc := LeaksDocument{Window: len(snaps), Suspects: RankSuspects(snaps, top)}
+	if doc.Suspects == nil {
+		doc.Suspects = []Suspect{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

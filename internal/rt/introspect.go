@@ -1,0 +1,80 @@
+package rt
+
+import (
+	"gcassert/internal/collector"
+	"gcassert/internal/heapdump"
+	"gcassert/internal/telemetry"
+)
+
+// initIntrospection wires the heap census into the full collector: the
+// Observe callback on the mark hot path, the Observer lifecycle for snapshot
+// capture, and — when telemetry is also enabled — per-type census gauges in
+// the metrics registry.
+//
+// Only r.gc (the full collector) is instrumented. In generational mode the
+// minor collector keeps whatever Observer it copied at init; its traces
+// visit only the nursery plus remembered set, so feeding them to the census
+// would record partial heaps as if they were full snapshots.
+func (r *Runtime) initIntrospection(cfg Config) {
+	census := heapdump.NewCensus(r.space, heapdump.Config{Ring: cfg.CensusRingSize})
+	r.census = census
+	r.gc.OnMark = census.Observe
+	if prev := r.gc.Observer; prev != nil {
+		r.gc.Observer = collector.TeeObserver{prev, census}
+	} else {
+		r.gc.Observer = census
+	}
+	if r.tel != nil {
+		pub := &censusPublisher{reg: r.tel.Registry()}
+		census.SetOnSnapshot(pub.publish)
+	}
+}
+
+// censusPublisher mirrors each census snapshot into the metrics registry as
+// per-type gauges, so a Prometheus scrape sees the live-heap composition
+// without hitting the census endpoint. It runs inside the stop-the-world
+// collection (census OnSnapshot contract) and touches only Go-heap state.
+type censusPublisher struct {
+	reg *telemetry.Registry
+	// objects/bytes cache the gauge handles per type name; live tracks which
+	// types were nonzero in the previous snapshot so types that die out are
+	// zeroed rather than left frozen at their last value.
+	objects map[string]*telemetry.Gauge
+	bytes   map[string]*telemetry.Gauge
+	live    map[string]bool
+}
+
+func (p *censusPublisher) publish(s *heapdump.Snapshot) {
+	if p.objects == nil {
+		p.objects = map[string]*telemetry.Gauge{}
+		p.bytes = map[string]*telemetry.Gauge{}
+		p.live = map[string]bool{}
+	}
+	p.reg.Counter("gcassert_census_snapshots_total",
+		"Census snapshots recorded.").Inc()
+	seen := map[string]bool{}
+	for i := range s.Types {
+		row := &s.Types[i]
+		seen[row.TypeName] = true
+		p.gaugesFor(row.TypeName)
+		p.objects[row.TypeName].Set(int64(row.Objects))
+		p.bytes[row.TypeName].Set(int64(row.Bytes()))
+	}
+	for name := range p.live {
+		if !seen[name] {
+			p.objects[name].Set(0)
+			p.bytes[name].Set(0)
+		}
+	}
+	p.live = seen
+}
+
+func (p *censusPublisher) gaugesFor(name string) {
+	if _, ok := p.objects[name]; ok {
+		return
+	}
+	p.objects[name] = p.reg.Gauge("gcassert_census_live_objects",
+		"Live objects by type, from the most recent census.", telemetry.Label{Name: "type", Value: name})
+	p.bytes[name] = p.reg.Gauge("gcassert_census_live_bytes",
+		"Live payload bytes by type, from the most recent census.", telemetry.Label{Name: "type", Value: name})
+}

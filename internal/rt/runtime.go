@@ -18,6 +18,7 @@ import (
 	"gcassert/internal/collector"
 	"gcassert/internal/core"
 	"gcassert/internal/heap"
+	"gcassert/internal/heapdump"
 	"gcassert/internal/telemetry"
 )
 
@@ -58,6 +59,15 @@ type Config struct {
 	Telemetry bool
 	// TelemetryRingSize bounds the retained GC event trace (default 1024).
 	TelemetryRingSize int
+	// Introspection enables the heap-introspection layer: a per-type census
+	// taken during every full collection's mark phase (one callback per
+	// marked object), snapshot diffing with leak-suspect ranking, and
+	// on-demand dominator/retained-size analysis, reachable through
+	// Runtime.Census(). Disabled, the mark hot path pays one nil-check per
+	// marked object and nothing else.
+	Introspection bool
+	// CensusRingSize bounds the retained census snapshots (default 64).
+	CensusRingSize int
 }
 
 // Runtime is a managed runtime instance.
@@ -72,8 +82,9 @@ type Runtime struct {
 	globals  []heap.Addr
 	globNams []string
 
-	gen *generational
-	tel *telemetry.Tracer
+	gen    *generational
+	tel    *telemetry.Tracer
+	census *heapdump.Census
 }
 
 // New creates a runtime per cfg.
@@ -118,6 +129,13 @@ func New(cfg Config) *Runtime {
 	if cfg.Generational {
 		r.initGenerational(cfg)
 	}
+	// Introspection is wired after the generational mode: initGenerational
+	// copies r.gc.Observer into the minor collector, and the census must see
+	// only full collections — a minor trace visits just the nursery, so a
+	// census of it would be a partial (and misleading) snapshot.
+	if cfg.Introspection {
+		r.initIntrospection(cfg)
+	}
 	return r
 }
 
@@ -136,6 +154,10 @@ func (r *Runtime) Engine() *core.Engine { return r.engine }
 
 // Telemetry exposes the observability layer, or nil when telemetry is off.
 func (r *Runtime) Telemetry() *telemetry.Tracer { return r.tel }
+
+// Census exposes the heap-introspection layer, or nil when introspection is
+// off.
+func (r *Runtime) Census() *heapdump.Census { return r.census }
 
 // Collect forces a full collection.
 func (r *Runtime) Collect() collector.Collection {

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // Handler returns the tracer's HTTP surface:
@@ -12,12 +13,18 @@ import (
 //	                             gctrace, or chrome (open in Perfetto)
 //	/debug/gcassert/violations   recent violation reports, oldest first
 //	/debug/gcassert/heap         live-heap profile by type
+//	/debug/gcassert/census       per-type census snapshots (JSON); ?last=N
+//	                             bounds the returned snapshots
+//	/debug/gcassert/leaks        leak suspects ranked over recent snapshots
+//	                             (JSON); ?window=N and ?top=N tune the diff
 //
 // Every endpoint except /debug/gcassert/heap reads only atomics and
 // mutex-guarded copies, so it is safe to scrape while the workload runs.
 // The heap endpoint walks the managed heap and must only be hit while the
 // runtime is quiescent (the runtime is single-goroutine; a scrape during a
-// mutator step reads a heap mid-mutation).
+// mutator step reads a heap mid-mutation). The census and leaks endpoints
+// read the census snapshot ring, which is mutex-guarded, so they are safe
+// concurrently too.
 func (t *Tracer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -58,5 +65,55 @@ func (t *Tracer) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/debug/gcassert/census", func(w http.ResponseWriter, r *http.Request) {
+		f := t.censusSourceFn()
+		if f == nil {
+			http.Error(w, "no census source installed (enable Introspection)", http.StatusNotFound)
+			return
+		}
+		n, err := intParam(r, "last", 0)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := f(w, n); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/gcassert/leaks", func(w http.ResponseWriter, r *http.Request) {
+		f := t.leakSourceFn()
+		if f == nil {
+			http.Error(w, "no leak source installed (enable Introspection)", http.StatusNotFound)
+			return
+		}
+		window, err := intParam(r, "window", 0)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		top, err := intParam(r, "top", 10)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := f(w, window, top); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	return mux
+}
+
+// intParam parses an optional non-negative integer query parameter.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s=%q (want a non-negative integer)", name, s)
+	}
+	return n, nil
 }

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get performs one request against the tracer's handler and returns the
+// recorded response.
+func get(t *testing.T, tr *Tracer, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// TestHandlerStatusAndContentTypes pins every endpoint's status code and
+// Content-Type header, with and without the optional sources installed.
+func TestHandlerStatusAndContentTypes(t *testing.T) {
+	bare := New(Config{})
+	wired := New(Config{})
+	wired.SetHeapProfile(func(w io.Writer) error {
+		_, err := fmt.Fprintln(w, "heap profile")
+		return err
+	})
+	wired.SetCensusSource(func(w io.Writer, n int) error {
+		_, err := fmt.Fprintf(w, `{"snapshots":[],"last":%d}`, n)
+		return err
+	})
+	wired.SetLeakSource(func(w io.Writer, window, top int) error {
+		_, err := fmt.Fprintf(w, `{"suspects":[],"window":%d,"top":%d}`, window, top)
+		return err
+	})
+
+	cases := []struct {
+		name       string
+		tracer     *Tracer
+		url        string
+		wantStatus int
+		wantCT     string
+		wantInBody string
+	}{
+		{"metrics", bare, "/metrics", 200, "text/plain; version=0.0.4; charset=utf-8", "gcassert_gc_pause_seconds"},
+		{"trace-default", bare, "/debug/gcassert/trace", 200, "application/x-ndjson", ""},
+		{"trace-jsonl", bare, "/debug/gcassert/trace?format=jsonl", 200, "application/x-ndjson", ""},
+		{"trace-gctrace", bare, "/debug/gcassert/trace?format=gctrace", 200, "text/plain; charset=utf-8", ""},
+		{"trace-chrome", bare, "/debug/gcassert/trace?format=chrome", 200, "application/json", "["},
+		{"trace-bad-format", bare, "/debug/gcassert/trace?format=nope", 400, "text/plain; charset=utf-8", "unknown format"},
+		{"violations", bare, "/debug/gcassert/violations", 200, "text/plain; charset=utf-8", "violations logged"},
+		{"heap-no-source", bare, "/debug/gcassert/heap", 404, "text/plain; charset=utf-8", "no heap profile source"},
+		{"heap-wired", wired, "/debug/gcassert/heap", 200, "text/plain; charset=utf-8", "heap profile"},
+		{"census-no-source", bare, "/debug/gcassert/census", 404, "text/plain; charset=utf-8", "no census source"},
+		{"census-wired", wired, "/debug/gcassert/census", 200, "application/json", `"last":0`},
+		{"census-last", wired, "/debug/gcassert/census?last=3", 200, "application/json", `"last":3`},
+		{"census-bad-last", wired, "/debug/gcassert/census?last=-1", 400, "text/plain; charset=utf-8", "bad last"},
+		{"leaks-no-source", bare, "/debug/gcassert/leaks", 404, "text/plain; charset=utf-8", "no leak source"},
+		{"leaks-wired", wired, "/debug/gcassert/leaks", 200, "application/json", `"window":0,"top":10`},
+		{"leaks-params", wired, "/debug/gcassert/leaks?window=8&top=3", 200, "application/json", `"window":8,"top":3`},
+		{"leaks-bad-window", wired, "/debug/gcassert/leaks?window=x", 400, "text/plain; charset=utf-8", "bad window"},
+		{"leaks-bad-top", wired, "/debug/gcassert/leaks?top=-2", 400, "text/plain; charset=utf-8", "bad top"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := get(t, tc.tracer, tc.url)
+			if rec.Code != tc.wantStatus {
+				t.Errorf("status = %d, want %d (body: %s)", rec.Code, tc.wantStatus, rec.Body.String())
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != tc.wantCT {
+				t.Errorf("Content-Type = %q, want %q", ct, tc.wantCT)
+			}
+			if tc.wantInBody != "" && !strings.Contains(rec.Body.String(), tc.wantInBody) {
+				t.Errorf("body does not contain %q:\n%s", tc.wantInBody, rec.Body.String())
+			}
+		})
+	}
+}
+
+// TestHandlerSourcesReceiveParams verifies the census/leaks query parameters
+// reach the installed sources (not just that parsing succeeds).
+func TestHandlerSourcesReceiveParams(t *testing.T) {
+	tr := New(Config{})
+	var gotN, gotWindow, gotTop int
+	tr.SetCensusSource(func(w io.Writer, n int) error {
+		gotN = n
+		_, err := io.WriteString(w, "{}")
+		return err
+	})
+	tr.SetLeakSource(func(w io.Writer, window, top int) error {
+		gotWindow, gotTop = window, top
+		_, err := io.WriteString(w, "{}")
+		return err
+	})
+	get(t, tr, "/debug/gcassert/census?last=7")
+	if gotN != 7 {
+		t.Errorf("census source got last=%d, want 7", gotN)
+	}
+	get(t, tr, "/debug/gcassert/leaks?window=5&top=2")
+	if gotWindow != 5 || gotTop != 2 {
+		t.Errorf("leak source got window=%d top=%d, want 5 and 2", gotWindow, gotTop)
+	}
+}

@@ -44,6 +44,8 @@ type Tracer struct {
 
 	hmu         sync.Mutex
 	heapProfile func(io.Writer) error
+	censusFn    func(w io.Writer, n int) error
+	leaksFn     func(w io.Writer, window, top int) error
 }
 
 // New creates a Tracer.
@@ -193,4 +195,35 @@ func (t *Tracer) heapProfileFn() func(io.Writer) error {
 	t.hmu.Lock()
 	defer t.hmu.Unlock()
 	return t.heapProfile
+}
+
+// SetCensusSource installs the function backing /debug/gcassert/census; the
+// facade wires it to the census ring's JSON export (last n snapshots, n <= 0
+// for all). The census ring is mutex-guarded, so unlike the heap profile this
+// source is safe to scrape while the workload runs.
+func (t *Tracer) SetCensusSource(f func(w io.Writer, n int) error) {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	t.censusFn = f
+}
+
+// SetLeakSource installs the function backing /debug/gcassert/leaks: leak
+// suspects ranked over the last `window` census snapshots, top `top`
+// returned. Also safe to scrape concurrently.
+func (t *Tracer) SetLeakSource(f func(w io.Writer, window, top int) error) {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	t.leaksFn = f
+}
+
+func (t *Tracer) censusSourceFn() func(io.Writer, int) error {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	return t.censusFn
+}
+
+func (t *Tracer) leakSourceFn() func(io.Writer, int, int) error {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	return t.leaksFn
 }

@@ -2,7 +2,7 @@ package gcassert
 
 import (
 	"gcassert/internal/collector"
-	"gcassert/internal/heap"
+	"gcassert/internal/core"
 )
 
 // Heap probes: the on-demand variant of the paper's checks. §4.1 contrasts
@@ -92,21 +92,12 @@ func (r *Runtime) PathTo(a Ref) (path []PathStep, root string, ok bool) {
 		obj := chain[len(chain)-1-i]
 		path[i] = PathStep{Addr: obj, TypeName: space.TypeName(obj)}
 		if i > 0 {
-			path[i-1].Field = fieldLeadingTo(space, path[i-1].Addr, obj)
+			// Reuse the violation reporter's field resolution so probe paths
+			// and violation paths agree on slot naming.
+			path[i-1].Field = core.FieldLeadingTo(space, path[i-1].Addr, obj)
 		}
 	}
 	return path, root, true
-}
-
-// fieldLeadingTo finds the first slot of a that references target.
-func fieldLeadingTo(space *heap.Space, a, target Ref) string {
-	name := ""
-	space.ForEachRef(a, func(slot int, t Ref) {
-		if name == "" && t == target {
-			name = space.Registry().Info(space.TypeOf(a)).FieldName(slot)
-		}
-	})
-	return name
 }
 
 // RetainedBy returns how many live objects reference a directly (its
