@@ -4,17 +4,19 @@
 // Usage:
 //
 //	gcassert-bench [-figure N] [-bench name] [-trials T] [-iters I] [-paper]
-//	               [-baseline file]
+//	               [-workers N] [-baseline file]
 //
 //	-figure 0      run everything (default): Figures 2, 3, 4 and 5
 //	-figure 2|3    infrastructure overhead across the full suite
 //	-figure 4|5    assertion overhead on _209_db and pseudojbb
 //	-bench name    restrict to one workload
 //	-paper         use the paper's full methodology (20 trials, 4 iterations)
+//	-workers N     mark-phase workers for every measured runtime (default 1,
+//	               the sequential reference marker)
 //	-baseline file instead of figures, run the baseline probe (ns/op, pause
-//	               percentiles, census overhead) on the assertion-bearing
-//	               workloads and write machine-readable JSON to file
-//	               ("-" for stdout)
+//	               percentiles, census overhead, parallel-mark speedup sweep)
+//	               on the assertion-bearing workloads and write
+//	               machine-readable JSON to file ("-" for stdout)
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"gcassert"
@@ -36,6 +39,7 @@ func main() {
 	trials := flag.Int("trials", 0, "override number of trials")
 	iters := flag.Int("iters", 0, "override iterations per trial")
 	paper := flag.Bool("paper", false, "use the paper's full methodology (20 trials x 4 iterations)")
+	workers := flag.Int("workers", 1, "mark-phase workers for every measured runtime (1 = sequential)")
 	baseline := flag.String("baseline", "", "write a machine-readable baseline JSON to this file and exit")
 	flag.Parse()
 
@@ -49,6 +53,7 @@ func main() {
 	if *iters > 0 {
 		opt.Iterations = *iters
 	}
+	opt.Workers = *workers
 
 	suite := workloads.All()
 	if *name != "" {
@@ -116,7 +121,26 @@ type baselineDoc struct {
 	GeneratedUnix int64              `json:"generated_unix"`
 	Trials        int                `json:"trials"`
 	Iterations    int                `json:"iterations"`
+	CPUs          int                `json:"cpus"`
 	Workloads     []workloadBaseline `json:"workloads"`
+	// MarkSpeedup is the parallel-mark worker sweep: the same live heap
+	// re-marked at several widths. Speedups are relative to the sequential
+	// marker on the machine that generated the file — on a single-CPU host
+	// they hover around 1.0 (see the cpus field).
+	MarkSpeedup []markSpeedupBaseline `json:"mark_speedup"`
+}
+
+type markSpeedupBaseline struct {
+	Name   string           `json:"name"`
+	Widths []markWidthPoint `json:"widths"`
+}
+
+type markWidthPoint struct {
+	Workers  int     `json:"workers"`
+	MarkNs   int64   `json:"mark_ns"`
+	Speedup  float64 `json:"speedup"`
+	Marked   int     `json:"objects_marked"`
+	StealsMu float64 `json:"steals_mean"`
 }
 
 type workloadBaseline struct {
@@ -157,6 +181,45 @@ func measureIters(w bench.Workload, opt bench.Options, mkOpts func() gcassert.Op
 	return sum / time.Duration(opt.Trials), vm
 }
 
+// measureMarkSpeedup builds one live heap from the workload and re-marks it
+// at several worker widths, timing only the mark phase. The heap does not
+// change between collections, so every width traces the identical object
+// graph — the cleanest apples-to-apples mark comparison the harness can get.
+func measureMarkSpeedup(w bench.Workload, opt bench.Options) markSpeedupBaseline {
+	const reps = 5
+	vm := gcassert.New(gcassert.Options{HeapBytes: w.Heap})
+	run := w.New(vm, false)
+	for i := 0; i < opt.Iterations; i++ {
+		run(i)
+	}
+	out := markSpeedupBaseline{Name: w.Name}
+	var seqNs int64
+	for _, width := range []int{1, 2, 4, 8} {
+		vm.SetMarkWorkers(width)
+		vm.Collect() // warm: builds the engine and settles the live set
+		var markNs int64
+		var steals, marked int
+		for r := 0; r < reps; r++ {
+			col := vm.Collect()
+			markNs += col.MarkTime.Nanoseconds()
+			marked = col.ObjectsMarked
+			for _, ws := range col.PerWorker {
+				steals += ws.Steals
+			}
+		}
+		mean := markNs / reps
+		p := markWidthPoint{Workers: width, MarkNs: mean, Marked: marked, StealsMu: float64(steals) / reps}
+		if width == 1 {
+			seqNs = mean
+		}
+		if mean > 0 {
+			p.Speedup = float64(seqNs) / float64(mean)
+		}
+		out.Widths = append(out.Widths, p)
+	}
+	return out
+}
+
 // writeBaseline measures the assertion-bearing workloads (the paper's
 // featured pair unless -bench narrowed the suite) and writes the JSON
 // baseline.
@@ -165,6 +228,7 @@ func writeBaseline(path string, suite []bench.Workload, opt bench.Options) error
 		GeneratedUnix: time.Now().Unix(),
 		Trials:        opt.Trials,
 		Iterations:    opt.Iterations,
+		CPUs:          runtime.NumCPU(),
 	}
 	for _, w := range suite {
 		if !w.HasAsserts {
@@ -198,6 +262,13 @@ func writeBaseline(path string, suite []bench.Workload, opt bench.Options) error
 		}
 		wutil.WriteGCSummary(os.Stderr, vm, census*time.Duration(opt.Trials))
 		doc.Workloads = append(doc.Workloads, wb)
+	}
+	for _, w := range suite {
+		if !w.HasAsserts {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "mark speedup %-12s (widths 1,2,4,8 on %d CPUs)\n", w.Name, doc.CPUs)
+		doc.MarkSpeedup = append(doc.MarkSpeedup, measureMarkSpeedup(w, opt))
 	}
 
 	dst := os.Stdout

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mjrun [-heap MiB] [-gen] [-stats] [-disasm] program.mj
+//	mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] [-workers N] program.mj
 package main
 
 import (
@@ -22,9 +22,10 @@ func main() {
 	stats := flag.Bool("stats", false, "print GC and assertion statistics at exit")
 	disasm := flag.Bool("disasm", false, "print the compiled bytecode and exit")
 	optimize := flag.Bool("O", false, "run the peephole bytecode optimizer")
+	workers := flag.Int("workers", 1, "mark-phase workers (1 = sequential marker)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] program.mj")
+		fmt.Fprintln(os.Stderr, "usage: mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] [-workers N] program.mj")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -52,6 +53,7 @@ func main() {
 		Reporter:     gcassert.NewWriterReporter(os.Stderr),
 		Generational: *gen,
 		Optimize:     *optimize,
+		Workers:      *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

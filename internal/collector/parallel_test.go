@@ -1,0 +1,145 @@
+package collector
+
+import (
+	"math/rand"
+	"testing"
+
+	"gcassert/internal/heap"
+)
+
+// TestParallelCollectMatchesOracle runs the reachability-oracle experiment
+// with the parallel mark engine at several widths, in both Base and
+// (hookless) Infrastructure configurations.
+func TestParallelCollectMatchesOracle(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		for _, infra := range []bool{false, true} {
+			for seed := int64(0); seed < 10; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				s, node := testWorld(t, 4<<20)
+				objs := buildRandomGraph(t, s, node, 500, rng)
+				roots := &sliceRoots{}
+				for i := 0; i < 10; i++ {
+					roots.slots = append(roots.slots, objs[rng.Intn(len(objs))])
+				}
+				roots.slots = append(roots.slots, heap.Nil)
+
+				want := reachable(s, roots.slots)
+				c := New(s, roots, nil, infra)
+				c.SetWorkers(workers)
+				col := c.Collect("test")
+				got := liveSet(s)
+
+				if col.Workers != workers {
+					t.Fatalf("workers=%d infra=%v: collection ran with %d workers", workers, infra, col.Workers)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d infra=%v seed=%d: live %d objects, oracle says %d",
+						workers, infra, seed, len(got), len(want))
+				}
+				for a := range want {
+					if !got[a] {
+						t.Fatalf("workers=%d seed=%d: reachable %v was collected", workers, seed, a)
+					}
+				}
+				if col.ObjectsMarked != len(want) {
+					t.Errorf("ObjectsMarked = %d, want %d", col.ObjectsMarked, len(want))
+				}
+				var sum int
+				for _, ws := range col.PerWorker {
+					sum += ws.Marked
+				}
+				if sum != col.ObjectsMarked {
+					t.Errorf("per-worker marked sum %d != ObjectsMarked %d", sum, col.ObjectsMarked)
+				}
+			}
+		}
+	}
+}
+
+// seqOnlyHooks implements Hooks but not ParallelHooks, so a collector with
+// workers > 1 must fall back to the sequential marker.
+type seqOnlyHooks struct{ edges int }
+
+func (h *seqOnlyHooks) PreMark(c *Collector) {}
+func (h *seqOnlyHooks) OnEdge(c *Collector, parent heap.Addr, slot int, child heap.Addr, marked bool) EdgeAction {
+	h.edges++
+	return EdgeProceed
+}
+func (h *seqOnlyHooks) WantAllFirstMarks() bool { return true }
+func (h *seqOnlyHooks) PostMark(c *Collector)   {}
+
+// TestParallelFallbackToSequential checks both fallback conditions: hooks
+// that do not implement ParallelHooks, and sticky-mark (KeepMarks) cycles.
+func TestParallelFallbackToSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, node := testWorld(t, 4<<20)
+	objs := buildRandomGraph(t, s, node, 300, rng)
+	roots := &sliceRoots{slots: []heap.Addr{objs[0], objs[17]}}
+	want := reachable(s, roots.slots)
+
+	hooks := &seqOnlyHooks{}
+	c := New(s, roots, hooks, true)
+	c.SetWorkers(4)
+	col := c.Collect("test")
+	if col.Workers != 1 {
+		t.Fatalf("non-parallel hooks: collection reports %d workers, want 1", col.Workers)
+	}
+	if col.ObjectsMarked != len(want) {
+		t.Fatalf("fallback marked %d, want %d", col.ObjectsMarked, len(want))
+	}
+	if hooks.edges == 0 {
+		t.Fatal("fallback did not run the sequential hook path")
+	}
+
+	// Sticky-mark cycles must also mark sequentially even in Base mode.
+	s2, node2 := testWorld(t, 4<<20)
+	objs2 := buildRandomGraph(t, s2, node2, 300, rng)
+	roots2 := &sliceRoots{slots: []heap.Addr{objs2[5]}}
+	c2 := New(s2, roots2, nil, false)
+	c2.SetWorkers(4)
+	c2.KeepMarks = true
+	if col2 := c2.Collect("test"); col2.Workers != 1 {
+		t.Fatalf("KeepMarks cycle reports %d workers, want 1", col2.Workers)
+	}
+}
+
+// TestSetWorkersClamps checks the worker-count accessor pair.
+func TestSetWorkersClamps(t *testing.T) {
+	s, _ := testWorld(t, 1<<20)
+	c := New(s, &sliceRoots{}, nil, false)
+	if c.Workers() != 1 {
+		t.Fatalf("default workers = %d, want 1", c.Workers())
+	}
+	c.SetWorkers(0)
+	if c.Workers() != 1 {
+		t.Fatalf("SetWorkers(0) gave %d, want 1", c.Workers())
+	}
+	c.SetWorkers(6)
+	if c.Workers() != 6 {
+		t.Fatalf("SetWorkers(6) gave %d", c.Workers())
+	}
+}
+
+// TestParallelOnMarkCensus checks the OnMark census replay fires exactly
+// once per live object under parallel marking.
+func TestParallelOnMarkCensus(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s, node := testWorld(t, 4<<20)
+	objs := buildRandomGraph(t, s, node, 400, rng)
+	roots := &sliceRoots{slots: []heap.Addr{objs[0], objs[100], objs[399]}}
+	want := reachable(s, roots.slots)
+
+	c := New(s, roots, nil, false)
+	c.SetWorkers(4)
+	seen := map[heap.Addr]int{}
+	c.OnMark = func(a heap.Addr) { seen[a]++ }
+	c.Collect("test")
+	if len(seen) != len(want) {
+		t.Fatalf("OnMark saw %d objects, want %d", len(seen), len(want))
+	}
+	for a, n := range seen {
+		if n != 1 {
+			t.Fatalf("OnMark saw %v %d times", a, n)
+		}
+	}
+}

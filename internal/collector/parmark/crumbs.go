@@ -1,0 +1,64 @@
+package parmark
+
+import "gcassert/internal/heap"
+
+// Resolver reconstructs root-to-object paths from the per-worker breadcrumb
+// tables after a parallel mark. It is handed to Checks.Merge and is valid
+// only until Mark returns.
+//
+// The breadcrumb forest is acyclic by construction: an object's crumb is
+// written before any of its children's (a child is only reachable for
+// claiming after its parent was claimed and scanned), so every crumb's
+// parent was claimed strictly earlier and following parents must terminate
+// at a root edge.
+type Resolver struct {
+	eng *Engine
+}
+
+// lookup finds the claim crumb of a. Exactly one worker claimed a, so at
+// most one table has an entry.
+func (r *Resolver) lookup(a heap.Addr) (crumb, bool) {
+	for _, w := range r.eng.workers {
+		if c, ok := w.crumbs[a]; ok {
+			return c, true
+		}
+	}
+	return crumb{}, false
+}
+
+// RootDesc returns the description of root index idx (as passed to OnEdge /
+// OnDeadForced), or "" for an out-of-range index.
+func (r *Resolver) RootDesc(idx int32) string {
+	if idx < 0 || int(idx) >= len(r.eng.roots) {
+		return ""
+	}
+	return r.eng.roots[idx].Desc
+}
+
+// EdgePath reconstructs the edge context (parent, rootIdx) of a violation
+// into the sequential marker's report shape: the description of the root
+// the path starts at, and the ancestor chain root-object-first ending with
+// parent itself. A root edge (parent == heap.Nil) yields no ancestors.
+//
+// The walk follows breadcrumbs from parent upward. An object without a
+// crumb terminates the walk (it can only be parent itself, on an edge whose
+// source was marked outside the breadcrumbed trace); the root description
+// then falls back to the edge's own root index.
+func (r *Resolver) EdgePath(parent heap.Addr, rootIdx int32) (root string, ancestors []heap.Addr) {
+	if parent == heap.Nil {
+		return r.RootDesc(rootIdx), nil
+	}
+	for cur := parent; cur != heap.Nil; {
+		ancestors = append(ancestors, cur)
+		c, ok := r.lookup(cur)
+		if !ok {
+			break
+		}
+		rootIdx = c.root
+		cur = c.parent
+	}
+	for i, j := 0, len(ancestors)-1; i < j; i, j = i+1, j-1 {
+		ancestors[i], ancestors[j] = ancestors[j], ancestors[i]
+	}
+	return r.RootDesc(rootIdx), ancestors
+}

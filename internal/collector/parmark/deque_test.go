@@ -1,0 +1,128 @@
+package parmark
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDequeOwnerOnly exercises LIFO push/pop without contention.
+func TestDequeOwnerOnly(t *testing.T) {
+	d := NewDeque(4)
+	for i := uint64(1); i <= 100; i++ {
+		d.Push(i) // crosses the initial capacity, forcing grows
+	}
+	if got := d.Size(); got != 100 {
+		t.Fatalf("Size = %d, want 100", got)
+	}
+	for i := uint64(100); i >= 1; i-- {
+		v, ok := d.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := d.Pop(); ok {
+		t.Fatal("Pop on empty deque succeeded")
+	}
+	if _, ok, retry := d.Steal(); ok || retry {
+		t.Fatal("Steal on empty deque succeeded")
+	}
+}
+
+// TestDequeStealOrder checks FIFO stealing from the top.
+func TestDequeStealOrder(t *testing.T) {
+	d := NewDeque(8)
+	for i := uint64(1); i <= 10; i++ {
+		d.Push(i)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		v, ok, _ := d.Steal()
+		if !ok || v != i {
+			t.Fatalf("Steal = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+}
+
+// TestDequeConcurrent is the linearizability stress test: one owner pushes
+// and pops while thieves steal; every pushed item must be consumed exactly
+// once. Meaningful mainly under -race -cpu N.
+func TestDequeConcurrent(t *testing.T) {
+	const (
+		items   = 20000
+		thieves = 3
+	)
+	d := NewDeque(8)
+	var mu sync.Mutex
+	seen := make(map[uint64]int, items)
+	record := func(batch []uint64) {
+		mu.Lock()
+		for _, v := range batch {
+			seen[v]++
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var got []uint64
+			for {
+				v, ok, retry := d.Steal()
+				if ok {
+					got = append(got, v)
+					continue
+				}
+				if retry {
+					continue
+				}
+				select {
+				case <-done:
+					// Drain anything pushed after the last failed steal.
+					for {
+						v, ok, retry := d.Steal()
+						if ok {
+							got = append(got, v)
+							continue
+						}
+						if !retry {
+							record(got)
+							return
+						}
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	var owned []uint64
+	for i := uint64(1); i <= items; i++ {
+		d.Push(i)
+		if i%3 == 0 {
+			if v, ok := d.Pop(); ok {
+				owned = append(owned, v)
+			}
+		}
+	}
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		owned = append(owned, v)
+	}
+	close(done)
+	wg.Wait()
+	record(owned)
+
+	if len(seen) != items {
+		t.Fatalf("consumed %d distinct items, want %d", len(seen), items)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d consumed %d times", v, n)
+		}
+	}
+}

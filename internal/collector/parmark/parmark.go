@@ -1,0 +1,425 @@
+// Package parmark is the parallel mark engine: N workers trace the heap
+// concurrently, each with its own Chase-Lev work-stealing deque, claiming
+// objects via an atomic mark-bit CAS (heap.ClaimMark) and detecting
+// termination with a distributed active-worker count.
+//
+// The paper's path-reconstruction trick (§2.7) keeps the current DFS path
+// on the worklist by setting a low-order bit on visited entries — a scheme
+// that only works with one sequential depth-first worklist. Here each
+// worker instead records a parent breadcrumb, child → (parent, slot, root),
+// on first claim; since every object is claimed exactly once, the union of
+// the per-worker breadcrumb tables is a forest over the marked set, and
+// walking it parent-by-parent reconstructs a complete root-to-object path
+// for any violation found during the parallel trace (crumbs.go).
+//
+// Assertion checks ride on the claim: the CAS returns the pre-claim header
+// word, so a worker learns mark status, assertion flags, and TypeID from
+// the single atomic access — the parallel restatement of the paper's
+// "checks piggyback on a header load the tracer does anyway". Checks are
+// performed by per-worker shards (no locks on the edge path) and merged
+// single-threaded after the workers join; see the Checks interface and
+// internal/core's implementation of it.
+package parmark
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gcassert/internal/heap"
+)
+
+// Root is one root slot handed to the engine. Slot points at live storage
+// so force-true severing can clear it; each root index is processed by
+// exactly one worker.
+type Root struct {
+	Slot *heap.Addr
+	Desc string
+}
+
+// Shard receives one worker's share of the per-edge assertion checks. A
+// shard is owned by a single worker for the duration of a mark; it may use
+// the heap's atomic flag API for cross-worker once-only elections but must
+// not touch shared engine state (that happens in Checks.Merge).
+type Shard interface {
+	// OnEdge is invoked for an edge parent→child (parent == heap.Nil and
+	// slot == -1 for a root edge) when the child carried assertion flags in
+	// oldHeader, or — if Checks.WantAllClaims — for every claiming edge.
+	// claimed reports whether this worker's claim won (first encounter);
+	// oldHeader is the child's header word before the claim.
+	OnEdge(parent heap.Addr, slot int, root int32, child heap.Addr, oldHeader uint64, claimed bool)
+	// OnDeadForced is invoked instead of OnEdge when force-dead mode
+	// severed the edge to an asserted-dead child. The slot (or root slot)
+	// has already been cleared and the child was not claimed.
+	OnDeadForced(parent heap.Addr, slot int, root int32, child heap.Addr, oldHeader uint64)
+}
+
+// Checks binds one collection's assertion checking to the engine.
+type Checks interface {
+	// ForceDead reports whether asserted-dead objects must be severed
+	// during the trace (the static ReactForce policy for assert-dead).
+	ForceDead() bool
+	// WantAllClaims asks whether OnEdge must fire for every winning claim
+	// even without assertion flags (instance counting).
+	WantAllClaims() bool
+	// Shard returns worker i's check shard.
+	Shard(i int) Shard
+	// Merge runs on the collecting goroutine after all workers joined; the
+	// resolver reconstructs root-to-object paths from the breadcrumbs.
+	Merge(r *Resolver)
+}
+
+// WorkerStats is one worker's activity during a single mark.
+type WorkerStats struct {
+	// Marked is the number of objects whose claim this worker won.
+	Marked int
+	// Steals is the number of work items stolen from other workers.
+	Steals int
+	// DurNs is the worker's wall-clock span, spawn to exit.
+	DurNs int64
+}
+
+// Result summarizes one parallel mark.
+type Result struct {
+	RootsScanned  int
+	ObjectsMarked int
+	PerWorker     []WorkerStats
+}
+
+// Engine is a reusable parallel marker over one space. It is not
+// goroutine-safe itself: Mark is called from the collecting goroutine,
+// which owns the engine between collections.
+type Engine struct {
+	space   *heap.Space
+	workers []*worker
+
+	roots        []Root
+	checks       Checks
+	forceDead    bool
+	allClaims    bool
+	collectMarks bool
+
+	// active is the distributed-termination count of checked-in workers.
+	active  atomic.Int64
+	aborted atomic.Bool
+	panicMu sync.Mutex
+	panicV  any
+}
+
+// crumb is the breadcrumb recorded when an object is first claimed: the
+// edge it was claimed through. parent == heap.Nil means a root edge, with
+// root indexing Engine.roots.
+type crumb struct {
+	parent heap.Addr
+	slot   int32
+	root   int32
+}
+
+type worker struct {
+	eng   *Engine
+	id    int
+	deque *Deque
+	shard Shard
+	// crumbs is non-nil only in infrastructure mode.
+	crumbs map[heap.Addr]crumb
+
+	// curObj / curRoot identify the edge source while scanning.
+	curObj  heap.Addr
+	curRoot int32
+	visitFn func(slot int, child heap.Addr)
+
+	marked  int
+	steals  int
+	markBuf []heap.Addr
+	rng     uint64
+	dur     time.Duration
+}
+
+// NewEngine creates an engine with n workers over the space. n must be > 1
+// (the sequential marker is the n == 1 path and lives in the collector).
+func NewEngine(space *heap.Space, n int) *Engine {
+	e := &Engine{space: space}
+	for i := 0; i < n; i++ {
+		e.workers = append(e.workers, &worker{
+			eng:   e,
+			id:    i,
+			deque: NewDeque(256),
+			rng:   uint64(i)*0x9e3779b97f4a7c15 + 1,
+		})
+	}
+	return e
+}
+
+// Workers returns the engine's worker count.
+func (e *Engine) Workers() int { return len(e.workers) }
+
+// Mark runs one parallel trace from roots. checks may be nil (Base mode or
+// infrastructure without hooks); crumbs enables breadcrumb recording
+// (infrastructure mode — the cost is paid whether or not assertions exist,
+// matching the sequential marker's path-tracking discipline); onMark, if
+// non-nil, is replayed serially after the workers join (the census callback
+// is not goroutine-safe).
+//
+// The caller must guarantee all mark bits are clear (the engine supports
+// only full traces; generational minor collections use the sequential
+// marker).
+func (e *Engine) Mark(roots []Root, checks Checks, crumbs bool, onMark func(heap.Addr)) Result {
+	e.roots = roots
+	e.checks = checks
+	e.forceDead = checks != nil && checks.ForceDead()
+	e.allClaims = checks != nil && checks.WantAllClaims()
+	e.collectMarks = onMark != nil
+	e.aborted.Store(false)
+	e.panicV = nil
+	e.active.Store(int64(len(e.workers)))
+
+	for _, w := range e.workers {
+		w.marked, w.steals, w.dur = 0, 0, 0
+		w.markBuf = w.markBuf[:0]
+		if checks != nil {
+			w.shard = checks.Shard(w.id)
+		} else {
+			w.shard = nil
+		}
+		if crumbs {
+			w.crumbs = make(map[heap.Addr]crumb, 1024)
+		} else {
+			w.crumbs = nil
+		}
+		if crumbs {
+			w.visitFn = w.visitInfra
+		} else {
+			w.visitFn = w.visitBase
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					e.panicMu.Lock()
+					if e.panicV == nil {
+						e.panicV = p
+					}
+					e.panicMu.Unlock()
+					e.aborted.Store(true)
+				}
+			}()
+			start := time.Now()
+			e.run(w)
+			w.dur = time.Since(start)
+		}(w)
+	}
+	wg.Wait()
+	if p := e.panicV; p != nil {
+		e.panicV = nil
+		panic(p)
+	}
+
+	res := Result{RootsScanned: len(roots), PerWorker: make([]WorkerStats, len(e.workers))}
+	for i, w := range e.workers {
+		res.ObjectsMarked += w.marked
+		res.PerWorker[i] = WorkerStats{Marked: w.marked, Steals: w.steals, DurNs: w.dur.Nanoseconds()}
+	}
+	if onMark != nil {
+		for _, w := range e.workers {
+			for _, a := range w.markBuf {
+				onMark(a)
+			}
+		}
+	}
+	if checks != nil {
+		checks.Merge(&Resolver{eng: e})
+	}
+	e.checks = nil
+	return res
+}
+
+// run is one worker's mark loop: strided root scan, then drain-and-steal
+// until global termination.
+func (e *Engine) run(w *worker) {
+	n := len(e.workers)
+	for i := w.id; i < len(e.roots); i += n {
+		e.rootEdge(w, int32(i))
+	}
+	for {
+		if e.aborted.Load() {
+			return
+		}
+		if item, ok := w.deque.Pop(); ok {
+			w.process(item)
+			continue
+		}
+		if item, ok := e.steal(w); ok {
+			w.process(item)
+			continue
+		}
+		if e.quiesce(w) {
+			return
+		}
+	}
+}
+
+// steal sweeps the other workers' deques in a per-worker pseudo-random
+// order, retrying lost CAS races.
+func (e *Engine) steal(w *worker) (uint64, bool) {
+	n := len(e.workers)
+	if n == 1 {
+		return 0, false
+	}
+	for sweep := 0; sweep < 2; sweep++ {
+		off := int(w.nextRand() % uint64(n))
+		for i := 0; i < n; i++ {
+			v := e.workers[(off+i)%n]
+			if v == w {
+				continue
+			}
+			for {
+				item, ok, retry := v.deque.Steal()
+				if ok {
+					w.steals++
+					return item, true
+				}
+				if !retry {
+					break
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// quiesce implements distributed termination detection: the worker checks
+// out of the active count, then spins watching for either global
+// termination (every worker checked out — no work can exist, because a
+// worker only checks out with an empty deque and only its owner pushes to
+// a deque) or work appearing in some deque, in which case it checks back
+// in and resumes stealing. Returns true to terminate.
+func (e *Engine) quiesce(w *worker) bool {
+	e.active.Add(-1)
+	for {
+		if e.aborted.Load() {
+			return true
+		}
+		if e.active.Load() == 0 {
+			return true
+		}
+		for _, v := range e.workers {
+			if v != w && v.deque.Size() > 0 {
+				e.active.Add(1)
+				return false
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// nextRand is a xorshift64 PRNG for steal-victim selection.
+func (w *worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
+}
+
+// Work items pack (address, root index) into one deque word: the address
+// in the high half, the index of the root whose subtree the object belongs
+// to in the low half. Carrying the root index with the work makes every
+// violation's root description available without a breadcrumb walk.
+func packItem(a heap.Addr, root int32) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(root))
+}
+
+func unpackItem(item uint64) (heap.Addr, int32) {
+	return heap.Addr(uint32(item >> 32)), int32(uint32(item))
+}
+
+func (w *worker) push(child heap.Addr) {
+	w.deque.Push(packItem(child, w.curRoot))
+}
+
+// process scans one claimed object's outgoing references.
+func (w *worker) process(item uint64) {
+	w.curObj, w.curRoot = unpackItem(item)
+	w.eng.space.ForEachRefAtomic(w.curObj, w.visitFn)
+}
+
+// rootEdge handles the edge from root index idx into the heap.
+func (e *Engine) rootEdge(w *worker, idx int32) {
+	r := e.roots[idx]
+	a := *r.Slot
+	if a == heap.Nil {
+		return
+	}
+	w.curObj, w.curRoot = heap.Nil, idx
+	s := e.space
+	if e.forceDead {
+		if h := s.AtomicHeader(a); heap.HeaderFlags(h)&heap.FlagDead != 0 {
+			*r.Slot = heap.Nil
+			w.shard.OnDeadForced(heap.Nil, -1, idx, a, h)
+			return
+		}
+	}
+	old, claimed := s.ClaimMark(a)
+	if claimed {
+		w.claimed(a, -1, old)
+	} else if w.shard != nil && heap.HeaderFlags(old)&heap.AssertFlags != 0 {
+		w.shard.OnEdge(heap.Nil, -1, idx, a, old, false)
+	}
+}
+
+// claimed records a winning claim of child via the current edge (curObj,
+// slot, curRoot) and pushes the child for scanning.
+func (w *worker) claimed(child heap.Addr, slot int, old uint64) {
+	w.marked++
+	if w.crumbs != nil {
+		w.crumbs[child] = crumb{parent: w.curObj, slot: int32(slot), root: w.curRoot}
+	}
+	if w.shard != nil && (heap.HeaderFlags(old)&heap.AssertFlags != 0 || w.eng.allClaims) {
+		w.shard.OnEdge(w.curObj, slot, w.curRoot, child, old, true)
+	}
+	if w.eng.collectMarks {
+		w.markBuf = append(w.markBuf, child)
+	}
+	w.push(child)
+}
+
+// visitInfra is the infrastructure-mode edge visitor: breadcrumbs, checks,
+// and force-dead severing.
+func (w *worker) visitInfra(slot int, child heap.Addr) {
+	e := w.eng
+	s := e.space
+	if e.forceDead {
+		if h := s.AtomicHeader(child); heap.HeaderFlags(h)&heap.FlagDead != 0 {
+			// Sever before ever claiming, so the asserted-dead object stays
+			// unmarked and is reclaimed this cycle. The slot belongs to the
+			// object this worker is scanning — no other worker writes it.
+			s.ClearRefSlotUnchecked(w.curObj, slot)
+			w.shard.OnDeadForced(w.curObj, slot, w.curRoot, child, h)
+			return
+		}
+	}
+	old, claimed := s.ClaimMark(child)
+	if claimed {
+		w.claimed(child, slot, old)
+	} else if w.shard != nil && heap.HeaderFlags(old)&heap.AssertFlags != 0 {
+		w.shard.OnEdge(w.curObj, slot, w.curRoot, child, old, false)
+	}
+}
+
+// visitBase is the Base-mode edge visitor: claim and push, nothing else.
+func (w *worker) visitBase(slot int, child heap.Addr) {
+	if _, claimed := w.eng.space.ClaimMark(child); claimed {
+		w.marked++
+		if w.eng.collectMarks {
+			w.markBuf = append(w.markBuf, child)
+		}
+		w.push(child)
+	}
+}

@@ -3,7 +3,12 @@ package collector
 import (
 	"fmt"
 	"time"
+
+	"gcassert/internal/collector/parmark"
 )
+
+// WorkerStats is one parallel mark worker's activity in a collection.
+type WorkerStats = parmark.WorkerStats
 
 // Collection records one collection cycle.
 type Collection struct {
@@ -30,6 +35,12 @@ type Collection struct {
 	WordsFreed   int
 	// ObjectsLive is the number of survivors after the sweep.
 	ObjectsLive int
+	// Workers is the number of mark-phase workers used (1 = the sequential
+	// reference marker).
+	Workers int
+	// PerWorker is per-worker mark activity; nil unless the cycle marked in
+	// parallel.
+	PerWorker []WorkerStats
 }
 
 func (c Collection) String() string {

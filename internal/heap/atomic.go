@@ -1,0 +1,136 @@
+package heap
+
+import "sync/atomic"
+
+// Atomic header access for the parallel mark engine.
+//
+// # Concurrency rules (the single-writer rule)
+//
+// The heap is single-threaded except during a parallel mark phase, and even
+// then only *header words* are shared:
+//
+//   - Mutator side: all accessors (GetRef, SetFlag, ForEachRef, ...) use
+//     plain loads and stores. The runtime is stop-the-world, so the mutator
+//     never runs while a collection does.
+//   - Sequential collection phases (ownership pre-phase, PostMark merge,
+//     sweep, the Workers==1 marker): also plain access. A parallel mark
+//     joins its workers through a sync.WaitGroup before any of these run,
+//     which establishes the happens-before edge that makes the workers'
+//     atomic header writes visible to subsequent plain reads.
+//   - Parallel mark workers: every header access MUST go through this
+//     file's atomic API. Multiple workers race to claim the same child
+//     (ClaimMark) and to set dedup flags on it (OrFlags), so a plain
+//     read-modify-write like SetFlag or ClearFlag would be a data race —
+//     and worse, could lose a concurrent mark bit.
+//   - Field words stay plain even during a parallel mark: an object's
+//     fields are only read by the worker that claimed it (exactly one
+//     worker wins the mark-bit CAS and scans the object), and only written
+//     by that same worker (force-true severing clears a slot of the object
+//     it is currently scanning). No field word is ever accessed by two
+//     workers.
+//
+// Everything a worker needs from a child — mark bit, assertion flags,
+// TypeID — comes out of the single atomic Or performed by ClaimMark, which
+// preserves the paper's argument that per-edge checks piggyback on the one
+// header load the tracer does anyway (§2.3.1).
+
+// AtomicHeader atomically loads the header word of the object at a.
+func (s *Space) AtomicHeader(a Addr) uint64 {
+	return atomic.LoadUint64(&s.words[a.word()])
+}
+
+// AtomicFlags atomically loads the flag byte of the object at a.
+func (s *Space) AtomicFlags(a Addr) Flag {
+	return Flag(atomic.LoadUint64(&s.words[a.word()]) & flagMask)
+}
+
+// ClaimMark atomically sets the mark bit of the object at a and returns the
+// header word as it was *before* the claim, plus whether this caller won
+// (the bit was previously clear). Exactly one of any number of racing
+// claimers wins; the old header gives the winner the object's pre-mark
+// flags and TypeID without a second load.
+func (s *Space) ClaimMark(a Addr) (old uint64, claimed bool) {
+	p := &s.words[a.word()]
+	for {
+		old = atomic.LoadUint64(p)
+		if old&uint64(FlagMark) != 0 {
+			return old, false
+		}
+		if atomic.CompareAndSwapUint64(p, old, old|uint64(FlagMark)) {
+			return old, true
+		}
+	}
+}
+
+// OrFlags atomically sets the given flags on the object at a and returns
+// the flag byte as it was before. Racing callers see distinct "before"
+// values for the bit that flipped, so it doubles as a once-per-object
+// election: the caller that observes the bit clear is the unique winner.
+func (s *Space) OrFlags(a Addr, f Flag) Flag {
+	p := &s.words[a.word()]
+	for {
+		old := atomic.LoadUint64(p)
+		if old&uint64(f) == uint64(f) {
+			return Flag(old & flagMask)
+		}
+		if atomic.CompareAndSwapUint64(p, old, old|uint64(f)) {
+			return Flag(old & flagMask)
+		}
+	}
+}
+
+// AndNotFlags atomically clears the given flags on the object at a.
+func (s *Space) AndNotFlags(a Addr, f Flag) {
+	p := &s.words[a.word()]
+	for {
+		old := atomic.LoadUint64(p)
+		if old&uint64(f) == 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(p, old, old&^uint64(f)) {
+			return
+		}
+	}
+}
+
+// HeaderFlags extracts the flag byte from a header word (as returned by
+// AtomicHeader or ClaimMark).
+func HeaderFlags(h uint64) Flag { return Flag(h & flagMask) }
+
+// HeaderTypeID extracts the TypeID from a header word.
+func HeaderTypeID(h uint64) TypeID { return headerType(h) }
+
+// ForEachRefAtomic is ForEachRef for parallel mark workers: the header word
+// is loaded atomically (other workers may be Or-ing flag bits into it
+// concurrently), while the field words are read plainly under the
+// single-scanner rule documented above.
+func (s *Space) ForEachRefAtomic(a Addr, fn func(slot int, target Addr)) {
+	h := atomic.LoadUint64(&s.words[a.word()])
+	ti := s.reg.Info(headerType(h))
+	switch ti.Kind {
+	case KindObject:
+		w := a.word()
+		for _, off := range ti.RefOffsets {
+			if t := Addr(s.words[w+uint32(off)]); t != Nil {
+				fn(int(off)-1, t)
+			}
+		}
+	case KindRefArray:
+		w := a.word()
+		n := headerLen(h)
+		for i := 0; i < n; i++ {
+			if t := Addr(s.words[w+uint32(1+i)]); t != Nil {
+				fn(i, t)
+			}
+		}
+	}
+}
+
+// ClearRefSlotUnchecked stores nil into the given reference slot without
+// field validation or the write barrier. Parallel mark workers use it to
+// sever edges of the object they are scanning: the slot index came from
+// ForEachRefAtomic a moment ago, and the validating re-read of the header
+// that ClearRefSlot performs would race with concurrent mark-bit claims.
+func (s *Space) ClearRefSlotUnchecked(a Addr, slot int) {
+	s.words[a.word()+uint32(1+slot)] = 0
+}

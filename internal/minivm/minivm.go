@@ -27,6 +27,9 @@ type RunOptions struct {
 	// placed near the end of the program are still checked (on by default
 	// in CompileAndRun).
 	FinalCollect bool
+	// Workers selects the mark-phase worker count (0 or 1 = sequential
+	// marker; n > 1 = work-stealing parallel mark engine).
+	Workers int
 }
 
 // Result is the outcome of CompileAndRun.
@@ -65,6 +68,7 @@ func CompileAndRun(src string, opt RunOptions) (*Result, error) {
 		Infrastructure: true,
 		Reporter:       rep,
 		Generational:   opt.Generational,
+		Workers:        opt.Workers,
 	})
 	out := opt.Out
 	if out == nil {

@@ -59,6 +59,11 @@ type Config struct {
 	Telemetry bool
 	// TelemetryRingSize bounds the retained GC event trace (default 1024).
 	TelemetryRingSize int
+	// Workers selects the number of mark-phase workers for full collections.
+	// 0 or 1 (the default) uses the sequential reference marker; n > 1 runs
+	// the work-stealing parallel mark engine. Generational minor collections
+	// always mark sequentially (they are sticky-mark partial traces).
+	Workers int
 	// Introspection enables the heap-introspection layer: a per-type census
 	// taken during every full collection's mark phase (one callback per
 	// marked object), snapshot diffing with leak-suspect ranking, and
@@ -123,6 +128,9 @@ func New(cfg Config) *Runtime {
 		hooks = r.engine
 	}
 	r.gc = collector.New(r.space, (*rootScanner)(r), hooks, cfg.Infrastructure)
+	if cfg.Workers > 1 {
+		r.gc.SetWorkers(cfg.Workers)
+	}
 	if r.tel != nil {
 		r.gc.Observer = newTelemetrySink(r, r.tel)
 	}
@@ -158,6 +166,15 @@ func (r *Runtime) Telemetry() *telemetry.Tracer { return r.tel }
 // Census exposes the heap-introspection layer, or nil when introspection is
 // off.
 func (r *Runtime) Census() *heapdump.Census { return r.census }
+
+// SetMarkWorkers changes the mark-phase worker count for subsequent full
+// collections (1 = the sequential reference marker). It may be called
+// between collections — benchmarks use it to re-mark the same heap at
+// several widths.
+func (r *Runtime) SetMarkWorkers(n int) { r.gc.SetWorkers(n) }
+
+// MarkWorkers returns the configured mark-phase worker count.
+func (r *Runtime) MarkWorkers() int { return r.gc.Workers() }
 
 // Collect forces a full collection.
 func (r *Runtime) Collect() collector.Collection {
