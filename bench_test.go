@@ -300,6 +300,77 @@ func BenchmarkCensusOff(b *testing.B) {
 	}
 }
 
+// BenchmarkProvenanceOff verifies the acceptance criterion for
+// allocation-site provenance: with provenance disabled (the default), the
+// allocation fast path performs zero Go allocations — the site==0 literal in
+// New and the nil-provenance check in the sweep cost nothing — and a
+// full-heap collection stays at the collector's pre-existing 2-allocs/op
+// baseline. Asserted in-line like BenchmarkCensusOff so `go test -bench
+// BenchmarkProvenanceOff` fails loudly on a regression.
+func BenchmarkProvenanceOff(b *testing.B) {
+	for _, infra := range []bool{false, true} {
+		name := "Base"
+		if infra {
+			name = "Infrastructure"
+		}
+		infra := infra
+		b.Run(name, func(b *testing.B) {
+			vm := gcassert.New(gcassert.Options{HeapBytes: 64 << 20, Infrastructure: infra})
+			node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+			th := vm.NewThread("main")
+			fr := th.Push(1)
+			fr.Set(0, th.New(node)) // settle lazy size-class growth
+			if allocs := testing.AllocsPerRun(1000, func() {
+				fr.Set(0, th.New(node))
+			}); allocs != 0 {
+				b.Fatalf("provenance-off allocation path allocates %.2f times/op, want 0", allocs)
+			}
+			fr.Set(0, gcassert.Nil)
+			buildList(vm, th, fr, node, 200_000)
+			vm.Collect()
+			b.ReportAllocs()
+			if allocs := testing.AllocsPerRun(3, func() { vm.Collect() }); allocs > 2 {
+				b.Fatalf("provenance-off collection allocates %.0f times/op, want <= 2 (baseline)", allocs)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fr.Set(0, th.New(node))
+			}
+		})
+	}
+}
+
+// BenchmarkProvenanceOn measures the enabled modes for the overhead table in
+// EXPERIMENTS.md: every allocation recorded (exhaustive) versus 1-in-64
+// sampling on the same allocation loop as BenchmarkProvenanceOff.
+func BenchmarkProvenanceOn(b *testing.B) {
+	modes := []struct {
+		name, prov string
+		sample     int
+	}{
+		{"Exhaustive", "exhaustive", 0},
+		{"Sampled64", "sampled", 64},
+	}
+	for _, m := range modes {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			vm := gcassert.New(gcassert.Options{
+				HeapBytes: 64 << 20, Infrastructure: true,
+				Provenance: m.prov, ProvenanceSample: m.sample,
+			})
+			node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+			th := vm.NewThread("main")
+			fr := th.Push(1)
+			site := vm.RegisterAllocSite("bench.go:1: new Node")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fr.Set(0, th.NewAt(node, site))
+			}
+		})
+	}
+}
+
 // BenchmarkCensusOn is the enabled-mode counterpart: the same collection
 // with the census observing every mark. Compare ns/op against
 // BenchmarkCensusOff for the census overhead; the snapshot built at GCEnd

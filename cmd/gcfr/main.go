@@ -1,0 +1,222 @@
+// Command gcfr inspects GC flight-recorder bundles: the forensic dumps the
+// runtime writes on an assertion violation, a SIGQUIT request (mjrun), or a
+// /debug/gcassert/fr scrape.
+//
+// Usage:
+//
+//	gcfr bundle.json                 pretty-print one bundle
+//	gcfr -diff old.json new.json     diff two bundles' heap profiles
+//	gcfr -pprof out.pb.gz bundle.json  extract the embedded heap profile
+//
+//	-cycles 10   recent cycles shown (0 = all)
+//	-top 15      heap-profile rows shown (0 = all)
+//
+// The extracted profile is a gzipped pprof protobuf; `go tool pprof
+// -sample_index=1 out.pb.gz` shows live bytes per allocation site.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"gcassert/internal/flight"
+)
+
+func main() {
+	diff := flag.Bool("diff", false, "diff two bundles (old new): heap growth by site, activity deltas")
+	pprofOut := flag.String("pprof", "", "write the bundle's embedded heap profile to this file and exit")
+	cycles := flag.Int("cycles", 10, "recent cycles to show (0 = all)")
+	top := flag.Int("top", 15, "heap profile rows to show (0 = all)")
+	flag.Parse()
+
+	switch {
+	case *diff:
+		if flag.NArg() != 2 {
+			fatal("usage: gcfr -diff old.json new.json")
+		}
+		diffBundles(readBundle(flag.Arg(0)), readBundle(flag.Arg(1)))
+	case *pprofOut != "":
+		if flag.NArg() != 1 {
+			fatal("usage: gcfr -pprof out.pb.gz bundle.json")
+		}
+		b := readBundle(flag.Arg(0))
+		if len(b.HeapProfile) == 0 {
+			fatal("bundle carries no heap profile (was provenance enabled?)")
+		}
+		if err := os.WriteFile(*pprofOut, b.HeapProfile, 0o644); err != nil {
+			fatal(err.Error())
+		}
+		fmt.Printf("wrote %d bytes to %s (try: go tool pprof -top -sample_index=1 %s)\n",
+			len(b.HeapProfile), *pprofOut, *pprofOut)
+	default:
+		if flag.NArg() != 1 {
+			fatal("usage: gcfr [-cycles N] [-top N] bundle.json (or -diff, -pprof; see -h)")
+		}
+		printBundle(readBundle(flag.Arg(0)), *cycles, *top)
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "gcfr: "+msg)
+	os.Exit(1)
+}
+
+func readBundle(path string) flight.Bundle {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err.Error())
+	}
+	defer f.Close()
+	b, err := flight.ReadBundle(f)
+	if err != nil {
+		fatal(fmt.Sprintf("%s: %v", path, err))
+	}
+	return b
+}
+
+func printBundle(b flight.Bundle, maxCycles, top int) {
+	fmt.Printf("flight bundle  trigger=%s  captured=%s\n",
+		b.Trigger, time.Unix(0, b.CapturedUnixNs).UTC().Format(time.RFC3339))
+	fmt.Printf("recorded: %d cycles total (%d retained), %d violations total (%d retained)\n\n",
+		b.TotalCycles, len(b.Cycles), b.TotalViolations, len(b.Violations))
+
+	cys := b.Cycles
+	if maxCycles > 0 && len(cys) > maxCycles {
+		fmt.Printf("cycles (last %d of %d retained):\n", maxCycles, len(cys))
+		cys = cys[len(cys)-maxCycles:]
+	} else {
+		fmt.Println("cycles:")
+	}
+	fmt.Printf("  %4s %-14s %10s %8s %8s %8s %3s %s\n",
+		"gc", "reason", "total", "marked", "freed", "live", "wrk", "notes")
+	for i := range cys {
+		cy := &cys[i]
+		notes := cy.Fallback
+		if notes != "" {
+			notes = "fallback:" + notes
+		}
+		if n := violationsIn(b, cy.GC); n > 0 {
+			if notes != "" {
+				notes += " "
+			}
+			notes += fmt.Sprintf("%d violation(s)", n)
+		}
+		fmt.Printf("  %4d %-14s %10s %8d %8d %8d %3d %s\n",
+			cy.GC, cy.Reason, time.Duration(cy.TotalNs), cy.ObjectsMarked,
+			cy.ObjectsFreed, cy.ObjectsLive, cy.Workers, notes)
+		for _, d := range cy.CensusDelta {
+			fmt.Printf("       %+d %s (%+d words)\n", d.Objects, d.TypeName, d.Words)
+		}
+	}
+
+	if len(b.Violations) > 0 {
+		fmt.Println("\nviolations:")
+		for i := range b.Violations {
+			v := &b.Violations[i]
+			fmt.Printf("  gc %d  %s  %s", v.GC, v.Kind, v.TypeName)
+			if v.Site != "" {
+				fmt.Printf("  allocated at %s", v.Site)
+			}
+			fmt.Println()
+			if len(v.Path) > 0 {
+				fmt.Printf("        path: %s -> %s\n", v.Root, strings.Join(v.Path, " -> "))
+			}
+		}
+	}
+
+	if len(b.HeapProfile) > 0 {
+		prof, err := flight.ParseProfile(b.HeapProfile)
+		if err != nil {
+			fatal(fmt.Sprintf("embedded heap profile: %v", err))
+		}
+		fmt.Printf("\nheap profile (%d sites):\n", len(prof.Samples))
+		fmt.Printf("  %9s %12s  %-20s %s\n", "objects", "bytes", "type", "site")
+		for i, s := range prof.Samples {
+			if top > 0 && i == top {
+				fmt.Printf("  ... %d more\n", len(prof.Samples)-top)
+				break
+			}
+			fmt.Printf("  %9d %12d  %-20s %s\n", s.Values[0], s.Values[1], s.Labels["type"], s.Sites[0])
+		}
+	}
+}
+
+func violationsIn(b flight.Bundle, gc uint64) int {
+	n := 0
+	for i := range b.Violations {
+		if b.Violations[i].GC == gc {
+			n++
+		}
+	}
+	return n
+}
+
+// diffBundles reports what changed between two dumps: per-(site, type) heap
+// growth — the leak-hunting view — plus cycle and violation counters.
+func diffBundles(old, new_ flight.Bundle) {
+	fmt.Printf("cycles:     %d -> %d (+%d)\n", old.TotalCycles, new_.TotalCycles,
+		int64(new_.TotalCycles)-int64(old.TotalCycles))
+	fmt.Printf("violations: %d -> %d (+%d)\n", old.TotalViolations, new_.TotalViolations,
+		int64(new_.TotalViolations)-int64(old.TotalViolations))
+
+	type key struct{ site, typ string }
+	type row struct {
+		key
+		objects, bytes int64
+	}
+	load := func(b flight.Bundle, sign int64, acc map[key]*row) {
+		if len(b.HeapProfile) == 0 {
+			return
+		}
+		prof, err := flight.ParseProfile(b.HeapProfile)
+		if err != nil {
+			fatal(fmt.Sprintf("heap profile: %v", err))
+		}
+		for _, s := range prof.Samples {
+			k := key{site: s.Sites[0], typ: s.Labels["type"]}
+			r := acc[k]
+			if r == nil {
+				r = &row{key: k}
+				acc[k] = r
+			}
+			r.objects += sign * s.Values[0]
+			r.bytes += sign * s.Values[1]
+		}
+	}
+	acc := map[key]*row{}
+	load(old, -1, acc)
+	load(new_, +1, acc)
+	var rows []*row
+	for _, r := range acc {
+		if r.objects != 0 || r.bytes != 0 {
+			rows = append(rows, r)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ai, aj := abs(rows[i].bytes), abs(rows[j].bytes)
+		if ai != aj {
+			return ai > aj
+		}
+		return rows[i].site < rows[j].site
+	})
+	if len(rows) == 0 {
+		fmt.Println("heap: no per-site change")
+		return
+	}
+	fmt.Println("heap delta by allocation site (new - old):")
+	fmt.Printf("  %+9s %+12s  %-20s %s\n", "objects", "bytes", "type", "site")
+	for _, r := range rows {
+		fmt.Printf("  %+9d %+12d  %-20s %s\n", r.objects, r.bytes, r.typ, r.site)
+	}
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -4,13 +4,24 @@
 //
 // Usage:
 //
-//	mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] [-workers N] program.mj
+//	mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] [-workers N]
+//	      [-provenance] [-fr] [-fr-dump file] program.mj
+//
+// With -fr the GC flight recorder is armed: the first assertion violation
+// of each collection dumps a forensic bundle to the -fr-dump file, and
+// SIGQUIT requests an on-demand dump at the next collection (the bundle
+// needs a consistent heap, so the dump rides on the collector's
+// stop-the-world pause). Inspect bundles with `gcfr`, or feed the heap
+// profile inside to `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gcassert"
 	"gcassert/internal/minivm"
@@ -23,9 +34,12 @@ func main() {
 	disasm := flag.Bool("disasm", false, "print the compiled bytecode and exit")
 	optimize := flag.Bool("O", false, "run the peephole bytecode optimizer")
 	workers := flag.Int("workers", 1, "mark-phase workers (1 = sequential marker)")
+	provenance := flag.Bool("provenance", false, "record every guest allocation's site (method:line) for violation reports and profiles")
+	fr := flag.Bool("fr", false, "arm the GC flight recorder (implies -provenance; dump with SIGQUIT or on violation)")
+	frDump := flag.String("fr-dump", "gcassert-fr.json", "file the flight recorder dumps bundles to (latest dump wins)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] [-workers N] program.mj")
+		fmt.Fprintln(os.Stderr, "usage: mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] [-workers N] [-provenance] [-fr] [-fr-dump file] program.mj")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -47,24 +61,66 @@ func main() {
 		return
 	}
 
-	res, err := minivm.CompileAndRun(string(src), minivm.RunOptions{
-		HeapBytes:    *heapMB << 20,
-		Out:          os.Stdout,
-		Reporter:     gcassert.NewWriterReporter(os.Stderr),
-		Generational: *gen,
-		Optimize:     *optimize,
-		Workers:      *workers,
+	unit, cerr := minivm.Compile(string(src))
+	if cerr != nil {
+		fmt.Fprintln(os.Stderr, cerr)
+		os.Exit(1)
+	}
+	if *optimize {
+		minivm.Optimize(unit)
+	}
+	prov := ""
+	if *provenance || *fr {
+		prov = "exhaustive"
+	}
+	vm := gcassert.New(gcassert.Options{
+		HeapBytes:      *heapMB << 20,
+		Infrastructure: true,
+		Reporter:       gcassert.NewWriterReporter(os.Stderr),
+		Generational:   *gen,
+		Workers:        *workers,
+		Provenance:     prov,
+		FlightRecorder: *fr,
 	})
-	if err != nil {
+	if *fr {
+		rec := vm.Flight()
+		rec.SetDumpSink(func() (io.WriteCloser, error) { return os.Create(*frDump) })
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				// Dumping needs a consistent heap; latch the request and let
+				// the collector deliver at its next stop-the-world pause.
+				rec.RequestDump()
+				fmt.Fprintf(os.Stderr, "mjrun: flight dump to %s requested (written at next GC)\n", *frDump)
+			}
+		}()
+	}
+	im, lerr := minivm.Load(vm, unit, os.Stdout)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, lerr)
+		os.Exit(1)
+	}
+	if err := im.Run(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	vm.Collect()
+
 	if *stats {
-		vm := res.VM
 		fmt.Fprintf(os.Stderr, "GC:        %s\n", vm.GCStats())
 		st := vm.AssertionStats()
 		fmt.Fprintf(os.Stderr, "asserted:  %d dead (%d verified), %d unshared, %d owned pairs\n",
 			st.DeadAsserted, st.DeadVerified, st.UnsharedAsserted, st.OwnedPairsAsserted)
 		fmt.Fprintf(os.Stderr, "violations: %d\n", st.Violations)
+		if *fr {
+			fst := vm.Flight().Stats()
+			fmt.Fprintf(os.Stderr, "flight:    %d cycles, %d violations recorded, %d dumps",
+				fst.CyclesRecorded, fst.ViolationsRecorded, fst.Dumps)
+			if fst.LastDumpErr != nil {
+				fmt.Fprintf(os.Stderr, " (last dump error: %v)", fst.LastDumpErr)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 }

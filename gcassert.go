@@ -1,11 +1,13 @@
 package gcassert
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 
 	"gcassert/internal/collector"
 	"gcassert/internal/core"
+	"gcassert/internal/flight"
 	"gcassert/internal/heap"
 	"gcassert/internal/rt"
 	"gcassert/internal/telemetry"
@@ -70,6 +72,23 @@ type (
 	// MetricsRegistry holds telemetry counters/gauges/histograms and
 	// renders Prometheus text format.
 	MetricsRegistry = telemetry.Registry
+	// SiteID identifies a registered allocation site (0 = unknown). Obtain
+	// one with Runtime.RegisterAllocSite and pass it to Thread.NewAt /
+	// NewArrayAt.
+	SiteID = heap.SiteID
+	// FlightRecorder is the GC flight recorder: a bounded ring of recent
+	// collection cycles plus recent violations, dumpable as a forensic
+	// bundle. Obtain it with Runtime.Flight() on a flight-enabled runtime.
+	FlightRecorder = flight.Recorder
+	// FlightBundle is a captured forensic bundle.
+	FlightBundle = flight.Bundle
+	// FlightCycle is one recorded collection cycle in a bundle.
+	FlightCycle = flight.Cycle
+	// ViolationRecord is one violation as retained by the flight recorder.
+	ViolationRecord = flight.ViolationRecord
+	// SiteSample is one (allocation site, type) group of a bundle's heap
+	// profile.
+	SiteSample = flight.SiteSample
 )
 
 // Collection reasons recorded by the runtime.
@@ -162,6 +181,30 @@ type Options struct {
 	// events; older events are evicted but cumulative metrics keep
 	// counting).
 	TelemetryRingSize int
+	// Provenance selects allocation-site provenance: "" or "off" disables
+	// it (the default); "exhaustive" records every sited allocation;
+	// "sampled" records one in ProvenanceSample. With provenance on,
+	// violations report the offending object's allocation site, census and
+	// leak-suspect rankings break down by (type, site), and flight-recorder
+	// bundles carry a site-resolved pprof heap profile. Allocation sites
+	// are registered with Runtime.RegisterAllocSite and recorded by
+	// Thread.NewAt / NewArrayAt; plain New/NewArray allocations group under
+	// the unknown site. Disabled, the plain allocation path is untouched
+	// and sited entry points cost one comparison.
+	Provenance string
+	// ProvenanceSample is the sampling rate for Provenance "sampled": one
+	// in N sited allocations is recorded (default 64).
+	ProvenanceSample int
+	// FlightRecorder enables the GC flight recorder: an always-on bounded
+	// ring of recent collection cycles (phase timings, per-worker mark
+	// stats, per-kind assertion activity, census deltas) and recent
+	// violations, dumpable on demand — Runtime.WriteFlightBundle, or
+	// /debug/gcassert/fr with Telemetry — or automatically on violation,
+	// as a self-contained JSON bundle embedding a pprof-format heap
+	// profile. See Runtime.Flight.
+	FlightRecorder bool
+	// FlightCycles bounds the flight recorder's cycle ring (default 64).
+	FlightCycles int
 	// Introspection enables the heap-introspection layer: a per-type live
 	// census piggybacked on every full collection's mark phase, snapshot
 	// diffing with Cork-style leak-suspect ranking, and on-demand dominator
@@ -181,6 +224,24 @@ type Runtime struct {
 	*rt.Runtime
 }
 
+// provenanceSample maps the Options provenance mode to the runtime's
+// sampling rate (0 = off, 1 = exhaustive, N = one in N).
+func provenanceSample(opts Options) int {
+	switch opts.Provenance {
+	case "", "off":
+		return 0
+	case "exhaustive":
+		return 1
+	case "sampled":
+		if opts.ProvenanceSample > 1 {
+			return opts.ProvenanceSample
+		}
+		return 64
+	default:
+		panic(fmt.Sprintf("gcassert: unknown Provenance mode %q (want off, sampled or exhaustive)", opts.Provenance))
+	}
+}
+
 // New creates a runtime.
 func New(opts Options) *Runtime {
 	r := &Runtime{rt.New(rt.Config{
@@ -196,6 +257,9 @@ func New(opts Options) *Runtime {
 		TelemetryRingSize: opts.TelemetryRingSize,
 		Introspection:     opts.Introspection,
 		CensusRingSize:    opts.CensusRingSize,
+		ProvenanceSample:  provenanceSample(opts),
+		FlightRecorder:    opts.FlightRecorder,
+		FlightCycles:      opts.FlightCycles,
 	})}
 	if opts.OnViolation != nil && r.Engine() != nil {
 		r.Engine().SetDecider(opts.OnViolation)
@@ -206,9 +270,34 @@ func New(opts Options) *Runtime {
 			tel.SetCensusSource(census.WriteJSON)
 			tel.SetLeakSource(census.WriteSuspectsJSON)
 		}
+		if fr := r.Flight(); fr != nil {
+			tel.SetFlightSource(func(w io.Writer) error { return fr.WriteBundle(w, "http") })
+		}
 	}
 	return r
 }
+
+// WriteFlightBundle dumps a flight-recorder forensic bundle to w: the
+// retained cycle timeline, the retained violations, and a pprof-format
+// heap profile of the live heap grouped by (allocation site, type). The
+// bundle's heap profile walks the managed heap, so call it while the
+// runtime is quiescent. trigger labels what prompted the dump (shows up in
+// the bundle header; "manual" is a fine default). It panics when the
+// runtime was created without Options.FlightRecorder.
+func (r *Runtime) WriteFlightBundle(w io.Writer, trigger string) error {
+	fr := r.Flight()
+	if fr == nil {
+		panic("gcassert: WriteFlightBundle requires Options.FlightRecorder")
+	}
+	return fr.WriteBundle(w, trigger)
+}
+
+// ReadFlightBundle parses a bundle written by WriteFlightBundle (or the
+// /debug/gcassert/fr endpoint, or a violation-triggered dump).
+func ReadFlightBundle(rd io.Reader) (FlightBundle, error) { return flight.ReadBundle(rd) }
+
+// ParseHeapProfile decodes a bundle's embedded pprof heap profile.
+func ParseHeapProfile(data []byte) (*flight.Profile, error) { return flight.ParseProfile(data) }
 
 // TelemetryHandler returns the telemetry HTTP surface (/metrics,
 // /debug/gcassert/trace, /debug/gcassert/violations,

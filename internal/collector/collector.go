@@ -201,8 +201,12 @@ func (c *Collector) Collect(reason Reason) Collection {
 	}
 	t0 := time.Now()
 	parallel := false
-	if c.workers > 1 && !c.KeepMarks {
-		parallel = c.markParallel(&col)
+	if c.workers > 1 {
+		if c.KeepMarks {
+			col.Fallback = FallbackKeepMarks
+		} else {
+			parallel = c.markParallel(&col)
+		}
 	}
 	if !parallel {
 		if c.infra {

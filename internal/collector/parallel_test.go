@@ -84,6 +84,9 @@ func TestParallelFallbackToSequential(t *testing.T) {
 	if col.Workers != 1 {
 		t.Fatalf("non-parallel hooks: collection reports %d workers, want 1", col.Workers)
 	}
+	if col.Fallback != FallbackNonParallelHooks {
+		t.Fatalf("Fallback = %q, want %q", col.Fallback, FallbackNonParallelHooks)
+	}
 	if col.ObjectsMarked != len(want) {
 		t.Fatalf("fallback marked %d, want %d", col.ObjectsMarked, len(want))
 	}
@@ -98,8 +101,19 @@ func TestParallelFallbackToSequential(t *testing.T) {
 	c2 := New(s2, roots2, nil, false)
 	c2.SetWorkers(4)
 	c2.KeepMarks = true
-	if col2 := c2.Collect("test"); col2.Workers != 1 {
-		t.Fatalf("KeepMarks cycle reports %d workers, want 1", col2.Workers)
+	if col2 := c2.Collect("test"); col2.Workers != 1 || col2.Fallback != FallbackKeepMarks {
+		t.Fatalf("KeepMarks cycle reports %d workers, fallback %q; want 1, %q",
+			col2.Workers, col2.Fallback, FallbackKeepMarks)
+	}
+
+	// A genuinely parallel collection must not claim a fallback.
+	s3, node3 := testWorld(t, 4<<20)
+	objs3 := buildRandomGraph(t, s3, node3, 300, rng)
+	c3 := New(s3, &sliceRoots{slots: []heap.Addr{objs3[0]}}, nil, false)
+	c3.SetWorkers(4)
+	if col3 := c3.Collect("test"); col3.Workers != 4 || col3.Fallback != "" {
+		t.Fatalf("parallel cycle reports %d workers, fallback %q; want 4, none",
+			col3.Workers, col3.Fallback)
 	}
 }
 

@@ -41,7 +41,27 @@ type Collection struct {
 	// PerWorker is per-worker mark activity; nil unless the cycle marked in
 	// parallel.
 	PerWorker []WorkerStats
+	// Fallback, on a cycle where the configured worker count exceeded one but
+	// the mark ran sequentially anyway, names why (one of the Fallback*
+	// constants). Empty when the cycle marked in parallel or when only one
+	// worker was configured to begin with.
+	Fallback string
 }
+
+// Reasons a cycle configured for parallel marking fell back to the
+// sequential marker. Telemetry exports them as the reason label of
+// gcassert_gc_mark_fallback_total.
+const (
+	// FallbackKeepMarks: sticky-mark (generational minor) collections always
+	// mark sequentially; the parallel engine assumes clear mark bits.
+	FallbackKeepMarks = "keep-marks"
+	// FallbackNonParallelHooks: the installed hooks do not implement
+	// ParallelHooks, so per-edge checks cannot be sharded.
+	FallbackNonParallelHooks = "non-parallel-hooks"
+	// FallbackDecider: the engine demanded the sequential marker for this
+	// cycle (a programmatic violation decider needs edge-time reactions).
+	FallbackDecider = "decider"
+)
 
 func (c Collection) String() string {
 	return fmt.Sprintf("GC#%d(%s): %v (own %v, mark %v, sweep %v) marked=%d freed=%d live=%d",

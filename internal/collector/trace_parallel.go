@@ -13,9 +13,11 @@ func (c *Collector) markParallel(col *Collection) bool {
 	if c.infra && c.hooks != nil {
 		ph, ok := c.hooks.(ParallelHooks)
 		if !ok {
+			col.Fallback = FallbackNonParallelHooks
 			return false
 		}
 		if checks = ph.ParallelChecks(c.workers, c.gcCount); checks == nil {
+			col.Fallback = FallbackDecider
 			return false
 		}
 	}

@@ -72,6 +72,7 @@ func (e *Engine) onDeadReachable(gc uint64, obj heap.Addr, f heap.Flag, root str
 		GC:       gc,
 		Object:   obj,
 		TypeName: s.TypeName(obj),
+		Site:     s.SiteDesc(obj),
 		Root:     root,
 		Path:     BuildPath(s, ancestors, obj),
 	}
@@ -94,6 +95,7 @@ func (e *Engine) onSharedUnshared(gc uint64, obj heap.Addr, root string, ancesto
 		GC:       gc,
 		Object:   obj,
 		TypeName: e.space.TypeName(obj),
+		Site:     e.space.SiteDesc(obj),
 		Root:     root,
 		Path:     BuildPath(e.space, ancestors, obj),
 		Message:  "second path shown; the first path was traced earlier",
@@ -117,6 +119,7 @@ func (e *Engine) onUnownedReachable(gc uint64, obj heap.Addr, root string, ances
 		GC:       gc,
 		Object:   obj,
 		TypeName: s.TypeName(obj),
+		Site:     s.SiteDesc(obj),
 		Root:     root,
 		Path:     BuildPath(s, ancestors, obj),
 		Message:  msg,

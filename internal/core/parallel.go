@@ -186,6 +186,7 @@ func (e *Engine) reportParallel(p *parPending, gc uint64, r *parmark.Resolver) {
 		GC:       gc,
 		Object:   p.obj,
 		TypeName: s.Registry().Name(p.typeID),
+		Site:     s.SiteDesc(p.obj),
 		Root:     root,
 		Path:     BuildPath(s, ancestors, p.obj),
 	}

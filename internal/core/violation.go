@@ -105,6 +105,11 @@ type Violation struct {
 	Object heap.Addr
 	// TypeName is the offending object's (or tracked type's) name.
 	TypeName string
+	// Site is the offending object's recorded allocation site ("" when
+	// provenance is disabled or the allocation was not sampled). A path says
+	// where the object is reachable from; the site says who created it —
+	// together they are the two halves of a heap diagnosis.
+	Site string
 	// Root describes the root at which the reported path starts.
 	Root string
 	// Path is the full path through the heap from the root to the object,
@@ -121,6 +126,9 @@ func (v *Violation) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Warning: %s.\n", v.Kind.headline())
 	fmt.Fprintf(&b, "Type: %s\n", v.TypeName)
+	if v.Site != "" {
+		fmt.Fprintf(&b, "Allocated at: %s\n", v.Site)
+	}
 	if v.Message != "" {
 		fmt.Fprintf(&b, "Detail: %s\n", v.Message)
 	}

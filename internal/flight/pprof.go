@@ -1,0 +1,415 @@
+package flight
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// SiteSample is one (allocation site, type) group of the live heap: the
+// unit of the bundle's heap profile. Site is the registered allocation-site
+// description ("" when provenance is off or the allocation was unsampled).
+type SiteSample struct {
+	Site    string `json:"site"`
+	Type    string `json:"type"`
+	Objects int64  `json:"objects"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// EncodeHeapProfile renders site samples as a gzipped profile.proto message
+// consumable by `go tool pprof`. Each distinct site becomes one synthetic
+// function+location (pprof resolves sample stacks through locations, and a
+// one-frame stack named by the site description is exactly the granularity
+// provenance records); each (site, type) sample carries two values —
+// (objects, count) and (space, bytes) — plus a "type" label.
+//
+// The encoding is hand-rolled over the protobuf wire format: the module has
+// no dependencies, and the dozen tag kinds the profile needs (varints and
+// length-delimited fields) do not justify one.
+func EncodeHeapProfile(samples []SiteSample, timeNanos int64) []byte {
+	st := newStringTable()
+	objectsIdx, countIdx := st.index("objects"), st.index("count")
+	spaceIdx, bytesIdx := st.index("space"), st.index("bytes")
+	typeIdx := st.index("type")
+
+	// One function + location per distinct site, 1-based IDs (pprof reserves
+	// id 0), in first-appearance order so encoding is deterministic.
+	siteLoc := map[string]uint64{}
+	var siteOrder []string
+	for i := range samples {
+		site := samples[i].Site
+		if site == "" {
+			site = "(unknown)"
+		}
+		if _, ok := siteLoc[site]; !ok {
+			siteLoc[site] = uint64(len(siteOrder) + 1)
+			siteOrder = append(siteOrder, site)
+		}
+	}
+
+	var p protoBuf
+	// sample_type: ValueType{type, unit}
+	p.message(1, vtype(objectsIdx, countIdx))
+	p.message(1, vtype(spaceIdx, bytesIdx))
+	for i := range samples {
+		s := &samples[i]
+		site := s.Site
+		if site == "" {
+			site = "(unknown)"
+		}
+		var sm protoBuf
+		sm.packedUvarints(1, []uint64{siteLoc[site]}) // location_id
+		sm.packedVarints(2, []int64{s.Objects, s.Bytes})
+		var lb protoBuf
+		lb.varint(1, uint64(typeIdx))
+		lb.varint(2, uint64(st.index(s.Type)))
+		sm.message(3, lb.bytes()) // label
+		p.message(2, sm.bytes())
+	}
+	for _, site := range siteOrder {
+		id := siteLoc[site]
+		var ln protoBuf
+		ln.varint(1, id) // function_id (same id space as the location)
+		var loc protoBuf
+		loc.varint(1, id)
+		loc.message(4, ln.bytes()) // line
+		p.message(4, loc.bytes())
+		var fn protoBuf
+		fn.varint(1, id)
+		fn.varint(2, uint64(st.index(site))) // name
+		p.message(5, fn.bytes())
+	}
+	for _, s := range st.strings {
+		p.str(6, s)
+	}
+	if timeNanos != 0 {
+		p.varint(9, uint64(timeNanos))
+	}
+
+	var out bytes.Buffer
+	zw := gzip.NewWriter(&out)
+	zw.Write(p.bytes())
+	zw.Close()
+	return out.Bytes()
+}
+
+func vtype(typeIdx, unitIdx int64) []byte {
+	var vt protoBuf
+	vt.varint(1, uint64(typeIdx))
+	vt.varint(2, uint64(unitIdx))
+	return vt.bytes()
+}
+
+// stringTable builds the profile's deduplicated string table; index 0 is
+// the mandatory empty string.
+type stringTable struct {
+	strings []string
+	idx     map[string]int64
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{strings: []string{""}, idx: map[string]int64{"": 0}}
+}
+
+func (t *stringTable) index(s string) int64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := int64(len(t.strings))
+	t.strings = append(t.strings, s)
+	t.idx[s] = i
+	return i
+}
+
+// protoBuf is a minimal protobuf wire-format writer: varint (wire type 0)
+// and length-delimited (wire type 2) fields are all profile.proto needs.
+type protoBuf struct{ buf []byte }
+
+func (p *protoBuf) bytes() []byte { return p.buf }
+
+func (p *protoBuf) uvarint(v uint64) {
+	for v >= 0x80 {
+		p.buf = append(p.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	p.buf = append(p.buf, byte(v))
+}
+
+func (p *protoBuf) tag(field, wire int) { p.uvarint(uint64(field)<<3 | uint64(wire)) }
+
+func (p *protoBuf) varint(field int, v uint64) {
+	p.tag(field, 0)
+	p.uvarint(v)
+}
+
+func (p *protoBuf) message(field int, body []byte) {
+	p.tag(field, 2)
+	p.uvarint(uint64(len(body)))
+	p.buf = append(p.buf, body...)
+}
+
+func (p *protoBuf) str(field int, s string) {
+	p.tag(field, 2)
+	p.uvarint(uint64(len(s)))
+	p.buf = append(p.buf, s...)
+}
+
+func (p *protoBuf) packedUvarints(field int, vs []uint64) {
+	var body protoBuf
+	for _, v := range vs {
+		body.uvarint(v)
+	}
+	p.message(field, body.bytes())
+}
+
+func (p *protoBuf) packedVarints(field int, vs []int64) {
+	var body protoBuf
+	for _, v := range vs {
+		body.uvarint(uint64(v))
+	}
+	p.message(field, body.bytes())
+}
+
+// Profile is a decoded heap profile, resolved back to sites: the read half
+// of EncodeHeapProfile, used by tests and the gcfr bundle viewer. It
+// understands exactly the subset of profile.proto the encoder emits (plus
+// unpacked repeated scalars, which some writers prefer).
+type Profile struct {
+	// SampleTypes holds the value schema, e.g. objects/count, space/bytes.
+	SampleTypes []ProfileValueType
+	// Samples are the resolved samples, in encoded order.
+	Samples []ProfileSample
+	// TimeNanos is the capture timestamp.
+	TimeNanos int64
+}
+
+// ProfileValueType names one sample value dimension.
+type ProfileValueType struct {
+	Type string
+	Unit string
+}
+
+// ProfileSample is one decoded sample with its location stack resolved to
+// site names and its labels materialized.
+type ProfileSample struct {
+	// Sites is the location stack, leaf first (one entry for profiles this
+	// package encodes).
+	Sites  []string
+	Labels map[string]string
+	Values []int64
+}
+
+// ParseProfile decodes a gzipped profile.proto blob as written by
+// EncodeHeapProfile.
+func ParseProfile(data []byte) (*Profile, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("flight: profile is not gzipped: %w", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("flight: decompressing profile: %w", err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, err
+	}
+
+	var (
+		strings    []string
+		sampleVTs  [][2]int64 // (type, unit) string indices
+		rawSamples [][]byte
+		locFunc    = map[uint64]uint64{} // location id -> function id
+		funcName   = map[uint64]int64{}  // function id -> name string index
+		prof       = &Profile{}
+	)
+	err = walkFields(raw, func(field int, wire int, varint uint64, body []byte) error {
+		switch field {
+		case 1: // sample_type
+			var vt [2]int64
+			err := walkFields(body, func(f, w int, v uint64, _ []byte) error {
+				if f == 1 {
+					vt[0] = int64(v)
+				} else if f == 2 {
+					vt[1] = int64(v)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			sampleVTs = append(sampleVTs, vt)
+		case 2: // sample: resolve after the string table is complete
+			rawSamples = append(rawSamples, body)
+		case 4: // location
+			var id, fid uint64
+			err := walkFields(body, func(f, w int, v uint64, b []byte) error {
+				switch f {
+				case 1:
+					id = v
+				case 4: // line
+					return walkFields(b, func(lf, lw int, lv uint64, _ []byte) error {
+						if lf == 1 && fid == 0 {
+							fid = lv
+						}
+						return nil
+					})
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			locFunc[id] = fid
+		case 5: // function
+			var id uint64
+			var name int64
+			err := walkFields(body, func(f, w int, v uint64, _ []byte) error {
+				if f == 1 {
+					id = v
+				} else if f == 2 {
+					name = int64(v)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			funcName[id] = name
+		case 6: // string_table
+			strings = append(strings, string(body))
+		case 9:
+			prof.TimeNanos = int64(varint)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	str := func(i int64) string {
+		if i < 0 || int(i) >= len(strings) {
+			return ""
+		}
+		return strings[i]
+	}
+	for _, vt := range sampleVTs {
+		prof.SampleTypes = append(prof.SampleTypes, ProfileValueType{Type: str(vt[0]), Unit: str(vt[1])})
+	}
+	for _, body := range rawSamples {
+		s := ProfileSample{Labels: map[string]string{}}
+		err := walkFields(body, func(f, w int, v uint64, b []byte) error {
+			switch f {
+			case 1: // location_id (packed or repeated)
+				ids, err := scalars(w, v, b)
+				if err != nil {
+					return err
+				}
+				for _, id := range ids {
+					s.Sites = append(s.Sites, str(funcName[locFunc[id]]))
+				}
+			case 2: // value
+				vals, err := scalars(w, v, b)
+				if err != nil {
+					return err
+				}
+				for _, x := range vals {
+					s.Values = append(s.Values, int64(x))
+				}
+			case 3: // label
+				var key, val int64
+				err := walkFields(b, func(lf, lw int, lv uint64, _ []byte) error {
+					if lf == 1 {
+						key = int64(lv)
+					} else if lf == 2 {
+						val = int64(lv)
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				if k := str(key); k != "" {
+					s.Labels[k] = str(val)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		prof.Samples = append(prof.Samples, s)
+	}
+	return prof, nil
+}
+
+// scalars materializes a repeated varint field from either encoding: one
+// packed length-delimited body (wire 2) or a single unpacked value (wire 0).
+func scalars(wire int, varint uint64, body []byte) ([]uint64, error) {
+	if wire == 0 {
+		return []uint64{varint}, nil
+	}
+	var out []uint64
+	for off := 0; off < len(body); {
+		v, n := uvarint(body[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("flight: truncated packed varint")
+		}
+		out = append(out, v)
+		off += n
+	}
+	return out, nil
+}
+
+// walkFields iterates a protobuf message's fields, invoking fn per field
+// with the varint value (wire type 0) or body (wire type 2). Wire types 1
+// and 5 (fixed64/fixed32) are skipped; profile.proto does not use them.
+func walkFields(msg []byte, fn func(field, wire int, varint uint64, body []byte) error) error {
+	for off := 0; off < len(msg); {
+		key, n := uvarint(msg[off:])
+		if n <= 0 {
+			return fmt.Errorf("flight: truncated field key at %d", off)
+		}
+		off += n
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0:
+			v, n := uvarint(msg[off:])
+			if n <= 0 {
+				return fmt.Errorf("flight: truncated varint in field %d", field)
+			}
+			off += n
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 2:
+			l, n := uvarint(msg[off:])
+			if n <= 0 || off+n+int(l) > len(msg) {
+				return fmt.Errorf("flight: truncated length-delimited field %d", field)
+			}
+			off += n
+			if err := fn(field, wire, 0, msg[off:off+int(l)]); err != nil {
+				return err
+			}
+			off += int(l)
+		case 1:
+			off += 8
+		case 5:
+			off += 4
+		default:
+			return fmt.Errorf("flight: unsupported wire type %d in field %d", wire, field)
+		}
+	}
+	return nil
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}

@@ -1,0 +1,84 @@
+package flight
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+)
+
+func TestHeapProfileRoundTrip(t *testing.T) {
+	samples := []SiteSample{
+		{Site: "main.MJ:3: new Node", Type: "Node", Objects: 1200, Bytes: 38400},
+		{Site: "main.MJ:9: new [int", Type: "[int", Objects: 4, Bytes: 4096},
+		{Site: "", Type: "Customer", Objects: 7, Bytes: 336},
+	}
+	blob := EncodeHeapProfile(samples, 12345)
+
+	// The blob must be a valid gzip stream (pprof sniffs the magic bytes).
+	if _, err := gzip.NewReader(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("profile is not gzipped: %v", err)
+	}
+
+	p, err := ParseProfile(blob)
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	if p.TimeNanos != 12345 {
+		t.Errorf("TimeNanos = %d, want 12345", p.TimeNanos)
+	}
+	want := []ProfileValueType{{Type: "objects", Unit: "count"}, {Type: "space", Unit: "bytes"}}
+	if len(p.SampleTypes) != 2 || p.SampleTypes[0] != want[0] || p.SampleTypes[1] != want[1] {
+		t.Errorf("SampleTypes = %+v, want %+v", p.SampleTypes, want)
+	}
+	if len(p.Samples) != len(samples) {
+		t.Fatalf("got %d samples, want %d", len(p.Samples), len(samples))
+	}
+	for i, in := range samples {
+		got := p.Samples[i]
+		wantSite := in.Site
+		if wantSite == "" {
+			wantSite = "(unknown)"
+		}
+		if len(got.Sites) != 1 || got.Sites[0] != wantSite {
+			t.Errorf("sample %d: sites = %v, want [%s]", i, got.Sites, wantSite)
+		}
+		if len(got.Values) != 2 || got.Values[0] != in.Objects || got.Values[1] != in.Bytes {
+			t.Errorf("sample %d: values = %v, want [%d %d]", i, got.Values, in.Objects, in.Bytes)
+		}
+		if got.Labels["type"] != in.Type {
+			t.Errorf("sample %d: type label = %q, want %q", i, got.Labels["type"], in.Type)
+		}
+	}
+}
+
+func TestHeapProfileSharedSitesShareLocations(t *testing.T) {
+	// Two types allocated at the same site must resolve to the same site
+	// name (one location), not duplicate it.
+	samples := []SiteSample{
+		{Site: "factory", Type: "A", Objects: 1, Bytes: 8},
+		{Site: "factory", Type: "B", Objects: 2, Bytes: 16},
+	}
+	p, err := ParseProfile(EncodeHeapProfile(samples, 0))
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	if p.Samples[0].Sites[0] != "factory" || p.Samples[1].Sites[0] != "factory" {
+		t.Fatalf("sites = %v / %v", p.Samples[0].Sites, p.Samples[1].Sites)
+	}
+}
+
+func TestHeapProfileEmpty(t *testing.T) {
+	p, err := ParseProfile(EncodeHeapProfile(nil, 0))
+	if err != nil {
+		t.Fatalf("ParseProfile of empty profile: %v", err)
+	}
+	if len(p.Samples) != 0 || len(p.SampleTypes) != 2 {
+		t.Fatalf("empty profile parsed as %+v", p)
+	}
+}
+
+func TestParseProfileRejectsGarbage(t *testing.T) {
+	if _, err := ParseProfile([]byte("not a profile")); err == nil {
+		t.Fatal("ParseProfile accepted non-gzip input")
+	}
+}

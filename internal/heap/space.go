@@ -87,6 +87,10 @@ type Space struct {
 	// keepMarks is the sticky-marks setting of the in-progress sweep.
 	keepMarks bool
 
+	// prov is the allocation-site provenance table; nil (the default) costs
+	// one nil-check on the sited-allocation and reclamation paths.
+	prov *Provenance
+
 	stats Stats
 }
 

@@ -61,6 +61,9 @@ func (s *Space) sweepSmallBlock(bi uint32, b *blockInfo, res *SweepResult) {
 			if s.FreeHook != nil {
 				s.FreeHook(cell)
 			}
+			if s.prov != nil {
+				s.prov.forget(cell)
+			}
 			bitClear(b.allocBits, c)
 			b.liveCells--
 			res.ObjectsFreed++
@@ -100,6 +103,9 @@ func (s *Space) sweepLargeSpan(bi uint32, b *blockInfo, res *SweepResult) {
 	}
 	if s.FreeHook != nil {
 		s.FreeHook(a)
+	}
+	if s.prov != nil {
+		s.prov.forget(a)
 	}
 	n := int(b.spanLen)
 	for i := 0; i < n; i++ {

@@ -67,6 +67,21 @@ func (t *TypeCensus) Bytes() uint64 { return t.Words * heap.WordBytes }
 // CellBytes returns the allocator footprint in bytes.
 func (t *TypeCensus) CellBytes() uint64 { return t.CellWords * heap.WordBytes }
 
+// SiteCensus is the live-heap footprint of one (type, allocation site)
+// group. Rows exist only when the heap has provenance enabled; objects
+// whose allocation was not sampled (or predates enabling) fall into the
+// empty site.
+type SiteCensus struct {
+	TypeName string `json:"type_name"`
+	// Site is the registered allocation-site description ("" = unknown).
+	Site    string `json:"site"`
+	Objects uint64 `json:"objects"`
+	Words   uint64 `json:"words"`
+}
+
+// Bytes returns the group's payload footprint in bytes.
+func (s *SiteCensus) Bytes() uint64 { return s.Words * heap.WordBytes }
+
 // Snapshot is the per-type census of one collection.
 type Snapshot struct {
 	// GC is the collector's sequence number for the cycle; Reason its
@@ -82,6 +97,9 @@ type Snapshot struct {
 	TotalCellWords uint64 `json:"total_cell_words"`
 	// Types holds the non-empty per-type rows, largest payload first.
 	Types []TypeCensus `json:"types"`
+	// Sites holds the per-(type, site) rows, largest payload first; nil
+	// unless allocation-site provenance is enabled.
+	Sites []SiteCensus `json:"sites,omitempty"`
 }
 
 // ByType returns the row for a type, or nil if the type had no live
@@ -114,9 +132,13 @@ type Census struct {
 	words     []uint64
 	cellWords []uint64
 	hist      [][NumSizeBuckets]uint32
-	active    bool
-	seq       uint64
-	reason    collector.Reason
+	// sites accumulates per-(type, site) rows, keyed TypeID<<32 | SiteID.
+	// It stays nil until the space has provenance enabled, so the
+	// provenance-off mark path pays exactly one nil-check here.
+	sites  map[uint64]*siteTotals
+	active bool
+	seq    uint64
+	reason collector.Reason
 
 	// onSnapshot, if set, runs after each snapshot is recorded (still inside
 	// the collection) — the runtime uses it to publish census gauges.
@@ -155,6 +177,22 @@ func (c *Census) Observe(a heap.Addr) {
 	c.words[t] += uint64(sz)
 	c.cellWords[t] += uint64(c.space.CellWords(a))
 	c.hist[t][SizeBucket(sz)]++
+	if c.sites != nil {
+		k := uint64(t)<<32 | uint64(c.space.SiteOf(a))
+		e := c.sites[k]
+		if e == nil {
+			e = &siteTotals{}
+			c.sites[k] = e
+		}
+		e.objects++
+		e.words += uint64(sz)
+	}
+}
+
+// siteTotals is one (type, site) accumulation cell.
+type siteTotals struct {
+	objects uint64
+	words   uint64
 }
 
 // grow extends the accumulation arrays to cover every registered type (types
@@ -177,6 +215,13 @@ func (c *Census) GCBegin(seq uint64, reason collector.Reason) {
 		c.words[i] = 0
 		c.cellWords[i] = 0
 		c.hist[i] = [NumSizeBuckets]uint32{}
+	}
+	// The site table follows provenance lazily: enabling provenance between
+	// collections starts producing site rows at the next census.
+	if c.space.Provenance() != nil {
+		c.sites = make(map[uint64]*siteTotals)
+	} else {
+		c.sites = nil
 	}
 	c.active = true
 	c.seq = seq
@@ -244,7 +289,37 @@ func (c *Census) buildSnapshot() Snapshot {
 		snap.Types = append(snap.Types, row)
 	}
 	sortRows(snap.Types)
+	if prov := c.space.Provenance(); prov != nil && len(c.sites) > 0 {
+		snap.Sites = make([]SiteCensus, 0, len(c.sites))
+		for k, e := range c.sites {
+			snap.Sites = append(snap.Sites, SiteCensus{
+				TypeName: reg.Name(heap.TypeID(k >> 32)),
+				Site:     prov.Name(heap.SiteID(k)),
+				Objects:  e.objects,
+				Words:    e.words,
+			})
+		}
+		sortSiteRows(snap.Sites)
+	}
 	return snap
+}
+
+func sortSiteRows(rows []SiteCensus) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && siteRowLess(&rows[j], &rows[j-1]); j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+func siteRowLess(a, b *SiteCensus) bool {
+	if a.Words != b.Words {
+		return a.Words > b.Words
+	}
+	if a.TypeName != b.TypeName {
+		return a.TypeName < b.TypeName
+	}
+	return a.Site < b.Site
 }
 
 // Snapshots returns the retained snapshots, oldest first.

@@ -34,7 +34,15 @@ type Suspect struct {
 	// Score ranks suspects: slope weighted by growth consistency, in words
 	// per GC. Types that shrink or oscillate score near zero.
 	Score float64 `json:"score"`
+	// Sites breaks the suspect down by allocation site, from the newest
+	// snapshot in the window (largest footprint first, top rows only). Nil
+	// when the census ran without provenance — with it, the ranking answers
+	// not just "what is growing" but "who keeps allocating it".
+	Sites []SiteCensus `json:"sites,omitempty"`
 }
+
+// maxSuspectSites bounds the per-suspect site breakdown.
+const maxSuspectSites = 5
 
 // SlopeBytesPerGC returns the growth rate in bytes per collection.
 func (s *Suspect) SlopeBytesPerGC() float64 { return s.SlopeWordsPerGC * heap.WordBytes }
@@ -71,6 +79,7 @@ func RankSuspects(snaps []Snapshot, top int) []Suspect {
 	}
 	var out []Suspect
 	n := float64(len(snaps))
+	last := &snaps[len(snaps)-1]
 	for t, pts := range series {
 		// Least-squares slope of words (and objects) against snapshot index.
 		// Index, not GC seq: snapshot spacing in GC numbers is uniform for a
@@ -104,9 +113,19 @@ func RankSuspects(snaps []Snapshot, top int) []Suspect {
 		if score <= 0 {
 			continue
 		}
+		var sites []SiteCensus
+		for i := range last.Sites {
+			if last.Sites[i].TypeName == names[t] {
+				sites = append(sites, last.Sites[i])
+				if len(sites) == maxSuspectSites {
+					break
+				}
+			}
+		}
 		out = append(out, Suspect{
 			Type:              t,
 			TypeName:          names[t],
+			Sites:             sites,
 			FirstGC:           snaps[0].GC,
 			LastGC:            snaps[len(snaps)-1].GC,
 			StartWords:        pts[0].words,

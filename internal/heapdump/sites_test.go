@@ -1,0 +1,112 @@
+package heapdump_test
+
+import (
+	"testing"
+
+	"gcassert/internal/collector"
+	"gcassert/internal/heap"
+	"gcassert/internal/heapdump"
+)
+
+func TestCensusGroupsBySite(t *testing.T) {
+	s, node, leaf, roots, c, census := world(t, 8)
+	p := s.EnableProvenance(1)
+	mk := p.Register("maker.go:1 new Node")
+	other := p.Register("other.go:2 new Node")
+
+	// Two nodes from mk, one from other, one unsited; a leaf from mk.
+	a1 := mustAlloc(t, s, node, 0)
+	s.RecordSite(a1, mk)
+	a2 := mustAlloc(t, s, node, 0)
+	s.RecordSite(a2, mk)
+	a3 := mustAlloc(t, s, node, 0)
+	s.RecordSite(a3, other)
+	a4 := mustAlloc(t, s, node, 0)
+	lf := mustAlloc(t, s, leaf, 0)
+	s.RecordSite(lf, mk)
+	s.SetRef(a1, 1, lf)
+	roots.slots = []heap.Addr{a1, a2, a3, a4}
+
+	c.Collect(collector.ReasonForced)
+	snap, ok := census.Latest()
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	if len(snap.Sites) != 4 {
+		t.Fatalf("got %d site rows, want 4: %+v", len(snap.Sites), snap.Sites)
+	}
+	find := func(typ, site string) *heapdump.SiteCensus {
+		for i := range snap.Sites {
+			if snap.Sites[i].TypeName == typ && snap.Sites[i].Site == site {
+				return &snap.Sites[i]
+			}
+		}
+		t.Fatalf("no row for (%s, %q) in %+v", typ, site, snap.Sites)
+		return nil
+	}
+	if r := find("Node", "maker.go:1 new Node"); r.Objects != 2 {
+		t.Errorf("maker Node row: %+v", r)
+	}
+	if r := find("Node", "other.go:2 new Node"); r.Objects != 1 {
+		t.Errorf("other Node row: %+v", r)
+	}
+	if r := find("Node", ""); r.Objects != 1 {
+		t.Errorf("unknown-site Node row: %+v", r)
+	}
+	if r := find("Leaf", "maker.go:1 new Node"); r.Objects != 1 {
+		t.Errorf("Leaf row: %+v", r)
+	}
+
+	// Site rows reconcile with the type rows.
+	var nodeSiteObjs uint64
+	for i := range snap.Sites {
+		if snap.Sites[i].TypeName == "Node" {
+			nodeSiteObjs += snap.Sites[i].Objects
+		}
+	}
+	if row := snap.ByType(node); row == nil || nodeSiteObjs != row.Objects {
+		t.Errorf("site rows sum to %d Node objects, type row says %+v", nodeSiteObjs, row)
+	}
+
+	// Rows are sorted largest payload first.
+	for i := 1; i < len(snap.Sites); i++ {
+		if snap.Sites[i].Words > snap.Sites[i-1].Words {
+			t.Errorf("site rows out of order at %d: %+v", i, snap.Sites)
+		}
+	}
+}
+
+func TestCensusWithoutProvenanceHasNoSites(t *testing.T) {
+	s, node, _, roots, c, census := world(t, 8)
+	roots.slots = []heap.Addr{mustAlloc(t, s, node, 0)}
+	c.Collect(collector.ReasonForced)
+	if snap, _ := census.Latest(); snap.Sites != nil {
+		t.Fatalf("provenance-off snapshot grew site rows: %+v", snap.Sites)
+	}
+}
+
+func TestSuspectsCarrySiteBreakdown(t *testing.T) {
+	s, node, _, roots, c, census := world(t, 8)
+	p := s.EnableProvenance(1)
+	site := p.Register("leaky.go:7 new Node")
+
+	// Grow the Node population monotonically across snapshots, always from
+	// the same site; the suspect must name it.
+	var keep []heap.Addr
+	for gc := 0; gc < 4; gc++ {
+		for i := 0; i < 5; i++ {
+			a := mustAlloc(t, s, node, 0)
+			s.RecordSite(a, site)
+			keep = append(keep, a)
+		}
+		roots.slots = keep
+		c.Collect(collector.ReasonForced)
+	}
+	sus := census.Suspects(0, 1)
+	if len(sus) != 1 || sus[0].TypeName != "Node" {
+		t.Fatalf("suspects = %+v", sus)
+	}
+	if len(sus[0].Sites) != 1 || sus[0].Sites[0].Site != "leaky.go:7 new Node" || sus[0].Sites[0].Objects != 20 {
+		t.Fatalf("suspect site breakdown = %+v", sus[0].Sites)
+	}
+}

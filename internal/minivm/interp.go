@@ -34,6 +34,12 @@ type Image struct {
 	steps uint64
 	// MaxSteps bounds execution (0 = unlimited); exceeded → VMError.
 	MaxSteps uint64
+	// provenance mirrors whether the runtime records allocation sites;
+	// sites caches the per-(method, pc) registered SiteID of every `new`
+	// bytecode so steady-state allocation formats no strings (0 = not yet
+	// registered — real IDs are never 0 while provenance is on).
+	provenance bool
+	sites      map[*MethodInfo][]gcassert.SiteID
 }
 
 // Load verifies the unit's bytecode, registers its classes with the
@@ -43,6 +49,10 @@ func Load(vm *gcassert.Runtime, unit *Unit, out io.Writer) (*Image, error) {
 		return nil, err
 	}
 	im := &Image{Unit: unit, vm: vm, th: vm.NewThread("minivm"), out: out}
+	if vm.Space().Provenance() != nil {
+		im.provenance = true
+		im.sites = make(map[*MethodInfo][]gcassert.SiteID)
+	}
 	reg := vm.Registry()
 	for _, ci := range unit.Classes {
 		if id, ok := reg.Lookup(ci.Name); ok {
@@ -94,6 +104,29 @@ func (im *Image) Run() (err error) {
 	fr.Set(0, mainObj)
 	im.invoke(im.Unit.Main, []uint64{uint64(mainObj)})
 	return nil
+}
+
+// siteAt returns the allocation SiteID for the `new` bytecode at (m, pc),
+// registering "Class.method:line: new What" with the runtime on first
+// execution and caching the ID per method. With provenance off it returns
+// the unknown site, and the sited allocation degrades to a plain one.
+func (im *Image) siteAt(m *MethodInfo, pc int, what string) gcassert.SiteID {
+	if !im.provenance {
+		return 0
+	}
+	ids := im.sites[m]
+	if ids == nil {
+		ids = make([]gcassert.SiteID, len(m.Code))
+		im.sites[m] = ids
+	}
+	if ids[pc] == 0 {
+		pos := Pos{}
+		if pc >= 0 && pc < len(m.Pos) {
+			pos = m.Pos[pc]
+		}
+		ids[pc] = im.vm.RegisterAllocSite(fmt.Sprintf("%s:%d: new %s", m.Sig(), pos.Line, what))
+	}
+	return ids[pc]
 }
 
 // fail raises a guest runtime error.
@@ -208,11 +241,11 @@ func (im *Image) invoke(m *MethodInfo, args []uint64) uint64 {
 			if n < 0 {
 				im.fail(m, pc-1, "negative array length %d", n)
 			}
-			t := gcassert.TWordArray
+			t, what := gcassert.TWordArray, "int[]"
 			if in.Op == OpNewArrRef {
-				t = gcassert.TRefArray
+				t, what = gcassert.TRefArray, "ref[]"
 			}
-			pushRef(im.th.NewArray(t, int(n)))
+			pushRef(im.th.NewArrayAt(t, int(n), im.siteAt(m, pc-1, what)))
 		case OpALoadInt:
 			i := popInt()
 			arr := popRef()
@@ -242,7 +275,7 @@ func (im *Image) invoke(m *MethodInfo, args []uint64) uint64 {
 			}
 			pushInt(int64(space.ArrayLen(arr)))
 		case OpNewObj:
-			pushRef(im.th.New(im.typeIDs[in.A]))
+			pushRef(im.th.NewAt(im.typeIDs[in.A], im.siteAt(m, pc-1, im.Unit.Classes[in.A].Name)))
 		case OpAdd:
 			b, a := popInt(), popInt()
 			pushInt(a + b)

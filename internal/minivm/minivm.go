@@ -30,6 +30,15 @@ type RunOptions struct {
 	// Workers selects the mark-phase worker count (0 or 1 = sequential
 	// marker; n > 1 = work-stealing parallel mark engine).
 	Workers int
+	// Provenance enables exhaustive allocation-site provenance: every `new`
+	// the guest executes is recorded against its method and source line, so
+	// violations report who allocated the offending object and the census
+	// breaks down by site.
+	Provenance bool
+	// FlightRecorder enables the GC flight recorder (see
+	// gcassert.Options.FlightRecorder); dump a bundle from the Result's VM
+	// with WriteFlightBundle.
+	FlightRecorder bool
 }
 
 // Result is the outcome of CompileAndRun.
@@ -63,12 +72,18 @@ func CompileAndRun(src string, opt RunOptions) (*Result, error) {
 	if rep == nil {
 		rep = res.Violations
 	}
+	prov := ""
+	if opt.Provenance {
+		prov = "exhaustive"
+	}
 	res.VM = gcassert.New(gcassert.Options{
 		HeapBytes:      opt.HeapBytes,
 		Infrastructure: true,
 		Reporter:       rep,
 		Generational:   opt.Generational,
 		Workers:        opt.Workers,
+		Provenance:     prov,
+		FlightRecorder: opt.FlightRecorder,
 	})
 	out := opt.Out
 	if out == nil {

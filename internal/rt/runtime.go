@@ -17,6 +17,7 @@ import (
 
 	"gcassert/internal/collector"
 	"gcassert/internal/core"
+	"gcassert/internal/flight"
 	"gcassert/internal/heap"
 	"gcassert/internal/heapdump"
 	"gcassert/internal/telemetry"
@@ -64,6 +65,22 @@ type Config struct {
 	// the work-stealing parallel mark engine. Generational minor collections
 	// always mark sequentially (they are sticky-mark partial traces).
 	Workers int
+	// ProvenanceSample enables allocation-site provenance: 0 (the default)
+	// disables it, 1 records every sited allocation (exhaustive), N > 1
+	// records every Nth (sampled). With provenance on, violations report the
+	// offending object's allocation site, the census and leak ranking group
+	// by (type, site), and the flight recorder's heap profile resolves to
+	// sites. Disabled, the allocation path pays one nil-check on sited
+	// allocations and nothing on plain ones.
+	ProvenanceSample int
+	// FlightRecorder enables the GC flight recorder: an always-on bounded
+	// ring of recent collection cycles (phase timings, per-worker mark
+	// stats, census deltas, assertion activity) plus recent violations,
+	// dumpable on demand as a self-contained forensic bundle with a
+	// pprof-format heap profile. See Runtime.Flight.
+	FlightRecorder bool
+	// FlightCycles bounds the flight recorder's cycle ring (default 64).
+	FlightCycles int
 	// Introspection enables the heap-introspection layer: a per-type census
 	// taken during every full collection's mark phase (one callback per
 	// marked object), snapshot diffing with leak-suspect ranking, and
@@ -90,6 +107,7 @@ type Runtime struct {
 	gen    *generational
 	tel    *telemetry.Tracer
 	census *heapdump.Census
+	flight *flight.Recorder
 }
 
 // New creates a runtime per cfg.
@@ -102,6 +120,12 @@ func New(cfg Config) *Runtime {
 		reg = heap.NewRegistry()
 	}
 	r := &Runtime{reg: reg, space: heap.NewSpace(reg, cfg.HeapBytes)}
+	if cfg.ProvenanceSample > 0 {
+		r.space.EnableProvenance(cfg.ProvenanceSample)
+	}
+	if cfg.FlightRecorder {
+		r.flight = flight.New(flight.Config{Cycles: cfg.FlightCycles})
+	}
 	if cfg.Telemetry {
 		r.tel = telemetry.New(telemetry.Config{RingSize: cfg.TelemetryRingSize})
 	}
@@ -124,6 +148,14 @@ func New(cfg Config) *Runtime {
 				rep = tl
 			}
 		}
+		if r.flight != nil {
+			fl := core.FuncReporter(func(v *core.Violation) { r.flight.RecordViolation(flightViolation(v)) })
+			if rep != nil {
+				rep = core.TeeReporter{rep, fl}
+			} else {
+				rep = fl
+			}
+		}
 		r.engine = core.NewEngine(r.space, rep, cfg.Policy)
 		hooks = r.engine
 	}
@@ -143,6 +175,12 @@ func New(cfg Config) *Runtime {
 	// census of it would be a partial (and misleading) snapshot.
 	if cfg.Introspection {
 		r.initIntrospection(cfg)
+	}
+	// The flight recorder observes after the generational split for the same
+	// reason as the census: it records full collections, where assertions
+	// are checked and the census is taken.
+	if r.flight != nil {
+		r.initFlight()
 	}
 	return r
 }
@@ -166,6 +204,28 @@ func (r *Runtime) Telemetry() *telemetry.Tracer { return r.tel }
 // Census exposes the heap-introspection layer, or nil when introspection is
 // off.
 func (r *Runtime) Census() *heapdump.Census { return r.census }
+
+// Flight exposes the GC flight recorder, or nil when it is off.
+func (r *Runtime) Flight() *flight.Recorder { return r.flight }
+
+// RegisterAllocSite registers an allocation-site description and returns
+// its SiteID, for use with Thread.NewAt/NewArrayAt. Callers register once
+// per callsite and cache the ID. When provenance is disabled it returns the
+// unknown site, which sited allocation entry points treat as "record
+// nothing" — callers need no mode check of their own.
+func (r *Runtime) RegisterAllocSite(desc string) heap.SiteID {
+	if p := r.space.Provenance(); p != nil {
+		return p.Register(desc)
+	}
+	return 0
+}
+
+// AllocSite returns the recorded allocation site of the object at a: its ID
+// and description. Both are zero when provenance is off or the allocation
+// was not sampled.
+func (r *Runtime) AllocSite(a heap.Addr) (heap.SiteID, string) {
+	return r.space.SiteOf(a), r.space.SiteDesc(a)
+}
 
 // SetMarkWorkers changes the mark-phase worker count for subsequent full
 // collections (1 = the sequential reference marker). It may be called

@@ -69,6 +69,7 @@ func (s *telemetrySink) GCEnd(col *collector.Collection) {
 		ObjectsLive:   col.ObjectsLive,
 		WordsFreed:    col.WordsFreed,
 		Workers:       col.Workers,
+		Fallback:      col.Fallback,
 	}
 	if len(col.PerWorker) > 0 {
 		ev.PerWorker = make([]telemetry.WorkerMark, len(col.PerWorker))

@@ -77,12 +77,23 @@ func (f *Frame) Truncate(n int) {
 // New allocates an object of type typ, collecting (and, in generational
 // mode, escalating from minor to full collection) when the heap is
 // exhausted. It panics with *OOMError if memory cannot be found.
-func (t *Thread) New(typ heap.TypeID) heap.Addr { return t.alloc(typ, 0) }
+func (t *Thread) New(typ heap.TypeID) heap.Addr { return t.alloc(typ, 0, 0) }
 
 // NewArray allocates an array of type typ with n elements.
-func (t *Thread) NewArray(typ heap.TypeID, n int) heap.Addr { return t.alloc(typ, n) }
+func (t *Thread) NewArray(typ heap.TypeID, n int) heap.Addr { return t.alloc(typ, n, 0) }
 
-func (t *Thread) alloc(typ heap.TypeID, n int) heap.Addr {
+// NewAt allocates like New and records the allocation site (from
+// Runtime.RegisterAllocSite) against the object, subject to the provenance
+// sampling rate. With provenance disabled, RegisterAllocSite returns the
+// unknown site and NewAt degrades to New with no extra work.
+func (t *Thread) NewAt(typ heap.TypeID, site heap.SiteID) heap.Addr { return t.alloc(typ, 0, site) }
+
+// NewArrayAt allocates like NewArray and records the allocation site.
+func (t *Thread) NewArrayAt(typ heap.TypeID, n int, site heap.SiteID) heap.Addr {
+	return t.alloc(typ, n, site)
+}
+
+func (t *Thread) alloc(typ heap.TypeID, n int, site heap.SiteID) heap.Addr {
 	r := t.rt
 	a, ok := r.space.Allocate(typ, n)
 	if !ok {
@@ -96,6 +107,9 @@ func (t *Thread) alloc(typ heap.TypeID, n int) heap.Addr {
 		if !ok {
 			panic(&OOMError{Type: typ, Len: n, Live: r.space.Stats()})
 		}
+	}
+	if site != 0 {
+		r.space.RecordSite(a, site)
 	}
 	if t.inRegion {
 		r.engine.RecordRegionAlloc(t.id, a)

@@ -81,6 +81,10 @@ type Event struct {
 	// Workers is the number of mark-phase workers used (1 = sequential
 	// marker; 0 in events recorded before the field existed).
 	Workers int `json:"workers,omitempty"`
+	// Fallback, on collections configured for parallel marking that marked
+	// sequentially anyway, names why ("keep-marks", "non-parallel-hooks" or
+	// "decider" — see the collector's Fallback* constants). Empty otherwise.
+	Fallback string `json:"fallback,omitempty"`
 	// PerWorker is per-worker mark activity; nil unless the collection
 	// marked in parallel.
 	PerWorker []WorkerMark `json:"per_worker,omitempty"`

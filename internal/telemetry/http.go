@@ -17,6 +17,9 @@ import (
 //	                             bounds the returned snapshots
 //	/debug/gcassert/leaks        leak suspects ranked over recent snapshots
 //	                             (JSON); ?window=N and ?top=N tune the diff
+//	/debug/gcassert/fr           flight-recorder forensic bundle (JSON with
+//	                             an embedded pprof heap profile)
+//	/debug/gcassert/             index of the endpoints above
 //
 // Every endpoint except /debug/gcassert/heap reads only atomics and
 // mutex-guarded copies, so it is safe to scrape while the workload runs.
@@ -102,7 +105,52 @@ func (t *Tracer) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/debug/gcassert/fr", func(w http.ResponseWriter, _ *http.Request) {
+		f := t.flightSourceFn()
+		if f == nil {
+			http.Error(w, "no flight recorder installed (enable FlightRecorder)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := f(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/gcassert/", func(w http.ResponseWriter, r *http.Request) {
+		// The pattern is a subtree match; anything but the index itself is an
+		// unknown endpoint.
+		if r.URL.Path != "/debug/gcassert/" {
+			http.NotFound(w, r)
+			return
+		}
+		t.writeIndex(w)
+	})
 	return mux
+}
+
+// writeIndex renders the endpoint index served at /debug/gcassert/.
+// Endpoints whose backing source is not installed are listed as
+// unavailable, with the option that enables them.
+func (t *Tracer) writeIndex(w http.ResponseWriter) {
+	avail := func(ok bool, enable string) string {
+		if ok {
+			return ""
+		}
+		return fmt.Sprintf("  [unavailable: enable %s]", enable)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "gcassert debug endpoints\n\n")
+	fmt.Fprintf(w, "/metrics                     Prometheus text exposition\n")
+	fmt.Fprintf(w, "/debug/gcassert/trace        GC event trace (?format=jsonl|gctrace|chrome)\n")
+	fmt.Fprintf(w, "/debug/gcassert/violations   recent violation reports\n")
+	fmt.Fprintf(w, "/debug/gcassert/heap         live-heap profile by type%s\n",
+		avail(t.heapProfileFn() != nil, "a heap profile source"))
+	fmt.Fprintf(w, "/debug/gcassert/census       per-type census snapshots (?last=N)%s\n",
+		avail(t.censusSourceFn() != nil, "Introspection"))
+	fmt.Fprintf(w, "/debug/gcassert/leaks        leak suspects (?window=N&top=N)%s\n",
+		avail(t.leakSourceFn() != nil, "Introspection"))
+	fmt.Fprintf(w, "/debug/gcassert/fr           flight-recorder bundle%s\n",
+		avail(t.flightSourceFn() != nil, "FlightRecorder"))
 }
 
 // intParam parses an optional non-negative integer query parameter.

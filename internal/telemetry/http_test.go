@@ -36,6 +36,10 @@ func TestHandlerStatusAndContentTypes(t *testing.T) {
 		_, err := fmt.Fprintf(w, `{"suspects":[],"window":%d,"top":%d}`, window, top)
 		return err
 	})
+	wired.SetFlightSource(func(w io.Writer) error {
+		_, err := fmt.Fprintln(w, `{"schema_version":1}`)
+		return err
+	})
 
 	cases := []struct {
 		name       string
@@ -63,6 +67,10 @@ func TestHandlerStatusAndContentTypes(t *testing.T) {
 		{"leaks-params", wired, "/debug/gcassert/leaks?window=8&top=3", 200, "application/json", `"window":8,"top":3`},
 		{"leaks-bad-window", wired, "/debug/gcassert/leaks?window=x", 400, "text/plain; charset=utf-8", "bad window"},
 		{"leaks-bad-top", wired, "/debug/gcassert/leaks?top=-2", 400, "text/plain; charset=utf-8", "bad top"},
+		{"fr-no-source", bare, "/debug/gcassert/fr", 404, "text/plain; charset=utf-8", "no flight recorder"},
+		{"fr-wired", wired, "/debug/gcassert/fr", 200, "application/json", `"schema_version":1`},
+		{"index", bare, "/debug/gcassert/", 200, "text/plain; charset=utf-8", "/debug/gcassert/trace"},
+		{"index-unknown-path", bare, "/debug/gcassert/nope", 404, "text/plain; charset=utf-8", "404"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -102,5 +110,31 @@ func TestHandlerSourcesReceiveParams(t *testing.T) {
 	get(t, tr, "/debug/gcassert/leaks?window=5&top=2")
 	if gotWindow != 5 || gotTop != 2 {
 		t.Errorf("leak source got window=%d top=%d, want 5 and 2", gotWindow, gotTop)
+	}
+}
+
+// TestIndexMarksUnavailableEndpoints: the index page must list every
+// endpoint and flag the ones whose backing source is missing — and drop the
+// flags once the sources are installed.
+func TestIndexMarksUnavailableEndpoints(t *testing.T) {
+	tr := New(Config{})
+	body := get(t, tr, "/debug/gcassert/").Body.String()
+	for _, ep := range []string{"/metrics", "trace", "violations", "heap", "census", "leaks", "fr"} {
+		if !strings.Contains(body, ep) {
+			t.Errorf("index does not mention %q:\n%s", ep, body)
+		}
+	}
+	for _, enable := range []string{"Introspection", "FlightRecorder"} {
+		if !strings.Contains(body, "[unavailable: enable "+enable+"]") {
+			t.Errorf("index does not flag the missing %s source:\n%s", enable, body)
+		}
+	}
+
+	tr.SetHeapProfile(func(w io.Writer) error { return nil })
+	tr.SetCensusSource(func(w io.Writer, n int) error { return nil })
+	tr.SetLeakSource(func(w io.Writer, window, top int) error { return nil })
+	tr.SetFlightSource(func(w io.Writer) error { return nil })
+	if body := get(t, tr, "/debug/gcassert/").Body.String(); strings.Contains(body, "[unavailable") {
+		t.Errorf("fully wired tracer still lists unavailable endpoints:\n%s", body)
 	}
 }

@@ -47,6 +47,7 @@ type Tracer struct {
 	heapProfile func(io.Writer) error
 	censusFn    func(w io.Writer, n int) error
 	leaksFn     func(w io.Writer, window, top int) error
+	flightFn    func(io.Writer) error
 }
 
 // New creates a Tracer.
@@ -143,6 +144,11 @@ func (t *Tracer) Record(ev *Event) {
 				"Assertion violations detected, by kind.", Label{"kind", k.Kind}).Add(k.Violations)
 		}
 	}
+	if ev.Fallback != "" {
+		t.reg.Counter("gcassert_gc_mark_fallback_total",
+			"Collections that fell back from parallel to sequential marking, by reason.",
+			Label{"reason", ev.Fallback}).Inc()
+	}
 	if ev.Workers > 0 {
 		t.reg.Gauge("gcassert_gc_mark_workers",
 			"Mark-phase workers used by the most recent collection.").Set(int64(ev.Workers))
@@ -230,6 +236,22 @@ func (t *Tracer) SetLeakSource(f func(w io.Writer, window, top int) error) {
 	t.hmu.Lock()
 	defer t.hmu.Unlock()
 	t.leaksFn = f
+}
+
+// SetFlightSource installs the function backing /debug/gcassert/fr: a
+// flight-recorder bundle dump. The facade wires it to the recorder's
+// WriteBundle; the bundle's heap profile walks the managed heap, so like
+// the heap endpoint it must only be hit while the runtime is quiescent.
+func (t *Tracer) SetFlightSource(f func(io.Writer) error) {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	t.flightFn = f
+}
+
+func (t *Tracer) flightSourceFn() func(io.Writer) error {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	return t.flightFn
 }
 
 func (t *Tracer) censusSourceFn() func(io.Writer, int) error {

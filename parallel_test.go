@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -254,16 +255,36 @@ func TestParallelDeciderFallsBack(t *testing.T) {
 		HeapBytes:      1 << 20,
 		Infrastructure: true,
 		Workers:        4,
+		Telemetry:      true,
 		OnViolation:    func(v *gcassert.Violation) gcassert.Reaction { return gcassert.ReactLog },
 	})
 	node := vm.Define("Node", gcassert.Field{Name: "a", Ref: true})
 	th := vm.NewThread("main")
 	fr := th.Push(1)
 	fr.Set(0, th.New(node))
-	if col := vm.Collect(); col.Workers != 1 {
+	col := vm.Collect()
+	if col.Workers != 1 {
 		t.Fatalf("decider-equipped runtime marked with %d workers, want sequential fallback", col.Workers)
+	}
+	if col.Fallback != "decider" {
+		t.Fatalf("collection Fallback = %q, want decider", col.Fallback)
 	}
 	if vm.MarkWorkers() != 4 {
 		t.Fatalf("fallback changed the configured worker count to %d", vm.MarkWorkers())
+	}
+
+	// The fallback reason must reach the observability surface: the event
+	// stream and the Prometheus counter.
+	tel := vm.Telemetry()
+	events := tel.Events()
+	if len(events) == 0 || events[len(events)-1].Fallback != "decider" {
+		t.Fatalf("telemetry events do not carry the fallback reason: %+v", events)
+	}
+	var meta strings.Builder
+	if err := tel.WriteMetrics(&meta); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(meta.String(), `gcassert_gc_mark_fallback_total{reason="decider"} 1`) {
+		t.Fatalf("metrics miss the fallback counter:\n%s", meta.String())
 	}
 }

@@ -3,6 +3,7 @@ package gcassert_test
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -274,6 +275,78 @@ func TestTelemetryConcurrentDrain(t *testing.T) {
 
 	if tel.Ring().Total() == 0 {
 		t.Error("no events recorded")
+	}
+}
+
+// TestChromeTraceWorkerSpansConcurrent: collections marked in parallel must
+// surface one Chrome-trace span per mark worker, and scraping the trace
+// while collections run must be safe (exercised under -race in CI).
+func TestChromeTraceWorkerSpansConcurrent(t *testing.T) {
+	const workers = 4
+	vm := gcassert.New(gcassert.Options{
+		HeapBytes:      1 << 20,
+		Infrastructure: true,
+		Telemetry:      true,
+		Workers:        workers,
+	})
+	tel := vm.Telemetry()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := tel.WriteChromeTrace(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	churnWithLeak(t, vm)
+	close(stop)
+	wg.Wait()
+
+	var parallelGCs int
+	for _, e := range tel.Events() {
+		if len(e.PerWorker) > 0 {
+			parallelGCs++
+			if len(e.PerWorker) != workers {
+				t.Errorf("GC %d: %d worker spans, want %d", e.Seq, len(e.PerWorker), workers)
+			}
+		}
+	}
+	if parallelGCs == 0 {
+		t.Fatal("no collection recorded per-worker mark stats")
+	}
+
+	var buf strings.Builder
+	if err := tel.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &tr); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, sp := range tr.TraceEvents {
+		if sp["cat"] == "gc-mark-worker" {
+			seen[sp["name"].(string)] = true
+		}
+	}
+	for i := 0; i < workers; i++ {
+		name := fmt.Sprintf("mark worker %d", i)
+		if !seen[name] {
+			t.Errorf("chrome trace has no %q span (saw %v)", name, seen)
+		}
 	}
 }
 
