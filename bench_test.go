@@ -480,3 +480,79 @@ func BenchmarkParallelMark(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAttributionOff verifies the acceptance criterion for the
+// cost-attribution layer: with CostAttribution disabled (the default), the
+// allocation fast path performs zero Go allocations — the per-thread
+// counters sit behind one nil-check — and a full-heap collection stays at
+// the collector's pre-existing 2-allocs/op baseline (the cost shards, the
+// trigger explainer, and the per-kind timers all hide behind one nil-check
+// per phase). Asserted in-line like BenchmarkProvenanceOff so `go test
+// -bench BenchmarkAttributionOff` fails loudly on a regression.
+func BenchmarkAttributionOff(b *testing.B) {
+	for _, infra := range []bool{false, true} {
+		name := "Base"
+		if infra {
+			name = "Infrastructure"
+		}
+		infra := infra
+		b.Run(name, func(b *testing.B) {
+			vm := gcassert.New(gcassert.Options{HeapBytes: 64 << 20, Infrastructure: infra})
+			node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+			th := vm.NewThread("main")
+			fr := th.Push(1)
+			fr.Set(0, th.New(node)) // settle lazy size-class growth
+			if allocs := testing.AllocsPerRun(1000, func() {
+				fr.Set(0, th.New(node))
+			}); allocs != 0 {
+				b.Fatalf("attribution-off allocation path allocates %.2f times/op, want 0", allocs)
+			}
+			fr.Set(0, gcassert.Nil)
+			buildList(vm, th, fr, node, 200_000)
+			vm.Collect()
+			b.ReportAllocs()
+			if allocs := testing.AllocsPerRun(3, func() { vm.Collect() }); allocs > 2 {
+				b.Fatalf("attribution-off collection allocates %.0f times/op, want <= 2 (baseline)", allocs)
+			}
+			if _, ok := vm.Pressure(); ok {
+				b.Fatal("Pressure() reports stats on an attribution-off runtime")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vm.Collect()
+			}
+		})
+	}
+}
+
+// BenchmarkAttributionOn is the enabled-mode counterpart for the overhead
+// table in EXPERIMENTS.md: the same collection with per-kind cost
+// accounting, the trigger explainer, and per-thread pressure counters all
+// live. It self-checks the enabled-mode acceptance criterion: every
+// collection carries per-kind costs and a non-empty trigger explanation.
+func BenchmarkAttributionOn(b *testing.B) {
+	vm := gcassert.New(gcassert.Options{
+		HeapBytes:       64 << 20,
+		Infrastructure:  true,
+		CostAttribution: true,
+	})
+	node := vm.Define("Node", gcassert.Field{Name: "next", Ref: true})
+	th := vm.NewThread("main")
+	fr := th.Push(1)
+	head := buildList(vm, th, fr, node, 200_000)
+	vm.AssertUnshared(head)
+	vm.Collect()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.Collect()
+	}
+	b.StopTimer()
+	col := vm.Collect()
+	if len(col.AssertCost) == 0 {
+		b.Fatal("attribution-on collection carries no per-kind costs")
+	}
+	if col.Trigger.Why == "" {
+		b.Fatal("attribution-on collection carries no trigger explanation")
+	}
+}

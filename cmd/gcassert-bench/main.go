@@ -128,6 +128,35 @@ type baselineDoc struct {
 	// marker on the machine that generated the file — on a single-CPU host
 	// they hover around 1.0 (see the cpus field).
 	MarkSpeedup []markSpeedupBaseline `json:"mark_speedup"`
+	// AssertCost is the cost-attribution profile of each assertion-bearing
+	// workload: cumulative per-kind check counts and attributed slow-path
+	// time over a full assertion-enabled run.
+	AssertCost []assertCostBaseline `json:"assert_cost"`
+	// AllocRate is the mutator-pressure profile of the same runs: the
+	// allocation-rate EWMA at the final collection and the occupancy
+	// timeline coverage.
+	AllocRate []allocRateBaseline `json:"alloc_rate"`
+}
+
+type assertCostBaseline struct {
+	Name    string          `json:"name"`
+	TotalGC int64           `json:"total_gc_ns"`
+	Kinds   []costKindPoint `json:"kinds"`
+}
+
+type costKindPoint struct {
+	Kind   string  `json:"kind"`
+	Checks uint64  `json:"checks"`
+	Ns     int64   `json:"ns"`
+	PctGC  float64 `json:"pct_of_gc"`
+}
+
+type allocRateBaseline struct {
+	Name              string  `json:"name"`
+	AllocRateWps      float64 `json:"alloc_rate_wps"`
+	OccupancySamples  int     `json:"occupancy_samples"`
+	FinalOccupancyPct float64 `json:"final_occupancy_pct"`
+	Threads           int     `json:"threads"`
 }
 
 type markSpeedupBaseline struct {
@@ -220,6 +249,54 @@ func measureMarkSpeedup(w bench.Workload, opt bench.Options) markSpeedupBaseline
 	return out
 }
 
+// measureAttribution runs one workload with its assertions armed and cost
+// attribution on, folding the run's telemetry events into cumulative
+// per-kind cost rows and the closing pressure snapshot.
+func measureAttribution(w bench.Workload, opt bench.Options) (assertCostBaseline, allocRateBaseline) {
+	vm := gcassert.New(gcassert.Options{
+		HeapBytes: w.Heap, Infrastructure: true,
+		Telemetry: true, CostAttribution: true,
+	})
+	run := w.New(vm, true)
+	for i := 0; i < opt.Iterations; i++ {
+		run(i)
+	}
+	vm.Collect()
+
+	cost := assertCostBaseline{Name: w.Name}
+	checks := map[string]uint64{}
+	ns := map[string]int64{}
+	var order []string
+	for _, ev := range vm.Telemetry().Events() {
+		cost.TotalGC += ev.TotalNs
+		for _, c := range ev.Costs {
+			if _, seen := checks[c.Kind]; !seen {
+				order = append(order, c.Kind)
+			}
+			checks[c.Kind] += c.Checks
+			ns[c.Kind] += c.Ns
+		}
+	}
+	for _, kind := range order {
+		p := costKindPoint{Kind: kind, Checks: checks[kind], Ns: ns[kind]}
+		if cost.TotalGC > 0 {
+			p.PctGC = 100 * float64(p.Ns) / float64(cost.TotalGC)
+		}
+		cost.Kinds = append(cost.Kinds, p)
+	}
+
+	rate := allocRateBaseline{Name: w.Name}
+	if pr, ok := vm.Pressure(); ok {
+		rate.AllocRateWps = pr.AllocRateWps
+		rate.OccupancySamples = len(pr.Occupancy)
+		if n := len(pr.Occupancy); n > 0 {
+			rate.FinalOccupancyPct = pr.Occupancy[n-1].Pct
+		}
+		rate.Threads = len(pr.Threads)
+	}
+	return cost, rate
+}
+
 // writeBaseline measures the assertion-bearing workloads (the paper's
 // featured pair unless -bench narrowed the suite) and writes the JSON
 // baseline.
@@ -269,6 +346,15 @@ func writeBaseline(path string, suite []bench.Workload, opt bench.Options) error
 		}
 		fmt.Fprintf(os.Stderr, "mark speedup %-12s (widths 1,2,4,8 on %d CPUs)\n", w.Name, doc.CPUs)
 		doc.MarkSpeedup = append(doc.MarkSpeedup, measureMarkSpeedup(w, opt))
+	}
+	for _, w := range suite {
+		if !w.HasAsserts {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "attribution %-12s (assertions + cost accounting)\n", w.Name)
+		cost, rate := measureAttribution(w, opt)
+		doc.AssertCost = append(doc.AssertCost, cost)
+		doc.AllocRate = append(doc.AllocRate, rate)
 	}
 
 	dst := os.Stdout

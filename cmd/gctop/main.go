@@ -1,0 +1,84 @@
+// Command gctop is a live terminal dashboard for a gcassert runtime: it
+// attaches to the /debug/gcassert/live SSE stream of a telemetry-enabled
+// process and renders heap occupancy, the pause sparkline, per-assertion-kind
+// GC cost, and per-thread allocation rates, redrawing on every collection.
+//
+//	gctop -url http://localhost:6060/debug/gcassert/live -replay 32
+//
+// Point it at any process serving the telemetry handler (for example
+// `mjrun -serve :6060`, or a program mounting Runtime.TelemetryHandler).
+// -replay backfills the dashboard with the last N retained events before
+// going live. -once renders a single frame after the first event and exits
+// (useful in scripts and smoke tests).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"gcassert/internal/topview"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:6060/debug/gcassert/live",
+		"SSE endpoint of a telemetry-enabled gcassert process")
+	replay := flag.Int("replay", 16, "backfill with the last N retained events")
+	once := flag.Bool("once", false, "render one frame after the first event and exit")
+	flag.Parse()
+
+	if err := run(*url, *replay, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "gctop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url string, replay int, once bool) error {
+	if replay > 0 {
+		sep := "?"
+		if strings.Contains(url, "?") {
+			sep = "&"
+		}
+		url = fmt.Sprintf("%s%sreplay=%d", url, sep, replay)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		return fmt.Errorf("%s is not an SSE endpoint (Content-Type %q); point -url at /debug/gcassert/live", url, ct)
+	}
+
+	model := topview.New()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // SSE comments/blank separators
+		}
+		if err := model.FeedJSON([]byte(strings.TrimPrefix(line, "data: "))); err != nil {
+			fmt.Fprintln(os.Stderr, "gctop:", err)
+			continue
+		}
+		if !once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		model.Render(os.Stdout)
+		if once {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream ended: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "gctop: stream closed after %d events\n", model.Events())
+	return nil
+}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] [-workers N]
-//	      [-provenance] [-fr] [-fr-dump file] program.mj
+//	      [-provenance] [-fr] [-fr-dump file] [-explain] [-top]
+//	      [-serve addr] program.mj
 //
 // With -fr the GC flight recorder is armed: the first assertion violation
 // of each collection dumps a forensic bundle to the -fr-dump file, and
@@ -13,18 +14,30 @@
 // needs a consistent heap, so the dump rides on the collector's
 // stop-the-world pause). Inspect bundles with `gcfr`, or feed the heap
 // profile inside to `go tool pprof`.
+//
+// -explain prints the trigger explainer for every collection (why the GC
+// ran, heap occupancy, allocation rate, dominant allocating thread/site) to
+// stderr. -top attaches an in-process gctop dashboard, redrawn on every
+// collection. -serve mounts the telemetry HTTP surface (e.g. -serve :6060),
+// so an external `gctop -url http://localhost:6060/debug/gcassert/live`
+// can watch the run. All three enable telemetry, cost attribution, and
+// site provenance (the interpreter's per-pc site cache makes the sited
+// allocations cheap).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"gcassert"
 	"gcassert/internal/minivm"
+	"gcassert/internal/topview"
 )
 
 func main() {
@@ -37,9 +50,12 @@ func main() {
 	provenance := flag.Bool("provenance", false, "record every guest allocation's site (method:line) for violation reports and profiles")
 	fr := flag.Bool("fr", false, "arm the GC flight recorder (implies -provenance; dump with SIGQUIT or on violation)")
 	frDump := flag.String("fr-dump", "gcassert-fr.json", "file the flight recorder dumps bundles to (latest dump wins)")
+	explain := flag.Bool("explain", false, "print the trigger explainer for every collection")
+	top := flag.Bool("top", false, "attach an in-process gctop dashboard (redrawn per collection)")
+	serve := flag.String("serve", "", "listen address for the telemetry HTTP surface (e.g. :6060; feeds external gctop via /debug/gcassert/live)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] [-workers N] [-provenance] [-fr] [-fr-dump file] program.mj")
+		fmt.Fprintln(os.Stderr, "usage: mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] [-workers N] [-provenance] [-fr] [-fr-dump file] [-explain] [-top] [-serve addr] program.mj")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -69,19 +85,33 @@ func main() {
 	if *optimize {
 		minivm.Optimize(unit)
 	}
+	observing := *explain || *top || *serve != ""
 	prov := ""
-	if *provenance || *fr {
+	if *provenance || *fr || observing {
 		prov = "exhaustive"
 	}
 	vm := gcassert.New(gcassert.Options{
-		HeapBytes:      *heapMB << 20,
-		Infrastructure: true,
-		Reporter:       gcassert.NewWriterReporter(os.Stderr),
-		Generational:   *gen,
-		Workers:        *workers,
-		Provenance:     prov,
-		FlightRecorder: *fr,
+		HeapBytes:       *heapMB << 20,
+		Infrastructure:  true,
+		Reporter:        gcassert.NewWriterReporter(os.Stderr),
+		Generational:    *gen,
+		Workers:         *workers,
+		Provenance:      prov,
+		FlightRecorder:  *fr,
+		Telemetry:       observing,
+		CostAttribution: observing,
 	})
+	var drainLive func()
+	if *explain || *top {
+		drainLive = watchLive(vm, *explain, *top)
+	}
+	if *serve != "" {
+		go func() {
+			if err := http.ListenAndServe(*serve, vm.TelemetryHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "mjrun: telemetry server:", err)
+			}
+		}()
+	}
 	if *fr {
 		rec := vm.Flight()
 		rec.SetDumpSink(func() (io.WriteCloser, error) { return os.Create(*frDump) })
@@ -106,9 +136,16 @@ func main() {
 		os.Exit(1)
 	}
 	vm.Collect()
+	if drainLive != nil {
+		drainLive()
+	}
 
 	if *stats {
 		fmt.Fprintf(os.Stderr, "GC:        %s\n", vm.GCStats())
+		if pr, ok := vm.Pressure(); ok {
+			fmt.Fprintf(os.Stderr, "pressure:  alloc EWMA %.0f words/s, %d occupancy samples\n",
+				pr.AllocRateWps, len(pr.Occupancy))
+		}
 		st := vm.AssertionStats()
 		fmt.Fprintf(os.Stderr, "asserted:  %d dead (%d verified), %d unshared, %d owned pairs\n",
 			st.DeadAsserted, st.DeadVerified, st.UnsharedAsserted, st.OwnedPairsAsserted)
@@ -123,4 +160,37 @@ func main() {
 			fmt.Fprintln(os.Stderr)
 		}
 	}
+}
+
+// watchLive subscribes to the runtime's live event feed and consumes it on a
+// background goroutine: -explain prints one trigger line per collection,
+// -top redraws the in-process dashboard. The returned drain function stops
+// the subscription and waits for buffered frames, so the last collection's
+// output lands before exit-time stats.
+func watchLive(vm *gcassert.Runtime, explain, top bool) func() {
+	ch, cancel := vm.Telemetry().SubscribeLive(256)
+	done := make(chan struct{})
+	model := topview.New()
+	go func() {
+		defer close(done)
+		for frame := range ch {
+			if explain {
+				var ev gcassert.GCEvent
+				if json.Unmarshal(frame, &ev) == nil && ev.Trigger != "" {
+					line := fmt.Sprintf("gc %d: %s", ev.Seq+1, ev.Trigger)
+					if ev.TriggerThread != "" {
+						line += fmt.Sprintf(" [top allocator: %s]", ev.TriggerThread)
+					}
+					fmt.Fprintln(os.Stderr, line)
+				}
+			}
+			if top {
+				if model.FeedJSON(frame) == nil {
+					fmt.Fprint(os.Stderr, "\x1b[2J\x1b[H")
+					model.Render(os.Stderr)
+				}
+			}
+		}
+	}()
+	return func() { cancel(); <-done }
 }

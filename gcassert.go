@@ -89,6 +89,25 @@ type (
 	// SiteSample is one (allocation site, type) group of a bundle's heap
 	// profile.
 	SiteSample = flight.SiteSample
+	// AssertCost is one assertion kind's attributed GC-time cost (check
+	// count plus slow-path nanoseconds) on a Collection, a GCEvent, or a
+	// flight-recorder cycle. Populated with Options.CostAttribution.
+	AssertCost = collector.AssertCost
+	// GCTrigger explains why a collection ran: the human-readable reason,
+	// heap occupancy and allocation-rate EWMA at the trigger, and the
+	// dominant allocating thread/site. Stamped on every Collection when
+	// Options.CostAttribution is set.
+	GCTrigger = collector.Trigger
+	// PressureStats is the mutator-side heap-pressure snapshot returned by
+	// Runtime.Pressure: allocation-rate EWMA, the heap-occupancy timeline,
+	// and per-thread allocation totals.
+	PressureStats = rt.PressureStats
+	// ThreadAllocStats is one thread's allocation totals in PressureStats.
+	ThreadAllocStats = rt.ThreadAllocStats
+	// OccupancySample is one point of PressureStats' occupancy timeline.
+	OccupancySample = rt.OccupancySample
+	// ThreadAlloc is per-thread allocation activity within a GCEvent.
+	ThreadAlloc = telemetry.ThreadAlloc
 )
 
 // Collection reasons recorded by the runtime.
@@ -205,6 +224,18 @@ type Options struct {
 	FlightRecorder bool
 	// FlightCycles bounds the flight recorder's cycle ring (default 64).
 	FlightCycles int
+	// CostAttribution enables the GC cost-attribution and heap-pressure
+	// layer: every full collection's assertion work is attributed per kind
+	// (check counts exact, slow-path time measured), each Collection is
+	// stamped with a trigger explanation (why the GC ran, heap occupancy,
+	// allocation-rate EWMA, dominant allocating thread and site), and
+	// Runtime.Pressure exposes per-thread allocation totals plus the
+	// occupancy timeline. Works in every mode; with Telemetry the costs and
+	// trigger ride on the event stream, the /metrics surface
+	// (gcassert_gc_assert_cost_seconds{kind}), and the /debug/gcassert/live
+	// SSE feed that cmd/gctop renders. Disabled (the default), the mark hot
+	// path pays one nil-check per phase and gains zero allocations.
+	CostAttribution bool
 	// Introspection enables the heap-introspection layer: a per-type live
 	// census piggybacked on every full collection's mark phase, snapshot
 	// diffing with Cork-style leak-suspect ranking, and on-demand dominator
@@ -255,6 +286,7 @@ func New(opts Options) *Runtime {
 		Workers:           opts.Workers,
 		Telemetry:         opts.Telemetry,
 		TelemetryRingSize: opts.TelemetryRingSize,
+		CostAttribution:   opts.CostAttribution,
 		Introspection:     opts.Introspection,
 		CensusRingSize:    opts.CensusRingSize,
 		ProvenanceSample:  provenanceSample(opts),

@@ -50,8 +50,9 @@ func WriteGCSummary(w io.Writer, vm *gcassert.Runtime, elapsed time.Duration) {
 	fmt.Fprintf(w, "  sweep     %12v vs %12v  %s\n", time.Duration(sweep), st.SweepTime, dev(sweep, st.SweepTime))
 	fmt.Fprintf(w, "  total     %12v vs %12v  %s\n", time.Duration(total), st.TotalGCTime, dev(total, st.TotalGCTime))
 	h := tel.PauseHistogram()
-	fmt.Fprintf(w, "pause: p50 %v  p90 %v  p99 %v  max %v\n",
+	fmt.Fprintf(w, "pause: p50 %v  p90 %v  p95 %v  p99 %v  max %v\n",
 		h.Quantile(0.5).Round(time.Microsecond), h.Quantile(0.9).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
 		h.Quantile(0.99).Round(time.Microsecond), h.Max().Round(time.Microsecond))
 	if n := tel.Ring().Total(); n > uint64(len(events)) {
 		fmt.Fprintf(w, "note: ring retained %d of %d events; raise the ring size for full-run exports\n", len(events), n)

@@ -94,9 +94,12 @@ type Collector struct {
 	space *heap.Space
 	roots RootScanner
 
-	// hooks is non-nil only when infrastructure mode is enabled.
-	hooks Hooks
-	infra bool
+	// hooks is non-nil only when infrastructure mode is enabled. costHooks
+	// caches the CostHooks type assertion so Collect pays one nil-check for
+	// cost harvesting instead of an interface assertion per cycle.
+	hooks     Hooks
+	costHooks CostHooks
+	infra     bool
 
 	// workers is the mark-phase worker count (1 = sequential marker); par
 	// is the lazily created parallel engine, parRoots its reusable root
@@ -135,6 +138,11 @@ type Collector struct {
 	// before the sweep. The generational mode uses it to prune the assertion
 	// engine's weak tables on minor collections, where hooks do not run.
 	PreSweep func()
+	// ExplainTrigger, if non-nil, is consulted at the top of every collection
+	// to stamp the record with the mutator-side story behind the Reason
+	// (occupancy, allocation rate, dominant thread). The runtime installs it;
+	// when nil the cost is a single nil-check per cycle.
+	ExplainTrigger func(reason Reason) Trigger
 
 	gcCount uint64
 	stats   Stats
@@ -146,7 +154,11 @@ type Collector struct {
 // dispatch, which is exactly the paper's "Infrastructure" configuration
 // before any assertions are added.
 func New(space *heap.Space, roots RootScanner, hooks Hooks, infra bool) *Collector {
-	return &Collector{space: space, roots: roots, hooks: hooks, infra: infra, workers: 1}
+	c := &Collector{space: space, roots: roots, hooks: hooks, infra: infra, workers: 1}
+	if ch, ok := hooks.(CostHooks); ok {
+		c.costHooks = ch
+	}
+	return c
 }
 
 // SetWorkers selects the mark-phase worker count. 1 (the default) runs the
@@ -179,6 +191,9 @@ func (c *Collector) GCCount() uint64 { return c.gcCount }
 func (c *Collector) Collect(reason Reason) Collection {
 	start := time.Now()
 	col := Collection{Seq: c.gcCount, Reason: reason}
+	if c.ExplainTrigger != nil {
+		col.Trigger = c.ExplainTrigger(reason)
+	}
 	obs := c.Observer
 	if obs != nil {
 		obs.GCBegin(c.gcCount, reason)
@@ -241,6 +256,11 @@ func (c *Collector) Collect(reason Reason) Collection {
 	col.ObjectsFreed = sw.ObjectsFreed
 	col.ObjectsLive = sw.ObjectsLive
 	col.WordsFreed = sw.WordsFreed
+	// Cost rows are harvested after the sweep: dead-verification counts
+	// accrue in the engine's free hook while the sweep runs.
+	if c.infra && c.costHooks != nil {
+		col.AssertCost = c.costHooks.CollectionCosts()
+	}
 	col.TotalTime = time.Since(start)
 
 	c.gcCount++

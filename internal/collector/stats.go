@@ -10,6 +10,62 @@ import (
 // WorkerStats is one parallel mark worker's activity in a collection.
 type WorkerStats = parmark.WorkerStats
 
+// AssertCost attributes one assertion kind's share of a collection: how many
+// checks the cycle performed for the kind and how long the kind's rare-path
+// handling took. Work counts are exact (they are deltas of the engine's
+// check counters); times cover the flagged slow paths only — the per-edge
+// fast path is deliberately untimed so attribution never perturbs the mark
+// loop it measures.
+type AssertCost struct {
+	// Kind is the assertion kind's stable label ("assert-dead",
+	// "assert-instances", "assert-unshared", "assert-ownedby",
+	// "improper-ownership").
+	Kind string
+	// Checks is the number of checks performed for the kind this cycle, in
+	// the kind's natural unit (dead results, instance-count increments,
+	// unshared re-encounters, ownees checked).
+	Checks uint64
+	// Ns is the time spent in the kind's handling this cycle, in
+	// nanoseconds. Zero for kinds whose work is folded into the untimed
+	// per-edge fast path.
+	Ns int64
+}
+
+// CostHooks is an optional extension of Hooks implemented by engines that
+// attribute per-assertion-kind cost. The collector caches the type assertion
+// at construction, so a cycle with attribution disabled pays one nil-check.
+type CostHooks interface {
+	Hooks
+	// CollectionCosts returns the per-kind cost rows for the collection that
+	// just finished sweeping (dead-verification counts accrue during sweep),
+	// or nil when attribution is disabled. The returned slice is owned by the
+	// caller.
+	CollectionCosts() []AssertCost
+}
+
+// Trigger explains why a collection ran, for operators: the mechanical
+// Reason plus the heap pressure behind it and the mutator that applied it.
+type Trigger struct {
+	// Why is a one-line human-readable explanation, e.g.
+	// "heap exhausted at 92% occupancy (alloc rate 1.2e+07 words/s)".
+	Why string
+	// OccupancyPct is the heap occupancy (live words / capacity words × 100)
+	// observed when the collection was triggered.
+	OccupancyPct float64
+	// AllocRateWps is the allocation-rate EWMA in words/second at trigger
+	// time (0 until the first interval completes).
+	AllocRateWps float64
+	// ByThread names the dominant allocating thread since the previous
+	// collection ("main", ...); empty when nothing allocated.
+	ByThread string
+	// ByThreadWords is that thread's allocation volume, in words, since the
+	// previous collection.
+	ByThreadWords uint64
+	// BySite names the dominant allocating site of the window (provenance
+	// required; empty otherwise).
+	BySite string
+}
+
 // Collection records one collection cycle.
 type Collection struct {
 	// Seq is the collection's sequence number (0-based).
@@ -46,6 +102,12 @@ type Collection struct {
 	// constants). Empty when the cycle marked in parallel or when only one
 	// worker was configured to begin with.
 	Fallback string
+	// AssertCost attributes the cycle's assertion work per kind; nil unless
+	// the engine has cost attribution enabled (Options.CostAttribution).
+	AssertCost []AssertCost
+	// Trigger explains why the collection ran; zero unless the runtime
+	// installed a trigger explainer (Collector.ExplainTrigger).
+	Trigger Trigger
 }
 
 // Reasons a cycle configured for parallel marking fell back to the

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"time"
+
+	"gcassert/internal/collector"
+)
+
+// Cost attribution: per-assertion-kind accounting of the work and time the
+// engine spends inside a collection. The paper's evaluation only reports
+// aggregate overhead ("infrastructure cost is concentrated in GC time");
+// attribution breaks a pause down by assertion kind so an operator can see
+// *which* checks a cycle paid for.
+//
+// The discipline mirrors provenance (PR 4): disabled is the default and
+// costs exactly one nil-check per rare block — nothing is added to the
+// per-edge fast path, which stays untimed even when attribution is on.
+// Work counts are exact (deltas of the engine's existing check counters);
+// times cover only the flagged slow paths (dead/unshared/ownedby handling,
+// the ownership pre-phase, and the PostMark instance sweep), so "checks"
+// are precise and "ns" is an honest lower bound that never perturbs the
+// loop it measures.
+
+// costState is the per-collection attribution scratch, reset in PreMark.
+type costState struct {
+	// statsAt is the engine-stats snapshot taken at PreMark; CollectionCosts
+	// diffs against it after the sweep (dead verification accrues in the
+	// free hook while the sweep runs).
+	statsAt Stats
+	// ns accumulates per-kind slow-path time for the current cycle.
+	ns [NumKinds]int64
+}
+
+// EnableCostAttribution turns per-kind cost accounting on. Mirroring the
+// other observability layers it is enable-only and callable between
+// collections.
+func (e *Engine) EnableCostAttribution() {
+	if e.costs == nil {
+		e.costs = &costState{}
+	}
+}
+
+// CostAttributionEnabled reports whether attribution is on.
+func (e *Engine) CostAttributionEnabled() bool { return e.costs != nil }
+
+var _ collector.CostHooks = (*Engine)(nil)
+
+// CollectionCosts implements collector.CostHooks: the per-kind cost rows of
+// the collection that just finished sweeping, or nil when attribution is
+// disabled. The collector stamps the rows onto the Collection record.
+func (e *Engine) CollectionCosts() []collector.AssertCost {
+	cs := e.costs
+	if cs == nil {
+		return nil
+	}
+	checks := CheckDeltas(cs.statsAt, e.stats)
+	names := KindNames()
+	out := make([]collector.AssertCost, NumKinds)
+	for k := 0; k < NumKinds; k++ {
+		out[k] = collector.AssertCost{Kind: names[k], Checks: checks[k], Ns: cs.ns[k]}
+	}
+	return out
+}
+
+// costReset starts a new cycle's attribution window (called from PreMark).
+func (cs *costState) reset(now Stats) {
+	cs.statsAt = now
+	cs.ns = [NumKinds]int64{}
+}
+
+// addSince folds one timed slow-path block into a kind's bucket.
+func (cs *costState) addSince(k Kind, t0 time.Time) {
+	cs.ns[k] += int64(time.Since(t0))
+}
+
+// CheckDeltas maps the engine-stats delta between two snapshots to per-kind
+// check counts, each in its kind's natural unit: dead = asserted-dead
+// objects resolved (reclaimed or caught reachable), instances = tracked-type
+// limit comparisons, unshared = re-encounters of unshared-flagged objects,
+// ownedby = ownee membership checks in the ownership phase.
+// Improper-ownership has no separate check step (it is detected during
+// ownedby checking), so its row stays zero. Shared by telemetry events, the
+// flight recorder, and CollectionCosts so the unit definitions can never
+// drift apart.
+func CheckDeltas(before, after Stats) [NumKinds]uint64 {
+	return [NumKinds]uint64{
+		KindDead: (after.DeadVerified + after.DeadViolations) -
+			(before.DeadVerified + before.DeadViolations),
+		KindInstances: after.InstanceChecks - before.InstanceChecks,
+		KindUnshared:  after.UnsharedChecks - before.UnsharedChecks,
+		KindOwnedBy:   after.OwneesChecked - before.OwneesChecked,
+	}
+}

@@ -2,15 +2,25 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"gcassert/internal/collector"
 	"gcassert/internal/heap"
 )
 
 // PreMark implements collector.Hooks: it synchronizes the per-type tables
-// with the registry and runs the ownership phase (ownership.go).
+// with the registry and runs the ownership phase (ownership.go). With cost
+// attribution on it also opens the cycle's attribution window and bills the
+// whole ownership pre-phase to assert-ownedby.
 func (e *Engine) PreMark(c *collector.Collector) {
 	e.growTypeTables()
+	if cs := e.costs; cs != nil {
+		cs.reset(e.stats)
+		t0 := time.Now()
+		e.ownershipPhase(c)
+		cs.addSince(KindOwnedBy, t0)
+		return
+	}
 	e.ownershipPhase(c)
 }
 
@@ -28,7 +38,15 @@ func (e *Engine) OnEdge(c *collector.Collector, parent heap.Addr, slot int, chil
 	act := collector.EdgeProceed
 	if !marked {
 		if f&heap.FlagDead != 0 {
-			act = e.onDeadReachable(c.GCCount(), child, f, c.CurrentRoot(), c.CurrentPath())
+			// Flagged slow path: timed when attribution is on. The unflagged
+			// fast path above stays free of any attribution branch.
+			if cs := e.costs; cs != nil {
+				t0 := time.Now()
+				act = e.onDeadReachable(c.GCCount(), child, f, c.CurrentRoot(), c.CurrentPath())
+				cs.addSince(KindDead, t0)
+			} else {
+				act = e.onDeadReachable(c.GCCount(), child, f, c.CurrentRoot(), c.CurrentPath())
+			}
 			if act == collector.EdgeClear {
 				return act
 			}
@@ -41,11 +59,23 @@ func (e *Engine) OnEdge(c *collector.Collector, parent heap.Addr, slot int, chil
 	} else if f&heap.FlagUnshared != 0 {
 		e.stats.UnsharedChecks++
 		if f&flagLogged == 0 {
-			e.onSharedUnshared(c.GCCount(), child, c.CurrentRoot(), c.CurrentPath())
+			if cs := e.costs; cs != nil {
+				t0 := time.Now()
+				e.onSharedUnshared(c.GCCount(), child, c.CurrentRoot(), c.CurrentPath())
+				cs.addSince(KindUnshared, t0)
+			} else {
+				e.onSharedUnshared(c.GCCount(), child, c.CurrentRoot(), c.CurrentPath())
+			}
 		}
 	}
 	if f&heap.FlagOwnee != 0 && f&heap.FlagOwned == 0 && !e.inOwnership {
-		e.onUnownedReachable(c.GCCount(), child, c.CurrentRoot(), c.CurrentPath())
+		if cs := e.costs; cs != nil {
+			t0 := time.Now()
+			e.onUnownedReachable(c.GCCount(), child, c.CurrentRoot(), c.CurrentPath())
+			cs.addSince(KindOwnedBy, t0)
+		} else {
+			e.onUnownedReachable(c.GCCount(), child, c.CurrentRoot(), c.CurrentPath())
+		}
 		// Suppress duplicate reports for this ownee within this cycle; the
 		// owned flags are reset in PostMark.
 		s.SetFlag(child, heap.FlagOwned)
@@ -137,6 +167,12 @@ func (e *Engine) PostMark(c *collector.Collector) {
 	s := e.space
 
 	// assert-instances: compare per-type counts against limits (§2.4.1).
+	// The comparison loop is the kind's entire cost (per-edge counting rides
+	// the untimed mark fast path), so it is billed wholesale.
+	var instT0 time.Time
+	if e.costs != nil {
+		instT0 = time.Now()
+	}
 	for _, t := range e.tracked {
 		e.stats.InstanceChecks++
 		if e.counts[t] > e.limits[t] {
@@ -148,6 +184,9 @@ func (e *Engine) PostMark(c *collector.Collector) {
 				Message:  fmt.Sprintf("%d instances live, limit %d", e.counts[t], e.limits[t]),
 			})
 		}
+	}
+	if cs := e.costs; cs != nil {
+		cs.addSince(KindInstances, instT0)
 	}
 	copy(e.lastCounts, e.counts)
 	for i := range e.counts {

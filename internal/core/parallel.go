@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"gcassert/internal/collector"
 	"gcassert/internal/collector/parmark"
@@ -36,7 +37,7 @@ func (e *Engine) ParallelChecks(workers int, gc uint64) parmark.Checks {
 		shards:    make([]*parShard, workers),
 	}
 	for i := range pc.shards {
-		sh := &parShard{eng: e}
+		sh := &parShard{eng: e, timed: e.costs != nil}
 		if pc.allClaims {
 			sh.counts = make([]int64, len(e.counts))
 		}
@@ -71,13 +72,18 @@ type parPending struct {
 }
 
 // parShard is one worker's check state. Only its owning worker touches it
-// during the trace; Merge reads it after the join.
+// during the trace; Merge reads it after the join. With cost attribution on
+// (timed), each shard accumulates its own per-kind slow-path time — no
+// cross-worker sharing on the edge path — and Merge folds the shards into
+// the engine's cost state deterministically.
 type parShard struct {
 	eng            *Engine
 	counts         []int64
 	unsharedChecks uint64
 	pending        []parPending
 	logged         []heap.Addr
+	timed          bool
+	ns             [NumKinds]int64
 }
 
 // OnEdge implements parmark.Shard, mirroring the sequential Engine.OnEdge
@@ -91,7 +97,13 @@ func (sh *parShard) OnEdge(parent heap.Addr, slot int, root int32, child heap.Ad
 		if f&heap.FlagDead != 0 {
 			// First (and only) claim of an asserted-dead object: elect a
 			// unique reporter via the logged flag, and clear the assertion
-			// one-shot as the sequential log path does.
+			// one-shot as the sequential log path does. Timed as the kind's
+			// slow path when attribution is on (the unflagged claim path
+			// carries no attribution branch).
+			var t0 time.Time
+			if sh.timed {
+				t0 = time.Now()
+			}
 			if s.OrFlags(child, flagLogged)&flagLogged == 0 {
 				sh.logged = append(sh.logged, child)
 				sh.pending = append(sh.pending, parPending{
@@ -99,6 +111,9 @@ func (sh *parShard) OnEdge(parent heap.Addr, slot int, root int32, child heap.Ad
 					parent: parent, slot: int32(slot), root: root,
 				})
 				s.AndNotFlags(child, heap.FlagDead)
+			}
+			if sh.timed {
+				sh.ns[KindDead] += int64(time.Since(t0))
 			}
 		}
 		if sh.counts != nil {
@@ -108,12 +123,21 @@ func (sh *parShard) OnEdge(parent heap.Addr, slot int, root int32, child heap.Ad
 		}
 	} else if f&heap.FlagUnshared != 0 {
 		sh.unsharedChecks++
-		if f&flagLogged == 0 && s.OrFlags(child, flagLogged)&flagLogged == 0 {
-			sh.logged = append(sh.logged, child)
-			sh.pending = append(sh.pending, parPending{
-				kind: KindUnshared, obj: child, typeID: heap.HeaderTypeID(oldHeader),
-				parent: parent, slot: int32(slot), root: root,
-			})
+		if f&flagLogged == 0 {
+			var t0 time.Time
+			if sh.timed {
+				t0 = time.Now()
+			}
+			if s.OrFlags(child, flagLogged)&flagLogged == 0 {
+				sh.logged = append(sh.logged, child)
+				sh.pending = append(sh.pending, parPending{
+					kind: KindUnshared, obj: child, typeID: heap.HeaderTypeID(oldHeader),
+					parent: parent, slot: int32(slot), root: root,
+				})
+			}
+			if sh.timed {
+				sh.ns[KindUnshared] += int64(time.Since(t0))
+			}
 		}
 	}
 	if f&heap.FlagOwnee != 0 && f&heap.FlagOwned == 0 {
@@ -121,11 +145,18 @@ func (sh *parShard) OnEdge(parent heap.Addr, slot int, root int32, child heap.Ad
 		// having marked it owned. The owned flag doubles as the per-cycle
 		// duplicate suppressor (as in the sequential path), and the atomic
 		// Or elects the reporting worker.
+		var t0 time.Time
+		if sh.timed {
+			t0 = time.Now()
+		}
 		if s.OrFlags(child, heap.FlagOwned)&heap.FlagOwned == 0 {
 			sh.pending = append(sh.pending, parPending{
 				kind: KindOwnedBy, obj: child, typeID: heap.HeaderTypeID(oldHeader),
 				parent: parent, slot: int32(slot), root: root,
 			})
+		}
+		if sh.timed {
+			sh.ns[KindOwnedBy] += int64(time.Since(t0))
 		}
 	}
 }
@@ -134,12 +165,19 @@ func (sh *parShard) OnEdge(parent heap.Addr, slot int, root int32, child heap.Ad
 // asserted-dead child (static ReactForce). Every incoming edge is severed,
 // but only the electing worker reports.
 func (sh *parShard) OnDeadForced(parent heap.Addr, slot int, root int32, child heap.Addr, oldHeader uint64) {
+	var t0 time.Time
+	if sh.timed {
+		t0 = time.Now()
+	}
 	if sh.eng.space.OrFlags(child, flagLogged)&flagLogged == 0 {
 		sh.logged = append(sh.logged, child)
 		sh.pending = append(sh.pending, parPending{
 			kind: KindDead, obj: child, typeID: heap.HeaderTypeID(oldHeader),
 			parent: parent, slot: int32(slot), root: root, forced: true,
 		})
+	}
+	if sh.timed {
+		sh.ns[KindDead] += int64(time.Since(t0))
 	}
 }
 
@@ -162,6 +200,13 @@ func (pc *parChecks) Merge(r *parmark.Resolver) {
 		e.stats.UnsharedChecks += sh.unsharedChecks
 		e.logged = append(e.logged, sh.logged...)
 		pend = append(pend, sh.pending...)
+		if sh.timed && e.costs != nil {
+			// Shard fold order is fixed (shard index), so the merged per-kind
+			// times are deterministic for a given set of shard measurements.
+			for k := 0; k < NumKinds; k++ {
+				e.costs.ns[k] += sh.ns[k]
+			}
+		}
 	}
 	sort.SliceStable(pend, func(i, j int) bool {
 		if pend[i].kind != pend[j].kind {
@@ -170,7 +215,16 @@ func (pc *parChecks) Merge(r *parmark.Resolver) {
 		return pend[i].obj < pend[j].obj
 	})
 	for i := range pend {
-		e.reportParallel(&pend[i], pc.gc, r)
+		if cs := e.costs; cs != nil {
+			// Path reconstruction and reporting happen here rather than at
+			// edge time; bill them to the violation's kind so sequential and
+			// parallel cycles attribute the same work.
+			t0 := time.Now()
+			e.reportParallel(&pend[i], pc.gc, r)
+			cs.addSince(pend[i].kind, t0)
+		} else {
+			e.reportParallel(&pend[i], pc.gc, r)
+		}
 	}
 }
 

@@ -52,6 +52,14 @@ type KindDelta struct {
 	Violations uint64 `json:"violations"`
 }
 
+// CostRow is one assertion kind's attributed cost during one recorded
+// cycle (present only on runtimes with cost attribution enabled).
+type CostRow struct {
+	Kind   string `json:"kind"`
+	Checks uint64 `json:"checks"`
+	Ns     int64  `json:"ns"`
+}
+
 // TypeDelta is one type's live-census change across one recorded cycle,
 // relative to the previous recorded full collection. Negative values mean
 // the type shrank.
@@ -78,6 +86,12 @@ type Cycle struct {
 	PerWorker     []WorkerSpan `json:"per_worker,omitempty"`
 	Kinds         []KindDelta  `json:"kinds,omitempty"`
 	CensusDelta   []TypeDelta  `json:"census_delta,omitempty"`
+	// Trigger explanation and per-kind cost attribution, stamped when the
+	// runtime runs with CostAttribution. Additive omitempty fields: schema
+	// version 1 bundles without them parse unchanged.
+	Trigger      string    `json:"trigger,omitempty"`
+	OccupancyPct float64   `json:"occupancy_pct,omitempty"`
+	AssertCost   []CostRow `json:"assert_cost,omitempty"`
 }
 
 // ViolationRecord is one assertion violation as the recorder retains it.
@@ -242,6 +256,16 @@ func (r *Recorder) GCEnd(col *collector.Collection) {
 	if r.statsFn != nil {
 		cy.Kinds = kindDeltas(r.engineBefore, r.statsFn())
 	}
+	if col.Trigger.Why != "" {
+		cy.Trigger = col.Trigger.Why
+		cy.OccupancyPct = col.Trigger.OccupancyPct
+	}
+	if len(col.AssertCost) > 0 {
+		cy.AssertCost = make([]CostRow, len(col.AssertCost))
+		for i, c := range col.AssertCost {
+			cy.AssertCost[i] = CostRow{Kind: c.Kind, Checks: c.Checks, Ns: c.Ns}
+		}
+	}
 	if r.censusFn != nil {
 		if snap, ok := r.censusFn(); ok && snap.GC == col.Seq {
 			cy.CensusDelta = r.censusDelta(&snap)
@@ -317,16 +341,11 @@ func sortDeltas(d []TypeDelta) {
 	}
 }
 
-// kindDeltas converts an engine-stats delta into per-kind activity, mapping
-// each kind to its natural check unit (mirroring the telemetry layer).
+// kindDeltas converts an engine-stats delta into per-kind activity. The
+// natural-unit mapping lives in core.CheckDeltas, shared with the telemetry
+// layer and cost attribution so the unit definitions cannot drift.
 func kindDeltas(before, after core.Stats) []KindDelta {
-	checks := [core.NumKinds]uint64{
-		core.KindDead: (after.DeadVerified + after.DeadViolations) -
-			(before.DeadVerified + before.DeadViolations),
-		core.KindInstances: after.InstanceChecks - before.InstanceChecks,
-		core.KindUnshared:  after.UnsharedChecks - before.UnsharedChecks,
-		core.KindOwnedBy:   after.OwneesChecked - before.OwneesChecked,
-	}
+	checks := core.CheckDeltas(before, after)
 	names := core.KindNames()
 	out := make([]KindDelta, 0, core.NumKinds)
 	for k := 0; k < core.NumKinds; k++ {

@@ -47,6 +47,10 @@ type Provenance struct {
 	index map[string]SiteID
 	// table maps live object addresses to their recorded site.
 	table map[Addr]SiteID
+	// allocs[id] counts recorded allocations per site, cumulatively (never
+	// decremented on reclamation). The trigger explainer diffs successive
+	// snapshots to name the dominant allocating site of an inter-GC window.
+	allocs []uint64
 	// sample is the 1-in-N sampling rate (1 = record every allocation);
 	// tick is the rolling counter driving the sampling decision.
 	sample int
@@ -66,9 +70,10 @@ func (s *Space) EnableProvenance(sample int) *Provenance {
 	}
 	if s.prov == nil {
 		s.prov = &Provenance{
-			names: []string{""},
-			index: make(map[string]SiteID),
-			table: make(map[Addr]SiteID),
+			names:  []string{""},
+			index:  make(map[string]SiteID),
+			table:  make(map[Addr]SiteID),
+			allocs: []uint64{0},
 		}
 	}
 	s.prov.sample = sample
@@ -94,6 +99,9 @@ func (s *Space) RecordSite(a Addr, site SiteID) {
 	}
 	p.tick = 0
 	p.table[a] = site
+	if int(site) < len(p.allocs) {
+		p.allocs[site]++
+	}
 	p.recorded++
 }
 
@@ -132,6 +140,7 @@ func (p *Provenance) Register(desc string) SiteID {
 	}
 	id := SiteID(len(p.names))
 	p.names = append(p.names, desc)
+	p.allocs = append(p.allocs, 0)
 	p.index[desc] = id
 	return id
 }
@@ -148,6 +157,20 @@ func (p *Provenance) Name(id SiteID) string {
 // NumSites returns the number of registered sites (the unknown site is not
 // counted).
 func (p *Provenance) NumSites() int { return len(p.names) - 1 }
+
+// SiteAllocs copies the cumulative per-site recorded-allocation counters
+// into dst (grown if needed; index = SiteID) and returns it. Callers that
+// diff successive windows reuse one buffer, so the GC-time explainer path
+// allocates nothing once the site set is stable. Sampled provenance
+// undercounts uniformly (only recorded allocations are counted).
+func (p *Provenance) SiteAllocs(dst []uint64) []uint64 {
+	if cap(dst) < len(p.allocs) {
+		dst = make([]uint64, len(p.allocs))
+	}
+	dst = dst[:len(p.allocs)]
+	copy(dst, p.allocs)
+	return dst
+}
 
 // Stats returns a snapshot of provenance activity.
 func (p *Provenance) Stats() ProvStats {

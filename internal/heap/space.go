@@ -125,6 +125,17 @@ func (s *Space) Stats() Stats { return s.stats }
 // CapacityWords returns the total heap capacity in words.
 func (s *Space) CapacityWords() int { return len(s.words) }
 
+// OccupancyPct returns the share of the heap currently held by allocated
+// cells, as a percentage of capacity. LiveWords is maintained on every
+// allocation and reclamation, so read at collection-trigger time this is the
+// occupancy that forced the collection — garbage not yet swept included.
+func (s *Space) OccupancyPct() float64 {
+	if len(s.words) == 0 {
+		return 0
+	}
+	return 100 * float64(s.stats.LiveWords) / float64(len(s.words))
+}
+
 // blockStart returns the address of the first word of block bi.
 func blockStart(bi uint32) Addr { return Addr(bi * BlockBytes) }
 

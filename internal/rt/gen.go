@@ -45,8 +45,10 @@ func (r *Runtime) initGenerational(cfg Config) {
 	g.minor = collector.New(r.space, (*rootScanner)(r), nil, false)
 	g.minor.KeepMarks = true
 	// Minor collections show up in the telemetry trace too (distinguished
-	// by their reason label, which lacks the "-full" suffix).
+	// by their reason label, which lacks the "-full" suffix), and get their
+	// triggers explained by the same pressure tracker.
 	g.minor.Observer = r.gc.Observer
+	g.minor.ExplainTrigger = r.gc.ExplainTrigger
 	g.minor.PreSweep = func() {
 		if r.engine != nil {
 			r.engine.PruneWeak()

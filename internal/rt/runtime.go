@@ -81,6 +81,15 @@ type Config struct {
 	FlightRecorder bool
 	// FlightCycles bounds the flight recorder's cycle ring (default 64).
 	FlightCycles int
+	// CostAttribution enables the cost-attribution and heap-pressure layer:
+	// per-assertion-kind time/work accounting on every collection
+	// (Collection.AssertCost), mutator-side pressure stats (per-thread
+	// allocation counters, allocation-rate EWMA, occupancy timeline,
+	// Runtime.Pressure), and a trigger explainer stamping every collection
+	// with why it ran (Collection.Trigger). Disabled, the mark hot path is
+	// untouched, the allocation path pays one nil-check, and collections pay
+	// one nil-check for the explainer hook.
+	CostAttribution bool
 	// Introspection enables the heap-introspection layer: a per-type census
 	// taken during every full collection's mark phase (one callback per
 	// marked object), snapshot diffing with leak-suspect ranking, and
@@ -104,10 +113,11 @@ type Runtime struct {
 	globals  []heap.Addr
 	globNams []string
 
-	gen    *generational
-	tel    *telemetry.Tracer
-	census *heapdump.Census
-	flight *flight.Recorder
+	gen      *generational
+	tel      *telemetry.Tracer
+	census   *heapdump.Census
+	flight   *flight.Recorder
+	pressure *pressure
 }
 
 // New creates a runtime per cfg.
@@ -165,6 +175,16 @@ func New(cfg Config) *Runtime {
 	}
 	if r.tel != nil {
 		r.gc.Observer = newTelemetrySink(r, r.tel)
+	}
+	if cfg.CostAttribution {
+		// Attribution before the generational split: initGenerational copies
+		// the explainer (like the Observer) onto the minor collector, so
+		// minor collections are explained too.
+		if r.engine != nil {
+			r.engine.EnableCostAttribution()
+		}
+		r.pressure = newPressure(r)
+		r.gc.ExplainTrigger = r.pressure.explain
 	}
 	if cfg.Generational {
 		r.initGenerational(cfg)

@@ -83,6 +83,27 @@ func (s *telemetrySink) GCEnd(col *collector.Collection) {
 	if s.r.engine != nil {
 		ev.Kinds = kindDeltas(s.engineBefore, s.r.engine.Stats())
 	}
+	// Cost attribution and the trigger explainer stamp the collection
+	// record; copy them through so the event stream (and the live SSE feed)
+	// carries the full operator view.
+	if col.Trigger.Why != "" {
+		ev.Trigger = col.Trigger.Why
+		ev.OccupancyPct = col.Trigger.OccupancyPct
+		ev.AllocRateWps = col.Trigger.AllocRateWps
+		ev.TriggerThread = col.Trigger.ByThread
+	}
+	if len(col.AssertCost) > 0 {
+		ev.Costs = make([]telemetry.AssertCost, len(col.AssertCost))
+		for i, c := range col.AssertCost {
+			ev.Costs[i] = telemetry.AssertCost{Kind: c.Kind, Checks: c.Checks, Ns: c.Ns}
+		}
+	}
+	if s.r.pressure != nil {
+		ev.Threads = make([]telemetry.ThreadAlloc, len(s.r.threads))
+		for i, th := range s.r.threads {
+			ev.Threads[i] = telemetry.ThreadAlloc{Name: th.name, Objects: th.allocObjects, Words: th.allocWords}
+		}
+	}
 	hs := s.r.space.Stats()
 	s.t.AddAllocations(hs.ObjectsAllocated-s.heapLast.ObjectsAllocated,
 		hs.WordsAllocated-s.heapLast.WordsAllocated)
@@ -91,21 +112,11 @@ func (s *telemetrySink) GCEnd(col *collector.Collection) {
 }
 
 // kindDeltas converts the engine-stats delta of one collection into
-// per-kind check/violation counts. "Checks" maps each kind to its natural
-// unit: dead = asserted-dead objects resolved (reclaimed or caught
-// reachable), instances = tracked-type limit comparisons, unshared =
-// re-encounters of unshared-flagged objects, ownedby = ownee membership
-// checks in the ownership phase. Improper-ownership has no separate check
-// step (it is detected during ownedby checking), so only its violations
-// are counted.
+// per-kind check/violation counts. The natural-unit mapping lives in
+// core.CheckDeltas, shared with the flight recorder and cost attribution so
+// the unit definitions cannot drift.
 func kindDeltas(before, after core.Stats) []telemetry.KindCount {
-	checks := [core.NumKinds]uint64{
-		core.KindDead: (after.DeadVerified + after.DeadViolations) -
-			(before.DeadVerified + before.DeadViolations),
-		core.KindInstances: after.InstanceChecks - before.InstanceChecks,
-		core.KindUnshared:  after.UnsharedChecks - before.UnsharedChecks,
-		core.KindOwnedBy:   after.OwneesChecked - before.OwneesChecked,
-	}
+	checks := core.CheckDeltas(before, after)
 	names := core.KindNames()
 	out := make([]telemetry.KindCount, core.NumKinds)
 	for k := 0; k < core.NumKinds; k++ {

@@ -17,6 +17,14 @@ type Thread struct {
 	name     string
 	frames   []*Frame
 	inRegion bool
+
+	// allocObjects/allocWords count this thread's allocations cumulatively;
+	// windowWords is the explainer's per-window snapshot. Maintained only
+	// when the runtime's pressure tracker is on (one nil-check per
+	// allocation otherwise).
+	allocObjects uint64
+	allocWords   uint64
+	windowWords  uint64
 }
 
 // Frame is one shadow-stack frame holding local reference slots.
@@ -100,13 +108,25 @@ func (t *Thread) alloc(typ heap.TypeID, n int, site heap.SiteID) heap.Addr {
 		r.collectForAlloc()
 		a, ok = r.space.Allocate(typ, n)
 		if !ok && r.gen != nil {
-			// Minor collection was not enough: escalate to a full cycle.
+			// Minor collection was not enough: escalate to a full cycle. The
+			// pressure tracker is told, so the trigger explainer can tell an
+			// escalation from a ratio rollover.
+			if r.pressure != nil {
+				r.pressure.escalating = true
+			}
 			r.gen.fullCollect(collector.ReasonAllocFailure.Full())
+			if r.pressure != nil {
+				r.pressure.escalating = false
+			}
 			a, ok = r.space.Allocate(typ, n)
 		}
 		if !ok {
 			panic(&OOMError{Type: typ, Len: n, Live: r.space.Stats()})
 		}
+	}
+	if r.pressure != nil {
+		t.allocObjects++
+		t.allocWords += uint64(r.space.CellWords(a))
 	}
 	if site != 0 {
 		r.space.RecordSite(a, site)

@@ -41,6 +41,23 @@ type KindCount struct {
 	Violations uint64 `json:"violations"`
 }
 
+// AssertCost attributes one assertion kind's share of a collection: checks
+// performed (exact counter deltas, in the kind's natural unit) and
+// slow-path time in nanoseconds.
+type AssertCost struct {
+	Kind   string `json:"kind"`
+	Checks uint64 `json:"checks"`
+	Ns     int64  `json:"ns"`
+}
+
+// ThreadAlloc is one mutator thread's cumulative allocation volume at the
+// time of the event (consumers diff successive events for rates).
+type ThreadAlloc struct {
+	Name    string `json:"name"`
+	Objects uint64 `json:"objects"`
+	Words   uint64 `json:"words"`
+}
+
 // WorkerMark is one mark worker's activity within a parallel-marked
 // collection.
 type WorkerMark struct {
@@ -88,6 +105,22 @@ type Event struct {
 	// PerWorker is per-worker mark activity; nil unless the collection
 	// marked in parallel.
 	PerWorker []WorkerMark `json:"per_worker,omitempty"`
+	// Trigger is the one-line trigger explanation (empty unless the runtime
+	// has cost attribution on).
+	Trigger string `json:"trigger,omitempty"`
+	// OccupancyPct is the heap occupancy observed at trigger time;
+	// AllocRateWps the allocation-rate EWMA (words/second) and TriggerThread
+	// the dominant allocating thread of the inter-GC window. All zero
+	// without cost attribution.
+	OccupancyPct  float64 `json:"occupancy_pct,omitempty"`
+	AllocRateWps  float64 `json:"alloc_rate_wps,omitempty"`
+	TriggerThread string  `json:"trigger_thread,omitempty"`
+	// Costs is per-assertion-kind cost attribution (nil unless attribution
+	// is on and the collection ran assertion checks).
+	Costs []AssertCost `json:"assert_costs,omitempty"`
+	// Threads is per-thread cumulative allocation volume at event time (nil
+	// without cost attribution).
+	Threads []ThreadAlloc `json:"threads,omitempty"`
 }
 
 // PhaseNs returns the duration of the named phase in nanoseconds (0 if the

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 )
 
@@ -37,7 +38,8 @@ func GoTraceLine(e *Event, start time.Time, gcFrac float64) string {
 }
 
 // WriteGoTrace writes the events as gctrace-style lines, computing the
-// cumulative GC fraction column from the trace itself.
+// cumulative GC fraction column from the trace itself, and closes with a
+// `# pause summary:` percentile line over the retained pauses.
 func WriteGoTrace(w io.Writer, events []Event, start time.Time) error {
 	var gcNs int64
 	for i := range events {
@@ -51,7 +53,30 @@ func WriteGoTrace(w io.Writer, events []Event, start time.Time) error {
 			return err
 		}
 	}
+	if len(events) > 0 {
+		p50, p95, p99, max := pauseQuantiles(events)
+		if _, err := fmt.Fprintf(w, "# pause summary: p50=%v p95=%v p99=%v max=%v (%d collections)\n",
+			p50, p95, p99, max, len(events)); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// pauseQuantiles computes exact pause percentiles from the retained events
+// (unlike the pause histogram, which is bucketed but covers evicted events
+// too).
+func pauseQuantiles(events []Event) (p50, p95, p99, max time.Duration) {
+	ns := make([]int64, len(events))
+	for i := range events {
+		ns[i] = events[i].TotalNs
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(ns)-1))
+		return time.Duration(ns[i])
+	}
+	return at(0.50), at(0.95), at(0.99), time.Duration(ns[len(ns)-1])
 }
 
 // chromeEvent is one entry of the Chrome trace_event format.

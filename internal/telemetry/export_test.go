@@ -157,13 +157,16 @@ func TestGoTraceLine(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("%d lines, want 2", len(lines))
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3 (two events plus the pause-summary footer)", len(lines))
 	}
 	if !strings.HasPrefix(lines[0], "gc 1 @0.001s ") {
 		t.Errorf("line 1 = %q", lines[0])
 	}
 	if !strings.HasPrefix(lines[1], "gc 2 @0.010s ") {
 		t.Errorf("line 2 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "# pause summary: ") {
+		t.Errorf("line 3 = %q, want the pause-summary footer", lines[2])
 	}
 }

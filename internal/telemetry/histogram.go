@@ -110,6 +110,13 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.Max()
 }
 
+// Summary returns the p50/p95/p99 quantile estimates, the operator's
+// at-a-glance pause profile. The /metrics render emits it as a comment line
+// next to the raw buckets, and cmd/gctrace prints it after the event log.
+func (h *Histogram) Summary() (p50, p95, p99 time.Duration) {
+	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+}
+
 // snapshot returns the per-bucket counts (for Prometheus rendering).
 func (h *Histogram) snapshot() []uint64 {
 	out := make([]uint64, len(h.counts))

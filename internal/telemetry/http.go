@@ -116,6 +116,9 @@ func (t *Tracer) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/debug/gcassert/live", func(w http.ResponseWriter, r *http.Request) {
+		t.serveLive(w, r)
+	})
 	mux.HandleFunc("/debug/gcassert/", func(w http.ResponseWriter, r *http.Request) {
 		// The pattern is a subtree match; anything but the index itself is an
 		// unknown endpoint.
@@ -151,6 +154,7 @@ func (t *Tracer) writeIndex(w http.ResponseWriter) {
 		avail(t.leakSourceFn() != nil, "Introspection"))
 	fmt.Fprintf(w, "/debug/gcassert/fr           flight-recorder bundle%s\n",
 		avail(t.flightSourceFn() != nil, "FlightRecorder"))
+	fmt.Fprintf(w, "/debug/gcassert/live         live GC event stream (SSE; ?replay=N resends recent events)\n")
 }
 
 // intParam parses an optional non-negative integer query parameter.

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// liveHub fans completed GC events out to live subscribers (the
+// /debug/gcassert/live SSE endpoint and in-process dashboards). Publishing
+// happens inside the stop-the-world pause, so it must never block: the
+// event is marshaled once (and only when someone is listening) and sends
+// are non-blocking — a subscriber that cannot keep up loses frames rather
+// than stalling the collector.
+type liveHub struct {
+	mu   sync.Mutex
+	subs map[chan []byte]struct{}
+}
+
+// subscribe registers a new subscriber with the given channel buffer
+// (minimum 1) and returns the frame channel plus a cancel function. Cancel
+// is idempotent and closes the channel, so readers range over it.
+func (h *liveHub) subscribe(buf int) (<-chan []byte, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan []byte, buf)
+	h.mu.Lock()
+	if h.subs == nil {
+		h.subs = make(map[chan []byte]struct{})
+	}
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.subs, ch)
+			h.mu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// publish sends one event to every subscriber. No-op without subscribers.
+func (h *liveHub) publish(ev *Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.subs) == 0 {
+		return
+	}
+	frame, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- frame:
+		default: // slow subscriber: drop the frame, never block the pause
+		}
+	}
+}
+
+// serveLive implements /debug/gcassert/live: a Server-Sent Events stream
+// pushing one `data: <event JSON>` frame per completed collection.
+// ?replay=N resends the last N retained ring events before going live, so a
+// dashboard attaching mid-run starts with history. The stream runs until
+// the client disconnects; like every other endpoint it reads only the ring
+// and the hub, so it is safe while the workload runs.
+func (t *Tracer) serveLive(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported (response writer is not an http.Flusher)",
+			http.StatusInternalServerError)
+		return
+	}
+	replay, err := intParam(r, "replay", 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer SSE
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe before replaying so no collection can fall in the gap (a
+	// cycle finishing during the replay may be sent twice; consumers key on
+	// Seq).
+	ch, cancel := t.live.subscribe(64)
+	defer cancel()
+	if replay > 0 {
+		evs := t.Events()
+		if len(evs) > replay {
+			evs = evs[len(evs)-replay:]
+		}
+		for i := range evs {
+			frame, err := json.Marshal(&evs[i])
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
+				return
+			}
+		}
+	}
+	flusher.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case frame, open := <-ch:
+			if !open {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// SubscribeLive registers a live subscriber fed one JSON-encoded Event per
+// completed collection (buf bounds the per-subscriber queue; slow readers
+// lose frames, they are never allowed to block a collection). The returned
+// cancel must be called when done; it closes the channel.
+func (t *Tracer) SubscribeLive(buf int) (<-chan []byte, func()) {
+	return t.live.subscribe(buf)
+}

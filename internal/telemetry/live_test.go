@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// liveGet hits /debug/gcassert/live with an already-cancelled context, so
+// the handler replays and returns instead of streaming forever.
+func liveGet(t *testing.T, tr *Tracer, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel()
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, req.WithContext(ctx))
+	return rec
+}
+
+// TestServeLiveContentTypeAndReplay pins the SSE surface: the content type,
+// that the response is flushed, and that ?replay=N resends exactly the last
+// N retained events as `data:` frames.
+func TestServeLiveContentTypeAndReplay(t *testing.T) {
+	tr := New(Config{})
+	for i := 0; i < 5; i++ {
+		tr.Record(&Event{Reason: "forced", TotalNs: int64(i+1) * 1000})
+	}
+	rec := liveGet(t, tr, "/debug/gcassert/live?replay=2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+	if !rec.Flushed {
+		t.Fatal("response was never flushed; SSE clients would see nothing")
+	}
+	var seqs []uint64
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad frame %q: %v", line, err)
+		}
+		seqs = append(seqs, ev.Seq)
+	}
+	if len(seqs) != 2 || seqs[0] != 3 || seqs[1] != 4 {
+		t.Fatalf("replayed seqs %v, want [3 4] (the last two of five)", seqs)
+	}
+}
+
+func TestServeLiveBadReplay(t *testing.T) {
+	rec := liveGet(t, New(Config{}), "/debug/gcassert/live?replay=-1")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d for replay=-1, want 400", rec.Code)
+	}
+}
+
+// TestSubscribeLiveDelivery checks the in-process subscription path used by
+// `mjrun -top`: each recorded event arrives as one JSON frame.
+func TestSubscribeLiveDelivery(t *testing.T) {
+	tr := New(Config{})
+	ch, cancel := tr.SubscribeLive(4)
+	defer cancel()
+	tr.Record(&Event{Reason: "alloc-failure", TotalNs: 42})
+	select {
+	case frame := <-ch:
+		var ev Event
+		if err := json.Unmarshal(frame, &ev); err != nil {
+			t.Fatalf("bad frame: %v", err)
+		}
+		if ev.Reason != "alloc-failure" || ev.TotalNs != 42 {
+			t.Fatalf("frame %+v, want the recorded event", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no frame delivered")
+	}
+	cancel()
+	cancel() // idempotent
+	if _, open := <-ch; open {
+		t.Fatal("channel still open after cancel")
+	}
+}
+
+// TestPublishNeverBlocks pins the stop-the-world safety property: a
+// subscriber that stops reading loses frames instead of stalling Record.
+func TestPublishNeverBlocks(t *testing.T) {
+	tr := New(Config{})
+	_, cancel := tr.SubscribeLive(1)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Record(&Event{Reason: "forced"})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Record blocked on a slow live subscriber")
+	}
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -22,6 +23,25 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// FloatCounter is a monotonically increasing float-valued counter (e.g.
+// attributed seconds). Add is lock-free: a CAS loop over the value's IEEE
+// bits, the standard trick for atomic float accumulation.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add increments by v (v must be >= 0 to keep the counter monotonic).
+func (c *FloatCounter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
 // Gauge is a settable instantaneous value.
 type Gauge struct{ v atomic.Int64 }
 
@@ -39,10 +59,11 @@ type Label struct{ Name, Value string }
 
 // series is one labeled time series within a family.
 type series struct {
-	labels  string // rendered {k="v",...} suffix, "" when unlabeled
-	counter *Counter
-	gauge   *Gauge
-	hist    *Histogram
+	labels   string // rendered {k="v",...} suffix, "" when unlabeled
+	counter  *Counter
+	fcounter *FloatCounter
+	gauge    *Gauge
+	hist     *Histogram
 }
 
 // family groups the series sharing one metric name.
@@ -115,6 +136,21 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	return s.counter
 }
 
+// FloatCounter finds or creates a float-valued counter. It renders as a
+// Prometheus counter; a name may hold integer or float series, not both.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	s := r.lookup(name, help, "counter", labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.counter != nil {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as float counter (was integer)", name))
+	}
+	if s.fcounter == nil {
+		s.fcounter = &FloatCounter{}
+	}
+	return s.fcounter
+}
+
 // Gauge finds or creates a gauge.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	s := r.lookup(name, help, "gauge", labels)
@@ -180,6 +216,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			switch {
 			case s.counter != nil:
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+			case s.fcounter != nil:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.fcounter.Value()))
 			case s.gauge != nil:
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.gauge.Value())
 			case s.hist != nil:
@@ -194,6 +232,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func writeHist(w io.Writer, name, labels string, h *Histogram) error {
+	// A quantile summary rides along as a comment: the text exposition
+	// format ignores comment lines that are not HELP/TYPE, so scrapers are
+	// unaffected while a human curl gets the percentiles for free.
+	if p50, p95, p99 := h.Summary(); h.Count() > 0 {
+		if _, err := fmt.Fprintf(w, "# %s%s summary: p50=%v p95=%v p99=%v max=%v\n",
+			name, labels, p50, p95, p99, h.Max()); err != nil {
+			return err
+		}
+	}
 	counts := h.snapshot()
 	var cum uint64
 	for i, b := range h.bounds {

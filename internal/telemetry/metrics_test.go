@@ -28,6 +28,7 @@ func TestPrometheusGolden(t *testing.T) {
 test_live 7
 # HELP test_pause_seconds Pause times.
 # TYPE test_pause_seconds histogram
+# test_pause_seconds summary: p50=5.5ms p95=43.999999ms p99=48.799999ms max=50ms
 test_pause_seconds_bucket{le="0.001"} 1
 test_pause_seconds_bucket{le="0.01"} 2
 test_pause_seconds_bucket{le="+Inf"} 3

@@ -38,6 +38,8 @@ type Tracer struct {
 	liveObjects *Gauge
 	violTotal   *Counter
 
+	live liveHub
+
 	vmu      sync.Mutex
 	viols    []string
 	violCap  int
@@ -164,6 +166,28 @@ func (t *Tracer) Record(ev *Event) {
 				"Work items stolen between mark workers across all parallel marks.").Add(steals)
 		}
 	}
+	// Cost attribution and pressure, when the runtime stamps them on events.
+	// Zero-valued Adds still register the series, so an attributing runtime
+	// exposes every kind label from the first collection on.
+	for _, c := range ev.Costs {
+		t.reg.FloatCounter("gcassert_gc_assert_cost_seconds",
+			"Attributed assertion slow-path time, by kind.",
+			Label{"kind", c.Kind}).Add(float64(c.Ns) / 1e9)
+		if c.Checks != 0 {
+			t.reg.Counter("gcassert_gc_assert_cost_checks_total",
+				"Attributed assertion checks, by kind.",
+				Label{"kind", c.Kind}).Add(c.Checks)
+		}
+	}
+	if ev.Trigger != "" {
+		t.reg.Gauge("gcassert_heap_occupancy_pct",
+			"Heap occupancy at the most recent collection trigger (percent, rounded).").
+			Set(int64(ev.OccupancyPct + 0.5))
+		t.reg.Gauge("gcassert_alloc_rate_words_per_second",
+			"Allocation-rate EWMA at the most recent collection trigger (words/second, rounded).").
+			Set(int64(ev.AllocRateWps + 0.5))
+	}
+	t.live.publish(ev)
 }
 
 // Events returns a snapshot of the retained GC events, oldest first.

@@ -1,0 +1,203 @@
+// Package topview is the render model behind cmd/gctop and `mjrun -top`: it
+// folds a stream of telemetry GC events into a terminal dashboard frame —
+// heap-occupancy bar, pause sparkline, per-kind assertion cost table, and
+// per-thread allocation rates. The model is transport-agnostic: feed it
+// decoded events (in-process subscribers) or raw SSE JSON frames (cmd/gctop
+// over /debug/gcassert/live) and render whenever a new frame should appear.
+package topview
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"gcassert/internal/telemetry"
+)
+
+// sparkCap bounds the pause history behind the sparkline.
+const sparkCap = 48
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// threadRow tracks one mutator thread's allocation counters across frames so
+// the dashboard can show a per-interval rate, not just lifetime totals.
+type threadRow struct {
+	name       string
+	objects    uint64
+	words      uint64
+	prevWords  uint64
+	deltaWords uint64
+}
+
+// Model accumulates fed events into the current dashboard state. Not
+// goroutine-safe: feed and render from one goroutine.
+type Model struct {
+	events   uint64
+	last     telemetry.Event
+	pauses   []int64 // recent TotalNs, oldest first
+	costNs   map[string]int64
+	costN    map[string]uint64
+	gcNs     int64
+	threads  []threadRow
+	firstSeq uint64
+}
+
+// New creates an empty model.
+func New() *Model {
+	return &Model{
+		costNs: make(map[string]int64),
+		costN:  make(map[string]uint64),
+	}
+}
+
+// FeedJSON decodes one JSON-encoded telemetry event (an SSE `data:` payload)
+// and feeds it.
+func (m *Model) FeedJSON(frame []byte) error {
+	var ev telemetry.Event
+	if err := json.Unmarshal(frame, &ev); err != nil {
+		return fmt.Errorf("topview: bad event frame: %w", err)
+	}
+	m.Feed(&ev)
+	return nil
+}
+
+// Feed folds one completed-collection event into the model.
+func (m *Model) Feed(ev *telemetry.Event) {
+	if m.events == 0 {
+		m.firstSeq = ev.Seq
+	}
+	m.events++
+	m.last = *ev
+	if len(m.pauses) == sparkCap {
+		copy(m.pauses, m.pauses[1:])
+		m.pauses = m.pauses[:sparkCap-1]
+	}
+	m.pauses = append(m.pauses, ev.TotalNs)
+	m.gcNs += ev.TotalNs
+	for _, c := range ev.Costs {
+		m.costNs[c.Kind] += c.Ns
+		m.costN[c.Kind] += c.Checks
+	}
+	m.foldThreads(ev.Threads)
+}
+
+// foldThreads merges the event's cumulative per-thread counters, computing
+// the since-last-frame delta per thread.
+func (m *Model) foldThreads(ts []telemetry.ThreadAlloc) {
+	for _, t := range ts {
+		i := -1
+		for j := range m.threads {
+			if m.threads[j].name == t.Name {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			m.threads = append(m.threads, threadRow{name: t.Name})
+			i = len(m.threads) - 1
+		}
+		row := &m.threads[i]
+		row.prevWords = row.words
+		row.deltaWords = t.Words - row.words
+		row.objects, row.words = t.Objects, t.Words
+	}
+}
+
+// Events returns how many events have been fed.
+func (m *Model) Events() uint64 { return m.events }
+
+// sparkline renders the pause history, scaled to its own max.
+func (m *Model) sparkline() string {
+	if len(m.pauses) == 0 {
+		return ""
+	}
+	var max int64 = 1
+	for _, p := range m.pauses {
+		if p > max {
+			max = p
+		}
+	}
+	var b strings.Builder
+	for _, p := range m.pauses {
+		i := int(p * int64(len(sparkRunes)-1) / max)
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// bar renders a [####....] occupancy gauge of the given width.
+func bar(pct float64, width int) string {
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	fill := int(pct*float64(width)/100 + 0.5)
+	return "[" + strings.Repeat("#", fill) + strings.Repeat(".", width-fill) + "]"
+}
+
+// Render writes the current dashboard frame. It never clears the screen —
+// callers own cursor control (cmd/gctop emits the ANSI clear, tests and
+// `mjrun -top` may not want one).
+func (m *Model) Render(w io.Writer) {
+	if m.events == 0 {
+		fmt.Fprintln(w, "gctop: waiting for GC events...")
+		return
+	}
+	e := &m.last
+	fmt.Fprintf(w, "gctop — gc #%d  (%d collections seen)\n", e.Seq+1, m.events)
+	fmt.Fprintf(w, "occupancy %s %5.1f%%   alloc rate %s\n",
+		bar(e.OccupancyPct, 30), e.OccupancyPct, rate(e.AllocRateWps))
+	fmt.Fprintf(w, "pause %-48s last %v\n", m.sparkline(),
+		time.Duration(e.TotalNs).Round(time.Microsecond))
+	if e.Trigger != "" {
+		fmt.Fprintf(w, "trigger: %s", e.Trigger)
+		if e.TriggerThread != "" {
+			fmt.Fprintf(w, "  [top allocator: %s]", e.TriggerThread)
+		}
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprintf(w, "trigger: %s\n", e.Reason)
+	}
+	fmt.Fprintf(w, "heap: %d live, %d freed last cycle\n", e.ObjectsLive, e.ObjectsFreed)
+
+	if len(m.costNs) > 0 {
+		fmt.Fprintf(w, "\n%-22s %12s %12s %7s\n", "assertion kind", "checks", "time", "% GC")
+		for _, c := range e.Costs { // event order is the stable kind order
+			totNs, totN := m.costNs[c.Kind], m.costN[c.Kind]
+			if totN == 0 && totNs == 0 {
+				continue
+			}
+			pct := 0.0
+			if m.gcNs > 0 {
+				pct = 100 * float64(totNs) / float64(m.gcNs)
+			}
+			fmt.Fprintf(w, "%-22s %12d %12v %6.2f%%\n",
+				c.Kind, totN, time.Duration(totNs).Round(time.Microsecond), pct)
+		}
+	}
+	if len(m.threads) > 0 {
+		fmt.Fprintf(w, "\n%-16s %12s %14s %14s\n", "thread", "objects", "words", "Δwords/gc")
+		for i := range m.threads {
+			t := &m.threads[i]
+			fmt.Fprintf(w, "%-16s %12d %14d %14d\n", t.name, t.objects, t.words, t.deltaWords)
+		}
+	}
+}
+
+// rate formats a words/second EWMA compactly.
+func rate(wps float64) string {
+	switch {
+	case wps <= 0:
+		return "n/a"
+	case wps >= 1e6:
+		return fmt.Sprintf("%.1fM words/s", wps/1e6)
+	case wps >= 1e3:
+		return fmt.Sprintf("%.1fk words/s", wps/1e3)
+	default:
+		return fmt.Sprintf("%.0f words/s", wps)
+	}
+}

@@ -1,0 +1,98 @@
+package topview
+
+import (
+	"strings"
+	"testing"
+
+	"gcassert/internal/telemetry"
+)
+
+func sampleEvent(seq uint64, words uint64) *telemetry.Event {
+	return &telemetry.Event{
+		Seq:           seq,
+		Reason:        "alloc-failure",
+		TotalNs:       1_500_000,
+		ObjectsLive:   1234,
+		ObjectsFreed:  567,
+		Trigger:       "heap exhausted at 93.1% occupancy",
+		OccupancyPct:  93.1,
+		AllocRateWps:  250_000,
+		TriggerThread: "worker-1",
+		Costs: []telemetry.AssertCost{
+			{Kind: "assert-dead", Checks: 12, Ns: 4000},
+			{Kind: "assert-unshared", Checks: 40, Ns: 9000},
+		},
+		Threads: []telemetry.ThreadAlloc{
+			{Name: "main", Objects: 100, Words: words},
+			{Name: "worker-1", Objects: 900, Words: words * 9},
+		},
+	}
+}
+
+func TestModelRender(t *testing.T) {
+	m := New()
+	var empty strings.Builder
+	m.Render(&empty)
+	if !strings.Contains(empty.String(), "waiting for GC events") {
+		t.Fatalf("empty render = %q", empty.String())
+	}
+
+	m.Feed(sampleEvent(3, 1000))
+	m.Feed(sampleEvent(4, 2000))
+	var out strings.Builder
+	m.Render(&out)
+	s := out.String()
+	for _, want := range []string{
+		"gc #5",                // last seq + 1
+		"(2 collections seen)", // events fed
+		"93.1%",                // occupancy
+		"[",                    // occupancy bar
+		"heap exhausted",       // trigger line
+		"top allocator: worker-1",
+		"assert-dead",
+		"assert-unshared",
+		"main",
+		"worker-1",
+		"250.0k words/s",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+	// Sparkline should hold one rune per fed pause.
+	if !strings.ContainsAny(s, "▁▂▃▄▅▆▇█") {
+		t.Fatalf("render missing pause sparkline:\n%s", s)
+	}
+}
+
+func TestFeedJSONRejectsGarbage(t *testing.T) {
+	m := New()
+	if err := m.FeedJSON([]byte("{nope")); err == nil {
+		t.Fatal("no error on malformed frame")
+	}
+	if m.Events() != 0 {
+		t.Fatal("malformed frame counted as an event")
+	}
+}
+
+// TestThreadDeltas pins the per-interval rate column: the second frame's
+// delta is the growth since the first, not the lifetime total.
+func TestThreadDeltas(t *testing.T) {
+	m := New()
+	m.Feed(sampleEvent(0, 1000))
+	m.Feed(sampleEvent(1, 1500))
+	for _, row := range m.threads {
+		if row.name == "main" && row.deltaWords != 500 {
+			t.Fatalf("main delta = %d words, want 500", row.deltaWords)
+		}
+	}
+}
+
+func TestBarClamps(t *testing.T) {
+	if got := bar(-5, 10); got != "[..........]" {
+		t.Fatalf("bar(-5) = %q", got)
+	}
+	if got := bar(250, 10); got != "[##########]" {
+		t.Fatalf("bar(250) = %q", got)
+	}
+}
