@@ -15,11 +15,13 @@ package gcassert_test
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"testing"
 
 	"gcassert"
 	"gcassert/internal/bench"
 	"gcassert/internal/bench/workloads"
+	"gcassert/internal/fleet"
 )
 
 // runWorkloadBench measures one workload in one mode under testing.B.
@@ -555,4 +557,73 @@ func BenchmarkAttributionOn(b *testing.B) {
 	if col.Trigger.Why == "" {
 		b.Fatal("attribution-on collection carries no trigger explanation")
 	}
+}
+
+// BenchmarkFleetExportOff verifies the acceptance criterion for the fleet
+// exporter: with FleetURL unset (the default), the exporter does not exist
+// and adds zero allocations to the allocation path and nothing beyond the
+// collection baseline. Asserted in-line like BenchmarkProvenanceOff so
+// `go test -bench BenchmarkFleetExportOff` fails loudly on a regression.
+func BenchmarkFleetExportOff(b *testing.B) {
+	vm := gcassert.New(gcassert.Options{HeapBytes: 64 << 20, Infrastructure: true})
+	node := vm.Define("FNode", gcassert.Field{Name: "next", Ref: true})
+	th := vm.NewThread("main")
+	fr := th.Push(1)
+	fr.Set(0, th.New(node)) // settle lazy size-class growth
+	if allocs := testing.AllocsPerRun(1000, func() {
+		fr.Set(0, th.New(node))
+	}); allocs != 0 {
+		b.Fatalf("fleet-off allocation path allocates %.2f times/op, want 0", allocs)
+	}
+	if vm.FleetExporter() != nil {
+		b.Fatal("FleetExporter() exists on a fleet-off runtime")
+	}
+	fr.Set(0, gcassert.Nil)
+	buildList(vm, th, fr, node, 200_000)
+	vm.Collect()
+	b.ReportAllocs()
+	if allocs := testing.AllocsPerRun(3, func() { vm.Collect() }); allocs > 2 {
+		b.Fatalf("fleet-off collection allocates %.0f times/op, want <= 2 (baseline)", allocs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.Collect()
+	}
+}
+
+// BenchmarkFleetExportOn measures what exporting costs the collection when
+// it is on: census introspection plus sealing/enqueueing an envelope every
+// FleetEvery collections, shipped to a local collector on the exporter's
+// background goroutine. The control sub-benchmark runs the identical
+// configuration minus the exporter, so the delta is the export itself (the
+// 200k-node list matches BenchmarkFleetExportOff).
+func BenchmarkFleetExportOn(b *testing.B) {
+	store, err := fleet.OpenStore(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(fleet.NewServer(store).Handler())
+	defer ts.Close()
+
+	bench := func(b *testing.B, url string, every int) {
+		vm := gcassert.New(gcassert.Options{
+			HeapBytes: 64 << 20, Infrastructure: true, Introspection: true,
+			FleetURL: url, FleetEvery: every, InstanceID: "bench",
+		})
+		node := vm.Define("FNode", gcassert.Field{Name: "next", Ref: true})
+		th := vm.NewThread("main")
+		fr := th.Push(1)
+		buildList(vm, th, fr, node, 200_000)
+		vm.Collect()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vm.Collect()
+		}
+		b.StopTimer()
+		vm.CloseFleet()
+	}
+	b.Run("control-introspection-only", func(b *testing.B) { bench(b, "", 0) })
+	b.Run("every=1", func(b *testing.B) { bench(b, ts.URL, 1) })
+	b.Run("every=8", func(b *testing.B) { bench(b, ts.URL, 8) })
 }

@@ -1,0 +1,339 @@
+// Command gcfleet is the fleet-forensics collector and query CLI: the
+// server side of the exporter built into every gcassert runtime
+// (Options.FleetURL / mjrun -fleet).
+//
+// Usage:
+//
+//	gcfleet serve  [-addr :9464] [-store DIR] [-max N]
+//	gcfleet leaks  (-url URL | -store DIR) [-top N] [-min-instances N] [-json]
+//	gcfleet ls     (-url URL | -store DIR)
+//	gcfleet ingest (-url URL | -store DIR) envelope.json...
+//
+// serve runs the collector: instances POST content-addressed envelopes to
+// /fleet/ingest, the store dedupes them by hash, and /fleet/* + /metrics
+// answer queries (see internal/fleet.Server.Handler for the endpoint list).
+//
+// leaks is the cross-instance diff — which (type, allocation site) is
+// growing on how many replicas, since when, kept alive through what — read
+// either live from a collector (-url) or straight off its store directory
+// (-store). ls lists stored artifacts with their reporting instances.
+// ingest posts envelope files by hand (re-homing a store, testing).
+//
+// Exit status: 0 on success, 1 when an input file, store, or collector
+// cannot be read, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"gcassert/internal/fleet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const topUsage = `usage: gcfleet <command> [flags]
+
+commands:
+  serve    run the collector (ingest + dedupe + query + /metrics)
+  leaks    rank cross-instance leak suspects
+  ls       list stored artifacts
+  ingest   post envelope files to a collector or store
+
+run "gcfleet <command> -h" for command flags`
+
+// run is main without the process exit: 2 for usage errors, 1 for data
+// errors, 0 on success.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, topUsage)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "serve":
+		return runServe(rest, stdout, stderr)
+	case "leaks":
+		return runLeaks(rest, stdout, stderr)
+	case "ls":
+		return runLs(rest, stdout, stderr)
+	case "ingest":
+		return runIngest(rest, stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprintln(stdout, topUsage)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "gcfleet: unknown command %q\n%s\n", cmd, topUsage)
+		return 2
+	}
+}
+
+func runServe(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gcfleet serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":9464", "listen address")
+	dir := fs.String("store", "gcfleet-store", "store directory (created if missing)")
+	max := fs.Int("max", 0, "max unique artifacts kept (0 = default bound)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "gcfleet serve: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	store, err := fleet.OpenStore(*dir, *max)
+	if err != nil {
+		fmt.Fprintln(stderr, "gcfleet:", err)
+		return 1
+	}
+	srv := fleet.NewServer(store)
+	st := store.Stats()
+	fmt.Fprintf(stderr, "gcfleet: serving on %s (store %s: %d artifacts, %d instances)\n",
+		*addr, *dir, st.Unique, st.Instances)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(stderr, "gcfleet:", err)
+		return 1
+	}
+	return 0
+}
+
+// sourceFlags is the shared -url / -store pair: query a live collector or
+// read its store directory straight off disk.
+type sourceFlags struct {
+	url, dir string
+}
+
+func (s *sourceFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&s.url, "url", "", "collector base URL (e.g. http://localhost:9464)")
+	fs.StringVar(&s.dir, "store", "", "store directory to read directly")
+}
+
+func (s *sourceFlags) validate(stderr io.Writer, name string) bool {
+	if (s.url == "") == (s.dir == "") {
+		fmt.Fprintf(stderr, "gcfleet %s: exactly one of -url or -store is required\n", name)
+		return false
+	}
+	return true
+}
+
+// fetchJSON GETs a collector endpoint and decodes the JSON body into v.
+func fetchJSON(baseURL, path string, v interface{}) error {
+	resp, err := http.Get(strings.TrimSuffix(baseURL, "/") + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s%s: %s: %s", baseURL, path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func runLeaks(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gcfleet leaks", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var src sourceFlags
+	src.register(fs)
+	top := fs.Int("top", 10, "suspects to report (0 = all)")
+	minInst := fs.Int("min-instances", 1, "drop suspects growing on fewer instances")
+	jsonOut := fs.Bool("json", false, "emit the leaks document as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "gcfleet leaks: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	if !src.validate(stderr, "leaks") {
+		return 2
+	}
+	if *top < 0 || *minInst < 0 {
+		fmt.Fprintln(stderr, "gcfleet leaks: -top and -min-instances must be non-negative")
+		return 2
+	}
+
+	var doc fleet.LeaksDocument
+	if src.url != "" {
+		path := fmt.Sprintf("/fleet/leaks?top=%d&min-instances=%d", *top, *minInst)
+		if err := fetchJSON(src.url, path, &doc); err != nil {
+			fmt.Fprintln(stderr, "gcfleet:", err)
+			return 1
+		}
+	} else {
+		store, err := fleet.OpenStore(src.dir, 0)
+		if err != nil {
+			fmt.Fprintln(stderr, "gcfleet:", err)
+			return 1
+		}
+		doc = fleet.RankLeaks(store, *top, *minInst)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+		return 0
+	}
+	printLeaks(stdout, doc)
+	return 0
+}
+
+// printLeaks renders the fleet diff the way an operator reads it: the
+// suspect, how widespread, how fast, since when, and how it is retained.
+func printLeaks(w io.Writer, doc fleet.LeaksDocument) {
+	fmt.Fprintf(w, "fleet leak suspects (%d census envelopes from %d instances):\n",
+		doc.Envelopes, doc.Instances)
+	if len(doc.Suspects) == 0 {
+		fmt.Fprintln(w, "  none (no (type, site) shows consistent growth on any instance)")
+		return
+	}
+	for i, l := range doc.Suspects {
+		name := l.TypeName
+		if l.Site != "" {
+			name += " @ " + l.Site
+		}
+		fmt.Fprintf(w, "  #%d %s\n", i+1, name)
+		fmt.Fprintf(w, "     %d of %d instances growing  %+.1f words/GC mean slope  growth %3.0f%%  first seen %s\n",
+			l.InstancesGrowing, l.InstancesReporting, l.MeanSlopeWordsPerGC, 100*l.MeanGrowth,
+			time.Unix(0, l.FirstSeenUnixNs).UTC().Format(time.RFC3339))
+		for _, it := range l.PerInstance {
+			if !it.Growing {
+				continue
+			}
+			fmt.Fprintf(w, "       %-20s %d -> %d words over %d snapshots (%+.1f/GC)\n",
+				it.InstanceID, it.StartWords, it.EndWords, it.Snapshots, it.SlopeWordsPerGC)
+		}
+		for _, p := range l.SamplePaths {
+			fmt.Fprintf(w, "     kept alive via %s\n", p)
+		}
+	}
+}
+
+func runLs(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gcfleet ls", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var src sourceFlags
+	src.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "gcfleet ls: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	if !src.validate(stderr, "ls") {
+		return 2
+	}
+
+	var metas []fleet.Meta
+	if src.url != "" {
+		if err := fetchJSON(src.url, "/fleet/bundles", &metas); err != nil {
+			fmt.Fprintln(stderr, "gcfleet:", err)
+			return 1
+		}
+	} else {
+		store, err := fleet.OpenStore(src.dir, 0)
+		if err != nil {
+			fmt.Fprintln(stderr, "gcfleet:", err)
+			return 1
+		}
+		metas = store.List()
+	}
+
+	fmt.Fprintf(stdout, "%-22s %-7s %10s %5s  %s\n", "hash", "kind", "bytes", "seen", "instances")
+	for _, m := range metas {
+		hash := m.Hash
+		if len(hash) > 22 {
+			hash = hash[:19] + "..."
+		}
+		fmt.Fprintf(stdout, "%-22s %-7s %10d %5d  %s\n",
+			hash, m.Kind, m.Bytes, m.Seen, strings.Join(m.Instances, ","))
+	}
+	return 0
+}
+
+func runIngest(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gcfleet ingest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var src sourceFlags
+	src.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "gcfleet ingest: no envelope files given")
+		return 2
+	}
+	if !src.validate(stderr, "ingest") {
+		return 2
+	}
+
+	var store *fleet.Store
+	if src.dir != "" {
+		var err error
+		if store, err = fleet.OpenStore(src.dir, 0); err != nil {
+			fmt.Fprintln(stderr, "gcfleet:", err)
+			return 1
+		}
+	}
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "gcfleet:", err)
+			return 1
+		}
+		var added bool
+		var hash string
+		if store != nil {
+			var env fleet.Envelope
+			if err := json.Unmarshal(data, &env); err != nil {
+				fmt.Fprintf(stderr, "gcfleet: %s: %v\n", path, err)
+				return 1
+			}
+			if added, err = store.Ingest(env, time.Now().UnixNano()); err != nil {
+				fmt.Fprintf(stderr, "gcfleet: %s: %v\n", path, err)
+				return 1
+			}
+			hash = env.Hash
+		} else {
+			resp, err := http.Post(strings.TrimSuffix(src.url, "/")+"/fleet/ingest",
+				"application/json", strings.NewReader(string(data)))
+			if err != nil {
+				fmt.Fprintln(stderr, "gcfleet:", err)
+				return 1
+			}
+			var ack struct {
+				Hash  string `json:"hash"`
+				Added bool   `json:"added"`
+			}
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+				resp.Body.Close()
+				fmt.Fprintf(stderr, "gcfleet: %s: %s: %s\n", path, resp.Status, strings.TrimSpace(string(body)))
+				return 1
+			}
+			err = json.NewDecoder(resp.Body).Decode(&ack)
+			resp.Body.Close()
+			if err != nil {
+				fmt.Fprintf(stderr, "gcfleet: %s: %v\n", path, err)
+				return 1
+			}
+			added, hash = ack.Added, ack.Hash
+		}
+		verdict := "stored"
+		if !added {
+			verdict = "deduped"
+		}
+		fmt.Fprintf(stdout, "%s  %s  %s\n", verdict, hash, path)
+	}
+	return 0
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gcassert/internal/fleet"
+	"gcassert/internal/heapdump"
+	"gcassert/internal/version"
+)
+
+// seedStore fills a store directory with a growing census series from one
+// instance and a steady one from another, plus a resend, and returns the
+// envelope files written alongside (for the ingest subcommand).
+func seedStore(t *testing.T, dir string) (envFiles []string) {
+	t.Helper()
+	store, err := fleet.OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkEnv := func(instance string, gc uint64, words uint64) fleet.Envelope {
+		snap := heapdump.Snapshot{
+			GC: gc, UnixNs: int64(gc) * 1000, TotalObjects: 1, TotalWords: words,
+			Types: []heapdump.TypeCensus{{TypeName: "app/Cache", Objects: 1, Words: words}},
+		}
+		payload, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := fleet.Seal(fleet.KindCensus, "reg1-test",
+			version.Identity{InstanceID: instance, Host: "h", PID: 1}, int64(gc)*1000, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+	ingest := func(env fleet.Envelope, at int64) {
+		if _, err := store.Ingest(env, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 4; i++ {
+		ingest(mkEnv("replica-grow", i, 100*i), int64(i))
+		ingest(mkEnv("replica-steady", i, 100), int64(i))
+	}
+	// A resend from the growing replica dedupes against its own history.
+	ingest(mkEnv("replica-grow", 2, 200), 99)
+
+	// Envelope files for the ingest subcommand round trip.
+	for i, env := range []fleet.Envelope{mkEnv("replica-new", 1, 50), mkEnv("replica-grow", 1, 100)} {
+		data, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), fmt.Sprintf("env-%d.json", i))
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		envFiles = append(envFiles, p)
+	}
+	return envFiles
+}
+
+// TestRunUsageErrors pins exit code 2 + stderr diagnostics for wrong
+// invocations, without touching any store.
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		name         string
+		args         []string
+		wantInStderr string
+	}{
+		{"no-command", nil, "usage: gcfleet"},
+		{"unknown-command", []string{"frobnicate"}, `unknown command "frobnicate"`},
+		{"leaks-no-source", []string{"leaks"}, "exactly one of -url or -store"},
+		{"leaks-both-sources", []string{"leaks", "-url", "http://x", "-store", "y"}, "exactly one of -url or -store"},
+		{"leaks-stray-arg", []string{"leaks", "-store", "x", "zzz"}, "unexpected argument"},
+		{"leaks-bad-flag", []string{"leaks", "-nope"}, "flag provided but not defined"},
+		{"ls-no-source", []string{"ls"}, "exactly one of -url or -store"},
+		{"ingest-no-files", []string{"ingest", "-store", "x"}, "no envelope files"},
+		{"serve-stray-arg", []string{"serve", "extra"}, "unexpected argument"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Errorf("exit code = %d, want 2\nstderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantInStderr) {
+				t.Errorf("stderr does not contain %q:\n%s", tc.wantInStderr, stderr.String())
+			}
+		})
+	}
+}
+
+// TestRunDataErrors pins exit code 1 when the source cannot be read.
+func TestRunDataErrors(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"leaks-dead-collector", []string{"leaks", "-url", "http://127.0.0.1:1"}},
+		{"ingest-missing-file", []string{"ingest", "-store", dir, missing}},
+		{"ingest-garbage-file", []string{"ingest", "-store", dir, writeFile(t, "not json")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 1 {
+				t.Errorf("exit code = %d, want 1\nstderr: %s", code, stderr.String())
+			}
+			if stderr.Len() == 0 {
+				t.Error("data error produced no diagnostic")
+			}
+		})
+	}
+}
+
+func writeFile(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "f.json")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestLeaksFromStoreDir runs the offline diff against a seeded store: the
+// growing replica's type must surface, attributed to 1 of 2 instances.
+func TestLeaksFromStoreDir(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"leaks", "-store", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "app/Cache") {
+		t.Errorf("leak report missing the growing type:\n%s", out)
+	}
+	if !strings.Contains(out, "1 of 2 instances growing") {
+		t.Errorf("leak report missing the instance attribution:\n%s", out)
+	}
+	if !strings.Contains(out, "replica-grow") {
+		t.Errorf("leak report missing the growing replica:\n%s", out)
+	}
+
+	// JSON mode emits the LeaksDocument verbatim.
+	stdout.Reset()
+	if code := run([]string{"leaks", "-store", dir, "-json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("json exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	var doc fleet.LeaksDocument
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("leaks -json output is not a LeaksDocument: %v", err)
+	}
+	if len(doc.Suspects) == 0 || doc.Suspects[0].TypeName != "app/Cache" {
+		t.Fatalf("suspects = %+v", doc.Suspects)
+	}
+
+	// -min-instances 2 filters the single-replica leak out.
+	stdout.Reset()
+	if code := run([]string{"leaks", "-store", dir, "-min-instances", "2"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("min-instances exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "none") {
+		t.Errorf("-min-instances 2 did not filter the single-replica leak:\n%s", stdout.String())
+	}
+}
+
+// TestLsAndIngestFromStoreDir covers the remaining offline subcommands.
+func TestLsAndIngestFromStoreDir(t *testing.T) {
+	dir := t.TempDir()
+	envFiles := seedStore(t, dir)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"ls", "-store", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("ls exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "census") || !strings.Contains(stdout.String(), "replica-grow") {
+		t.Errorf("ls output incomplete:\n%s", stdout.String())
+	}
+
+	// Ingesting one new envelope and one duplicate: stored then deduped.
+	stdout.Reset()
+	if code := run(append([]string{"ingest", "-store", dir}, envFiles...), &stdout, &stderr); code != 0 {
+		t.Fatalf("ingest exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "stored") || !strings.Contains(stdout.String(), "deduped") {
+		t.Errorf("ingest verdicts wrong (want one stored, one deduped):\n%s", stdout.String())
+	}
+}

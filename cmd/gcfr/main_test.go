@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gcassert/internal/flight"
+)
+
+// writeBundleFile drops a minimal valid flight bundle on disk.
+func writeBundleFile(t *testing.T, dir, name string) string {
+	t.Helper()
+	r := flight.New(flight.Config{})
+	var buf bytes.Buffer
+	if err := r.WriteBundle(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunExitCodes pins the CLI contract: 0 on success, 1 for missing or
+// malformed input, 2 for usage errors — with usage text on stderr, never
+// stdout.
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	good := writeBundleFile(t, dir, "good.json")
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badSchema := filepath.Join(dir, "schema99.json")
+	if err := os.WriteFile(badSchema, []byte(`{"schema_version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(dir, "no-such-file.json")
+
+	cases := []struct {
+		name         string
+		args         []string
+		wantCode     int
+		wantInStderr string
+		wantInStdout string
+	}{
+		{"print-good", []string{good}, 0, "", "flight bundle"},
+		{"diff-good", []string{"-diff", good, good}, 0, "", "cycles:"},
+		{"no-args", nil, 2, "usage:", ""},
+		{"too-many-args", []string{good, good}, 2, "usage:", ""},
+		{"bad-flag", []string{"-nope"}, 2, "flag provided but not defined", ""},
+		{"diff-wrong-arity", []string{"-diff", good}, 2, "usage: gcfr -diff", ""},
+		{"pprof-wrong-arity", []string{"-pprof", "out.pb.gz"}, 2, "usage: gcfr -pprof", ""},
+		{"missing-file", []string{missing}, 1, "no such file", ""},
+		{"malformed-json", []string{garbage}, 1, garbage, ""},
+		{"unknown-schema", []string{badSchema}, 1, "schema version 99 not supported", ""},
+		{"diff-missing-second", []string{"-diff", good, missing}, 1, "no such file", ""},
+		{"pprof-no-profile", []string{"-pprof", filepath.Join(dir, "out.pb.gz"), good}, 1, "no heap profile", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("exit code = %d, want %d\nstderr: %s", code, tc.wantCode, stderr.String())
+			}
+			if tc.wantInStderr != "" && !strings.Contains(stderr.String(), tc.wantInStderr) {
+				t.Errorf("stderr does not contain %q:\n%s", tc.wantInStderr, stderr.String())
+			}
+			if tc.wantInStdout != "" && !strings.Contains(stdout.String(), tc.wantInStdout) {
+				t.Errorf("stdout does not contain %q:\n%s", tc.wantInStdout, stdout.String())
+			}
+			// Diagnostics and usage never leak onto the report stream.
+			if tc.wantCode != 0 && stdout.Len() > 0 {
+				t.Errorf("failed invocation wrote to stdout:\n%s", stdout.String())
+			}
+		})
+	}
+}

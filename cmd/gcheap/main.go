@@ -26,11 +26,16 @@
 // cross-check: the census total must equal the collector's live-words
 // accounting exactly — they are two independent walks of the same marked
 // heap, so any deviation is a bug.
+//
+// Exit status: 0 on success, 1 when output cannot be written or the census
+// cross-check fails, 2 on usage errors (unknown flags or workloads, stray
+// arguments, -leak outside pseudojbb).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -45,37 +50,53 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "pseudojbb", "workload to run")
-	list := flag.Bool("list", false, "list workloads and exit")
-	iters := flag.Int("iters", 3, "workload iterations")
-	heapBytes := flag.Int("heap", 0, "override the workload's heap size (bytes)")
-	leak := flag.Bool("leak", false, "seed the pseudojbb orderTable leak (pseudojbb only)")
-	window := flag.Int("window", 0, "snapshots to diff for leak ranking (0 = all)")
-	top := flag.Int("top", 5, "leak suspects to report")
-	retainers := flag.Int("retainers", 10, "dominator top retainers to report (0 = skip)")
-	trend := flag.Int("trend", 8, "census snapshots shown in the trend table")
-	jsonOut := flag.Bool("json", false, "emit census and leak JSON instead of text")
-	dotFile := flag.String("dot", "", "write the dominator tree as DOT to this file")
-	ring := flag.Int("ring", 256, "census snapshot ring capacity")
-	httpAddr := flag.String("http", "", "serve telemetry + census endpoints on this address")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit: flags from args, report to stdout,
+// diagnostics to stderr, exit code returned. 2 means the invocation was
+// wrong; 1 means the run itself failed (unwritable output, cross-check
+// mismatch).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gcheap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "pseudojbb", "workload to run")
+	list := fs.Bool("list", false, "list workloads and exit")
+	iters := fs.Int("iters", 3, "workload iterations")
+	heapBytes := fs.Int("heap", 0, "override the workload's heap size (bytes)")
+	leak := fs.Bool("leak", false, "seed the pseudojbb orderTable leak (pseudojbb only)")
+	window := fs.Int("window", 0, "snapshots to diff for leak ranking (0 = all)")
+	top := fs.Int("top", 5, "leak suspects to report")
+	retainers := fs.Int("retainers", 10, "dominator top retainers to report (0 = skip)")
+	trend := fs.Int("trend", 8, "census snapshots shown in the trend table")
+	jsonOut := fs.Bool("json", false, "emit census and leak JSON instead of text")
+	dotFile := fs.String("dot", "", "write the dominator tree as DOT to this file")
+	ring := fs.Int("ring", 256, "census snapshot ring capacity")
+	httpAddr := fs.String("http", "", "serve telemetry + census endpoints on this address")
+	if err := fs.Parse(args); err != nil {
+		return 2 // flag package already printed the problem + usage to stderr
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "gcheap: unexpected argument %q (gcheap takes flags only; see -h)\n", fs.Arg(0))
+		return 2
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
-			fmt.Printf("%-12s heap=%d\n", w.Name, w.Heap)
+			fmt.Fprintf(stdout, "%-12s heap=%d\n", w.Name, w.Heap)
 		}
-		return
+		return 0
 	}
 
 	w, err := workloads.ByName(*workload)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "gcheap:", err)
+		return 2
 	}
 	if *leak {
 		if w.Name != "pseudojbb" {
-			fmt.Fprintln(os.Stderr, "-leak is only meaningful with -workload pseudojbb")
-			os.Exit(1)
+			fmt.Fprintln(stderr, "gcheap: -leak is only meaningful with -workload pseudojbb")
+			return 2
 		}
 		w = leakyPseudojbb(w.Heap)
 	}
@@ -92,58 +113,62 @@ func main() {
 
 	if *httpAddr != "" {
 		go func() {
-			fmt.Fprintf(os.Stderr, "serving on http://%s/debug/gcassert/census\n", *httpAddr)
+			fmt.Fprintf(stderr, "serving on http://%s/debug/gcassert/census\n", *httpAddr)
 			if err := http.ListenAndServe(*httpAddr, vm.TelemetryHandler()); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(stderr, err)
 			}
 		}()
 	}
 
-	run := w.New(vm, false)
+	runFn := w.New(vm, false)
 	start := time.Now()
-	runAll(vm, run, *iters)
+	runAll(stderr, vm, runFn, *iters)
 	elapsed := time.Since(start)
 	// A final forced collection pins the census to the instant the report
 	// describes; everything below reads that snapshot.
 	vm.Collect()
 
 	if *jsonOut {
-		if err := vm.WriteCensusJSON(os.Stdout, *trend); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := vm.WriteCensusJSON(stdout, *trend); err != nil {
+			fmt.Fprintln(stderr, "gcheap:", err)
+			return 1
 		}
-		if err := vm.WriteLeaksJSON(os.Stdout, *window, *top); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := vm.WriteLeaksJSON(stdout, *window, *top); err != nil {
+			fmt.Fprintln(stderr, "gcheap:", err)
+			return 1
 		}
 	} else {
-		printTrend(vm, *trend)
-		printSuspects(vm, *window, *top)
+		printTrend(stdout, vm, *trend)
+		printSuspects(stdout, vm, *window, *top)
 		if *retainers > 0 {
-			printRetainers(vm, *retainers)
+			printRetainers(stdout, vm, *retainers)
 		}
 	}
 	if *dotFile != "" {
 		f, err := os.Create(*dotFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "gcheap:", err)
+			return 1
 		}
 		if err := vm.WriteDominatorDOT(f, 0); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			f.Close()
+			fmt.Fprintln(stderr, "gcheap:", err)
+			return 1
 		}
 		f.Close()
-		fmt.Fprintf(os.Stderr, "dominator tree written to %s\n", *dotFile)
+		fmt.Fprintf(stderr, "dominator tree written to %s\n", *dotFile)
 	}
 
-	crossCheck(vm)
-	wutil.WriteGCSummary(os.Stderr, vm, elapsed)
+	if !crossCheck(stderr, vm) {
+		return 1
+	}
+	wutil.WriteGCSummary(stderr, vm, elapsed)
 
 	if *httpAddr != "" {
-		fmt.Fprintln(os.Stderr, "run complete; server still up (interrupt to exit)")
+		fmt.Fprintln(stderr, "run complete; server still up (interrupt to exit)")
 		select {}
 	}
+	return 0
 }
 
 // leakyPseudojbb is pseudojbb with the §3.2.1 orderTable bug seeded:
@@ -163,11 +188,11 @@ func leakyPseudojbb(heapBytes int) bench.Workload {
 // runAll executes the iterations, surviving heap exhaustion: a seeded leak
 // eventually OOMs a tight heap, and the census collected up to that point is
 // exactly what the diagnostics need.
-func runAll(vm *gcassert.Runtime, run func(int), iters int) {
+func runAll(stderr io.Writer, vm *gcassert.Runtime, run func(int), iters int) {
 	defer func() {
 		if r := recover(); r != nil {
 			if err, ok := r.(error); ok && strings.Contains(err.Error(), "out of memory") {
-				fmt.Fprintf(os.Stderr, "(heap exhausted mid-run: %v)\n", err)
+				fmt.Fprintf(stderr, "(heap exhausted mid-run: %v)\n", err)
 				return
 			}
 			panic(r)
@@ -181,45 +206,45 @@ func runAll(vm *gcassert.Runtime, run func(int), iters int) {
 func kb(words uint64) float64 { return float64(words*heap.WordBytes) / 1024 }
 
 // printTrend renders the last n census snapshots as a table.
-func printTrend(vm *gcassert.Runtime, n int) {
+func printTrend(w io.Writer, vm *gcassert.Runtime, n int) {
 	snaps := vm.CensusSnapshots()
 	total := len(snaps)
 	if n > 0 && total > n {
 		snaps = snaps[total-n:]
 	}
-	fmt.Printf("census trend (last %d of %d snapshots):\n", len(snaps), total)
-	fmt.Printf("  %6s  %-20s %10s %12s  %s\n", "gc", "reason", "objects", "KiB", "top type")
+	fmt.Fprintf(w, "census trend (last %d of %d snapshots):\n", len(snaps), total)
+	fmt.Fprintf(w, "  %6s  %-20s %10s %12s  %s\n", "gc", "reason", "objects", "KiB", "top type")
 	for i := range snaps {
 		s := &snaps[i]
 		topType := "-"
 		if len(s.Types) > 0 {
 			topType = fmt.Sprintf("%s (%.1f KiB)", s.Types[0].TypeName, kb(s.Types[0].Words))
 		}
-		fmt.Printf("  %6d  %-20s %10d %12.1f  %s\n",
+		fmt.Fprintf(w, "  %6d  %-20s %10d %12.1f  %s\n",
 			s.GC, s.Reason, s.TotalObjects, kb(s.TotalWords), topType)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 // printSuspects renders the ranked leak suspects with sampled root paths.
-func printSuspects(vm *gcassert.Runtime, window, top int) {
+func printSuspects(w io.Writer, vm *gcassert.Runtime, window, top int) {
 	reports := vm.LeakSuspects(window, top)
 	if len(reports) == 0 {
-		fmt.Println("leak suspects: none (no type shows consistent growth)")
-		fmt.Println()
+		fmt.Fprintln(w, "leak suspects: none (no type shows consistent growth)")
+		fmt.Fprintln(w)
 		return
 	}
-	fmt.Printf("leak suspects (over GCs %d..%d):\n", reports[0].FirstGC, reports[0].LastGC)
+	fmt.Fprintf(w, "leak suspects (over GCs %d..%d):\n", reports[0].FirstGC, reports[0].LastGC)
 	for i, rep := range reports {
-		fmt.Printf("  #%d %-20s %+9.1f KiB/GC  growth %3.0f%%  (%.1f -> %.1f KiB, %d -> %d objects)\n",
+		fmt.Fprintf(w, "  #%d %-20s %+9.1f KiB/GC  growth %3.0f%%  (%.1f -> %.1f KiB, %d -> %d objects)\n",
 			i+1, rep.TypeName, kb(1)*rep.SlopeWordsPerGC, 100*rep.Growth,
 			kb(rep.StartWords), kb(rep.EndWords), rep.StartObjects, rep.EndObjects)
 		if len(rep.Path) > 0 {
-			fmt.Printf("     kept alive via root %s:\n", rep.Root)
-			fmt.Printf("       %s\n", formatPath(rep.Path))
+			fmt.Fprintf(w, "     kept alive via root %s:\n", rep.Root)
+			fmt.Fprintf(w, "       %s\n", formatPath(rep.Path))
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 // formatPath renders a root path in the violation-report style, one line.
@@ -238,38 +263,38 @@ func formatPath(path []gcassert.PathStep) string {
 }
 
 // printRetainers renders the dominator analysis.
-func printRetainers(vm *gcassert.Runtime, n int) {
+func printRetainers(w io.Writer, vm *gcassert.Runtime, n int) {
 	dom := vm.Dominators()
-	fmt.Printf("top retainers (dominator analysis over %d objects):\n", dom.Graph().NumObjects())
+	fmt.Fprintf(w, "top retainers (dominator analysis over %d objects):\n", dom.Graph().NumObjects())
 	for _, r := range dom.TopRetainers(n) {
 		root := ""
 		if r.Root != "" {
 			root = "  [" + r.Root + "]"
 		}
-		fmt.Printf("  %-20s retains %10.1f KiB (%6d objects, shallow %.1f KiB)%s\n",
+		fmt.Fprintf(w, "  %-20s retains %10.1f KiB (%6d objects, shallow %.1f KiB)%s\n",
 			r.TypeName, kb(r.RetainedWords), r.Dominated, kb(r.ShallowWords), root)
 	}
-	fmt.Println("retained by type (subtree heads only):")
+	fmt.Fprintln(w, "retained by type (subtree heads only):")
 	for _, t := range dom.TypeRetainers(n) {
-		fmt.Printf("  %-20s %10.1f KiB across %d heads\n", t.TypeName, kb(t.RetainedWords), t.Objects)
+		fmt.Fprintf(w, "  %-20s %10.1f KiB across %d heads\n", t.TypeName, kb(t.RetainedWords), t.Objects)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 // crossCheck verifies the census against the collector's own accounting.
-func crossCheck(vm *gcassert.Runtime) {
+func crossCheck(stderr io.Writer, vm *gcassert.Runtime) bool {
 	snap, ok := vm.LatestCensus()
 	if !ok {
-		fmt.Fprintln(os.Stderr, "census cross-check: no snapshots (no collection ran)")
-		return
+		fmt.Fprintln(stderr, "census cross-check: no snapshots (no collection ran)")
+		return true
 	}
 	live := vm.HeapStats().LiveWords
 	if snap.TotalCellWords == live {
-		fmt.Fprintf(os.Stderr, "census cross-check: %d live words == GCStats %d  OK\n",
+		fmt.Fprintf(stderr, "census cross-check: %d live words == GCStats %d  OK\n",
 			snap.TotalCellWords, live)
-		return
+		return true
 	}
-	fmt.Fprintf(os.Stderr, "census cross-check: FAILED — census %d words, GCStats %d\n",
+	fmt.Fprintf(stderr, "census cross-check: FAILED — census %d words, GCStats %d\n",
 		snap.TotalCellWords, live)
-	os.Exit(1)
+	return false
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the CLI contract: 2 for invocation mistakes with the
+// diagnostic on stderr, 0 for -list. Cases that would run a full workload are
+// exercised by the heavier integration paths, not here.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name         string
+		args         []string
+		wantCode     int
+		wantInStderr string
+		wantInStdout string
+	}{
+		{"list", []string{"-list"}, 0, "", "pseudojbb"},
+		{"bad-flag", []string{"-nope"}, 2, "flag provided but not defined", ""},
+		{"stray-arg", []string{"bundle.json"}, 2, "unexpected argument", ""},
+		{"unknown-workload", []string{"-workload", "no-such-workload"}, 2, "no-such-workload", ""},
+		{"leak-wrong-workload", []string{"-leak", "-workload", "compress"}, 2, "-leak is only meaningful", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("exit code = %d, want %d\nstderr: %s", code, tc.wantCode, stderr.String())
+			}
+			if tc.wantInStderr != "" && !strings.Contains(stderr.String(), tc.wantInStderr) {
+				t.Errorf("stderr does not contain %q:\n%s", tc.wantInStderr, stderr.String())
+			}
+			if tc.wantInStdout != "" && !strings.Contains(stdout.String(), tc.wantInStdout) {
+				t.Errorf("stdout does not contain %q:\n%s", tc.wantInStdout, stdout.String())
+			}
+			if tc.wantCode != 0 && stdout.Len() > 0 {
+				t.Errorf("failed invocation wrote to stdout:\n%s", stdout.String())
+			}
+		})
+	}
+}
+
+// TestRunTinyWorkload exercises the success path end to end on the smallest
+// registered workload: exit 0, a census trend on stdout, the cross-check OK
+// line on stderr.
+func TestRunTinyWorkload(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-workload", "compress", "-iters", "1", "-retainers", "3"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "census trend") {
+		t.Errorf("stdout missing census trend:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "census cross-check") ||
+		!strings.Contains(stderr.String(), "OK") {
+		t.Errorf("stderr missing cross-check OK:\n%s", stderr.String())
+	}
+}

@@ -9,16 +9,25 @@
 // `mjrun -serve :6060`, or a program mounting Runtime.TelemetryHandler).
 // -replay backfills the dashboard with the last N retained events before
 // going live. -once renders a single frame after the first event and exits
-// (useful in scripts and smoke tests).
+// (useful in scripts and smoke tests); in this mode connection failures are
+// fatal rather than retried, so scripted captures fail fast.
+//
+// When the stream drops — the watched process restarted, the network
+// hiccuped — gctop reconnects with exponential backoff (1s doubling to 30s,
+// reset on the next event) instead of exiting, and the header line shows the
+// connection state the whole time. Misconfiguration (the URL is not an SSE
+// endpoint) is still a hard error: retrying would never succeed.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"gcassert/internal/topview"
 )
@@ -30,13 +39,33 @@ func main() {
 	once := flag.Bool("once", false, "render one frame after the first event and exit")
 	flag.Parse()
 
-	if err := run(*url, *replay, *once); err != nil {
+	if err := run(*url, *replay, *once, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "gctop:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url string, replay int, once bool) error {
+// permanentError marks failures no amount of retrying fixes (wrong URL,
+// wrong endpoint kind): the watch loop exits instead of backing off.
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+
+const (
+	backoffStart = time.Second
+	backoffMax   = 30 * time.Second
+)
+
+// watcher is the reconnecting dashboard loop's state.
+type watcher struct {
+	model *topview.Model
+	out   io.Writer
+	errw  io.Writer
+	once  bool
+	state string // connection state shown in the header
+}
+
+func run(url string, replay int, once bool, out, errw io.Writer) error {
 	if replay > 0 {
 		sep := "?"
 		if strings.Contains(url, "?") {
@@ -44,19 +73,83 @@ func run(url string, replay int, once bool) error {
 		}
 		url = fmt.Sprintf("%s%sreplay=%d", url, sep, replay)
 	}
+	w := &watcher{model: topview.New(), out: out, errw: errw, once: once}
+	backoff := backoffStart
+	for attempt := 1; ; attempt++ {
+		w.state = "connecting"
+		if attempt > 1 {
+			w.state = fmt.Sprintf("reconnecting (attempt %d)", attempt)
+		}
+		done, err := w.stream(url)
+		if done {
+			return err
+		}
+		if once {
+			// Single-shot captures are for scripts: fail fast instead of
+			// retrying against a process that may never come back.
+			if err == nil {
+				err = fmt.Errorf("%s: stream ended before an event arrived", url)
+			}
+			var perm permanentError
+			if asPermanent(err, &perm) {
+				return perm.err
+			}
+			return err
+		}
+		if err != nil {
+			var perm permanentError
+			if ok := asPermanent(err, &perm); ok {
+				return perm.err
+			}
+			w.state = fmt.Sprintf("disconnected: %v — retrying in %s", trim(err), backoff)
+		} else {
+			w.state = fmt.Sprintf("stream closed — retrying in %s", backoff)
+		}
+		w.redraw()
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > backoffMax {
+			backoff = backoffMax
+		}
+	}
+}
+
+func asPermanent(err error, target *permanentError) bool {
+	p, ok := err.(permanentError)
+	if ok {
+		*target = p
+	}
+	return ok
+}
+
+// trim shortens transport errors for the one-line header.
+func trim(err error) string {
+	s := err.Error()
+	if i := strings.LastIndex(s, ": "); i >= 0 {
+		s = s[i+2:]
+	}
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}
+
+// stream connects once and renders events until the stream ends. done means
+// the loop should exit (single-shot -once satisfied); otherwise err says why
+// the connection ended (nil: clean EOF) and the caller reconnects.
+func (w *watcher) stream(url string) (done bool, err error) {
 	resp, err := http.Get(url)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: %s", url, resp.Status)
+		return false, fmt.Errorf("%s: %s", url, resp.Status)
 	}
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
-		return fmt.Errorf("%s is not an SSE endpoint (Content-Type %q); point -url at /debug/gcassert/live", url, ct)
+		return false, permanentError{fmt.Errorf(
+			"%s is not an SSE endpoint (Content-Type %q); point -url at /debug/gcassert/live", url, ct)}
 	}
 
-	model := topview.New()
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
@@ -64,21 +157,29 @@ func run(url string, replay int, once bool) error {
 		if !strings.HasPrefix(line, "data: ") {
 			continue // SSE comments/blank separators
 		}
-		if err := model.FeedJSON([]byte(strings.TrimPrefix(line, "data: "))); err != nil {
-			fmt.Fprintln(os.Stderr, "gctop:", err)
+		if err := w.model.FeedJSON([]byte(strings.TrimPrefix(line, "data: "))); err != nil {
+			fmt.Fprintln(w.errw, "gctop:", err)
 			continue
 		}
-		if !once {
-			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
-		}
-		model.Render(os.Stdout)
-		if once {
-			return nil
+		// An event arrived: the connection is healthy.
+		w.state = "connected"
+		w.redraw()
+		if w.once {
+			return true, nil
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("stream ended: %w", err)
+	return false, sc.Err()
+}
+
+// redraw repaints the dashboard: the connection-state header line, then the
+// model. -once keeps the plain single-frame output (no clear, no header) so
+// scripted captures stay stable.
+func (w *watcher) redraw() {
+	if w.once {
+		w.model.Render(w.out)
+		return
 	}
-	fmt.Fprintf(os.Stderr, "gctop: stream closed after %d events\n", model.Events())
-	return nil
+	fmt.Fprint(w.out, "\x1b[2J\x1b[H") // clear screen, home cursor
+	fmt.Fprintf(w.out, "gctop · %s · %d events\n", w.state, w.model.Events())
+	w.model.Render(w.out)
 }

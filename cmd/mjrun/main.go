@@ -6,7 +6,8 @@
 //
 //	mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] [-workers N]
 //	      [-provenance] [-fr] [-fr-dump file] [-explain] [-top]
-//	      [-serve addr] program.mj
+//	      [-serve addr] [-fleet url] [-fleet-every N] [-instance id]
+//	      program.mj
 //
 // With -fr the GC flight recorder is armed: the first assertion violation
 // of each collection dumps a forensic bundle to the -fr-dump file, and
@@ -23,6 +24,14 @@
 // can watch the run. All three enable telemetry, cost attribution, and
 // site provenance (the interpreter's per-pc site cache makes the sited
 // allocations cheap).
+//
+// -fleet enables the fleet exporter: every -fleet-every full collections
+// the census snapshot is sealed into a content-addressed envelope and
+// shipped to the gcfleet collector at the given base URL (and, on an
+// assertion violation, a flight bundle too when -fr is armed). -instance
+// names this process in the fleet; empty generates a host-pid-random ID.
+// -fleet implies heap introspection and site provenance, so the shipped
+// census breaks down by (type, allocation site).
 package main
 
 import (
@@ -53,9 +62,12 @@ func main() {
 	explain := flag.Bool("explain", false, "print the trigger explainer for every collection")
 	top := flag.Bool("top", false, "attach an in-process gctop dashboard (redrawn per collection)")
 	serve := flag.String("serve", "", "listen address for the telemetry HTTP surface (e.g. :6060; feeds external gctop via /debug/gcassert/live)")
+	fleetURL := flag.String("fleet", "", "gcfleet collector base URL; enables the fleet exporter (implies introspection + provenance)")
+	fleetEvery := flag.Int("fleet-every", 1, "census export interval in full collections (with -fleet)")
+	instance := flag.String("instance", "", "instance ID stamped on exported artifacts (with -fleet; empty = host-pid-random)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] [-workers N] [-provenance] [-fr] [-fr-dump file] [-explain] [-top] [-serve addr] program.mj")
+		fmt.Fprintln(os.Stderr, "usage: mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] [-workers N] [-provenance] [-fr] [-fr-dump file] [-explain] [-top] [-serve addr] [-fleet url] [-fleet-every N] [-instance id] program.mj")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -87,7 +99,7 @@ func main() {
 	}
 	observing := *explain || *top || *serve != ""
 	prov := ""
-	if *provenance || *fr || observing {
+	if *provenance || *fr || observing || *fleetURL != "" {
 		prov = "exhaustive"
 	}
 	vm := gcassert.New(gcassert.Options{
@@ -100,6 +112,10 @@ func main() {
 		FlightRecorder:  *fr,
 		Telemetry:       observing,
 		CostAttribution: observing,
+		Introspection:   *fleetURL != "",
+		InstanceID:      *instance,
+		FleetURL:        *fleetURL,
+		FleetEvery:      *fleetEvery,
 	})
 	var drainLive func()
 	if *explain || *top {
@@ -139,6 +155,9 @@ func main() {
 	if drainLive != nil {
 		drainLive()
 	}
+	// Flush the fleet exporter: ships anything still queued (including the
+	// final collection's census) before the process exits.
+	vm.CloseFleet()
 
 	if *stats {
 		fmt.Fprintf(os.Stderr, "GC:        %s\n", vm.GCStats())
@@ -150,6 +169,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "asserted:  %d dead (%d verified), %d unshared, %d owned pairs\n",
 			st.DeadAsserted, st.DeadVerified, st.UnsharedAsserted, st.OwnedPairsAsserted)
 		fmt.Fprintf(os.Stderr, "violations: %d\n", st.Violations)
+		if *fleetURL != "" {
+			fx := vm.FleetExporter()
+			xst := fx.Stats()
+			fmt.Fprintf(os.Stderr, "fleet:     instance %s: %d enqueued, %d sent, %d dropped, %d errors",
+				fx.Identity().InstanceID, xst.Enqueued, xst.Sent, xst.Dropped, xst.Errors)
+			if xst.LastErr != "" {
+				fmt.Fprintf(os.Stderr, " (last: %s)", xst.LastErr)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 		if *fr {
 			fst := vm.Flight().Stats()
 			fmt.Fprintf(os.Stderr, "flight:    %d cycles, %d violations recorded, %d dumps",

@@ -1,16 +1,19 @@
 package gcassert
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 
 	"gcassert/internal/collector"
 	"gcassert/internal/core"
+	"gcassert/internal/fleet"
 	"gcassert/internal/flight"
 	"gcassert/internal/heap"
 	"gcassert/internal/rt"
 	"gcassert/internal/telemetry"
+	"gcassert/internal/version"
 )
 
 // Re-exported data types. These are aliases: values flow between the public
@@ -236,6 +239,27 @@ type Options struct {
 	// SSE feed that cmd/gctop renders. Disabled (the default), the mark hot
 	// path pays one nil-check per phase and gains zero allocations.
 	CostAttribution bool
+	// InstanceID names this runtime instance in exported artifacts: flight
+	// bundles, census documents, and fleet envelopes. Empty generates a
+	// host-pid-random ID — the right default for fleets of identical
+	// replicas, where the content hash (not the name) is the identity that
+	// matters.
+	InstanceID string
+	// FleetURL enables the fleet exporter when non-empty: every FleetEvery
+	// full collections the census snapshot is sealed into a
+	// content-addressed envelope and shipped to the gcfleet collector at
+	// this base URL; on an assertion violation a flight-recorder bundle
+	// ships too. Sends happen on a background goroutine with a bounded
+	// queue, so a slow or absent collector never blocks a collection. Pair
+	// with Introspection (census) and FlightRecorder (forensics); with
+	// Telemetry, /debug/gcassert/fleet reports exporter status and POST
+	// ?export=now ships a census on demand. With FleetURL empty (the
+	// default), the exporter does not exist and collections pay nothing.
+	FleetURL string
+	// FleetEvery is the census export interval in full collections
+	// (default 1: every collection — the collector dedupes identical
+	// content, so steady-state replicas are nearly free to report).
+	FleetEvery int
 	// Introspection enables the heap-introspection layer: a per-type live
 	// census piggybacked on every full collection's mark phase, snapshot
 	// diffing with Cork-style leak-suspect ranking, and on-demand dominator
@@ -292,6 +316,9 @@ func New(opts Options) *Runtime {
 		ProvenanceSample:  provenanceSample(opts),
 		FlightRecorder:    opts.FlightRecorder,
 		FlightCycles:      opts.FlightCycles,
+		InstanceID:        opts.InstanceID,
+		FleetURL:          opts.FleetURL,
+		FleetEvery:        opts.FleetEvery,
 	})}
 	if opts.OnViolation != nil && r.Engine() != nil {
 		r.Engine().SetDecider(opts.OnViolation)
@@ -304,6 +331,28 @@ func New(opts Options) *Runtime {
 		}
 		if fr := r.Flight(); fr != nil {
 			tel.SetFlightSource(func(w io.Writer) error { return fr.WriteBundle(w, "http") })
+		}
+		if fx := r.FleetExporter(); fx != nil {
+			tel.SetFleetSource(func(w io.Writer, export bool) error {
+				doc := struct {
+					Instance version.Identity  `json:"instance"`
+					Stats    fleet.ExportStats `json:"stats"`
+					Exported string            `json:"exported_hash,omitempty"`
+					Error    string            `json:"export_error,omitempty"`
+				}{Instance: fx.Identity(), Stats: fx.Stats()}
+				if export {
+					hash, err := fx.ExportLatest()
+					if err != nil {
+						doc.Error = err.Error()
+					} else {
+						doc.Exported = hash
+					}
+					doc.Stats = fx.Stats()
+				}
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				return enc.Encode(&doc)
+			})
 		}
 	}
 	return r

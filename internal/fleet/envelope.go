@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gcassert/internal/version"
+)
+
+// EnvelopeSchemaVersion versions the envelope wire format. The collector
+// rejects unknown versions with a clear error rather than misparsing.
+const EnvelopeSchemaVersion = 1
+
+// Artifact kinds carried by envelopes.
+const (
+	// KindCensus is a single heapdump census snapshot (one collection's
+	// per-type / per-site live footprint).
+	KindCensus = "census"
+	// KindFlight is a flight-recorder forensic bundle.
+	KindFlight = "flight"
+)
+
+// Envelope is the wire unit the collector ingests: one content-addressed
+// artifact plus the identity that produced it. Hash covers Kind,
+// RegistryRef and the canonical form of Payload — and nothing else, so two
+// instances shipping identical content produce identical hashes while
+// CapturedUnixNs and Instance still say who observed it when.
+type Envelope struct {
+	Schema         int              `json:"schema"`
+	Kind           string           `json:"kind"`
+	RegistryRef    string           `json:"registry_ref"`
+	Hash           string           `json:"hash"`
+	CapturedUnixNs int64            `json:"captured_unix_ns"`
+	Instance       version.Identity `json:"instance"`
+	Payload        json.RawMessage  `json:"payload"`
+}
+
+// Seal builds an envelope around payload, canonicalizing it and computing
+// the content hash.
+func Seal(kind, registryRef string, instance version.Identity, capturedNs int64, payload []byte) (Envelope, error) {
+	if kind != KindCensus && kind != KindFlight {
+		return Envelope{}, fmt.Errorf("fleet: unknown artifact kind %q", kind)
+	}
+	canon, err := CanonicalPayload(payload)
+	if err != nil {
+		return Envelope{}, err
+	}
+	return Envelope{
+		Schema:         EnvelopeSchemaVersion,
+		Kind:           kind,
+		RegistryRef:    registryRef,
+		Hash:           ContentHash(kind, registryRef, canon),
+		CapturedUnixNs: capturedNs,
+		Instance:       instance,
+		Payload:        json.RawMessage(payload),
+	}, nil
+}
+
+// Verify recomputes the content hash from the payload and checks it against
+// the envelope's claim. The collector verifies every ingested envelope: a
+// store keyed by unverified hashes would let one corrupt sender shadow
+// another instance's content.
+func (e *Envelope) Verify() error {
+	if e.Schema != EnvelopeSchemaVersion {
+		return fmt.Errorf("fleet: envelope schema %d not supported (this collector speaks %d)",
+			e.Schema, EnvelopeSchemaVersion)
+	}
+	if e.Kind != KindCensus && e.Kind != KindFlight {
+		return fmt.Errorf("fleet: unknown artifact kind %q", e.Kind)
+	}
+	if e.Instance.InstanceID == "" {
+		return fmt.Errorf("fleet: envelope carries no instance ID")
+	}
+	canon, err := CanonicalPayload(e.Payload)
+	if err != nil {
+		return err
+	}
+	if want := ContentHash(e.Kind, e.RegistryRef, canon); e.Hash != want {
+		return fmt.Errorf("fleet: content hash mismatch: envelope says %s, payload hashes to %s", e.Hash, want)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Package fleet is the fleet-forensics layer: it gives heap snapshots and
+// flight-recorder bundles stable content hashes (canonical encoding keyed by
+// a versioned type-registry reference), ships them from gcassert instances
+// to a collector service, deduplicates them by hash in a bounded
+// content-addressed store, and diffs census series *across instances* to
+// answer the ops question per-process rings cannot: which (type, allocation
+// site) is growing on how many replicas, and since when.
+//
+// The content-addressing model follows cxo-style object registries: the
+// hash covers *what* an artifact says — normalized so two instances of the
+// same guest program encode identical types and sites identically — while
+// *who* produced it (instance ID, host, build) travels alongside in the
+// envelope, never inside the hash. Identical replicas therefore deduplicate
+// to a single stored payload, and a diverging replica is visible as a new
+// hash.
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"gcassert/internal/heap"
+)
+
+// RegistrySchemaVersion versions the registry-reference encoding. Bump it
+// when the hashed type-layout encoding changes shape; refs from different
+// versions never compare equal.
+const RegistrySchemaVersion = 1
+
+// RegistryRef fingerprints a type registry: a hash over every registered
+// type's name, layout kind, and field list (names + ref-ness), sorted by
+// type name so registration order does not matter. Two instances running
+// the same guest program produce the same ref; payloads hashed under
+// different refs are different content even when their bytes agree, because
+// type names resolve against different schemas.
+func RegistryRef(reg *heap.Registry) string {
+	type typeLine struct {
+		name   string
+		layout string
+	}
+	lines := make([]typeLine, 0, reg.NumTypes())
+	reg.ForEachType(func(ti *heap.TypeInfo) {
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "%s|%s", ti.Name, ti.Kind)
+		for _, f := range ti.Fields {
+			fmt.Fprintf(&b, "|%s:%t", f.Name, f.Ref)
+		}
+		lines = append(lines, typeLine{name: ti.Name, layout: b.String()})
+	})
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	h := sha256.New()
+	fmt.Fprintf(h, "gcassert-registry/v%d\n", RegistrySchemaVersion)
+	for _, l := range lines {
+		h.Write([]byte(l.layout))
+		h.Write([]byte{'\n'})
+	}
+	return "reg1-" + hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// volatileKeys are JSON object keys excluded from canonical payloads: they
+// vary between two instances observing identical heap content. Wall-clock
+// stamps obviously differ per instance; the numeric "type" field is a
+// dense per-process TypeID whose value depends on registration order, while
+// the canonical identity of a type is its name (covered by the registry
+// ref). CapturedUnixNs and friends are carried in the envelope instead.
+// "instance" is the identity stamp (flight bundles and census documents
+// carry one from schema v2/v1 on): identity travels alongside the hash, so
+// two replicas capturing identical content must still dedupe.
+var volatileKeys = map[string]bool{
+	"unix_ns":          true,
+	"captured_unix_ns": true,
+	"start_unix_ns":    true,
+	"type":             true,
+	"instance":         true,
+}
+
+// CanonicalPayload rewrites a JSON document into its canonical form:
+// volatile keys stripped recursively, object keys sorted (encoding/json
+// sorts map keys), numbers preserved verbatim via json.Number so large
+// integers survive the round trip bit-exact. Two semantically identical
+// documents — regardless of key order or volatile stamps — canonicalize to
+// identical bytes.
+func CanonicalPayload(raw []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v interface{}
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("fleet: canonicalizing payload: %w", err)
+	}
+	out, err := json.Marshal(stripVolatile(v))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: canonicalizing payload: %w", err)
+	}
+	return out, nil
+}
+
+func stripVolatile(v interface{}) interface{} {
+	switch x := v.(type) {
+	case map[string]interface{}:
+		for k, e := range x {
+			if volatileKeys[k] {
+				delete(x, k)
+				continue
+			}
+			x[k] = stripVolatile(e)
+		}
+		return x
+	case []interface{}:
+		for i, e := range x {
+			x[i] = stripVolatile(e)
+		}
+		return x
+	default:
+		return v
+	}
+}
+
+// ContentHash hashes a canonical payload under its kind and registry ref.
+// The preamble domain-separates: the same bytes as a different kind, or
+// resolved against a different type schema, are different content.
+func ContentHash(kind, registryRef string, canonical []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "gcassert-bundle/v%d\x00%s\x00%s\x00", EnvelopeSchemaVersion, kind, registryRef)
+	h.Write(canonical)
+	return "sha256-" + hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,260 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gcassert/internal/heap"
+	"gcassert/internal/heapdump"
+	"gcassert/internal/version"
+)
+
+// snapshotForInstance builds a census snapshot whose *content* is fixed but
+// whose volatile stamps (capture time, dense TypeIDs) vary per instance, the
+// way two replicas of the same guest program would report it.
+func snapshotForInstance(unixNs int64, nodeID, leafID heap.TypeID) heapdump.Snapshot {
+	return heapdump.Snapshot{
+		GC:             7,
+		Reason:         "heap-growth",
+		UnixNs:         unixNs,
+		TotalObjects:   120,
+		TotalWords:     480,
+		TotalCellWords: 512,
+		Types: []heapdump.TypeCensus{
+			{Type: nodeID, TypeName: "list/Node", Objects: 100, Words: 400, CellWords: 420},
+			{Type: leafID, TypeName: "list/Leaf", Objects: 20, Words: 80, CellWords: 92},
+		},
+		Sites: []heapdump.SiteCensus{
+			{TypeName: "list/Node", Site: "main.mj:12", Objects: 100, Words: 400},
+		},
+	}
+}
+
+func TestContentHashIdenticalAcrossInstances(t *testing.T) {
+	// Instance A and instance B observe the same heap content, but at
+	// different wall-clock times and with type IDs assigned in a different
+	// registration order. Their sealed envelopes must carry the same hash.
+	snapA := snapshotForInstance(1111, 5, 9)
+	snapB := snapshotForInstance(2222, 9, 5)
+	payloadA, err := json.Marshal(&snapA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloadB, err := json.Marshal(&snapB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	idA := version.NewIdentity("replica-a")
+	idB := version.NewIdentity("replica-b")
+	envA, err := Seal(KindCensus, "reg1-test", idA, 1111, payloadA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envB, err := Seal(KindCensus, "reg1-test", idB, 2222, payloadB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if envA.Hash != envB.Hash {
+		t.Fatalf("identical content from two instances hashed differently:\n  a=%s\n  b=%s", envA.Hash, envB.Hash)
+	}
+	// The identity travels alongside the hash, not inside it.
+	if envA.Instance.InstanceID == envB.Instance.InstanceID {
+		t.Fatal("test is vacuous: both envelopes claim the same instance")
+	}
+	if err := envA.Verify(); err != nil {
+		t.Fatalf("sealed envelope fails verification: %v", err)
+	}
+}
+
+func TestContentHashKeyOrderIndependent(t *testing.T) {
+	a := []byte(`{"gc":3,"total_words":10,"types":[{"type_name":"T","words":10}]}`)
+	b := []byte(`{"types":[{"words":10,"type_name":"T"}],"total_words":10,"gc":3}`)
+	ca, err := CanonicalPayload(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := CanonicalPayload(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ca) != string(cb) {
+		t.Fatalf("key order changed canonical form:\n  a=%s\n  b=%s", ca, cb)
+	}
+}
+
+func TestContentHashDomainSeparation(t *testing.T) {
+	canon := []byte(`{"x":1}`)
+	if ContentHash(KindCensus, "reg1-a", canon) == ContentHash(KindFlight, "reg1-a", canon) {
+		t.Fatal("same bytes under different kinds must not collide")
+	}
+	if ContentHash(KindCensus, "reg1-a", canon) == ContentHash(KindCensus, "reg1-b", canon) {
+		t.Fatal("same bytes under different registry refs must not collide")
+	}
+}
+
+// TestContentHashRandomizedCorpus is the collision half of the hashing
+// property: across a randomized corpus of snapshot payloads, equal content
+// always hashes equal and distinct content never collides.
+func TestContentHashRandomizedCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	typeNames := []string{"a/A", "b/B", "c/C", "d/D", "e/E", "f/F", "g/G", "h/H"}
+
+	randomSnapshot := func() heapdump.Snapshot {
+		n := 1 + rng.Intn(len(typeNames))
+		perm := rng.Perm(len(typeNames))[:n]
+		s := heapdump.Snapshot{
+			GC:     uint64(rng.Intn(50)),
+			Reason: []string{"heap-growth", "forced", "assert"}[rng.Intn(3)],
+			UnixNs: rng.Int63(), // volatile: must not affect the hash
+		}
+		for _, pi := range perm {
+			tc := heapdump.TypeCensus{
+				Type:     heap.TypeID(rng.Intn(200)), // volatile
+				TypeName: typeNames[pi],
+				Objects:  uint64(rng.Intn(1_000_000)),
+				Words:    uint64(rng.Int63n(1 << 40)), // exercises large ints
+			}
+			s.Types = append(s.Types, tc)
+			s.TotalObjects += tc.Objects
+			s.TotalWords += tc.Words
+		}
+		return s
+	}
+
+	// canonicalKey is the content identity a correct hash must respect.
+	canonicalKey := func(s heapdump.Snapshot) string {
+		s.UnixNs = 0
+		for i := range s.Types {
+			s.Types[i].Type = 0
+		}
+		b, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	hashes := map[string]string{} // content key -> hash
+	byHash := map[string]string{} // hash -> content key
+	for i := 0; i < 500; i++ {
+		s := randomSnapshot()
+		payload, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon, err := CanonicalPayload(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := ContentHash(KindCensus, "reg1-corpus", canon)
+		key := canonicalKey(s)
+		if prev, ok := hashes[key]; ok && prev != h {
+			t.Fatalf("same content hashed differently:\n  %s\n  %s\nfor %s", prev, h, key)
+		}
+		hashes[key] = h
+		if prevKey, ok := byHash[h]; ok && prevKey != key {
+			t.Fatalf("hash collision between distinct contents:\n  %s\n  %s", prevKey, key)
+		}
+		byHash[h] = key
+	}
+	if len(byHash) < 100 {
+		t.Fatalf("corpus degenerate: only %d distinct contents generated", len(byHash))
+	}
+}
+
+func TestCanonicalPayloadPreservesLargeNumbers(t *testing.T) {
+	// 9007199254740993 is not representable as a float64; a canonicalizer
+	// that round-trips through float64 would corrupt it to ...992.
+	raw := []byte(`{"big":9007199254740993,"neg":-9223372036854775808}`)
+	canon, err := CanonicalPayload(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"9007199254740993", "-9223372036854775808"} {
+		if !strings.Contains(string(canon), want) {
+			t.Fatalf("canonical form %s lost literal %s", canon, want)
+		}
+	}
+}
+
+func TestCanonicalPayloadRejectsGarbage(t *testing.T) {
+	if _, err := CanonicalPayload([]byte("not json")); err == nil {
+		t.Fatal("want error for malformed payload")
+	}
+}
+
+func TestRegistryRefOrderIndependent(t *testing.T) {
+	regA := heap.NewRegistry()
+	regA.Define("p/Node", heap.Field{Name: "next", Ref: true}, heap.Field{Name: "val"})
+	regA.Define("p/Leaf", heap.Field{Name: "val"})
+
+	regB := heap.NewRegistry()
+	regB.Define("p/Leaf", heap.Field{Name: "val"})
+	regB.Define("p/Node", heap.Field{Name: "next", Ref: true}, heap.Field{Name: "val"})
+
+	refA, refB := RegistryRef(regA), RegistryRef(regB)
+	if refA != refB {
+		t.Fatalf("registration order changed the registry ref: %s vs %s", refA, refB)
+	}
+
+	// A layout change must change the ref: same names, different ref-ness.
+	regC := heap.NewRegistry()
+	regC.Define("p/Node", heap.Field{Name: "next", Ref: false}, heap.Field{Name: "val"})
+	regC.Define("p/Leaf", heap.Field{Name: "val"})
+	if RegistryRef(regC) == refA {
+		t.Fatal("field layout change did not change the registry ref")
+	}
+}
+
+func TestSealRejectsUnknownKind(t *testing.T) {
+	_, err := Seal("sandwich", "reg1-x", version.NewIdentity("i"), 0, []byte(`{}`))
+	if err == nil {
+		t.Fatal("want error for unknown kind")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	env, err := Seal(KindCensus, "reg1-x", version.NewIdentity("i"), 0, []byte(`{"gc":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Envelope)
+	}{
+		{"payload swap", func(e *Envelope) { e.Payload = json.RawMessage(`{"gc":2}`) }},
+		{"kind swap", func(e *Envelope) { e.Kind = KindFlight }},
+		{"registry swap", func(e *Envelope) { e.RegistryRef = "reg1-other" }},
+		{"schema from the future", func(e *Envelope) { e.Schema = EnvelopeSchemaVersion + 1 }},
+		{"anonymous sender", func(e *Envelope) { e.Instance.InstanceID = "" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := env
+			tc.mutate(&mutated)
+			if err := mutated.Verify(); err == nil {
+				t.Fatalf("%s passed verification", tc.name)
+			}
+		})
+	}
+}
+
+func TestVerifyErrorNamesSchema(t *testing.T) {
+	env, err := Seal(KindCensus, "reg1-x", version.NewIdentity("i"), 0, []byte(`{"gc":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Schema = 99
+	verr := env.Verify()
+	if verr == nil {
+		t.Fatal("want schema error")
+	}
+	want := fmt.Sprintf("schema %d", 99)
+	if !strings.Contains(verr.Error(), want) {
+		t.Fatalf("schema error %q does not name the offending version (%s)", verr, want)
+	}
+}

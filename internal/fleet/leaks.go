@@ -1,0 +1,279 @@
+package fleet
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+
+	"gcassert/internal/flight"
+	"gcassert/internal/heapdump"
+	"gcassert/internal/trend"
+)
+
+// Cross-instance leak diffing: the Cork-style scorer (internal/trend) that
+// ranks per-process leak suspects, aggregated across every instance the
+// store has heard from. Each instance's census envelopes form a per-(type,
+// allocation site) live-volume series; the fleet view asks how many
+// instances show that series growing, how fast, and since when — which is
+// how one leaking deploy among thousands of replicas is found from its
+// census signature.
+
+// InstanceTrend is one instance's fit for one (type, site) series.
+type InstanceTrend struct {
+	InstanceID string `json:"instance_id"`
+	// Snapshots is the number of census snapshots the series spans.
+	Snapshots int `json:"snapshots"`
+	// StartWords/EndWords bound the series.
+	StartWords uint64 `json:"start_words"`
+	EndWords   uint64 `json:"end_words"`
+	// SlopeWordsPerGC, Growth and Score are the trend fit (see
+	// internal/trend); Growing is Score > 0.
+	SlopeWordsPerGC float64 `json:"slope_words_per_gc"`
+	Growth          float64 `json:"growth"`
+	Score           float64 `json:"score"`
+	Growing         bool    `json:"growing"`
+}
+
+// Leak is one fleet-ranked (type, site) leak suspect.
+type Leak struct {
+	TypeName string `json:"type_name"`
+	// Site is the allocation-site description ("" when the reporting
+	// instances ran without provenance).
+	Site string `json:"site,omitempty"`
+	// InstancesReporting counts instances with enough census history to
+	// fit this series (>= 2 snapshots); InstancesGrowing those whose fit
+	// scored positive.
+	InstancesReporting int `json:"instances_reporting"`
+	InstancesGrowing   int `json:"instances_growing"`
+	// FirstSeenUnixNs is the earliest capture time at which any instance
+	// reported live volume for this (type, site).
+	FirstSeenUnixNs int64 `json:"first_seen_unix_ns"`
+	// MeanSlopeWordsPerGC and MeanGrowth average over growing instances.
+	MeanSlopeWordsPerGC float64 `json:"mean_slope_words_per_gc"`
+	MeanGrowth          float64 `json:"mean_growth"`
+	// Score ranks fleet suspects: the mean growing-instance score weighted
+	// by the growing fraction — a type growing fast on every replica
+	// outranks one growing fast on a single replica, which in turn
+	// outranks fleet-wide noise.
+	Score float64 `json:"score"`
+	// PerInstance carries each reporting instance's fit, growing first.
+	PerInstance []InstanceTrend `json:"per_instance,omitempty"`
+	// SamplePaths holds root-to-object paths for the suspect type, drawn
+	// from ingested flight-recorder violations (the census itself carries
+	// no paths).
+	SamplePaths []string `json:"sample_paths,omitempty"`
+}
+
+// LeaksDocument is the envelope of the /fleet/leaks endpoint and
+// `gcfleet leaks -json`.
+type LeaksDocument struct {
+	// Instances is every instance the diff covered; Envelopes the census
+	// envelopes diffed.
+	Instances int    `json:"instances"`
+	Envelopes int    `json:"envelopes"`
+	Suspects  []Leak `json:"suspects"`
+}
+
+// maxSamplePaths bounds the per-suspect violation-path sample.
+const maxSamplePaths = 3
+
+// seriesKey identifies one aggregated census series.
+type seriesKey struct {
+	typeName string
+	site     string
+}
+
+// censusPoint is one snapshot's contribution to a series.
+type censusPoint struct {
+	order int // position in the instance's snapshot sequence
+	words uint64
+}
+
+// RankLeaks diffs every census envelope in the store across instances and
+// returns the ranked fleet leak suspects (top <= 0: all). minInstances
+// drops suspects growing on fewer instances than that (<= 0: 1).
+func RankLeaks(store *Store, top, minInstances int) LeaksDocument {
+	if minInstances <= 0 {
+		minInstances = 1
+	}
+
+	// Gather each instance's census envelopes, ordered by capture time
+	// (GC seq breaking ties) so the series index is the snapshot index.
+	type instSnap struct {
+		capturedNs int64
+		snap       heapdump.Snapshot
+	}
+	byInstance := map[string][]instSnap{}
+	firstSeen := map[seriesKey]int64{}
+	envelopes := 0
+	var flightBundles []flight.Bundle
+	store.ForEach(func(m Meta, env Envelope) bool {
+		switch env.Kind {
+		case KindCensus:
+			var snap heapdump.Snapshot
+			if json.Unmarshal(env.Payload, &snap) != nil {
+				return true
+			}
+			envelopes++
+			// Content-addressing means one stored envelope may have been
+			// observed by many instances; each counts as that instance's
+			// own observation.
+			for _, id := range m.Instances {
+				byInstance[id] = append(byInstance[id], instSnap{capturedNs: env.CapturedUnixNs, snap: snap})
+			}
+		case KindFlight:
+			var b flight.Bundle
+			if json.Unmarshal(env.Payload, &b) == nil {
+				flightBundles = append(flightBundles, b)
+			}
+		}
+		return true
+	})
+
+	// Fit every (type, site) series per instance.
+	agg := map[seriesKey]*Leak{}
+	for id, snaps := range byInstance {
+		sort.Slice(snaps, func(i, j int) bool {
+			if snaps[i].capturedNs != snaps[j].capturedNs {
+				return snaps[i].capturedNs < snaps[j].capturedNs
+			}
+			return snaps[i].snap.GC < snaps[j].snap.GC
+		})
+		if len(snaps) < 2 {
+			continue
+		}
+		series := map[seriesKey][]censusPoint{}
+		for i, is := range snaps {
+			for key, words := range snapshotRows(&is.snap) {
+				series[key] = append(series[key], censusPoint{order: i, words: words})
+				if t, ok := firstSeen[key]; !ok || is.capturedNs < t {
+					firstSeen[key] = is.capturedNs
+				}
+			}
+		}
+		n := len(snaps)
+		ys := make([]float64, n)
+		for key, pts := range series {
+			// Snapshots where the series is absent contribute zero — a
+			// type that died out must not look like growth when it
+			// reappears (same rule as heapdump.RankSuspects).
+			for i := range ys {
+				ys[i] = 0
+			}
+			for _, p := range pts {
+				ys[p.order] = float64(p.words)
+			}
+			fit := trend.Score(ys)
+			it := InstanceTrend{
+				InstanceID:      id,
+				Snapshots:       n,
+				StartWords:      uint64(ys[0]),
+				EndWords:        uint64(ys[n-1]),
+				SlopeWordsPerGC: fit.Slope,
+				Growth:          fit.Growth,
+				Score:           fit.Score,
+				Growing:         fit.Score > 0,
+			}
+			l := agg[key]
+			if l == nil {
+				l = &Leak{TypeName: key.typeName, Site: key.site}
+				agg[key] = l
+			}
+			l.InstancesReporting++
+			if it.Growing {
+				l.InstancesGrowing++
+				l.MeanSlopeWordsPerGC += fit.Slope
+				l.MeanGrowth += fit.Growth
+			}
+			l.PerInstance = append(l.PerInstance, it)
+		}
+	}
+
+	var out []Leak
+	for key, l := range agg {
+		if l.InstancesGrowing < minInstances {
+			continue
+		}
+		g := float64(l.InstancesGrowing)
+		l.MeanSlopeWordsPerGC /= g
+		l.MeanGrowth /= g
+		l.Score = l.MeanSlopeWordsPerGC * l.MeanGrowth * (g / float64(l.InstancesReporting))
+		if l.Score <= 0 {
+			continue
+		}
+		l.FirstSeenUnixNs = firstSeen[key]
+		sort.Slice(l.PerInstance, func(i, j int) bool {
+			a, b := &l.PerInstance[i], &l.PerInstance[j]
+			if a.Growing != b.Growing {
+				return a.Growing
+			}
+			if a.Score != b.Score {
+				return a.Score > b.Score
+			}
+			return a.InstanceID < b.InstanceID
+		})
+		l.SamplePaths = samplePaths(flightBundles, l.TypeName)
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].TypeName != out[j].TypeName {
+			return out[i].TypeName < out[j].TypeName
+		}
+		return out[i].Site < out[j].Site
+	})
+	if top > 0 && len(out) > top {
+		out = out[:top]
+	}
+	return LeaksDocument{
+		Instances: len(store.Instances()),
+		Envelopes: envelopes,
+		Suspects:  out,
+	}
+}
+
+// snapshotRows extracts the (type, site) → live words rows of one census
+// snapshot: the per-site rows when provenance produced them, the per-type
+// rows (site "") otherwise, so fleets mixing provenance modes still diff.
+func snapshotRows(s *heapdump.Snapshot) map[seriesKey]uint64 {
+	rows := make(map[seriesKey]uint64, len(s.Types)+len(s.Sites))
+	if len(s.Sites) > 0 {
+		for i := range s.Sites {
+			r := &s.Sites[i]
+			rows[seriesKey{typeName: r.TypeName, site: r.Site}] += r.Words
+		}
+		return rows
+	}
+	for i := range s.Types {
+		r := &s.Types[i]
+		rows[seriesKey{typeName: r.TypeName}] += r.Words
+	}
+	return rows
+}
+
+// samplePaths pulls up to maxSamplePaths distinct root-to-object paths for
+// a type out of ingested flight bundles' violations.
+func samplePaths(bundles []flight.Bundle, typeName string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, b := range bundles {
+		for i := range b.Violations {
+			v := &b.Violations[i]
+			if v.TypeName != typeName || len(v.Path) == 0 {
+				continue
+			}
+			p := v.Root + " -> " + strings.Join(v.Path, " -> ")
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			out = append(out, p)
+			if len(out) == maxSamplePaths {
+				return out
+			}
+		}
+	}
+	return out
+}

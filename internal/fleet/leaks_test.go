@@ -1,0 +1,237 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"gcassert/internal/flight"
+	"gcassert/internal/heapdump"
+	"gcassert/internal/version"
+)
+
+// ingestCensusSeries seals and ingests one census snapshot per element of
+// words for the given instance: a (type, site) series as the exporter would
+// ship it over successive collections.
+func ingestCensusSeries(t *testing.T, store *Store, instanceID, typeName, site string, words []uint64) {
+	t.Helper()
+	id := version.NewIdentity(instanceID)
+	for i, w := range words {
+		snap := heapdump.Snapshot{
+			GC:         uint64(i),
+			Reason:     "heap-growth",
+			TotalWords: w + 64,
+			Types: []heapdump.TypeCensus{
+				{TypeName: typeName, Objects: w / 4, Words: w},
+				{TypeName: "app/Steady", Objects: 16, Words: 64},
+			},
+			Sites: []heapdump.SiteCensus{
+				{TypeName: typeName, Site: site, Objects: w / 4, Words: w},
+				{TypeName: "app/Steady", Site: "init", Objects: 16, Words: 64},
+			},
+		}
+		payload, err := json.Marshal(&snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := Seal(KindCensus, "reg1-leaks-test", id, int64(1000+i), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Ingest(env, int64(2000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRankLeaksFindsTheLeakyReplica is the cross-instance diff in miniature:
+// three instances, one growing. The growing (type, site) must rank first,
+// with the instance counts saying "1 of 3 growing".
+func TestRankLeaksFindsTheLeakyReplica(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ingestCensusSeries(t, store, "replica-a", "app/Cache", "svc.mj:30", []uint64{100, 100, 100, 100})
+	ingestCensusSeries(t, store, "replica-b", "app/Cache", "svc.mj:30", []uint64{100, 100, 100, 100})
+	ingestCensusSeries(t, store, "replica-c", "app/Cache", "svc.mj:30", []uint64{100, 300, 500, 700})
+
+	doc := RankLeaks(store, 10, 1)
+	if doc.Instances != 3 {
+		t.Fatalf("instances = %d, want 3", doc.Instances)
+	}
+	if len(doc.Suspects) == 0 {
+		t.Fatal("no suspects found")
+	}
+	top := doc.Suspects[0]
+	if top.TypeName != "app/Cache" || top.Site != "svc.mj:30" {
+		t.Fatalf("top suspect = (%s, %s), want the growing cache", top.TypeName, top.Site)
+	}
+	if top.InstancesReporting != 3 || top.InstancesGrowing != 1 {
+		t.Fatalf("suspect counts = %d reporting / %d growing, want 3 / 1",
+			top.InstancesReporting, top.InstancesGrowing)
+	}
+	if top.MeanSlopeWordsPerGC < 150 || top.MeanSlopeWordsPerGC > 250 {
+		t.Fatalf("mean slope = %v, want ~200 words/GC", top.MeanSlopeWordsPerGC)
+	}
+	if top.FirstSeenUnixNs != 1000 {
+		t.Fatalf("first seen = %d, want the earliest capture stamp", top.FirstSeenUnixNs)
+	}
+	// The per-instance breakdown leads with the growing replica.
+	if len(top.PerInstance) != 3 || !top.PerInstance[0].Growing || top.PerInstance[0].InstanceID != "replica-c" {
+		t.Fatalf("per-instance breakdown = %+v", top.PerInstance)
+	}
+	// The steady type never appears: nothing grows on any replica.
+	for _, s := range doc.Suspects {
+		if s.TypeName == "app/Steady" {
+			t.Fatalf("steady type ranked as a suspect: %+v", s)
+		}
+	}
+}
+
+// TestRankLeaksMinInstancesFilter: fleet-wide growth (every replica) passes
+// a min-instances bar that single-replica growth fails.
+func TestRankLeaksMinInstancesFilter(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestCensusSeries(t, store, "replica-a", "app/Everywhere", "a.mj:1", []uint64{10, 20, 30})
+	ingestCensusSeries(t, store, "replica-b", "app/Everywhere", "a.mj:1", []uint64{10, 20, 30})
+	ingestCensusSeries(t, store, "replica-c", "app/OneOff", "b.mj:2", []uint64{10, 20, 30})
+
+	doc := RankLeaks(store, 0, 2)
+	for _, s := range doc.Suspects {
+		if s.TypeName == "app/OneOff" {
+			t.Fatal("single-replica growth survived min-instances=2")
+		}
+	}
+	found := false
+	for _, s := range doc.Suspects {
+		if s.TypeName == "app/Everywhere" {
+			found = true
+			if s.InstancesGrowing != 2 {
+				t.Fatalf("everywhere suspect growing on %d instances, want 2", s.InstancesGrowing)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fleet-wide growth missing from min-instances=2 diff")
+	}
+}
+
+// TestRankLeaksDedupeAwareAttribution: when two instances ship identical
+// census content, the store holds one envelope — but the diff must still
+// credit the series to both instances.
+func TestRankLeaksDedupeAwareAttribution(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical growing series from two replicas: every snapshot dedupes.
+	for _, id := range []string{"replica-a", "replica-b"} {
+		ingestCensusSeries(t, store, id, "app/Twin", "t.mj:5", []uint64{50, 150, 250})
+	}
+	if st := store.Stats(); st.Deduped == 0 {
+		t.Fatalf("test setup: expected dedupe hits, stats = %+v", st)
+	}
+
+	doc := RankLeaks(store, 0, 1)
+	var twin *Leak
+	for i := range doc.Suspects {
+		if doc.Suspects[i].TypeName == "app/Twin" {
+			twin = &doc.Suspects[i]
+		}
+	}
+	if twin == nil {
+		t.Fatal("deduped series vanished from the diff")
+	}
+	if twin.InstancesReporting != 2 || twin.InstancesGrowing != 2 {
+		t.Fatalf("twin counts = %d reporting / %d growing, want 2 / 2",
+			twin.InstancesReporting, twin.InstancesGrowing)
+	}
+}
+
+// TestRankLeaksSamplePaths: violation paths from ingested flight bundles
+// attach to matching suspects.
+func TestRankLeaksSamplePaths(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestCensusSeries(t, store, "replica-a", "app/Cache", "svc.mj:30", []uint64{100, 300, 500})
+
+	bundle := flight.Bundle{
+		SchemaVersion: flight.SchemaVersion,
+		Violations: []flight.ViolationRecord{
+			{TypeName: "app/Cache", Root: "global:cache", Path: []string{"table", "[3]", "entry"}},
+			{TypeName: "app/Other", Root: "stack:0", Path: []string{"x"}},
+		},
+	}
+	payload, err := json.Marshal(&bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Seal(KindFlight, "reg1-leaks-test", version.NewIdentity("replica-a"), 5000, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Ingest(env, 5000); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := RankLeaks(store, 1, 1)
+	if len(doc.Suspects) != 1 {
+		t.Fatalf("suspects = %d, want 1", len(doc.Suspects))
+	}
+	paths := doc.Suspects[0].SamplePaths
+	if len(paths) != 1 {
+		t.Fatalf("sample paths = %v, want exactly the matching violation", paths)
+	}
+	want := "global:cache -> table -> [3] -> entry"
+	if paths[0] != want {
+		t.Fatalf("sample path = %q, want %q", paths[0], want)
+	}
+}
+
+func TestRankLeaksTopBound(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One instance, three snapshots, five types all growing — type T_i at
+	// slope proportional to i+1.
+	id := version.NewIdentity("replica-a")
+	for j := 0; j < 3; j++ {
+		snap := heapdump.Snapshot{GC: uint64(j), Reason: "heap-growth"}
+		for i := 0; i < 5; i++ {
+			w := uint64(10 * (i + 1) * (2*j + 1))
+			snap.Sites = append(snap.Sites, heapdump.SiteCensus{
+				TypeName: fmt.Sprintf("app/T%d", i),
+				Site:     fmt.Sprintf("s.mj:%d", i),
+				Words:    w,
+			})
+			snap.TotalWords += w
+		}
+		payload, err := json.Marshal(&snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := Seal(KindCensus, "reg1-leaks-test", id, int64(1000+j), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Ingest(env, int64(2000+j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doc := RankLeaks(store, 2, 1)
+	if len(doc.Suspects) != 2 {
+		t.Fatalf("top=2 returned %d suspects", len(doc.Suspects))
+	}
+	// Fastest-growing type first.
+	if doc.Suspects[0].TypeName != "app/T4" {
+		t.Fatalf("top suspect = %s, want the steepest series app/T4", doc.Suspects[0].TypeName)
+	}
+}

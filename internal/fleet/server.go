@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"gcassert/internal/telemetry"
+)
+
+// maxEnvelopeBytes bounds one ingested envelope (a census snapshot is a few
+// KiB; a flight bundle with a heap profile a few hundred KiB).
+const maxEnvelopeBytes = 16 << 20
+
+// Server is the gcfleet collector: it ingests envelopes from many gcassert
+// instances over HTTP, deduplicates them by content hash into a Store, and
+// answers fleet-level queries. Metrics ride the same telemetry registry the
+// per-process surface uses, so one Prometheus scrape config covers both.
+type Server struct {
+	store *Store
+	reg   *telemetry.Registry
+
+	ingestOK    *telemetry.Counter
+	ingestBad   *telemetry.Counter
+	ingestBytes *telemetry.Counter
+	dedupeHits  *telemetry.Counter
+	storeSize   *telemetry.Gauge
+	storeBytes  *telemetry.Gauge
+	instances   *telemetry.Gauge
+
+	nowNs func() int64
+}
+
+// NewServer wraps a store in the collector's HTTP surface.
+func NewServer(store *Store) *Server {
+	reg := telemetry.NewRegistry()
+	s := &Server{
+		store: store,
+		reg:   reg,
+		ingestOK: reg.Counter("gcfleet_ingest_total",
+			"Envelopes accepted by the collector."),
+		ingestBad: reg.Counter("gcfleet_ingest_rejected_total",
+			"Envelopes rejected (bad schema, hash mismatch, oversized)."),
+		ingestBytes: reg.Counter("gcfleet_ingest_bytes_total",
+			"Payload bytes accepted by the collector (pre-dedupe)."),
+		dedupeHits: reg.Counter("gcfleet_dedupe_hits_total",
+			"Accepted envelopes whose content hash was already stored."),
+		storeSize: reg.Gauge("gcfleet_store_bundles",
+			"Unique artifacts currently stored."),
+		storeBytes: reg.Gauge("gcfleet_store_bytes",
+			"Payload bytes currently stored."),
+		instances: reg.Gauge("gcfleet_instances",
+			"Distinct instance IDs the store has seen."),
+		nowNs: func() int64 { return time.Now().UnixNano() },
+	}
+	s.syncGauges()
+	return s
+}
+
+// Registry exposes the server's metrics registry (for extra collector-side
+// metrics).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Store exposes the underlying store.
+func (s *Server) Store() *Store { return s.store }
+
+func (s *Server) syncGauges() {
+	st := s.store.Stats()
+	s.storeSize.Set(int64(st.Unique))
+	s.storeBytes.Set(st.Bytes)
+	s.instances.Set(int64(st.Instances))
+}
+
+// Handler returns the collector's HTTP surface:
+//
+//	POST /fleet/ingest      ingest one envelope (JSON body)
+//	GET  /fleet/bundles     store index (JSON array of Meta, newest first)
+//	GET  /fleet/bundle?hash=  one stored envelope
+//	GET  /fleet/instances   instance IDs seen (JSON array)
+//	GET  /fleet/stats       store stats incl. dedupe ratio (JSON)
+//	GET  /fleet/leaks       cross-instance leak diff (?top=N&min-instances=N)
+//	GET  /metrics           Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/ingest", s.handleIngest)
+	mux.HandleFunc("/fleet/bundles", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, s.store.List())
+	})
+	mux.HandleFunc("/fleet/bundle", func(w http.ResponseWriter, r *http.Request) {
+		hash := r.URL.Query().Get("hash")
+		env, ok := s.store.Get(hash)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no bundle %q", hash), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, env)
+	})
+	mux.HandleFunc("/fleet/instances", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, s.store.Instances())
+	})
+	mux.HandleFunc("/fleet/stats", func(w http.ResponseWriter, _ *http.Request) {
+		st := s.store.Stats()
+		writeJSON(w, struct {
+			StoreStats
+			DedupeRatio float64 `json:"dedupe_ratio"`
+		}{st, st.DedupeRatio()})
+	})
+	mux.HandleFunc("/fleet/leaks", func(w http.ResponseWriter, r *http.Request) {
+		top, err := intQuery(r, "top", 10)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		min, err := intQuery(r, "min-instances", 1)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, RankLeaks(s.store, top, min))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	})
+	return mux
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST an envelope to ingest", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxEnvelopeBytes+1))
+	if err != nil {
+		s.ingestBad.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxEnvelopeBytes {
+		s.ingestBad.Inc()
+		http.Error(w, "envelope exceeds size bound", http.StatusRequestEntityTooLarge)
+		return
+	}
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		s.ingestBad.Inc()
+		http.Error(w, fmt.Sprintf("parsing envelope: %v", err), http.StatusBadRequest)
+		return
+	}
+	added, err := s.store.Ingest(env, s.nowNs())
+	if err != nil {
+		s.ingestBad.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.ingestOK.Inc()
+	s.ingestBytes.Add(uint64(len(env.Payload)))
+	if !added {
+		s.dedupeHits.Inc()
+	}
+	s.syncGauges()
+	writeJSON(w, struct {
+		Hash  string `json:"hash"`
+		Added bool   `json:"added"`
+	}{env.Hash, added})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func intQuery(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s=%q (want a non-negative integer)", name, s)
+	}
+	return n, nil
+}

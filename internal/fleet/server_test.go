@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	store, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postEnvelope(t *testing.T, url string, env Envelope) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/fleet/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServerIngestAndDedupe(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	payload := `{"gc":4,"types":[{"type_name":"T","words":16}]}`
+	envA := sealTestEnvelope(t, "replica-a", payload)
+	envB := sealTestEnvelope(t, "replica-b", payload)
+
+	resp := postEnvelope(t, ts.URL, envA)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first ingest: %s", resp.Status)
+	}
+	var ack struct {
+		Hash  string `json:"hash"`
+		Added bool   `json:"added"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Added || ack.Hash != envA.Hash {
+		t.Fatalf("first ingest ack = %+v", ack)
+	}
+
+	resp = postEnvelope(t, ts.URL, envB)
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Added {
+		t.Fatal("duplicate content acked as new")
+	}
+
+	// Stats reflect the dedupe.
+	sresp, err := http.Get(ts.URL + "/fleet/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Unique      int     `json:"unique"`
+		Ingested    uint64  `json:"ingested"`
+		Deduped     uint64  `json:"deduped"`
+		DedupeRatio float64 `json:"dedupe_ratio"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Unique != 1 || stats.Ingested != 2 || stats.Deduped != 1 || stats.DedupeRatio != 0.5 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// Both instances are attributed.
+	iresp, err := http.Get(ts.URL + "/fleet/instances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer iresp.Body.Close()
+	var ids []string
+	if err := json.NewDecoder(iresp.Body).Decode(&ids); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("instances = %v, want both replicas", ids)
+	}
+
+	// The stored envelope is fetchable by hash.
+	bresp, err := http.Get(ts.URL + "/fleet/bundle?hash=" + envA.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	var got Envelope
+	if err := json.NewDecoder(bresp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	// The pretty-printing encoder reformats RawMessage whitespace; compare
+	// compacted.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, got.Payload); err != nil {
+		t.Fatal(err)
+	}
+	if compact.String() != payload {
+		t.Fatalf("fetched payload = %s", compact.String())
+	}
+}
+
+func TestServerRejectsBadIngest(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"not json", "pasta", http.StatusBadRequest},
+		{"tampered hash", "", http.StatusBadRequest}, // body built below
+	}
+	env := sealTestEnvelope(t, "replica-a", `{"gc":1}`)
+	env.Payload = json.RawMessage(`{"gc":2}`)
+	tampered, err := json.Marshal(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases[1].body = string(tampered)
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/fleet/ingest", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %s, want %d", resp.Status, tc.want)
+			}
+		})
+	}
+
+	// GET on the ingest endpoint is a method error, not a panic.
+	resp, err := http.Get(ts.URL + "/fleet/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET ingest status = %s", resp.Status)
+	}
+}
+
+func TestServerMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	payload := `{"gc":4,"types":[{"type_name":"T","words":16}]}`
+	for _, id := range []string{"replica-a", "replica-b"} {
+		resp := postEnvelope(t, ts.URL, sealTestEnvelope(t, id, payload))
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"gcfleet_ingest_total 2",
+		"gcfleet_dedupe_hits_total 1",
+		"gcfleet_store_bundles 1",
+		"gcfleet_instances 2",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestServerLeaksEndpointValidatesQuery(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/fleet/leaks?top=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %s, want 400", resp.Status)
+	}
+}

@@ -1,0 +1,291 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Meta is the store's index entry for one unique artifact: the content
+// identity plus every instance that shipped it. Instances is the dedupe
+// story made visible — one stored payload, N reporters.
+type Meta struct {
+	Hash                string `json:"hash"`
+	Kind                string `json:"kind"`
+	RegistryRef         string `json:"registry_ref"`
+	CapturedUnixNs      int64  `json:"captured_unix_ns"`
+	FirstReceivedUnixNs int64  `json:"first_received_unix_ns"`
+	Bytes               int64  `json:"bytes"`
+	// Instances lists every instance ID that ingested this hash, sorted;
+	// Seen counts total ingests (>= len(Instances): one instance may resend).
+	Instances []string `json:"instances"`
+	Seen      uint64   `json:"seen"`
+}
+
+// storedRecord is the on-disk unit: index metadata plus the envelope as
+// first received. Re-ingests update the metadata in place.
+type storedRecord struct {
+	Meta     Meta     `json:"meta"`
+	Envelope Envelope `json:"envelope"`
+}
+
+// StoreStats summarizes a store.
+type StoreStats struct {
+	// Unique is the number of distinct hashes held; Ingested counts every
+	// accepted envelope this session; Deduped those that matched an
+	// existing hash. DedupeRatio = Deduped / Ingested.
+	Unique    int    `json:"unique"`
+	Ingested  uint64 `json:"ingested"`
+	Deduped   uint64 `json:"deduped"`
+	Evicted   uint64 `json:"evicted"`
+	Bytes     int64  `json:"bytes"`
+	Instances int    `json:"instances"`
+}
+
+// DedupeRatio is the fraction of accepted envelopes that were duplicates of
+// already-stored content (0 when nothing was ingested yet).
+func (s StoreStats) DedupeRatio() float64 {
+	if s.Ingested == 0 {
+		return 0
+	}
+	return float64(s.Deduped) / float64(s.Ingested)
+}
+
+// Store is a bounded on-disk content-addressed bundle store. Every unique
+// hash is one file under dir (sharded by hash prefix); ingesting a hash the
+// store already holds records the new instance and stores nothing. When the
+// bound is exceeded the oldest-received artifact is evicted. Safe for
+// concurrent use.
+type Store struct {
+	dir string
+	max int
+
+	mu     sync.Mutex
+	byHash map[string]*storedRecord
+	stats  StoreStats
+}
+
+// DefaultMaxBundles bounds a store when the caller does not.
+const DefaultMaxBundles = 4096
+
+// OpenStore opens (creating if needed) a store rooted at dir, bounded to at
+// most max unique artifacts (<= 0: DefaultMaxBundles). Existing artifacts
+// are re-indexed from disk, so a restarted collector keeps its history.
+func OpenStore(dir string, max int) (*Store, error) {
+	if max <= 0 {
+		max = DefaultMaxBundles
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: opening store: %w", err)
+	}
+	s := &Store{dir: dir, max: max, byHash: make(map[string]*storedRecord)}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var rec storedRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("fleet: corrupt store record %s: %w", path, err)
+		}
+		s.byHash[rec.Meta.Hash] = &rec
+		s.stats.Bytes += rec.Meta.Bytes
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Unique = len(s.byHash)
+	s.stats.Instances = len(s.instanceSetLocked())
+	return s, nil
+}
+
+// path shards records by hash suffix so one directory never holds the whole
+// store.
+func (s *Store) path(hash string) string {
+	shard := "xx"
+	if i := strings.IndexByte(hash, '-'); i >= 0 && len(hash) > i+3 {
+		shard = hash[i+1 : i+3]
+	}
+	return filepath.Join(s.dir, shard, hash+".json")
+}
+
+// Ingest verifies an envelope and stores it (or records the duplicate).
+// It returns true when the content was new to the store.
+func (s *Store) Ingest(env Envelope, receivedNs int64) (added bool, err error) {
+	if err := env.Verify(); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Ingested++
+	rec, ok := s.byHash[env.Hash]
+	if ok {
+		s.stats.Deduped++
+		rec.Meta.Seen++
+		if !containsString(rec.Meta.Instances, env.Instance.InstanceID) {
+			rec.Meta.Instances = append(rec.Meta.Instances, env.Instance.InstanceID)
+			sort.Strings(rec.Meta.Instances)
+			s.stats.Instances = len(s.instanceSetLocked())
+			if err := s.writeLocked(rec); err != nil {
+				return false, err
+			}
+		}
+		return false, nil
+	}
+	size := int64(len(env.Payload))
+	rec = &storedRecord{
+		Meta: Meta{
+			Hash:                env.Hash,
+			Kind:                env.Kind,
+			RegistryRef:         env.RegistryRef,
+			CapturedUnixNs:      env.CapturedUnixNs,
+			FirstReceivedUnixNs: receivedNs,
+			Bytes:               size,
+			Instances:           []string{env.Instance.InstanceID},
+			Seen:                1,
+		},
+		Envelope: env,
+	}
+	if err := s.writeLocked(rec); err != nil {
+		return false, err
+	}
+	s.byHash[env.Hash] = rec
+	s.stats.Unique = len(s.byHash)
+	s.stats.Bytes += size
+	s.stats.Instances = len(s.instanceSetLocked())
+	s.evictLocked()
+	return true, nil
+}
+
+func (s *Store) writeLocked(rec *storedRecord) error {
+	p := s.path(rec.Meta.Hash)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("fleet: storing bundle: %w", err)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fleet: storing bundle: %w", err)
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("fleet: storing bundle: %w", err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return fmt.Errorf("fleet: storing bundle: %w", err)
+	}
+	return nil
+}
+
+// evictLocked drops oldest-received records until the bound holds.
+func (s *Store) evictLocked() {
+	for len(s.byHash) > s.max {
+		var oldest *storedRecord
+		for _, rec := range s.byHash {
+			if oldest == nil || rec.Meta.FirstReceivedUnixNs < oldest.Meta.FirstReceivedUnixNs {
+				oldest = rec
+			}
+		}
+		delete(s.byHash, oldest.Meta.Hash)
+		_ = os.Remove(s.path(oldest.Meta.Hash))
+		s.stats.Unique = len(s.byHash)
+		s.stats.Bytes -= oldest.Meta.Bytes
+		s.stats.Evicted++
+	}
+}
+
+func (s *Store) instanceSetLocked() map[string]struct{} {
+	set := map[string]struct{}{}
+	for _, rec := range s.byHash {
+		for _, id := range rec.Meta.Instances {
+			set[id] = struct{}{}
+		}
+	}
+	return set
+}
+
+// Stats returns the store's summary.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// List returns every index entry, newest first by capture time (receive
+// time breaking ties).
+func (s *Store) List() []Meta {
+	s.mu.Lock()
+	out := make([]Meta, 0, len(s.byHash))
+	for _, rec := range s.byHash {
+		m := rec.Meta
+		m.Instances = append([]string(nil), rec.Meta.Instances...)
+		out = append(out, m)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CapturedUnixNs != out[j].CapturedUnixNs {
+			return out[i].CapturedUnixNs > out[j].CapturedUnixNs
+		}
+		if out[i].FirstReceivedUnixNs != out[j].FirstReceivedUnixNs {
+			return out[i].FirstReceivedUnixNs > out[j].FirstReceivedUnixNs
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	return out
+}
+
+// Get returns the stored envelope for a hash.
+func (s *Store) Get(hash string) (Envelope, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.byHash[hash]
+	if !ok {
+		return Envelope{}, false
+	}
+	return rec.Envelope, true
+}
+
+// Instances returns every instance ID the store has seen, sorted.
+func (s *Store) Instances() []string {
+	s.mu.Lock()
+	set := s.instanceSetLocked()
+	s.mu.Unlock()
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForEach visits every stored record (meta + envelope) in unspecified
+// order; returning false stops the walk. Envelopes must not be mutated.
+func (s *Store) ForEach(fn func(Meta, Envelope) bool) {
+	s.mu.Lock()
+	recs := make([]*storedRecord, 0, len(s.byHash))
+	for _, rec := range s.byHash {
+		recs = append(recs, rec)
+	}
+	s.mu.Unlock()
+	for _, rec := range recs {
+		if !fn(rec.Meta, rec.Envelope) {
+			return
+		}
+	}
+}
+
+func containsString(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

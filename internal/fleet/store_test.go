@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gcassert/internal/version"
+)
+
+func sealTestEnvelope(t *testing.T, instanceID string, payload string) Envelope {
+	t.Helper()
+	env, err := Seal(KindCensus, "reg1-store-test", version.NewIdentity(instanceID), 42, []byte(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func countStoreFiles(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") {
+			n++
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestStoreDoubleIngestStoresOnce is the dedupe acceptance property: the
+// same bundle ingested twice — even from two different instances — occupies
+// one slot and one file, while both instances stay attributed.
+func TestStoreDoubleIngestStoresOnce(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payload := `{"gc":1,"types":[{"type_name":"T","words":8}]}`
+	envA := sealTestEnvelope(t, "replica-a", payload)
+	envB := sealTestEnvelope(t, "replica-b", payload)
+	if envA.Hash != envB.Hash {
+		t.Fatal("test setup broken: same payload sealed to different hashes")
+	}
+
+	added, err := store.Ingest(envA, 100)
+	if err != nil || !added {
+		t.Fatalf("first ingest: added=%v err=%v, want true, nil", added, err)
+	}
+	added, err = store.Ingest(envB, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added {
+		t.Fatal("second ingest of identical content reported as new")
+	}
+	// Resend from an already-known instance: still deduped.
+	if added, _ := store.Ingest(envA, 300); added {
+		t.Fatal("resend stored a duplicate")
+	}
+
+	st := store.Stats()
+	if st.Unique != 1 || st.Ingested != 3 || st.Deduped != 2 {
+		t.Fatalf("stats = %+v, want unique=1 ingested=3 deduped=2", st)
+	}
+	if got := st.DedupeRatio(); got < 0.66 || got > 0.67 {
+		t.Fatalf("dedupe ratio = %v, want 2/3", got)
+	}
+	if n := countStoreFiles(t, dir); n != 1 {
+		t.Fatalf("store holds %d files, want 1", n)
+	}
+
+	metas := store.List()
+	if len(metas) != 1 {
+		t.Fatalf("index has %d entries, want 1", len(metas))
+	}
+	m := metas[0]
+	if len(m.Instances) != 2 || m.Instances[0] != "replica-a" || m.Instances[1] != "replica-b" {
+		t.Fatalf("instances = %v, want [replica-a replica-b]", m.Instances)
+	}
+	if m.Seen != 3 {
+		t.Fatalf("seen = %d, want 3", m.Seen)
+	}
+	if m.FirstReceivedUnixNs != 100 {
+		t.Fatalf("first received = %d, want the first ingest's stamp", m.FirstReceivedUnixNs)
+	}
+}
+
+func TestStoreRejectsBadEnvelopes(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sealTestEnvelope(t, "replica-a", `{"gc":1}`)
+	env.Hash = "sha256-" + strings.Repeat("0", 64)
+	if _, err := store.Ingest(env, 1); err == nil {
+		t.Fatal("want hash-mismatch rejection")
+	}
+	if st := store.Stats(); st.Unique != 0 || st.Ingested != 0 {
+		t.Fatalf("rejected envelope leaked into stats: %+v", st)
+	}
+}
+
+func TestStoreEvictsOldestPastBound(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hashes []string
+	for i := 0; i < 5; i++ {
+		env := sealTestEnvelope(t, "replica-a", fmt.Sprintf(`{"gc":%d}`, i))
+		if _, err := store.Ingest(env, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, env.Hash)
+	}
+	st := store.Stats()
+	if st.Unique != 3 || st.Evicted != 2 {
+		t.Fatalf("stats = %+v, want unique=3 evicted=2", st)
+	}
+	for _, h := range hashes[:2] {
+		if _, ok := store.Get(h); ok {
+			t.Fatalf("oldest record %s survived eviction", h)
+		}
+	}
+	for _, h := range hashes[2:] {
+		if _, ok := store.Get(h); !ok {
+			t.Fatalf("recent record %s was evicted", h)
+		}
+	}
+	if n := countStoreFiles(t, dir); n != 3 {
+		t.Fatalf("store holds %d files, want 3", n)
+	}
+}
+
+// TestStoreReopenKeepsHistory: a restarted collector re-indexes its on-disk
+// store and keeps deduplicating against it.
+func TestStoreReopenKeepsHistory(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sealTestEnvelope(t, "replica-a", `{"gc":9}`)
+	if _, err := store.Ingest(env, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reopened.Get(env.Hash)
+	if !ok {
+		t.Fatal("reopened store lost the record")
+	}
+	if string(got.Payload) != `{"gc":9}` {
+		t.Fatalf("payload corrupted across reopen: %s", got.Payload)
+	}
+	if added, _ := reopened.Ingest(env, 2); added {
+		t.Fatal("reopened store failed to dedupe against on-disk history")
+	}
+	if ids := reopened.Instances(); len(ids) != 1 || ids[0] != "replica-a" {
+		t.Fatalf("instances after reopen = %v", ids)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"gcassert/internal/collector"
 	"gcassert/internal/core"
 	"gcassert/internal/heapdump"
+	"gcassert/internal/version"
 )
 
 // PhaseSpan is one GC phase of one recorded cycle.
@@ -111,9 +112,13 @@ type ViolationRecord struct {
 // (see EncodeHeapProfile); JSON encoding base64s it, so a bundle survives
 // any text transport intact.
 type Bundle struct {
-	SchemaVersion   int               `json:"schema_version"`
-	CapturedUnixNs  int64             `json:"captured_unix_ns"`
-	Trigger         string            `json:"trigger"`
+	SchemaVersion  int    `json:"schema_version"`
+	CapturedUnixNs int64  `json:"captured_unix_ns"`
+	Trigger        string `json:"trigger"`
+	// Instance identifies who captured the bundle (instance ID, host, PID,
+	// build). Added in schema version 2; bundles from version-1 writers
+	// parse with Instance nil.
+	Instance        *version.Identity `json:"instance,omitempty"`
 	TotalCycles     uint64            `json:"total_cycles"`
 	Cycles          []Cycle           `json:"cycles"`
 	TotalViolations uint64            `json:"total_violations"`
@@ -122,7 +127,13 @@ type Bundle struct {
 }
 
 // SchemaVersion is the bundle format version written by this package.
-const SchemaVersion = 1
+// Version 2 added the Instance identity stamp; the additions are purely
+// additive, so readers accept every version in [MinSchemaVersion,
+// SchemaVersion].
+const SchemaVersion = 2
+
+// MinSchemaVersion is the oldest bundle format this package still reads.
+const MinSchemaVersion = 1
 
 // Config configures a Recorder.
 type Config struct {
@@ -136,6 +147,9 @@ type Config struct {
 // cycle ring; violations arrive through RecordViolation (the runtime tees
 // its reporter chain into it).
 type Recorder struct {
+	// identity, when set, stamps captured bundles (schema v2).
+	identity *version.Identity
+
 	// Sources, installed once at wiring time (before the first collection).
 	statsFn   func() core.Stats
 	censusFn  func() (heapdump.Snapshot, bool)
@@ -187,6 +201,10 @@ func New(cfg Config) *Recorder {
 		viols:  make([]ViolationRecord, 0, cfg.Violations),
 	}
 }
+
+// SetIdentity installs the instance identity stamped on captured bundles.
+// Install at wiring time, before any bundle is captured.
+func (r *Recorder) SetIdentity(id version.Identity) { r.identity = &id }
 
 // SetStatsSource installs the assertion-engine stats source used to compute
 // per-kind activity deltas. Install before the first collection.
@@ -476,6 +494,7 @@ func (r *Recorder) Bundle(trigger string) Bundle {
 		SchemaVersion:   SchemaVersion,
 		CapturedUnixNs:  now,
 		Trigger:         trigger,
+		Instance:        r.identity,
 		TotalCycles:     r.total,
 		Cycles:          r.cyclesLocked(),
 		TotalViolations: r.vtotal,
@@ -501,8 +520,10 @@ func ReadBundle(rd io.Reader) (Bundle, error) {
 	if err := dec.Decode(&b); err != nil {
 		return Bundle{}, fmt.Errorf("flight: parsing bundle: %w", err)
 	}
-	if b.SchemaVersion != SchemaVersion {
-		return Bundle{}, fmt.Errorf("flight: bundle schema %d, want %d", b.SchemaVersion, SchemaVersion)
+	if b.SchemaVersion < MinSchemaVersion || b.SchemaVersion > SchemaVersion {
+		return Bundle{}, fmt.Errorf(
+			"flight: bundle schema version %d not supported (this build reads versions %d through %d); re-capture the bundle or use a matching gcfr build",
+			b.SchemaVersion, MinSchemaVersion, SchemaVersion)
 	}
 	return b, nil
 }

@@ -23,6 +23,7 @@ import (
 
 	"gcassert/internal/collector"
 	"gcassert/internal/heap"
+	"gcassert/internal/version"
 )
 
 // NumSizeBuckets is the number of log2 size-histogram buckets per type.
@@ -144,6 +145,9 @@ type Census struct {
 	// the collection) — the runtime uses it to publish census gauges.
 	onSnapshot func(*Snapshot)
 
+	// identity, when set, stamps exported census documents.
+	identity *version.Identity
+
 	mu    sync.Mutex
 	ring  []Snapshot // ring[head] is the oldest retained snapshot
 	head  int
@@ -164,6 +168,10 @@ func NewCensus(space *heap.Space, cfg Config) *Census {
 // SetOnSnapshot installs a callback invoked after every recorded snapshot,
 // inside the stop-the-world collection. It must not touch the managed heap.
 func (c *Census) SetOnSnapshot(fn func(*Snapshot)) { c.onSnapshot = fn }
+
+// SetIdentity installs the instance identity stamped on exported census
+// documents. Install at wiring time.
+func (c *Census) SetIdentity(id version.Identity) { c.identity = &id }
 
 // Observe accounts one marked object. It is installed as the collector's
 // OnMark callback and runs once per live object per collection.

@@ -2,13 +2,16 @@ package heapdump
 
 import (
 	"gcassert/internal/heap"
+	"gcassert/internal/trend"
 )
 
 // Leak-suspect ranking in the style of Cork (Jump & McKinley, POPL 2007; see
 // the paper's §4.2): instead of a single snapshot, watch the per-type live
 // volume across collections and rank types whose footprint grows steadily.
 // A type that grows in nearly every window and has a large positive slope is
-// a leak suspect; a type that merely spiked once is not.
+// a leak suspect; a type that merely spiked once is not. The scoring itself
+// lives in internal/trend, shared with the fleet-level cross-instance
+// ranking so one definition of "growing" governs both views.
 
 // Suspect is one ranked leak suspect derived from a window of snapshots.
 type Suspect struct {
@@ -78,41 +81,22 @@ func RankSuspects(snaps []Snapshot, top int) []Suspect {
 		}
 	}
 	var out []Suspect
-	n := float64(len(snaps))
 	last := &snaps[len(snaps)-1]
+	words := make([]float64, len(snaps))
+	objects := make([]float64, len(snaps))
 	for t, pts := range series {
-		// Least-squares slope of words (and objects) against snapshot index.
-		// Index, not GC seq: snapshot spacing in GC numbers is uniform for a
-		// single collector, and index keeps minor/full interleavings sane.
-		var sumX, sumY, sumXY, sumXX, sumYO, sumXYO float64
-		grewPairs, pairs := 0, 0
+		// Slope against snapshot index, not GC seq: snapshot spacing in GC
+		// numbers is uniform for a single collector, and index keeps
+		// minor/full interleavings sane.
 		for i, p := range pts {
-			x := float64(i)
-			y := float64(p.words)
-			sumX += x
-			sumY += y
-			sumXY += x * y
-			sumXX += x * x
-			sumYO += float64(p.objects)
-			sumXYO += x * float64(p.objects)
-			if i > 0 {
-				pairs++
-				if p.words > pts[i-1].words {
-					grewPairs++
-				}
-			}
+			words[i] = float64(p.words)
+			objects[i] = float64(p.objects)
 		}
-		den := n*sumXX - sumX*sumX
-		if den == 0 {
+		fit := trend.Score(words)
+		if fit.Score <= 0 {
 			continue
 		}
-		slopeW := (n*sumXY - sumX*sumY) / den
-		slopeO := (n*sumXYO - sumX*sumYO) / den
-		growth := float64(grewPairs) / float64(pairs)
-		score := slopeW * growth
-		if score <= 0 {
-			continue
-		}
+		slopeW, slopeO, growth, score := fit.Slope, trend.Slope(objects), fit.Growth, fit.Score
 		var sites []SiteCensus
 		for i := range last.Sites {
 			if last.Sites[i].TypeName == names[t] {

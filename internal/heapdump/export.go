@@ -2,7 +2,10 @@ package heapdump
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+
+	"gcassert/internal/version"
 )
 
 // JSON export envelopes. These are the wire format of the
@@ -10,13 +13,38 @@ import (
 // `gcheap -json`; tools that archive snapshots feed the same shape back into
 // RankSuspects for offline analysis.
 
+// CensusSchemaVersion is the CensusDocument format version written by this
+// package. Version 1 added the Schema and Instance stamps; documents from
+// earlier builds carry schema 0 and no identity, and still read.
+const CensusSchemaVersion = 1
+
 // CensusDocument is the envelope for exported census snapshots.
 type CensusDocument struct {
+	// Schema versions the document format; Instance identifies who exported
+	// it (nil in documents from pre-stamp builds).
+	Schema   int               `json:"schema"`
+	Instance *version.Identity `json:"instance,omitempty"`
 	// Total is the number of snapshots ever taken (>= len(Snapshots) once
 	// the ring has wrapped).
 	Total uint64 `json:"total"`
 	// Snapshots is oldest-first.
 	Snapshots []Snapshot `json:"snapshots"`
+}
+
+// ReadCensusDocument parses an exported census document, accepting every
+// schema version up to this build's and rejecting newer ones with a clear
+// error.
+func ReadCensusDocument(r io.Reader) (CensusDocument, error) {
+	var doc CensusDocument
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return CensusDocument{}, fmt.Errorf("heapdump: parsing census document: %w", err)
+	}
+	if doc.Schema < 0 || doc.Schema > CensusSchemaVersion {
+		return CensusDocument{}, fmt.Errorf(
+			"heapdump: census document schema version %d not supported (this build reads versions 0 through %d); re-export the census or use a matching tool build",
+			doc.Schema, CensusSchemaVersion)
+	}
+	return doc, nil
 }
 
 // LeaksDocument is the envelope for exported leak suspects.
@@ -30,7 +58,12 @@ type LeaksDocument struct {
 // WriteJSON writes the last n snapshots (n <= 0: all retained) as a
 // CensusDocument.
 func (c *Census) WriteJSON(w io.Writer, n int) error {
-	doc := CensusDocument{Total: c.Total(), Snapshots: c.Last(n)}
+	doc := CensusDocument{
+		Schema:    CensusSchemaVersion,
+		Instance:  c.identity,
+		Total:     c.Total(),
+		Snapshots: c.Last(n),
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

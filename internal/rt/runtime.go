@@ -17,10 +17,12 @@ import (
 
 	"gcassert/internal/collector"
 	"gcassert/internal/core"
+	"gcassert/internal/fleet"
 	"gcassert/internal/flight"
 	"gcassert/internal/heap"
 	"gcassert/internal/heapdump"
 	"gcassert/internal/telemetry"
+	"gcassert/internal/version"
 )
 
 // Config configures a Runtime.
@@ -90,6 +92,21 @@ type Config struct {
 	// untouched, the allocation path pays one nil-check, and collections pay
 	// one nil-check for the explainer hook.
 	CostAttribution bool
+	// InstanceID names this runtime instance in exported artifacts (flight
+	// bundles, census documents, fleet envelopes). Empty generates a
+	// host-pid-random ID, which is right for fleets of identical replicas.
+	InstanceID string
+	// FleetURL, when non-empty, enables the fleet exporter: census
+	// envelopes (and, on violation, flight bundles) are content-addressed
+	// and shipped to the gcfleet collector at this base URL from a
+	// background goroutine. Works best with Introspection (census) and
+	// FlightRecorder (violation forensics); without both there is nothing
+	// to ship.
+	FleetURL string
+	// FleetEvery exports a census envelope every N full collections
+	// (default 1 — the collector dedupes identical content, so steady-state
+	// replicas are nearly free to report).
+	FleetEvery int
 	// Introspection enables the heap-introspection layer: a per-type census
 	// taken during every full collection's mark phase (one callback per
 	// marked object), snapshot diffing with leak-suspect ranking, and
@@ -118,6 +135,9 @@ type Runtime struct {
 	census   *heapdump.Census
 	flight   *flight.Recorder
 	pressure *pressure
+
+	identity version.Identity
+	fleetx   *fleet.Exporter
 }
 
 // New creates a runtime per cfg.
@@ -130,6 +150,7 @@ func New(cfg Config) *Runtime {
 		reg = heap.NewRegistry()
 	}
 	r := &Runtime{reg: reg, space: heap.NewSpace(reg, cfg.HeapBytes)}
+	r.identity = version.NewIdentity(cfg.InstanceID)
 	if cfg.ProvenanceSample > 0 {
 		r.space.EnableProvenance(cfg.ProvenanceSample)
 	}
@@ -164,6 +185,21 @@ func New(cfg Config) *Runtime {
 				rep = core.TeeReporter{rep, fl}
 			} else {
 				rep = fl
+			}
+		}
+		if cfg.FleetURL != "" {
+			// Latch a violation-triggered export; the exporter (wired as an
+			// observer at the end of New) ships census + flight bundle at
+			// the end of this collection.
+			fv := core.FuncReporter(func(v *core.Violation) {
+				if r.fleetx != nil {
+					r.fleetx.NoteViolation()
+				}
+			})
+			if rep != nil {
+				rep = core.TeeReporter{rep, fv}
+			} else {
+				rep = fv
 			}
 		}
 		r.engine = core.NewEngine(r.space, rep, cfg.Policy)
@@ -201,6 +237,28 @@ func New(cfg Config) *Runtime {
 	// are checked and the census is taken.
 	if r.flight != nil {
 		r.initFlight()
+	}
+	// Identity stamps for exported artifacts.
+	if r.census != nil {
+		r.census.SetIdentity(r.identity)
+	}
+	if r.flight != nil {
+		r.flight.SetIdentity(r.identity)
+	}
+	if r.tel != nil {
+		b := r.identity.Build
+		r.tel.Registry().Gauge("gcassert_build_info",
+			"Build and instance identity of this runtime (value is always 1; the information is in the labels).",
+			telemetry.Label{Name: "version", Value: b.Version},
+			telemetry.Label{Name: "go_version", Value: b.GoVersion},
+			telemetry.Label{Name: "revision", Value: b.VCSRevision},
+			telemetry.Label{Name: "instance", Value: r.identity.InstanceID},
+		).Set(1)
+	}
+	// The fleet exporter observes last: census and flight state for the
+	// cycle must exist before it seals envelopes.
+	if cfg.FleetURL != "" {
+		r.initFleet(cfg)
 	}
 	return r
 }

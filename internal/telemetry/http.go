@@ -116,6 +116,22 @@ func (t *Tracer) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/debug/gcassert/fleet", func(w http.ResponseWriter, r *http.Request) {
+		f := t.fleetSourceFn()
+		if f == nil {
+			http.Error(w, "no fleet exporter installed (set FleetURL)", http.StatusNotFound)
+			return
+		}
+		export := r.URL.Query().Get("export") == "now"
+		if export && r.Method != http.MethodPost {
+			http.Error(w, "POST to trigger an on-demand export", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := f(w, export); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/debug/gcassert/live", func(w http.ResponseWriter, r *http.Request) {
 		t.serveLive(w, r)
 	})
@@ -154,6 +170,8 @@ func (t *Tracer) writeIndex(w http.ResponseWriter) {
 		avail(t.leakSourceFn() != nil, "Introspection"))
 	fmt.Fprintf(w, "/debug/gcassert/fr           flight-recorder bundle%s\n",
 		avail(t.flightSourceFn() != nil, "FlightRecorder"))
+	fmt.Fprintf(w, "/debug/gcassert/fleet        fleet exporter status (POST ?export=now to ship a census)%s\n",
+		avail(t.fleetSourceFn() != nil, "a fleet exporter (FleetURL)"))
 	fmt.Fprintf(w, "/debug/gcassert/live         live GC event stream (SSE; ?replay=N resends recent events)\n")
 }
 

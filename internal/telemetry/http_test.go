@@ -134,6 +134,7 @@ func TestIndexMarksUnavailableEndpoints(t *testing.T) {
 	tr.SetCensusSource(func(w io.Writer, n int) error { return nil })
 	tr.SetLeakSource(func(w io.Writer, window, top int) error { return nil })
 	tr.SetFlightSource(func(w io.Writer) error { return nil })
+	tr.SetFleetSource(func(w io.Writer, export bool) error { return nil })
 	if body := get(t, tr, "/debug/gcassert/").Body.String(); strings.Contains(body, "[unavailable") {
 		t.Errorf("fully wired tracer still lists unavailable endpoints:\n%s", body)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 )
 
 // liveHub fans completed GC events out to live subscribers (the
@@ -16,6 +17,12 @@ import (
 type liveHub struct {
 	mu   sync.Mutex
 	subs map[chan []byte]struct{}
+
+	// dropped counts frames lost to slow subscribers (full channels); it is
+	// the visible cost of the never-block-the-pause rule. droppedMetric, when
+	// set, mirrors it into the metrics registry.
+	dropped       atomic.Uint64
+	droppedMetric *Counter
 }
 
 // subscribe registers a new subscriber with the given channel buffer
@@ -44,6 +51,13 @@ func (h *liveHub) subscribe(buf int) (<-chan []byte, func()) {
 	return ch, cancel
 }
 
+// subscriberCount reports the number of live subscribers (tests).
+func (h *liveHub) subscriberCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
 // publish sends one event to every subscriber. No-op without subscribers.
 func (h *liveHub) publish(ev *Event) {
 	h.mu.Lock()
@@ -58,7 +72,12 @@ func (h *liveHub) publish(ev *Event) {
 	for ch := range h.subs {
 		select {
 		case ch <- frame:
-		default: // slow subscriber: drop the frame, never block the pause
+		default:
+			// Slow subscriber: drop the frame, never block the pause.
+			h.dropped.Add(1)
+			if h.droppedMetric != nil {
+				h.droppedMetric.Inc()
+			}
 		}
 	}
 }
@@ -124,6 +143,11 @@ func (t *Tracer) serveLive(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 }
+
+// LiveDropped returns the number of live frames dropped because a
+// subscriber's channel was full. A rising value means some dashboard is not
+// keeping up — the collector is unaffected.
+func (t *Tracer) LiveDropped() uint64 { return t.live.dropped.Load() }
 
 // SubscribeLive registers a live subscriber fed one JSON-encoded Event per
 // completed collection (buf bounds the per-subscriber queue; slow readers

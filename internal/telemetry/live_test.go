@@ -1,8 +1,10 @@
 package telemetry
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -106,5 +108,112 @@ func TestPublishNeverBlocks(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("Record blocked on a slow live subscriber")
+	}
+}
+
+// TestLiveSlowSubscriberCountsDrops extends the never-block property with
+// its observable half: every frame a stalled subscriber loses is counted on
+// the tracer and on the metrics surface, and healthy subscribers are
+// unaffected.
+func TestLiveSlowSubscriberCountsDrops(t *testing.T) {
+	tr := New(Config{})
+
+	// A stalled subscriber with a 2-frame buffer that nobody reads.
+	_, cancelStalled := tr.SubscribeLive(2)
+	defer cancelStalled()
+
+	// A healthy subscriber that consumes everything.
+	healthy, cancelHealthy := tr.SubscribeLive(64)
+	var got int
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range healthy {
+			got++
+		}
+	}()
+
+	const frames = 50
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < frames; i++ {
+			tr.Record(&Event{Reason: "forced"})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Record blocked on a stalled subscriber")
+	}
+
+	cancelHealthy()
+	<-drained
+	if got != frames {
+		t.Fatalf("healthy subscriber got %d frames, want %d", got, frames)
+	}
+	wantDropped := uint64(frames - 2) // the stalled buffer held the first 2
+	if d := tr.LiveDropped(); d != wantDropped {
+		t.Fatalf("LiveDropped() = %d, want %d", d, wantDropped)
+	}
+	var buf strings.Builder
+	if err := tr.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("gcassert_live_dropped_frames_total %d", wantDropped)
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("metrics exposition missing %q:\n%s", want, buf.String())
+	}
+}
+
+// TestLiveSSESlowClientDropsFrames exercises the drop path through the real
+// /debug/gcassert/live endpoint: an SSE client that never reads its body
+// lets the server-side channel fill; publishing keeps flowing (collections
+// are simulated by Record) and the dropped counter rises.
+func TestLiveSSESlowClientDropsFrames(t *testing.T) {
+	tr := New(Config{})
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/gcassert/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.live.subscriberCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SSE subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Publish far more than the handler's 64-frame buffer plus anything the
+	// kernel transport windows absorb, without ever reading resp.Body.
+	const frames = 5000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < frames; i++ {
+			tr.Record(&Event{Reason: "forced"})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Record blocked on a slow SSE client")
+	}
+	if tr.LiveDropped() == 0 {
+		t.Fatal("no frames counted as dropped despite a stalled SSE client")
+	}
+
+	// What did get through is still a valid SSE stream.
+	r := bufio.NewReader(resp.Body)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "data: ") {
+		t.Fatalf("first SSE line = %q", line)
 	}
 }

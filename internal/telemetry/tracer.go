@@ -50,6 +50,7 @@ type Tracer struct {
 	censusFn    func(w io.Writer, n int) error
 	leaksFn     func(w io.Writer, window, top int) error
 	flightFn    func(io.Writer) error
+	fleetFn     func(w io.Writer, export bool) error
 }
 
 // New creates a Tracer.
@@ -86,6 +87,8 @@ func New(cfg Config) *Tracer {
 		violTotal: reg.Counter("gcassert_violations_logged_total",
 			"Assertion violations delivered to the telemetry log."),
 	}
+	t.live.droppedMetric = reg.Counter("gcassert_live_dropped_frames_total",
+		"Live-feed frames dropped because a subscriber could not keep up.")
 	return t
 }
 
@@ -288,4 +291,21 @@ func (t *Tracer) leakSourceFn() func(io.Writer, int, int) error {
 	t.hmu.Lock()
 	defer t.hmu.Unlock()
 	return t.leaksFn
+}
+
+// SetFleetSource installs the function backing /debug/gcassert/fleet: the
+// fleet exporter's status (identity, queue/send stats), and — when export
+// is true — an on-demand census export to the collector first. The status
+// is mutex-guarded on the exporter side, so the endpoint is safe to hit
+// while the workload runs.
+func (t *Tracer) SetFleetSource(f func(w io.Writer, export bool) error) {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	t.fleetFn = f
+}
+
+func (t *Tracer) fleetSourceFn() func(io.Writer, bool) error {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	return t.fleetFn
 }

@@ -1,0 +1,61 @@
+// Package trend is the Cork-style growth scorer (Jump & McKinley, POPL
+// 2007) shared by per-process leak ranking (internal/heapdump) and fleet
+// cross-instance diffing (internal/fleet): given a series of live-volume
+// samples at uniform spacing, it fits a least-squares slope and measures how
+// consistently the series grew, and scores the combination. A type that
+// grows in nearly every window with a large positive slope is a leak
+// suspect; a type that merely spiked once is not.
+package trend
+
+// Fit summarizes one sampled series.
+type Fit struct {
+	// Slope is the least-squares growth rate in units per sample.
+	Slope float64
+	// Growth is the fraction of adjacent sample pairs in which the series
+	// grew (1.0 = grew every single step). Zero when fewer than two samples.
+	Growth float64
+	// Score ranks suspects: slope weighted by growth consistency. Series
+	// that shrink or oscillate score near zero or negative.
+	Score float64
+}
+
+// Slope returns the least-squares slope of ys against sample index (units
+// per sample). Fewer than two samples fit no line and return 0.
+func Slope(ys []float64) float64 {
+	n := float64(len(ys))
+	if len(ys) < 2 {
+		return 0
+	}
+	var sumX, sumY, sumXY, sumXX float64
+	for i, y := range ys {
+		x := float64(i)
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return 0
+	}
+	return (n*sumXY - sumX*sumY) / den
+}
+
+// Score fits ys: least-squares slope, growth consistency over adjacent
+// pairs, and their product as the ranking score.
+func Score(ys []float64) Fit {
+	f := Fit{Slope: Slope(ys)}
+	if len(ys) < 2 {
+		return f
+	}
+	grew, pairs := 0, 0
+	for i := 1; i < len(ys); i++ {
+		pairs++
+		if ys[i] > ys[i-1] {
+			grew++
+		}
+	}
+	f.Growth = float64(grew) / float64(pairs)
+	f.Score = f.Slope * f.Growth
+	return f
+}

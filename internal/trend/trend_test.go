@@ -1,0 +1,67 @@
+package trend
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlopeLinear(t *testing.T) {
+	// y = 3x + 1 fits exactly.
+	ys := []float64{1, 4, 7, 10, 13}
+	if s := Slope(ys); math.Abs(s-3) > 1e-12 {
+		t.Fatalf("Slope = %v, want 3", s)
+	}
+}
+
+func TestSlopeDegenerate(t *testing.T) {
+	if s := Slope(nil); s != 0 {
+		t.Fatalf("Slope(nil) = %v, want 0", s)
+	}
+	if s := Slope([]float64{42}); s != 0 {
+		t.Fatalf("Slope(single) = %v, want 0", s)
+	}
+}
+
+func TestScoreMonotonicGrowth(t *testing.T) {
+	f := Score([]float64{10, 20, 30, 40})
+	if f.Growth != 1 {
+		t.Fatalf("Growth = %v, want 1", f.Growth)
+	}
+	if math.Abs(f.Slope-10) > 1e-12 || math.Abs(f.Score-10) > 1e-12 {
+		t.Fatalf("Slope/Score = %v/%v, want 10/10", f.Slope, f.Score)
+	}
+}
+
+func TestScoreOscillation(t *testing.T) {
+	// Perfect oscillation: zero slope, half the pairs grow, score ~0.
+	f := Score([]float64{10, 20, 10, 20, 10})
+	if f.Growth != 0.5 {
+		t.Fatalf("Growth = %v, want 0.5", f.Growth)
+	}
+	if math.Abs(f.Score) > 1 {
+		t.Fatalf("oscillating Score = %v, want near 0", f.Score)
+	}
+}
+
+func TestScoreShrinkage(t *testing.T) {
+	f := Score([]float64{40, 30, 20, 10})
+	if f.Score > 0 {
+		t.Fatalf("shrinking Score = %v, want <= 0", f.Score)
+	}
+	if f.Slope >= 0 {
+		t.Fatalf("shrinking Slope = %v, want negative", f.Slope)
+	}
+	if f.Growth != 0 {
+		t.Fatalf("Growth = %v, want 0", f.Growth)
+	}
+}
+
+func TestScoreSpikeIsNotALeak(t *testing.T) {
+	// One spike that settles back must score well below steady growth of
+	// the same magnitude — the Cork intuition the ranking rests on.
+	spike := Score([]float64{10, 10, 100, 10, 10, 10})
+	steady := Score([]float64{10, 28, 46, 64, 82, 100})
+	if spike.Score >= steady.Score {
+		t.Fatalf("spike scored %v >= steady %v", spike.Score, steady.Score)
+	}
+}

@@ -1,0 +1,92 @@
+// Package version identifies who produced a telemetry artifact: the build
+// (module version, Go toolchain, VCS revision) and the instance (a unique ID
+// per runtime, the host, the PID). Fleet-level aggregation depends on this
+// split — content hashes cover *what* a bundle says, identity records *who*
+// said it, and the two must never mix: two replicas of the same deploy
+// producing the same census must hash identically while remaining
+// distinguishable as sources.
+package version
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync"
+)
+
+// Build describes the running binary.
+type Build struct {
+	// Version is the main module version ("(devel)" for plain go run/test).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// VCSRevision and VCSTime are the commit stamped into the build, when
+	// the binary was built inside a VCS checkout; Dirty marks uncommitted
+	// changes.
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	Dirty       bool   `json:"dirty,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	build     Build
+)
+
+// CurrentBuild returns the binary's build description, read once from the
+// embedded Go build info.
+func CurrentBuild() Build {
+	buildOnce.Do(func() {
+		build = Build{Version: "(devel)", GoVersion: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			build.Version = bi.Main.Version
+		}
+		build.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				build.VCSRevision = s.Value
+			case "vcs.time":
+				build.VCSTime = s.Value
+			case "vcs.modified":
+				build.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return build
+}
+
+// Identity names one runtime instance: the stable ID fleet aggregation keys
+// on, plus where it runs and what build it is. Identity travels *alongside*
+// content hashes, never inside them.
+type Identity struct {
+	// InstanceID uniquely names this runtime instance across the fleet.
+	InstanceID string `json:"instance_id"`
+	// Host and PID locate the process.
+	Host string `json:"host,omitempty"`
+	PID  int    `json:"pid,omitempty"`
+	// Build is the binary that produced the artifact.
+	Build Build `json:"build"`
+}
+
+// NewIdentity builds an identity for this process. instanceID may be empty,
+// in which case a host-pid-random ID is generated — every runtime in a
+// process gets a distinct one, so multi-tenant hosts stay tellable-apart.
+func NewIdentity(instanceID string) Identity {
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "unknown"
+	}
+	if instanceID == "" {
+		var b [4]byte
+		_, _ = rand.Read(b[:])
+		instanceID = fmt.Sprintf("%s-%d-%s", host, os.Getpid(), hex.EncodeToString(b[:]))
+	}
+	return Identity{InstanceID: instanceID, Host: host, PID: os.Getpid(), Build: CurrentBuild()}
+}
