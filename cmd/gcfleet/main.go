@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"gcassert/internal/fleet"
+	"gcassert/internal/version"
 )
 
 func main() {
@@ -69,6 +70,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runIngest(rest, stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		fmt.Fprintln(stdout, topUsage)
+		return 0
+	case "-version", "version":
+		version.Print(stdout, "gcfleet")
 		return 0
 	default:
 		fmt.Fprintf(stderr, "gcfleet: unknown command %q\n%s\n", cmd, topUsage)

@@ -97,6 +97,21 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 }
 
+// TestRunVersion pins the -version escape hatch: exit 0, build identity on
+// stdout, nothing on stderr.
+func TestRunVersion(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "gcfleet ") {
+		t.Errorf("stdout does not start with %q:\n%s", "gcfleet ", stdout.String())
+	}
+	if stderr.Len() > 0 {
+		t.Errorf("-version wrote to stderr:\n%s", stderr.String())
+	}
+}
+
 // TestRunDataErrors pins exit code 1 when the source cannot be read.
 func TestRunDataErrors(t *testing.T) {
 	missing := filepath.Join(t.TempDir(), "nope.json")

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"gcassert/internal/flight"
+	"gcassert/internal/version"
 )
 
 func main() {
@@ -45,8 +46,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pprofOut := fs.String("pprof", "", "write the bundle's embedded heap profile to this file and exit")
 	cycles := fs.Int("cycles", 10, "recent cycles to show (0 = all)")
 	top := fs.Int("top", 15, "heap profile rows to show (0 = all)")
+	showVersion := fs.Bool("version", false, "print build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2 // flag package already printed the problem + usage to stderr
+	}
+	if *showVersion {
+		version.Print(stdout, "gcfr")
+		return 0
 	}
 
 	usage := func(msg string) int {

@@ -49,6 +49,7 @@ func TestRunExitCodes(t *testing.T) {
 		wantInStdout string
 	}{
 		{"print-good", []string{good}, 0, "", "flight bundle"},
+		{"version", []string{"-version"}, 0, "", "gcfr "},
 		{"diff-good", []string{"-diff", good, good}, 0, "", "cycles:"},
 		{"no-args", nil, 2, "usage:", ""},
 		{"too-many-args", []string{good, good}, 2, "usage:", ""},

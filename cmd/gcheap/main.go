@@ -47,6 +47,7 @@ import (
 	"gcassert/internal/bench/workloads"
 	"gcassert/internal/bench/wutil"
 	"gcassert/internal/heap"
+	"gcassert/internal/version"
 )
 
 func main() {
@@ -73,8 +74,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dotFile := fs.String("dot", "", "write the dominator tree as DOT to this file")
 	ring := fs.Int("ring", 256, "census snapshot ring capacity")
 	httpAddr := fs.String("http", "", "serve telemetry + census endpoints on this address")
+	showVersion := fs.Bool("version", false, "print build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2 // flag package already printed the problem + usage to stderr
+	}
+	if *showVersion {
+		version.Print(stdout, "gcheap")
+		return 0
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintf(stderr, "gcheap: unexpected argument %q (gcheap takes flags only; see -h)\n", fs.Arg(0))

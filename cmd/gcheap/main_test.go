@@ -18,6 +18,7 @@ func TestRunExitCodes(t *testing.T) {
 		wantInStdout string
 	}{
 		{"list", []string{"-list"}, 0, "", "pseudojbb"},
+		{"version", []string{"-version"}, 0, "", "gcheap "},
 		{"bad-flag", []string{"-nope"}, 2, "flag provided but not defined", ""},
 		{"stray-arg", []string{"bundle.json"}, 2, "unexpected argument", ""},
 		{"unknown-workload", []string{"-workload", "no-such-workload"}, 2, "no-such-workload", ""},

@@ -14,9 +14,12 @@
 //
 // When the stream drops — the watched process restarted, the network
 // hiccuped — gctop reconnects with exponential backoff (1s doubling to 30s,
-// reset on the next event) instead of exiting, and the header line shows the
-// connection state the whole time. Misconfiguration (the URL is not an SSE
-// endpoint) is still a hard error: retrying would never succeed.
+// reset once events flow again) instead of exiting, and the header line shows
+// the connection state the whole time. Misconfiguration (the URL is not an
+// SSE endpoint) is still a hard error: retrying would never succeed.
+//
+// Exit status: 0 on a clean single-shot capture, 1 on connection or stream
+// errors, 2 on usage errors.
 package main
 
 import (
@@ -30,19 +33,52 @@ import (
 	"time"
 
 	"gcassert/internal/topview"
+	"gcassert/internal/version"
 )
 
 func main() {
-	url := flag.String("url", "http://127.0.0.1:6060/debug/gcassert/live",
-		"SSE endpoint of a telemetry-enabled gcassert process")
-	replay := flag.Int("replay", 16, "backfill with the last N retained events")
-	once := flag.Bool("once", false, "render one frame after the first event and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if err := run(*url, *replay, *once, os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "gctop:", err)
-		os.Exit(1)
+// run is main without the process exit: flags from args, dashboard to
+// stdout, diagnostics to stderr, exit code returned.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gctop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "http://127.0.0.1:6060/debug/gcassert/live",
+		"SSE endpoint of a telemetry-enabled gcassert process")
+	replay := fs.Int("replay", 16, "backfill with the last N retained events")
+	once := fs.Bool("once", false, "render one frame after the first event and exit")
+	showVersion := fs.Bool("version", false, "print build identity and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+	if *showVersion {
+		version.Print(stdout, "gctop")
+		return 0
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "gctop: usage: gctop [-url sse-endpoint] [-replay N] [-once]")
+		return 2
+	}
+	w := newWatcher(stdout, stderr, *once)
+	if err := w.watch(streamURL(*url, *replay)); err != nil {
+		fmt.Fprintln(stderr, "gctop:", err)
+		return 1
+	}
+	return 0
+}
+
+// streamURL appends the replay parameter to the SSE endpoint.
+func streamURL(url string, replay int) string {
+	if replay <= 0 {
+		return url
+	}
+	sep := "?"
+	if strings.Contains(url, "?") {
+		sep = "&"
+	}
+	return fmt.Sprintf("%s%sreplay=%d", url, sep, replay)
 }
 
 // permanentError marks failures no amount of retrying fixes (wrong URL,
@@ -56,35 +92,73 @@ const (
 	backoffMax   = 30 * time.Second
 )
 
-// watcher is the reconnecting dashboard loop's state.
+// backoff is the reconnect schedule: delays double from backoffStart to the
+// backoffMax cap, and a healthy event resets the ladder so a watched process
+// that recovers gets fast reconnects again.
+type backoff struct{ cur time.Duration }
+
+// delay returns the wait before the next attempt and advances the ladder.
+func (b *backoff) delay() time.Duration {
+	if b.cur == 0 {
+		b.cur = backoffStart
+	}
+	d := b.cur
+	b.cur *= 2
+	if b.cur > backoffMax {
+		b.cur = backoffMax
+	}
+	return d
+}
+
+// peek returns the wait delay() would hand out, without advancing.
+func (b *backoff) peek() time.Duration {
+	if b.cur == 0 {
+		return backoffStart
+	}
+	return b.cur
+}
+
+// reset puts the ladder back at the start.
+func (b *backoff) reset() { b.cur = 0 }
+
+// watcher is the reconnecting dashboard loop's state. get and sleep default
+// to the real transport and clock; tests inject fakes to drive the loop
+// without a live server.
 type watcher struct {
 	model *topview.Model
 	out   io.Writer
 	errw  io.Writer
 	once  bool
 	state string // connection state shown in the header
+	bo    backoff
+	get   func(url string) (*http.Response, error)
+	sleep func(d time.Duration)
 }
 
-func run(url string, replay int, once bool, out, errw io.Writer) error {
-	if replay > 0 {
-		sep := "?"
-		if strings.Contains(url, "?") {
-			sep = "&"
-		}
-		url = fmt.Sprintf("%s%sreplay=%d", url, sep, replay)
+func newWatcher(out, errw io.Writer, once bool) *watcher {
+	return &watcher{
+		model: topview.New(), out: out, errw: errw, once: once,
+		get: http.Get, sleep: time.Sleep,
 	}
-	w := &watcher{model: topview.New(), out: out, errw: errw, once: once}
-	backoff := backoffStart
+}
+
+// watch runs the reconnect loop until the stream is satisfied (-once) or a
+// permanent error surfaces.
+func (w *watcher) watch(url string) error {
 	for attempt := 1; ; attempt++ {
 		w.state = "connecting"
 		if attempt > 1 {
 			w.state = fmt.Sprintf("reconnecting (attempt %d)", attempt)
 		}
+		if !w.once {
+			// Show the dial in progress; -once stays silent until its frame.
+			w.redraw()
+		}
 		done, err := w.stream(url)
 		if done {
 			return err
 		}
-		if once {
+		if w.once {
 			// Single-shot captures are for scripts: fail fast instead of
 			// retrying against a process that may never come back.
 			if err == nil {
@@ -101,15 +175,12 @@ func run(url string, replay int, once bool, out, errw io.Writer) error {
 			if ok := asPermanent(err, &perm); ok {
 				return perm.err
 			}
-			w.state = fmt.Sprintf("disconnected: %v — retrying in %s", trim(err), backoff)
+			w.state = fmt.Sprintf("disconnected: %v — retrying in %s", trim(err), w.bo.peek())
 		} else {
-			w.state = fmt.Sprintf("stream closed — retrying in %s", backoff)
+			w.state = fmt.Sprintf("stream closed — retrying in %s", w.bo.peek())
 		}
 		w.redraw()
-		time.Sleep(backoff)
-		if backoff *= 2; backoff > backoffMax {
-			backoff = backoffMax
-		}
+		w.sleep(w.bo.delay())
 	}
 }
 
@@ -137,7 +208,7 @@ func trim(err error) string {
 // the loop should exit (single-shot -once satisfied); otherwise err says why
 // the connection ended (nil: clean EOF) and the caller reconnects.
 func (w *watcher) stream(url string) (done bool, err error) {
-	resp, err := http.Get(url)
+	resp, err := w.get(url)
 	if err != nil {
 		return false, err
 	}
@@ -161,8 +232,10 @@ func (w *watcher) stream(url string) (done bool, err error) {
 			fmt.Fprintln(w.errw, "gctop:", err)
 			continue
 		}
-		// An event arrived: the connection is healthy.
+		// An event arrived: the connection is healthy again, so the next
+		// drop retries fast instead of inheriting the old ladder position.
 		w.state = "connected"
+		w.bo.reset()
 		w.redraw()
 		if w.once {
 			return true, nil

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	var b backoff
+	want := []time.Duration{
+		1 * time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+		16 * time.Second, 30 * time.Second, 30 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.peek(); got != w {
+			t.Errorf("step %d: peek = %v, want %v", i, got, w)
+		}
+		if got := b.delay(); got != w {
+			t.Errorf("step %d: delay = %v, want %v", i, got, w)
+		}
+	}
+	b.reset()
+	if got := b.delay(); got != time.Second {
+		t.Errorf("after reset: delay = %v, want 1s", got)
+	}
+	// peek must not advance the ladder.
+	var c backoff
+	c.peek()
+	c.peek()
+	if got := c.delay(); got != time.Second {
+		t.Errorf("peek advanced the ladder: first delay = %v", got)
+	}
+}
+
+// sse builds a fake SSE response carrying the given events.
+func sse(events ...string) *http.Response {
+	var b strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&b, "data: %s\n\n", ev)
+	}
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{"Content-Type": []string{"text/event-stream"}},
+		Body:       io.NopCloser(strings.NewReader(b.String())),
+	}
+}
+
+func notSSE() *http.Response {
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{"Content-Type": []string{"text/html"}},
+		Body:       io.NopCloser(strings.NewReader("<html>")),
+	}
+}
+
+// scriptedWatcher drives the watch loop with a canned connection sequence
+// and records every sleep. Each script entry is one connection attempt.
+func scriptedWatcher(t *testing.T, once bool, script []func() (*http.Response, error)) (*watcher, *bytes.Buffer, *[]time.Duration) {
+	t.Helper()
+	var out bytes.Buffer
+	var sleeps []time.Duration
+	attempt := 0
+	w := newWatcher(&out, io.Discard, once)
+	w.get = func(string) (*http.Response, error) {
+		if attempt >= len(script) {
+			t.Fatalf("unexpected connection attempt %d (script has %d)", attempt+1, len(script))
+		}
+		r, err := script[attempt]()
+		attempt++
+		return r, err
+	}
+	w.sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+	return w, &out, &sleeps
+}
+
+// TestWatchBackoffGrowsAndResetsOnEvent is the reconnect loop's contract:
+// consecutive failures climb the 1s→2s→4s ladder, a connection that delivers
+// an event resets it, and a permanent error (non-SSE endpoint) exits the
+// loop with the underlying error.
+func TestWatchBackoffGrowsAndResetsOnEvent(t *testing.T) {
+	dial := errors.New("dial tcp 127.0.0.1:6060: connect: connection refused")
+	w, out, sleeps := scriptedWatcher(t, false, []func() (*http.Response, error){
+		func() (*http.Response, error) { return nil, dial },
+		func() (*http.Response, error) { return nil, dial },
+		func() (*http.Response, error) { return nil, dial },
+		func() (*http.Response, error) { return sse(`{"seq":7}`), nil }, // event, then clean EOF
+		func() (*http.Response, error) { return notSSE(), nil },
+	})
+	err := w.watch("http://fake/live")
+	if err == nil || !strings.Contains(err.Error(), "not an SSE endpoint") {
+		t.Fatalf("watch should exit on the permanent error, got %v", err)
+	}
+	want := []time.Duration{1 * time.Second, 2 * time.Second, 4 * time.Second, 1 * time.Second}
+	if len(*sleeps) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", *sleeps, want)
+	}
+	for i := range want {
+		if (*sleeps)[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v (event on attempt 4 must reset the ladder)",
+				i, (*sleeps)[i], want[i])
+		}
+	}
+	for _, state := range []string{
+		"disconnected: connection refused — retrying in 1s",
+		"reconnecting (attempt 4)",
+		"connected",
+		"stream closed — retrying in 1s",
+	} {
+		if !strings.Contains(out.String(), state) {
+			t.Errorf("header never showed state %q", state)
+		}
+	}
+}
+
+func TestWatchOnceFailsFastOnConnectionError(t *testing.T) {
+	dial := errors.New("dial tcp: connection refused")
+	w, _, sleeps := scriptedWatcher(t, true, []func() (*http.Response, error){
+		func() (*http.Response, error) { return nil, dial },
+	})
+	if err := w.watch("http://fake/live"); !errors.Is(err, dial) {
+		t.Fatalf("once-mode should surface the dial error, got %v", err)
+	}
+	if len(*sleeps) != 0 {
+		t.Errorf("once-mode slept %v; single-shot captures must not retry", *sleeps)
+	}
+}
+
+func TestWatchOnceRendersOneFrameAndExits(t *testing.T) {
+	w, out, sleeps := scriptedWatcher(t, true, []func() (*http.Response, error){
+		func() (*http.Response, error) { return sse(`{"seq":3}`, `{"seq":4}`), nil },
+	})
+	if err := w.watch("http://fake/live"); err != nil {
+		t.Fatalf("watch = %v", err)
+	}
+	if len(*sleeps) != 0 {
+		t.Errorf("once-mode slept %v", *sleeps)
+	}
+	if got := w.model.Events(); got != 1 {
+		t.Errorf("once-mode consumed %d events, want exactly 1", got)
+	}
+	if !strings.Contains(out.String(), "gctop — gc #4") {
+		t.Errorf("frame not rendered:\n%s", out.String())
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}, 2},
+		{"stray positional", []string{"stray"}, 2},
+		{"version", []string{"-version"}, 0},
+		// The bogus scheme fails inside the HTTP client without touching
+		// the network; -once makes the failure fatal.
+		{"unreachable once", []string{"-once", "-url", "bogus://nowhere/live"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d\nstderr: %s", tc.args, got, tc.want, stderr.String())
+			}
+		})
+	}
+	var stdout bytes.Buffer
+	run([]string{"-version"}, &stdout, io.Discard)
+	if !strings.HasPrefix(stdout.String(), "gctop ") {
+		t.Errorf("version output %q should start with the tool name", stdout.String())
+	}
+}

@@ -24,11 +24,15 @@
 // against the collector's cumulative stats: per-phase sums over the trace
 // must match GCStats totals (they are the same measurements), and pause
 // percentiles come from the telemetry histogram.
+//
+// Exit status: 0 on success, 1 when the workload or an output file is
+// unavailable, 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"time"
@@ -37,19 +41,59 @@ import (
 	"gcassert/internal/bench"
 	"gcassert/internal/bench/workloads"
 	"gcassert/internal/bench/wutil"
+	"gcassert/internal/version"
 )
 
 func main() {
-	workload := flag.String("workload", "pseudojbb", "workload to run")
-	list := flag.Bool("list", false, "list workloads and exit")
-	mode := flag.String("mode", "infra", "base, infra, or assert")
-	iters := flag.Int("iters", 2, "workload iterations")
-	format := flag.String("format", "gctrace", "gctrace, jsonl, chrome, or metrics")
-	out := flag.String("o", "", "output file (default stdout)")
-	heapBytes := flag.Int("heap", 0, "override the workload's heap size (bytes)")
-	ring := flag.Int("ring", 1<<16, "GC event ring capacity")
-	httpAddr := flag.String("http", "", "serve telemetry endpoints on this address")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit: flags from args, export to stdout
+// (or -o), diagnostics to stderr, exit code returned. With -http the
+// function blocks after the export to keep the telemetry server up.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gctrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "pseudojbb", "workload to run")
+	list := fs.Bool("list", false, "list workloads and exit")
+	mode := fs.String("mode", "infra", "base, infra, or assert")
+	iters := fs.Int("iters", 2, "workload iterations")
+	format := fs.String("format", "gctrace", "gctrace, jsonl, chrome, or metrics")
+	out := fs.String("o", "", "output file (default stdout)")
+	heapBytes := fs.Int("heap", 0, "override the workload's heap size (bytes)")
+	ring := fs.Int("ring", 1<<16, "GC event ring capacity")
+	httpAddr := fs.String("http", "", "serve telemetry endpoints on this address")
+	showVersion := fs.Bool("version", false, "print build identity and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVersion {
+		version.Print(stdout, "gctrace")
+		return 0
+	}
+
+	usage := func(msg string) int {
+		fmt.Fprintln(stderr, "gctrace: usage: "+msg)
+		return 2
+	}
+	dataErr := func(err error) int {
+		fmt.Fprintln(stderr, "gctrace:", err)
+		return 1
+	}
+
+	if fs.NArg() != 0 {
+		return usage("gctrace takes no positional arguments")
+	}
+	switch *format {
+	case "gctrace", "jsonl", "chrome", "metrics":
+	default:
+		return usage(fmt.Sprintf("unknown format %q (want gctrace, jsonl, chrome or metrics)", *format))
+	}
+	switch *mode {
+	case "base", "infra", "assert":
+	default:
+		return usage(fmt.Sprintf("unknown mode %q (want base, infra or assert)", *mode))
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
@@ -57,15 +101,14 @@ func main() {
 			if w.HasAsserts {
 				asserts = " (has assertions)"
 			}
-			fmt.Printf("%-12s heap=%d%s\n", w.Name, w.Heap, asserts)
+			fmt.Fprintf(stdout, "%-12s heap=%d%s\n", w.Name, w.Heap, asserts)
 		}
-		return
+		return 0
 	}
 
 	w, err := workloads.ByName(*workload)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return dataErr(err)
 	}
 	if *heapBytes > 0 {
 		w.Heap = *heapBytes
@@ -78,13 +121,9 @@ func main() {
 		m = bench.Infra
 	case "assert":
 		if !w.HasAsserts {
-			fmt.Fprintf(os.Stderr, "workload %s defines no assertions\n", w.Name)
-			os.Exit(1)
+			return dataErr(fmt.Errorf("workload %s defines no assertions", w.Name))
 		}
 		m = bench.WithAssertions
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q (want base, infra or assert)\n", *mode)
-		os.Exit(1)
 	}
 
 	vm := gcassert.New(gcassert.Options{
@@ -97,26 +136,25 @@ func main() {
 
 	if *httpAddr != "" {
 		go func() {
-			fmt.Fprintf(os.Stderr, "serving telemetry on http://%s/metrics\n", *httpAddr)
+			fmt.Fprintf(stderr, "serving telemetry on http://%s/metrics\n", *httpAddr)
 			if err := http.ListenAndServe(*httpAddr, tel.Handler()); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(stderr, err)
 			}
 		}()
 	}
 
-	run := w.New(vm, m == bench.WithAssertions)
+	runIter := w.New(vm, m == bench.WithAssertions)
 	start := time.Now()
 	for i := 0; i < *iters; i++ {
-		run(i)
+		runIter(i)
 	}
 	elapsed := time.Since(start)
 
-	dst := os.Stdout
+	dst := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return dataErr(err)
 		}
 		defer f.Close()
 		dst = f
@@ -130,19 +168,16 @@ func main() {
 		err = tel.WriteChromeTrace(dst)
 	case "metrics":
 		err = tel.WriteMetrics(dst)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown format %q (want gctrace, jsonl, chrome or metrics)\n", *format)
-		os.Exit(1)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return dataErr(err)
 	}
 
-	wutil.WriteGCSummary(os.Stderr, vm, elapsed)
+	wutil.WriteGCSummary(stderr, vm, elapsed)
 
 	if *httpAddr != "" {
-		fmt.Fprintln(os.Stderr, "run complete; telemetry server still up (interrupt to exit)")
+		fmt.Fprintln(stderr, "run complete; telemetry server still up (interrupt to exit)")
 		select {}
 	}
+	return 0
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}, 2},
+		{"stray positional", []string{"stray"}, 2},
+		{"unknown format", []string{"-format", "xml"}, 2},
+		{"unknown mode", []string{"-mode", "turbo"}, 2},
+		{"unknown workload", []string{"-workload", "no-such-workload"}, 1},
+		{"assert mode without assertions", []string{"-workload", "compress", "-mode", "assert"}, 1},
+		{"version", []string{"-version"}, 0},
+		{"list", []string{"-list"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d\nstderr: %s", tc.args, got, tc.want, stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunListAndVersionOutputs(t *testing.T) {
+	var stdout bytes.Buffer
+	run([]string{"-list"}, &stdout, &bytes.Buffer{})
+	if !strings.Contains(stdout.String(), "_209_db") || !strings.Contains(stdout.String(), "pseudojbb") {
+		t.Errorf("-list missing workloads:\n%s", stdout.String())
+	}
+	stdout.Reset()
+	run([]string{"-version"}, &stdout, &bytes.Buffer{})
+	if !strings.HasPrefix(stdout.String(), "gctrace ") {
+		t.Errorf("version output %q should start with the tool name", stdout.String())
+	}
+}
+
+func TestRunExportsJSONL(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-workload", "_209_db", "-iters", "1", "-format", "jsonl"}
+	if got := run(args, &stdout, &stderr); got != 0 {
+		t.Fatalf("run(%v) = %d\nstderr: %s", args, got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `"seq"`) {
+		t.Errorf("jsonl export carries no events:\n%.400s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "pause") {
+		t.Errorf("summary missing from stderr:\n%s", stderr.String())
+	}
+}

@@ -32,6 +32,9 @@
 // names this process in the fleet; empty generates a host-pid-random ID.
 // -fleet implies heap introspection and site provenance, so the shipped
 // census breaks down by (type, allocation site).
+//
+// Exit status: 0 on success, 1 when the program is missing, fails to
+// compile, or fails at runtime, 2 on usage errors.
 package main
 
 import (
@@ -47,56 +50,66 @@ import (
 	"gcassert"
 	"gcassert/internal/minivm"
 	"gcassert/internal/topview"
+	"gcassert/internal/version"
 )
 
 func main() {
-	heapMB := flag.Int("heap", 16, "managed heap size in MiB")
-	gen := flag.Bool("gen", false, "use the generational collector (assertions checked at full GCs only)")
-	stats := flag.Bool("stats", false, "print GC and assertion statistics at exit")
-	disasm := flag.Bool("disasm", false, "print the compiled bytecode and exit")
-	optimize := flag.Bool("O", false, "run the peephole bytecode optimizer")
-	workers := flag.Int("workers", 1, "mark-phase workers (1 = sequential marker)")
-	provenance := flag.Bool("provenance", false, "record every guest allocation's site (method:line) for violation reports and profiles")
-	fr := flag.Bool("fr", false, "arm the GC flight recorder (implies -provenance; dump with SIGQUIT or on violation)")
-	frDump := flag.String("fr-dump", "gcassert-fr.json", "file the flight recorder dumps bundles to (latest dump wins)")
-	explain := flag.Bool("explain", false, "print the trigger explainer for every collection")
-	top := flag.Bool("top", false, "attach an in-process gctop dashboard (redrawn per collection)")
-	serve := flag.String("serve", "", "listen address for the telemetry HTTP surface (e.g. :6060; feeds external gctop via /debug/gcassert/live)")
-	fleetURL := flag.String("fleet", "", "gcfleet collector base URL; enables the fleet exporter (implies introspection + provenance)")
-	fleetEvery := flag.Int("fleet-every", 1, "census export interval in full collections (with -fleet)")
-	instance := flag.String("instance", "", "instance ID stamped on exported artifacts (with -fleet; empty = host-pid-random)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] [-workers N] [-provenance] [-fr] [-fr-dump file] [-explain] [-top] [-serve addr] [-fleet url] [-fleet-every N] [-instance id] program.mj")
-		os.Exit(2)
-	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *disasm {
-		unit, cerr := minivm.Compile(string(src))
-		if cerr != nil {
-			fmt.Fprintln(os.Stderr, cerr)
-			os.Exit(1)
-		}
-		if *optimize {
-			minivm.Optimize(unit)
-		}
-		fmt.Print(minivm.DisassembleUnit(unit))
-		return
+// run is main without the process exit: flags from args, guest output to
+// stdout, diagnostics to stderr, exit code returned.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mjrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	heapMB := fs.Int("heap", 16, "managed heap size in MiB")
+	gen := fs.Bool("gen", false, "use the generational collector (assertions checked at full GCs only)")
+	stats := fs.Bool("stats", false, "print GC and assertion statistics at exit")
+	disasm := fs.Bool("disasm", false, "print the compiled bytecode and exit")
+	optimize := fs.Bool("O", false, "run the peephole bytecode optimizer")
+	workers := fs.Int("workers", 1, "mark-phase workers (1 = sequential marker)")
+	provenance := fs.Bool("provenance", false, "record every guest allocation's site (method:line) for violation reports and profiles")
+	fr := fs.Bool("fr", false, "arm the GC flight recorder (implies -provenance; dump with SIGQUIT or on violation)")
+	frDump := fs.String("fr-dump", "gcassert-fr.json", "file the flight recorder dumps bundles to (latest dump wins)")
+	explain := fs.Bool("explain", false, "print the trigger explainer for every collection")
+	top := fs.Bool("top", false, "attach an in-process gctop dashboard (redrawn per collection)")
+	serve := fs.String("serve", "", "listen address for the telemetry HTTP surface (e.g. :6060; feeds external gctop via /debug/gcassert/live)")
+	fleetURL := fs.String("fleet", "", "gcfleet collector base URL; enables the fleet exporter (implies introspection + provenance)")
+	fleetEvery := fs.Int("fleet-every", 1, "census export interval in full collections (with -fleet)")
+	instance := fs.String("instance", "", "instance ID stamped on exported artifacts (with -fleet; empty = host-pid-random)")
+	showVersion := fs.Bool("version", false, "print build identity and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVersion {
+		version.Print(stdout, "mjrun")
+		return 0
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: mjrun [-heap MiB] [-gen] [-stats] [-disasm] [-O] [-workers N] [-provenance] [-fr] [-fr-dump file] [-explain] [-top] [-serve addr] [-fleet url] [-fleet-every N] [-instance id] program.mj")
+		return 2
+	}
+	dataErr := func(err error) int {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return dataErr(err)
 	}
 
 	unit, cerr := minivm.Compile(string(src))
 	if cerr != nil {
-		fmt.Fprintln(os.Stderr, cerr)
-		os.Exit(1)
+		return dataErr(cerr)
 	}
 	if *optimize {
 		minivm.Optimize(unit)
 	}
+	if *disasm {
+		fmt.Fprint(stdout, minivm.DisassembleUnit(unit))
+		return 0
+	}
+
 	observing := *explain || *top || *serve != ""
 	prov := ""
 	if *provenance || *fr || observing || *fleetURL != "" {
@@ -105,7 +118,7 @@ func main() {
 	vm := gcassert.New(gcassert.Options{
 		HeapBytes:       *heapMB << 20,
 		Infrastructure:  true,
-		Reporter:        gcassert.NewWriterReporter(os.Stderr),
+		Reporter:        gcassert.NewWriterReporter(stderr),
 		Generational:    *gen,
 		Workers:         *workers,
 		Provenance:      prov,
@@ -119,12 +132,12 @@ func main() {
 	})
 	var drainLive func()
 	if *explain || *top {
-		drainLive = watchLive(vm, *explain, *top)
+		drainLive = watchLive(vm, *explain, *top, stderr)
 	}
 	if *serve != "" {
 		go func() {
 			if err := http.ListenAndServe(*serve, vm.TelemetryHandler()); err != nil {
-				fmt.Fprintln(os.Stderr, "mjrun: telemetry server:", err)
+				fmt.Fprintln(stderr, "mjrun: telemetry server:", err)
 			}
 		}()
 	}
@@ -138,18 +151,16 @@ func main() {
 				// Dumping needs a consistent heap; latch the request and let
 				// the collector deliver at its next stop-the-world pause.
 				rec.RequestDump()
-				fmt.Fprintf(os.Stderr, "mjrun: flight dump to %s requested (written at next GC)\n", *frDump)
+				fmt.Fprintf(stderr, "mjrun: flight dump to %s requested (written at next GC)\n", *frDump)
 			}
 		}()
 	}
-	im, lerr := minivm.Load(vm, unit, os.Stdout)
+	im, lerr := minivm.Load(vm, unit, stdout)
 	if lerr != nil {
-		fmt.Fprintln(os.Stderr, lerr)
-		os.Exit(1)
+		return dataErr(lerr)
 	}
 	if err := im.Run(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return dataErr(err)
 	}
 	vm.Collect()
 	if drainLive != nil {
@@ -160,35 +171,36 @@ func main() {
 	vm.CloseFleet()
 
 	if *stats {
-		fmt.Fprintf(os.Stderr, "GC:        %s\n", vm.GCStats())
+		fmt.Fprintf(stderr, "GC:        %s\n", vm.GCStats())
 		if pr, ok := vm.Pressure(); ok {
-			fmt.Fprintf(os.Stderr, "pressure:  alloc EWMA %.0f words/s, %d occupancy samples\n",
+			fmt.Fprintf(stderr, "pressure:  alloc EWMA %.0f words/s, %d occupancy samples\n",
 				pr.AllocRateWps, len(pr.Occupancy))
 		}
 		st := vm.AssertionStats()
-		fmt.Fprintf(os.Stderr, "asserted:  %d dead (%d verified), %d unshared, %d owned pairs\n",
+		fmt.Fprintf(stderr, "asserted:  %d dead (%d verified), %d unshared, %d owned pairs\n",
 			st.DeadAsserted, st.DeadVerified, st.UnsharedAsserted, st.OwnedPairsAsserted)
-		fmt.Fprintf(os.Stderr, "violations: %d\n", st.Violations)
+		fmt.Fprintf(stderr, "violations: %d\n", st.Violations)
 		if *fleetURL != "" {
 			fx := vm.FleetExporter()
 			xst := fx.Stats()
-			fmt.Fprintf(os.Stderr, "fleet:     instance %s: %d enqueued, %d sent, %d dropped, %d errors",
+			fmt.Fprintf(stderr, "fleet:     instance %s: %d enqueued, %d sent, %d dropped, %d errors",
 				fx.Identity().InstanceID, xst.Enqueued, xst.Sent, xst.Dropped, xst.Errors)
 			if xst.LastErr != "" {
-				fmt.Fprintf(os.Stderr, " (last: %s)", xst.LastErr)
+				fmt.Fprintf(stderr, " (last: %s)", xst.LastErr)
 			}
-			fmt.Fprintln(os.Stderr)
+			fmt.Fprintln(stderr)
 		}
 		if *fr {
 			fst := vm.Flight().Stats()
-			fmt.Fprintf(os.Stderr, "flight:    %d cycles, %d violations recorded, %d dumps",
+			fmt.Fprintf(stderr, "flight:    %d cycles, %d violations recorded, %d dumps",
 				fst.CyclesRecorded, fst.ViolationsRecorded, fst.Dumps)
 			if fst.LastDumpErr != nil {
-				fmt.Fprintf(os.Stderr, " (last dump error: %v)", fst.LastDumpErr)
+				fmt.Fprintf(stderr, " (last dump error: %v)", fst.LastDumpErr)
 			}
-			fmt.Fprintln(os.Stderr)
+			fmt.Fprintln(stderr)
 		}
 	}
+	return 0
 }
 
 // watchLive subscribes to the runtime's live event feed and consumes it on a
@@ -196,7 +208,7 @@ func main() {
 // -top redraws the in-process dashboard. The returned drain function stops
 // the subscription and waits for buffered frames, so the last collection's
 // output lands before exit-time stats.
-func watchLive(vm *gcassert.Runtime, explain, top bool) func() {
+func watchLive(vm *gcassert.Runtime, explain, top bool, errw io.Writer) func() {
 	ch, cancel := vm.Telemetry().SubscribeLive(256)
 	done := make(chan struct{})
 	model := topview.New()
@@ -210,13 +222,13 @@ func watchLive(vm *gcassert.Runtime, explain, top bool) func() {
 					if ev.TriggerThread != "" {
 						line += fmt.Sprintf(" [top allocator: %s]", ev.TriggerThread)
 					}
-					fmt.Fprintln(os.Stderr, line)
+					fmt.Fprintln(errw, line)
 				}
 			}
 			if top {
 				if model.FeedJSON(frame) == nil {
-					fmt.Fprint(os.Stderr, "\x1b[2J\x1b[H")
-					model.Render(os.Stderr)
+					fmt.Fprint(errw, "\x1b[2J\x1b[H")
+					model.Render(errw)
 				}
 			}
 		}

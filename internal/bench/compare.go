@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gcassert/internal/stats"
+)
+
+// compareAlpha is the two-sided significance level for trajectory verdicts.
+const compareAlpha = 0.05
+
+// Verdict is the outcome of one metric's old-vs-new comparison.
+type Verdict string
+
+// Verdicts. Regressed and Improved are *confident* calls — a Mann–Whitney
+// test rejected "same distribution" at compareAlpha and the medians moved in
+// the respective direction. Unchanged means the test could not tell the runs
+// apart. Info rows carry no statistical claim: either the metric is a scalar
+// with no trial distribution, or it is an absolute time measured on a
+// different machine.
+const (
+	VerdictRegressed Verdict = "REGRESSED"
+	VerdictImproved  Verdict = "improved"
+	VerdictUnchanged Verdict = "~"
+	VerdictInfo      Verdict = "info"
+)
+
+// Delta is one metric's movement between two runs.
+type Delta struct {
+	Workload string  `json:"workload"`
+	Metric   string  `json:"metric"`
+	Unit     string  `json:"unit"` // "pct" or "ns", drives formatting
+	Old      float64 `json:"old"`
+	New      float64 `json:"new"`
+	// P is the Mann–Whitney two-sided p-value over the per-trial samples
+	// (1 when no test ran — scalar metrics, missing data).
+	P       float64 `json:"p"`
+	Verdict Verdict `json:"verdict"`
+	Note    string  `json:"note,omitempty"`
+}
+
+// CompareResult is the full old-vs-new delta table.
+type CompareResult struct {
+	// SameRunner reports whether the two runs' machine fingerprints match;
+	// absolute-nanosecond metrics only get verdicts when they do. Overhead
+	// ratios always get verdicts — each ratio's numerator and denominator
+	// ran interleaved on the same machine, so the ratio travels.
+	SameRunner bool    `json:"same_runner"`
+	Deltas     []Delta `json:"deltas"`
+}
+
+// HasRegression reports whether any metric regressed with confidence.
+func (r *CompareResult) HasRegression() bool {
+	for _, d := range r.Deltas {
+		if d.Verdict == VerdictRegressed {
+			return true
+		}
+	}
+	return false
+}
+
+// verdictFor turns a significance test into a verdict: confident only when
+// the test rejects at compareAlpha; direction from the medians. worseUp
+// means larger values are worse (true for times and overheads).
+func verdictFor(oldMed, newMed, p float64, worseUp bool) Verdict {
+	if p >= compareAlpha || oldMed == newMed {
+		return VerdictUnchanged
+	}
+	worse := newMed > oldMed
+	if !worseUp {
+		worse = !worse
+	}
+	if worse {
+		return VerdictRegressed
+	}
+	return VerdictImproved
+}
+
+func toFloats(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// CompareRuns builds the delta table between two run documents. Both must
+// already be validated (ReadRunDoc does this).
+func CompareRuns(oldDoc, newDoc *RunDoc) *CompareResult {
+	res := &CompareResult{
+		SameRunner: oldDoc.Runner.Fingerprint() == newDoc.Runner.Fingerprint(),
+	}
+	nsNote := ""
+	if !res.SameRunner {
+		nsNote = "different runner — absolute times not comparable"
+	}
+	for _, nw := range newDoc.Workloads {
+		ow := oldDoc.Workload(nw.Name)
+		if ow == nil {
+			res.Deltas = append(res.Deltas, Delta{
+				Workload: nw.Name, Metric: "census overhead", Unit: "pct",
+				New: nw.CensusOverheadPct, P: 1, Verdict: VerdictInfo,
+				Note: "absent in old run",
+			})
+			continue
+		}
+
+		// Overhead ratio: machine-independent, always eligible for a verdict.
+		_, p := stats.MannWhitney(ow.OverheadTrialsPct, nw.OverheadTrialsPct)
+		res.Deltas = append(res.Deltas, Delta{
+			Workload: nw.Name, Metric: "census overhead", Unit: "pct",
+			Old: ow.CensusOverheadPct, New: nw.CensusOverheadPct,
+			P: p, Verdict: verdictFor(ow.CensusOverheadPct, nw.CensusOverheadPct, p, true),
+		})
+
+		// Absolute times: verdicts only on the same runner.
+		for _, m := range []struct {
+			metric   string
+			old, new []int64
+			oldMed   int64
+			newMed   int64
+		}{
+			{"base ns/op", ow.BaseTrialsNs, nw.BaseTrialsNs, ow.BaseMedianNs, nw.BaseMedianNs},
+			{"census ns/op", ow.CensusTrialsNs, nw.CensusTrialsNs, ow.CensusMedianNs, nw.CensusMedianNs},
+		} {
+			d := Delta{
+				Workload: nw.Name, Metric: m.metric, Unit: "ns",
+				Old: float64(m.oldMed), New: float64(m.newMed), P: 1,
+			}
+			if res.SameRunner {
+				_, p := stats.MannWhitney(toFloats(m.old), toFloats(m.new))
+				d.P = p
+				d.Verdict = verdictFor(float64(m.oldMed), float64(m.newMed), p, true)
+			} else {
+				d.Verdict = VerdictInfo
+				d.Note = nsNote
+			}
+			res.Deltas = append(res.Deltas, d)
+		}
+
+		// Pause tail: a single percentile per run, no distribution to test.
+		res.Deltas = append(res.Deltas, Delta{
+			Workload: nw.Name, Metric: "pause p99", Unit: "ns",
+			Old: float64(ow.PauseP99Ns), New: float64(nw.PauseP99Ns),
+			P: 1, Verdict: VerdictInfo,
+			Note: "single sample per run",
+		})
+	}
+	for _, ow := range oldDoc.Workloads {
+		if newDoc.Workload(ow.Name) == nil {
+			res.Deltas = append(res.Deltas, Delta{
+				Workload: ow.Name, Metric: "census overhead", Unit: "pct",
+				Old: ow.CensusOverheadPct, P: 1, Verdict: VerdictInfo,
+				Note: "absent in new run",
+			})
+		}
+	}
+	return res
+}
+
+func fmtDelta(d Delta) (oldS, newS, deltaS string) {
+	switch d.Unit {
+	case "pct":
+		return fmt.Sprintf("%+.2f%%", d.Old), fmt.Sprintf("%+.2f%%", d.New),
+			fmt.Sprintf("%+.2fpp", d.New-d.Old)
+	default:
+		rel := ""
+		if d.Old > 0 {
+			rel = fmt.Sprintf("%+.1f%%", 100*(d.New/d.Old-1))
+		}
+		return time.Duration(d.Old).Round(time.Microsecond).String(),
+			time.Duration(d.New).Round(time.Microsecond).String(), rel
+	}
+}
+
+// PrintCompare renders the delta table with the runner-match preamble.
+func PrintCompare(w io.Writer, oldDoc, newDoc *RunDoc, res *CompareResult) {
+	fmt.Fprintf(w, "old: %s (commit %.12s, %d trials)\n",
+		oldDoc.Runner.Fingerprint(), orNone(oldDoc.Runner.Commit), oldDoc.Trials)
+	fmt.Fprintf(w, "new: %s (commit %.12s, %d trials)\n",
+		newDoc.Runner.Fingerprint(), orNone(newDoc.Runner.Commit), newDoc.Trials)
+	if res.SameRunner {
+		fmt.Fprintln(w, "runner match: yes — absolute-time verdicts enabled")
+	} else {
+		fmt.Fprintln(w, "runner match: no — verdicts on overhead ratios only, absolute times informational")
+	}
+	fmt.Fprintf(w, "%-12s %-16s %12s %12s %10s %7s  %s\n",
+		"workload", "metric", "old", "new", "delta", "p", "verdict")
+	for _, d := range res.Deltas {
+		oldS, newS, deltaS := fmtDelta(d)
+		pS := "-"
+		if d.P < 1 {
+			pS = fmt.Sprintf("%.3f", d.P)
+		}
+		line := fmt.Sprintf("%-12s %-16s %12s %12s %10s %7s  %s",
+			d.Workload, d.Metric, oldS, newS, deltaS, pS, d.Verdict)
+		if d.Note != "" {
+			line += " (" + d.Note + ")"
+		}
+		fmt.Fprintln(w, line)
+	}
+	if res.HasRegression() {
+		fmt.Fprintln(w, "result: CONFIDENT REGRESSION")
+	} else {
+		fmt.Fprintln(w, "result: no confident regression")
+	}
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

@@ -1,0 +1,226 @@
+package loadlab
+
+import (
+	"sort"
+
+	"gcassert/internal/telemetry"
+)
+
+// Attribution decomposes a load run's latency into GC stop-the-world
+// overlap, computed by intersecting every pause window from the telemetry
+// event stream with every request's lifetime.
+//
+// Service overlap is the exact, reconcilable number: with a serial service
+// loop every pause nests inside exactly one request's service window, so
+// ServicePauseNs equals the telemetry pause histogram's sum for the run.
+// Queue overlap counts the same wall-clock pause once per *waiting* request
+// it delayed — deliberately, because that is what the open-loop latency
+// distribution experiences: one 10ms pause with four requests queued behind
+// it costs the tail 50ms of summed latency, not 10ms.
+type Attribution struct {
+	// Collections is the number of pause windows inside the run; their
+	// summed stop-the-world time is PauseTotalNs.
+	Collections  int   `json:"collections"`
+	PauseTotalNs int64 `json:"pause_total_ns"`
+	// ServicePauseNs is pause time overlapping request service windows
+	// (reconciles with the pause histogram); QueuePauseNs is pause time
+	// overlapping open-loop queue waits, summed per delayed request.
+	ServicePauseNs int64 `json:"service_pause_ns"`
+	QueuePauseNs   int64 `json:"queue_pause_ns"`
+	// ByReason groups the service overlap by collection trigger reason;
+	// ByKind attributes it to assertion kinds via each pause's cost rows
+	// (scaled by the pause's overlap share; only the measured slow-path
+	// time is attributable, so the kinds sum to less than the total).
+	ByReason []ReasonPause `json:"by_reason,omitempty"`
+	ByKind   []KindPause   `json:"by_kind,omitempty"`
+	// Slowest holds the top-K requests by end-to-end latency, each with its
+	// per-pause decomposition.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
+}
+
+// ReasonPause is one trigger reason's share of the service overlap.
+type ReasonPause struct {
+	Reason string `json:"reason"`
+	Pauses int    `json:"pauses"`
+	Ns     int64  `json:"ns"`
+}
+
+// KindPause is one assertion kind's attributed share of the service overlap.
+type KindPause struct {
+	Kind string `json:"kind"`
+	Ns   int64  `json:"ns"`
+}
+
+// SlowRequest is one slow request with its latency decomposition.
+type SlowRequest struct {
+	Record
+	// ServicePauseNs and QueuePauseNs split the request's GC overlap
+	// between its execution and its queue wait.
+	ServicePauseNs int64 `json:"service_pause_ns"`
+	QueuePauseNs   int64 `json:"queue_pause_ns"`
+	// Pauses lists the individual collections that touched the request.
+	Pauses []PauseHit `json:"pauses,omitempty"`
+}
+
+// PauseHit is one collection's contribution to one request's latency.
+type PauseHit struct {
+	// EventSeq is the collection's telemetry sequence number; Reason its
+	// mechanical trigger; Trigger the explainer's one-liner (empty without
+	// cost attribution).
+	EventSeq uint64 `json:"event_seq"`
+	Reason   string `json:"reason"`
+	Trigger  string `json:"trigger,omitempty"`
+	// TotalNs is the full pause; ServiceNs and QueueNs its overlap with
+	// this request's service window and queue wait.
+	TotalNs   int64 `json:"total_ns"`
+	ServiceNs int64 `json:"service_ns"`
+	QueueNs   int64 `json:"queue_ns"`
+	// DominantKind names the assertion kind with the largest attributed
+	// slow-path share of the pause (empty without cost attribution).
+	DominantKind  string  `json:"dominant_kind,omitempty"`
+	DominantShare float64 `json:"dominant_share,omitempty"`
+}
+
+func overlap(aStart, aEnd, bStart, bEnd int64) int64 {
+	lo, hi := aStart, aEnd
+	if bStart > lo {
+		lo = bStart
+	}
+	if bEnd < hi {
+		hi = bEnd
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Attribute intersects the run's request records with the GC pause windows
+// in events and returns the full decomposition. events may be the runtime's
+// whole event stream — collections outside the run window are ignored.
+// topK bounds the Slowest list (0 keeps none). The report must come from a
+// Capture run; with no records the result only counts pauses.
+func Attribute(rep *Report, events []telemetry.Event, topK int) *Attribution {
+	at := &Attribution{}
+
+	// Pause windows inside the run, chronological.
+	var evs []telemetry.Event
+	for _, ev := range events {
+		s, e := ev.PauseWindow()
+		if e <= rep.StartUnixNs || s >= rep.EndUnixNs {
+			continue
+		}
+		evs = append(evs, ev)
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].StartUnixNs < evs[j].StartUnixNs })
+	at.Collections = len(evs)
+	for i := range evs {
+		at.PauseTotalNs += evs[i].TotalNs
+	}
+
+	recs := rep.Records
+	svc := make([]int64, len(recs))
+	que := make([]int64, len(recs))
+	reasonIdx := map[string]int{}
+	kindNs := map[string]float64{}
+	var kindOrder []string
+
+	// Event-major sweep. Records are chronological with monotone service
+	// windows, so two cursors (one for service windows, one for queue
+	// waits) never move backwards.
+	si, qi := 0, 0
+	for i := range evs {
+		es, ee := evs[i].PauseWindow()
+
+		// Service windows: [Start, End). At most a few records intersect.
+		for si < len(recs) && recs[si].EndUnixNs <= es {
+			si++
+		}
+		var evSvc int64
+		for j := si; j < len(recs) && recs[j].StartUnixNs < ee; j++ {
+			o := overlap(recs[j].StartUnixNs, recs[j].EndUnixNs, es, ee)
+			svc[j] += o
+			evSvc += o
+		}
+		at.ServicePauseNs += evSvc
+
+		// Queue waits: [Arrival, Start). One pause can delay many queued
+		// arrivals; each delayed request counts its own wait.
+		for qi < len(recs) && recs[qi].StartUnixNs <= es {
+			qi++
+		}
+		for j := qi; j < len(recs) && recs[j].ArrivalUnixNs < ee; j++ {
+			o := overlap(recs[j].ArrivalUnixNs, recs[j].StartUnixNs, es, ee)
+			que[j] += o
+			at.QueuePauseNs += o
+		}
+
+		// Blame: by trigger reason (full service overlap) and by assertion
+		// kind (each kind's measured slow-path time, scaled by how much of
+		// the pause the run's requests actually absorbed — 1.0 when nested).
+		ri, ok := reasonIdx[evs[i].Reason]
+		if !ok {
+			ri = len(at.ByReason)
+			reasonIdx[evs[i].Reason] = ri
+			at.ByReason = append(at.ByReason, ReasonPause{Reason: evs[i].Reason})
+		}
+		at.ByReason[ri].Pauses++
+		at.ByReason[ri].Ns += evSvc
+		if evs[i].TotalNs > 0 {
+			frac := float64(evSvc) / float64(evs[i].TotalNs)
+			for _, c := range evs[i].Costs {
+				if _, seen := kindNs[c.Kind]; !seen {
+					kindOrder = append(kindOrder, c.Kind)
+				}
+				kindNs[c.Kind] += frac * float64(c.Ns)
+			}
+		}
+	}
+	for _, k := range kindOrder {
+		at.ByKind = append(at.ByKind, KindPause{Kind: k, Ns: int64(kindNs[k])})
+	}
+	sort.Slice(at.ByKind, func(i, j int) bool { return at.ByKind[i].Ns > at.ByKind[j].Ns })
+	sort.Slice(at.ByReason, func(i, j int) bool { return at.ByReason[i].Ns > at.ByReason[j].Ns })
+
+	// Slowest requests, by end-to-end latency, with per-pause detail.
+	if topK > 0 && len(recs) > 0 {
+		order := make([]int, len(recs))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			return recs[order[i]].LatencyNs() > recs[order[j]].LatencyNs()
+		})
+		if topK > len(order) {
+			topK = len(order)
+		}
+		for _, idx := range order[:topK] {
+			r := recs[idx]
+			slow := SlowRequest{Record: r, ServicePauseNs: svc[idx], QueuePauseNs: que[idx]}
+			// Pauses touching [Arrival, End): evs is sorted with
+			// non-overlapping windows, so scan from the first whose end is
+			// past the window start.
+			lo := sort.Search(len(evs), func(i int) bool {
+				_, e := evs[i].PauseWindow()
+				return e > r.ArrivalUnixNs
+			})
+			for i := lo; i < len(evs) && evs[i].StartUnixNs < r.EndUnixNs; i++ {
+				es, ee := evs[i].PauseWindow()
+				hit := PauseHit{
+					EventSeq:  evs[i].Seq,
+					Reason:    evs[i].Reason,
+					Trigger:   evs[i].Trigger,
+					TotalNs:   evs[i].TotalNs,
+					ServiceNs: overlap(r.StartUnixNs, r.EndUnixNs, es, ee),
+					QueueNs:   overlap(r.ArrivalUnixNs, r.StartUnixNs, es, ee),
+				}
+				hit.DominantKind, hit.DominantShare = evs[i].DominantCost()
+				if hit.ServiceNs > 0 || hit.QueueNs > 0 {
+					slow.Pauses = append(slow.Pauses, hit)
+				}
+			}
+			at.Slowest = append(at.Slowest, slow)
+		}
+	}
+	return at
+}

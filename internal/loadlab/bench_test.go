@@ -1,0 +1,54 @@
+package loadlab
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkLoadlabOff is the acceptance gate for the lab's disabled mode:
+// with Capture off, the per-request path (schedule arithmetic, clock reads,
+// the op dispatch) performs zero Go allocations, so a throughput-only run
+// adds nothing to what it measures. Self-asserted in-line like the other
+// *Off gates so `go test -bench BenchmarkLoadlabOff` fails loudly on a
+// regression.
+func BenchmarkLoadlabOff(b *testing.B) {
+	var sink int
+	op := func(seq int) { sink += seq }
+
+	// One warm run settles anything lazily initialized, then the gate: an
+	// entire 100k-request capture-off run may allocate only its Report —
+	// a handful of allocations total, i.e. 0 on the request path.
+	const requests = 100_000
+	if _, err := Run(Options{RPS: 1e9, Requests: 64}, op); err != nil {
+		b.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		if _, err := Run(Options{RPS: 1e9, Requests: requests}, op); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if perReq := allocs / requests; perReq > 0.0001 {
+		b.Fatalf("capture-off request path allocates %.4f times/op, want 0 (%.0f total)", perReq, allocs)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Run(Options{RPS: 1e9, Requests: b.N}, op); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkLoadlabCapture measures the enabled-mode per-request overhead
+// (records + three histogram observes) for the EXPERIMENTS table.
+func BenchmarkLoadlabCapture(b *testing.B) {
+	var sink int
+	b.ReportAllocs()
+	rep, err := Run(Options{RPS: 1e9, Requests: b.N, Capture: true}, func(seq int) { sink += seq })
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Latency.Count() != uint64(b.N) {
+		b.Fatalf("captured %d, want %d", rep.Latency.Count(), b.N)
+	}
+	_ = time.Duration(sink)
+}

@@ -1,0 +1,30 @@
+package loadlab
+
+import "gcassert/internal/telemetry"
+
+// EventLog is a lossless tap on a runtime's GC event stream: unlike the
+// telemetry ring (bounded, evicts) and the live SSE feed (drops frames for
+// slow subscribers), it retains every collection of the run, which is what
+// exact pause attribution needs. It hooks telemetry.Tracer.OnRecord, so the
+// append happens synchronously inside the stop-the-world pause — one slice
+// append per collection, nothing on the managed heap.
+type EventLog struct {
+	events []telemetry.Event
+}
+
+// NewEventLog installs a lossless event tap on the tracer. Install it before
+// driving load; call Close (or Tracer.OnRecord(nil)) when done.
+func NewEventLog(t *telemetry.Tracer) *EventLog {
+	l := &EventLog{}
+	t.OnRecord(func(ev *telemetry.Event) {
+		// Copy the value; the slices inside stay shared with the ring and
+		// are treated as read-only by attribution.
+		l.events = append(l.events, *ev)
+	})
+	return l
+}
+
+// Events returns every collection recorded since the tap was installed,
+// oldest first. Call only after load has stopped (the tap appends inside
+// collections).
+func (l *EventLog) Events() []telemetry.Event { return l.events }

@@ -1,0 +1,75 @@
+package loadlab
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gcassert/internal/stats"
+)
+
+// fmtNs renders a nanosecond quantity for the report (10µs resolution —
+// SLO numbers, not microbenchmarks).
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}
+
+func writeTail(w io.Writer, label string, h *stats.LogHist) {
+	p50, p99, p999, max := h.Tail()
+	fmt.Fprintf(w, "%-9s p50 %-10v p99 %-10v p999 %-10v max %v\n",
+		label, p50.Round(10*time.Microsecond), p99.Round(10*time.Microsecond),
+		p999.Round(10*time.Microsecond), max.Round(10*time.Microsecond))
+}
+
+// WriteReport renders the human-readable latency report: the SLO quantiles
+// per component, then the GC attribution (at may be nil for a capture-off
+// run).
+func WriteReport(w io.Writer, rep *Report, at *Attribution) {
+	fmt.Fprintf(w, "requests: %d @ %g rps target, %.1f rps achieved\n",
+		rep.Requests, rep.RPS, rep.AchievedRPS())
+	if rep.Records == nil {
+		fmt.Fprintln(w, "latency:  not captured (capture disabled)")
+		return
+	}
+	writeTail(w, "latency:", &rep.Latency)
+	writeTail(w, "service:", &rep.Service)
+	writeTail(w, "queue:", &rep.Queue)
+	if at == nil {
+		return
+	}
+	fmt.Fprintf(w, "GC:       %d pauses, %s stop-the-world inside the run; %s hit request service, %s hit queued arrivals\n",
+		at.Collections, fmtNs(at.PauseTotalNs), fmtNs(at.ServicePauseNs), fmtNs(at.QueuePauseNs))
+	for i, r := range at.ByReason {
+		label := "by trigger:"
+		if i > 0 {
+			label = ""
+		}
+		fmt.Fprintf(w, "  %-11s %-16s %8s over %d pause(s)\n", label, r.Reason, fmtNs(r.Ns), r.Pauses)
+	}
+	for i, k := range at.ByKind {
+		label := "by kind:"
+		if i > 0 {
+			label = ""
+		}
+		fmt.Fprintf(w, "  %-11s %-16s %8s\n", label, k.Kind, fmtNs(k.Ns))
+	}
+	if len(at.Slowest) > 0 {
+		fmt.Fprintln(w, "slowest requests:")
+		for _, s := range at.Slowest {
+			fmt.Fprintf(w, "  #%-6d %s latency (%s service + %s queued), GC overlap %s service + %s queued\n",
+				s.Seq, fmtNs(s.LatencyNs()), fmtNs(s.ServiceNs()), fmtNs(s.QueueNs()),
+				fmtNs(s.ServicePauseNs), fmtNs(s.QueuePauseNs))
+			for _, h := range s.Pauses {
+				line := fmt.Sprintf("          gc %d (%s): %s pause, %s in-service, %s queued",
+					h.EventSeq, h.Reason, fmtNs(h.TotalNs), fmtNs(h.ServiceNs), fmtNs(h.QueueNs))
+				if h.DominantKind != "" {
+					line += fmt.Sprintf(", dominated by %s (%.0f%%)", h.DominantKind, 100*h.DominantShare)
+				}
+				fmt.Fprintln(w, line)
+				if h.Trigger != "" {
+					fmt.Fprintf(w, "            trigger: %s\n", h.Trigger)
+				}
+			}
+		}
+	}
+}

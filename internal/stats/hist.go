@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// LogHist is a log-bucketed duration histogram for request latencies: bucket
+// upper bounds double from 1µs, so the whole SLO-relevant range (microseconds
+// to tens of seconds) fits in a few dozen counters while tail quantiles stay
+// within one doubling of the truth. Unlike telemetry.Histogram it is a plain
+// single-goroutine value — the load driver owns one per latency component and
+// only ever touches it from the service loop — so Observe is a handful of
+// integer operations and never allocates.
+type LogHist struct {
+	counts [logHistBuckets + 1]uint64 // last bucket is the +Inf overflow
+	count  uint64
+	sumNs  int64
+	maxNs  int64
+	minNs  int64
+}
+
+// logHistBuckets spans 1µs..~34s in doublings, matching the telemetry pause
+// histogram so latency and pause distributions read on the same scale.
+const logHistBuckets = 26
+
+// logHistBound returns bucket i's upper bound in nanoseconds.
+func logHistBound(i int) int64 { return int64(1000) << uint(i) }
+
+// Observe records one duration.
+func (h *LogHist) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for i < logHistBuckets && ns > logHistBound(i) {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sumNs += ns
+	if ns > h.maxNs {
+		h.maxNs = ns
+	}
+	if h.count == 1 || ns < h.minNs {
+		h.minNs = ns
+	}
+}
+
+// Count returns the number of observations.
+func (h *LogHist) Count() uint64 { return h.count }
+
+// Sum returns the total of all observations.
+func (h *LogHist) Sum() time.Duration { return time.Duration(h.sumNs) }
+
+// Max returns the largest observation (0 when empty).
+func (h *LogHist) Max() time.Duration { return time.Duration(h.maxNs) }
+
+// Min returns the smallest observation (0 when empty).
+func (h *LogHist) Min() time.Duration { return time.Duration(h.minNs) }
+
+// Mean returns the mean observation (0 when empty).
+func (h *LogHist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs / int64(h.count))
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the bucket holding the target rank, clamped to [Min, Max] so q=0
+// and q=1 are exact.
+func (h *LogHist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = logHistBound(i - 1)
+			}
+			hi := h.maxNs
+			if i < logHistBuckets && logHistBound(i) < hi {
+				hi = logHistBound(i)
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(c)
+			est := lo + int64(frac*float64(hi-lo))
+			if est > h.maxNs {
+				est = h.maxNs
+			}
+			if est < h.minNs {
+				est = h.minNs
+			}
+			return time.Duration(est)
+		}
+		cum += float64(c)
+	}
+	return h.Max()
+}
+
+// Tail returns the SLO quantile set in one call: p50, p99, p999, and the
+// exact maximum.
+func (h *LogHist) Tail() (p50, p99, p999, max time.Duration) {
+	return h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Max()
+}
+
+// Buckets returns the non-empty (upperBoundNs, count) pairs, low to high
+// (the overflow bucket reports upper bound math.MaxInt64). For exports.
+func (h *LogHist) Buckets() (bounds []int64, counts []uint64) {
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		b := int64(math.MaxInt64)
+		if i < logHistBuckets {
+			b = logHistBound(i)
+		}
+		bounds = append(bounds, b)
+		counts = append(counts, c)
+	}
+	return bounds, counts
+}

@@ -1,0 +1,124 @@
+// Mann–Whitney U (Wilcoxon rank-sum): the significance test the benchmark
+// trajectory pipeline uses to decide whether two runs really differ, the same
+// choice benchstat makes. It is non-parametric — benchmark trial times are
+// skewed and occasionally bimodal, so t-tests on means routinely lie about
+// them — and it works on the small sample counts (5–20 trials) the harness
+// collects.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitney performs a two-sided Mann–Whitney U test of whether a and b
+// come from the same distribution. It returns the U statistic for a and the
+// two-sided p-value computed with the normal approximation, tie correction
+// and continuity correction.
+//
+// With fewer than 3 observations on either side no outcome can be
+// significant at any conventional level, so p = 1 is returned — callers
+// never mistake an underpowered comparison for a confident one.
+func MannWhitney(a, b []float64) (u, p float64) {
+	n1, n2 := len(a), len(b)
+	if n1 < 3 || n2 < 3 {
+		return float64(n1) * float64(n2) / 2, 1
+	}
+
+	// Rank the pooled sample, mid-ranking ties.
+	type obs struct {
+		v    float64
+		from int // 0 = a, 1 = b
+	}
+	pooled := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		pooled = append(pooled, obs{v, 0})
+	}
+	for _, v := range b {
+		pooled = append(pooled, obs{v, 1})
+	}
+	sort.Slice(pooled, func(i, j int) bool { return pooled[i].v < pooled[j].v })
+
+	n := float64(n1 + n2)
+	ranks := make([]float64, len(pooled))
+	tieTerm := 0.0 // Σ (t³ − t) over tie groups, for the variance correction
+	for i := 0; i < len(pooled); {
+		j := i
+		for j < len(pooled) && pooled[j].v == pooled[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		if t := float64(j - i); t > 1 {
+			tieTerm += t*t*t - t
+		}
+		i = j
+	}
+
+	r1 := 0.0
+	for i, o := range pooled {
+		if o.from == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u = r1 - float64(n1)*float64(n1+1)/2
+
+	mean := float64(n1) * float64(n2) / 2
+	variance := float64(n1) * float64(n2) / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if variance <= 0 {
+		// Every observation tied: the samples are literally identical.
+		return u, 1
+	}
+	z := u - mean
+	// Continuity correction toward the mean.
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	p = math.Erfc(math.Abs(z) / math.Sqrt2)
+	if p > 1 {
+		p = 1
+	}
+	return u, p
+}
+
+// Quantile returns the exact q-quantile of xs by linear interpolation
+// between order statistics (the "R-7" estimator). 0 for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[i] + frac*(s[i+1]-s[i])
+}
+
+// SpreadPct is the interquartile range of xs as a percentage of its median —
+// the robust "how noisy were the trials" number stamped next to every
+// median-of-trials result. 0 when the median is 0 or xs is empty.
+func SpreadPct(xs []float64) float64 {
+	m := Median(xs)
+	if m == 0 {
+		return 0
+	}
+	return 100 * (Quantile(xs, 0.75) - Quantile(xs, 0.25)) / m
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestMannWhitneyIdenticalSamples(t *testing.T) {
+	a := []float64{5, 6, 7, 8, 9}
+	u, p := MannWhitney(a, a)
+	if want := float64(len(a)*len(a)) / 2; u != want {
+		t.Errorf("U = %v, want %v for identical samples", u, want)
+	}
+	if p < 0.99 {
+		t.Errorf("p = %v, want ~1 for identical samples", p)
+	}
+}
+
+func TestMannWhitneyClearSeparation(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float64{101, 102, 103, 104, 105, 106, 107, 108}
+	_, p := MannWhitney(a, b)
+	if p >= 0.01 {
+		t.Errorf("p = %v, want < 0.01 for fully separated samples", p)
+	}
+	// Symmetry: order of the arguments must not change the verdict.
+	_, p2 := MannWhitney(b, a)
+	if math.Abs(p-p2) > 1e-12 {
+		t.Errorf("p not symmetric: %v vs %v", p, p2)
+	}
+}
+
+func TestMannWhitneyInjectedSlowdown(t *testing.T) {
+	// The shape the trajectory gate sees: ~10 noisy trials, new build 30%
+	// slower. Deterministic noise so the test cannot flake.
+	rng := rand.New(rand.NewSource(7))
+	old := make([]float64, 10)
+	slow := make([]float64, 10)
+	for i := range old {
+		base := 100 + 3*rng.Float64()
+		old[i] = base
+		slow[i] = base*1.3 + 3*rng.Float64()
+	}
+	_, p := MannWhitney(old, slow)
+	if p >= 0.05 {
+		t.Errorf("p = %v, want < 0.05 for a 30%% slowdown over 10 trials", p)
+	}
+}
+
+func TestMannWhitneyUnderpowered(t *testing.T) {
+	if _, p := MannWhitney([]float64{1, 2}, []float64{100, 200, 300}); p != 1 {
+		t.Errorf("p = %v, want 1 when a side has fewer than 3 observations", p)
+	}
+	if _, p := MannWhitney(nil, nil); p != 1 {
+		t.Errorf("p = %v, want 1 for empty samples", p)
+	}
+}
+
+func TestMannWhitneyAllTied(t *testing.T) {
+	a := []float64{4, 4, 4, 4}
+	if _, p := MannWhitney(a, a); p != 1 {
+		t.Errorf("p = %v, want 1 when every observation is tied", p)
+	}
+}
+
+func TestQuantileExact(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile of empty slice should be 0")
+	}
+}
+
+func TestSpreadPct(t *testing.T) {
+	// Median 100, q25 = 97.5, q75 = 102.5 → IQR 5 → 5%.
+	xs := []float64{95, 100, 105}
+	if got := SpreadPct(xs); math.Abs(got-5) > 1e-9 {
+		t.Errorf("SpreadPct = %v, want 5", got)
+	}
+	if SpreadPct(nil) != 0 {
+		t.Error("SpreadPct of empty slice should be 0")
+	}
+}
+
+func TestLogHistTail(t *testing.T) {
+	var h LogHist
+	// 1000 fast requests at ~1ms, five slow outliers at 50ms: the outliers
+	// are past the p999 rank, so the tail quantile must surface them.
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+
+	p50, p99, p999, max := h.Tail()
+	if max != 50*time.Millisecond {
+		t.Errorf("max = %v, want 50ms", max)
+	}
+	if p50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want ≤ 2ms", p50)
+	}
+	if p99 > 2*time.Millisecond {
+		t.Errorf("p99 = %v, want ≤ 2ms (outliers are 5 in 1005)", p99)
+	}
+	// The outliers hold the p999+ range: the estimate must land within their
+	// bucket, well above the fast mass.
+	if p999 < 10*time.Millisecond || p999 > 50*time.Millisecond {
+		t.Errorf("p999 = %v, want within the outliers' bucket", p999)
+	}
+	if h.Count() != 1005 {
+		t.Errorf("count = %d, want 1005", h.Count())
+	}
+	if want := 1000*time.Millisecond + 250*time.Millisecond; h.Sum() != want {
+		t.Errorf("sum = %v, want %v", h.Sum(), want)
+	}
+	if h.Min() != time.Millisecond {
+		t.Errorf("min = %v, want 1ms", h.Min())
+	}
+}
+
+func TestLogHistEmptyAndClamps(t *testing.T) {
+	var h LogHist
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	h.Observe(-time.Second) // negative durations clamp to 0
+	if h.Max() != 0 || h.Min() != 0 {
+		t.Errorf("negative observation should clamp: max=%v min=%v", h.Max(), h.Min())
+	}
+	h.Observe(100 * time.Second) // beyond the last bound: overflow bucket
+	if h.Quantile(1) != 100*time.Second {
+		t.Errorf("q=1 should be the exact max, got %v", h.Quantile(1))
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 2 || counts[0] != 1 || counts[1] != 1 {
+		t.Errorf("buckets = %v %v, want two single-count buckets", bounds, counts)
+	}
+}
+
+func TestLogHistQuantileMonotone(t *testing.T) {
+	var h LogHist
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		h.Observe(time.Duration(rng.Int63n(int64(time.Second))))
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -136,3 +136,28 @@ func (e *Event) PhaseNs(phase string) int64 {
 
 // Start returns the event's wall-clock start time.
 func (e *Event) Start() time.Time { return time.Unix(0, e.StartUnixNs) }
+
+// PauseWindow returns the collection's stop-the-world window as Unix
+// nanoseconds: [start, start+total). Request-latency attribution intersects
+// these windows with request lifetimes.
+func (e *Event) PauseWindow() (startNs, endNs int64) {
+	return e.StartUnixNs, e.StartUnixNs + e.TotalNs
+}
+
+// DominantCost returns the assertion kind with the largest attributed
+// slow-path time in this collection, with its share of the attributed total
+// (0..1). Empty when the event carries no cost attribution or no kind
+// recorded any slow-path time.
+func (e *Event) DominantCost() (kind string, share float64) {
+	var total, best int64
+	for _, c := range e.Costs {
+		total += c.Ns
+		if c.Ns > best {
+			best, kind = c.Ns, c.Kind
+		}
+	}
+	if total <= 0 {
+		return "", 0
+	}
+	return kind, float64(best) / float64(total)
+}

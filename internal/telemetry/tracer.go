@@ -45,6 +45,10 @@ type Tracer struct {
 	violCap  int
 	violSeen uint64
 
+	// onRecord, when set, observes every event synchronously at the end of
+	// Record — see OnRecord.
+	onRecord func(*Event)
+
 	hmu         sync.Mutex
 	heapProfile func(io.Writer) error
 	censusFn    func(w io.Writer, n int) error
@@ -191,7 +195,21 @@ func (t *Tracer) Record(ev *Event) {
 			Set(int64(ev.AllocRateWps + 0.5))
 	}
 	t.live.publish(ev)
+	if t.onRecord != nil {
+		t.onRecord(ev)
+	}
 }
+
+// OnRecord installs a synchronous event listener invoked at the end of every
+// Record call, after the ring and metrics are updated. Unlike the ring (which
+// evicts) and the live feed (which drops frames for slow subscribers), the
+// listener sees every collection exactly once — the lossless tap the latency
+// lab's pause attribution depends on. It runs inside the stop-the-world
+// pause on the collecting goroutine, so it must be brief, must not touch the
+// managed heap, and must not call back into the runtime. The event is shared
+// with the ring: treat it as read-only. Install the listener before the
+// workload starts (Record and OnRecord must not race); nil uninstalls.
+func (t *Tracer) OnRecord(fn func(*Event)) { t.onRecord = fn }
 
 // Events returns a snapshot of the retained GC events, oldest first.
 func (t *Tracer) Events() []Event { return t.ring.Snapshot() }

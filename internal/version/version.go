@@ -11,6 +11,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"runtime/debug"
 	"sync"
@@ -28,6 +29,31 @@ type Build struct {
 	VCSRevision string `json:"vcs_revision,omitempty"`
 	VCSTime     string `json:"vcs_time,omitempty"`
 	Dirty       bool   `json:"dirty,omitempty"`
+}
+
+// String renders the build on one line — the -version output shared by
+// every cmd tool, so fleet operators can match a binary to a commit.
+func (b Build) String() string {
+	s := b.Version
+	if b.VCSRevision != "" {
+		rev := b.VCSRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " " + rev
+		if b.Dirty {
+			s += "+dirty"
+		}
+		if b.VCSTime != "" {
+			s += " (" + b.VCSTime + ")"
+		}
+	}
+	return s + " " + b.GoVersion
+}
+
+// Print writes the canonical `tool -version` line for a cmd tool.
+func Print(w io.Writer, tool string) {
+	fmt.Fprintf(w, "%s %s\n", tool, CurrentBuild())
 }
 
 var (
