@@ -1,0 +1,98 @@
+// Command gcassertd runs the multi-tenant GC-assertion service: many
+// isolated gcassert runtimes — each with its own heap, collector
+// configuration, assertion policy, and telemetry — driven over HTTP/JSON.
+//
+// Usage:
+//
+//	gcassertd [-addr :9470] [-instance ID] [-fleet URL]
+//	          [-max-tenants N] [-max-heap MiB] [-default-heap MiB]
+//
+// API (see internal/assertd for the full contract):
+//
+//	POST   /tenants                  {"id": "t1", "options": {"heap_mib": 16, "react": {"dead": "log"}}}
+//	POST   /tenants/t1/program       MJ source body
+//	POST   /tenants/t1/drive         {"requests": 100, "collect": true}
+//	GET    /tenants/t1               per-tenant stats (also /tenants for all)
+//	GET    /tenants/t1/violations    SSE violation stream
+//	GET    /tenants/t1/events        SSE GC event stream (?replay=N)
+//	DELETE /tenants/t1
+//	GET    /metrics                  Prometheus text, tenant label on per-tenant series
+//
+// With -fleet, every tenant exports census envelopes to the gcfleet
+// collector under the composed instance ID "<instance>/<tenant>", so
+// cross-instance leak diffing sees each tenant as its own instance.
+//
+// Exit status: 0 on success (clean shutdown), 1 when the listener cannot be
+// opened or serving fails, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"gcassert/internal/assertd"
+	"gcassert/internal/version"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit: 0 on success, 1 for listen/serve
+// failures, 2 on usage errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gcassertd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":9470", "listen address")
+	instance := fs.String("instance", "", "host instance ID; tenants export as ID/tenant (empty = generated per tenant)")
+	fleetURL := fs.String("fleet", "", "gcfleet collector base URL for per-tenant census export")
+	maxTenants := fs.Int("max-tenants", 256, "maximum concurrent tenants")
+	maxHeap := fs.Int("max-heap", 256, "per-tenant heap cap, MiB")
+	defaultHeap := fs.Int("default-heap", 16, "heap for tenants that don't choose, MiB")
+	showVersion := fs.Bool("version", false, "print build identity and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVersion {
+		version.Print(stdout, "gcassertd")
+		return 0
+	}
+
+	usage := func(msg string) int {
+		fmt.Fprintln(stderr, "gcassertd: usage: "+msg)
+		return 2
+	}
+	if fs.NArg() != 0 {
+		return usage("gcassertd takes no positional arguments")
+	}
+	if *maxTenants <= 0 || *maxHeap <= 0 || *defaultHeap <= 0 {
+		return usage("-max-tenants, -max-heap and -default-heap must be positive")
+	}
+
+	s := assertd.NewServer(assertd.Config{
+		InstanceID:     *instance,
+		FleetURL:       *fleetURL,
+		MaxTenants:     *maxTenants,
+		MaxHeapMiB:     *maxHeap,
+		DefaultHeapMiB: *defaultHeap,
+	})
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "gcassertd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "gcassertd: listening on %s (max %d tenants, %d MiB heap cap)\n",
+		ln.Addr(), *maxTenants, *maxHeap)
+	if err := (&http.Server{Handler: s.Handler()}).Serve(ln); err != nil &&
+		err != http.ErrServerClosed {
+		fmt.Fprintln(stderr, "gcassertd:", err)
+		return 1
+	}
+	return 0
+}

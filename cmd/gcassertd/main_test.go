@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}},
+		{"positional arg", []string{"stray"}},
+		{"zero max-tenants", []string{"-max-tenants", "0"}},
+		{"negative max-heap", []string{"-max-heap", "-1"}},
+		{"zero default-heap", []string{"-default-heap", "0"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 2 {
+				t.Fatalf("run(%v) = %d, want 2; stderr: %s", tc.args, code, errb.String())
+			}
+			if errb.Len() == 0 {
+				t.Errorf("usage error produced no diagnostics")
+			}
+		})
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-version) = %d; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "gcassertd") {
+		t.Errorf("version output %q does not name the tool", out.String())
+	}
+}
+
+func TestRunListenFailure(t *testing.T) {
+	// Occupy a port so the server's own listen fails: a data error (1).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-addr", ln.Addr().String()}, &out, &errb); code != 1 {
+		t.Fatalf("run on occupied port = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "address already in use") &&
+		!strings.Contains(errb.String(), "bind") {
+		t.Errorf("unexpected listen diagnostics: %s", errb.String())
+	}
+}

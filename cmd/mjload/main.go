@@ -16,6 +16,15 @@
 //	mjload [-rps R] [-n N] [-heap MiB] [-workers N] [-slowest K] [-json]
 //	       program.mj
 //	mjload -workload _209_db [flags]
+//	mjload -server URL [-tenants N] [-prefix NAME] [-keep] [flags] program.mj
+//
+// With -server, mjload is the client of a running gcassertd instead of an
+// in-process lab: it provisions -tenants tenants on the service, submits
+// the program to each, and drives every tenant as its own concurrent
+// open-loop session at -rps (aggregate arrival rate = tenants × rps). The
+// report shows aggregate and per-tenant latency tails plus the violation
+// rate per million requests; -keep leaves the tenants (and their /metrics
+// series) on the server for inspection afterwards.
 //
 // The report decomposes each latency component and blames GC stop-the-world
 // time per trigger reason and per assertion kind (via the runtime's cost
@@ -41,6 +50,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"gcassert"
 	"gcassert/internal/bench/workloads"
@@ -67,6 +77,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	slowest := fs.Int("slowest", 3, "slowest requests to decompose pause-by-pause (0 = none)")
 	workload := fs.String("workload", "", "drive a bench workload iteration instead of an MJ program")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	server := fs.String("server", "", "drive a remote gcassertd at this base URL instead of an in-process runtime")
+	tenants := fs.Int("tenants", 8, "concurrent tenant sessions to provision and drive (-server mode)")
+	prefix := fs.String("prefix", "load", "tenant name prefix (-server mode)")
+	keep := fs.Bool("keep", false, "leave the provisioned tenants on the server after the run (-server mode)")
 	showVersion := fs.Bool("version", false, "print build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -85,6 +99,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	if *server != "" {
+		if *workload != "" {
+			return usage("-server drives MJ programs only (no -workload)")
+		}
+		if fs.NArg() != 1 {
+			return usage("mjload -server URL [flags] program.mj")
+		}
+		if *rps <= 0 || *n <= 0 || *tenants <= 0 {
+			return usage("-rps, -n and -tenants must be positive")
+		}
+		src, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return dataErr(err)
+		}
+		heapMiB := *heapMB
+		if heapMiB == 0 {
+			heapMiB = 16
+		}
+		return runServer(serverRun{
+			url:     strings.TrimRight(*server, "/"),
+			tenants: *tenants,
+			prefix:  *prefix,
+			keep:    *keep,
+			rps:     *rps,
+			n:       *n,
+			heapMiB: heapMiB,
+			workers: *workers,
+			jsonOut: *jsonOut,
+			src:     string(src),
+		}, stdout, stderr)
+	}
 	if (*workload == "") == (fs.NArg() != 1) {
 		return usage("mjload [flags] program.mj  |  mjload -workload name [flags]")
 	}

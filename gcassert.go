@@ -245,6 +245,12 @@ type Options struct {
 	// replicas, where the content hash (not the name) is the identity that
 	// matters.
 	InstanceID string
+	// Tenant, when non-empty, names this runtime as one tenant of a
+	// multi-runtime host (gcassertd): exported artifacts carry the composed
+	// instance ID "InstanceID/Tenant", so tenants sharing the host's
+	// InstanceID remain distinct instances at the fleet collector instead
+	// of colliding. Cross-tenant leak diffing in gcfleet depends on this.
+	Tenant string
 	// FleetURL enables the fleet exporter when non-empty: every FleetEvery
 	// full collections the census snapshot is sealed into a
 	// content-addressed envelope and shipped to the gcfleet collector at
@@ -317,6 +323,7 @@ func New(opts Options) *Runtime {
 		FlightRecorder:    opts.FlightRecorder,
 		FlightCycles:      opts.FlightCycles,
 		InstanceID:        opts.InstanceID,
+		Tenant:            opts.Tenant,
 		FleetURL:          opts.FleetURL,
 		FleetEvery:        opts.FleetEvery,
 	})}

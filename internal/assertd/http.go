@@ -1,0 +1,274 @@
+package assertd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxProgramBytes bounds a submitted MJ source body.
+const maxProgramBytes = 1 << 20
+
+// maxDriveBatch bounds one drive batch: the service loop runs the batch to
+// completion, so an unbounded batch would let one client monopolize its
+// tenant far past any request timeout.
+const maxDriveBatch = 100_000
+
+// Handler returns the service's HTTP surface:
+//
+//	GET    /healthz                  liveness
+//	GET    /metrics                  Prometheus text (tenant label on every per-tenant series)
+//	POST   /tenants                  create  {"id": ..., "options": {...}}
+//	GET    /tenants                  list    [TenantStats]
+//	GET    /tenants/{id}             stats   TenantStats
+//	DELETE /tenants/{id}             delete
+//	POST   /tenants/{id}/program     submit MJ source (raw body) -> ProgramInfo
+//	POST   /tenants/{id}/drive       {"requests": N, "collect": bool} -> DriveResult
+//	POST   /tenants/{id}/collect     force one collection
+//	GET    /tenants/{id}/violations  SSE stream of ViolationFrame JSON
+//	GET    /tenants/{id}/events      SSE stream of GC events (?replay=N)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("POST /tenants", s.handleCreate)
+	mux.HandleFunc("GET /tenants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /tenants/{id}", s.withTenant(func(t *Tenant, w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, t.Stats())
+	}))
+	mux.HandleFunc("DELETE /tenants/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.DeleteTenant(r.PathValue("id")); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
+	})
+	mux.HandleFunc("POST /tenants/{id}/program", s.withTenant(s.handleProgram))
+	mux.HandleFunc("POST /tenants/{id}/drive", s.withTenant(s.handleDrive))
+	mux.HandleFunc("POST /tenants/{id}/collect", s.withTenant(func(t *Tenant, w http.ResponseWriter, r *http.Request) {
+		if err := t.Collect(); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, t.Stats())
+	}))
+	mux.HandleFunc("GET /tenants/{id}/violations", s.withTenant(s.handleViolations))
+	mux.HandleFunc("GET /tenants/{id}/events", s.withTenant(s.handleEvents))
+	return mux
+}
+
+// withTenant resolves {id} and 404s unknown tenants.
+func (s *Server) withTenant(h func(*Tenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, ok := s.Tenant(r.PathValue("id"))
+		if !ok {
+			writeError(w, fmt.Errorf("%w: %s", ErrTenantNotFound, r.PathValue("id")))
+			return
+		}
+		h(t, w, r)
+	}
+}
+
+// CreateRequest is the POST /tenants body.
+type CreateRequest struct {
+	ID      string        `json:"id"`
+	Options TenantOptions `json:"options"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, "bad create body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	t, err := s.CreateTenant(req.ID, req.Options)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, t.Stats())
+}
+
+func (s *Server) handleProgram(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	src, err := io.ReadAll(io.LimitReader(r.Body, maxProgramBytes+1))
+	if err != nil {
+		http.Error(w, "reading program: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(src) > maxProgramBytes {
+		http.Error(w, "program too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	info, err := t.Submit(string(src))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// DriveRequest is the POST /tenants/{id}/drive body. It matches the
+// loadlab.HTTPDrive wire contract on the request side; DriveResult matches
+// it on the response side.
+type DriveRequest struct {
+	Requests int  `json:"requests"`
+	Collect  bool `json:"collect,omitempty"`
+}
+
+func (s *Server) handleDrive(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	var req DriveRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, "bad drive body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Requests <= 0 {
+		req.Requests = 1
+	}
+	if req.Requests > maxDriveBatch {
+		http.Error(w, fmt.Sprintf("drive batch too large (max %d)", maxDriveBatch), http.StatusBadRequest)
+		return
+	}
+	res, err := t.Drive(req.Requests, req.Collect)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleViolations streams the tenant's violation frames as SSE. The
+// stream ends when the client disconnects or the tenant is deleted (the
+// hub closes every subscriber channel). Slow clients lose frames rather
+// than stall the tenant; losses count on the tenant's dropped-frames
+// metric and in TenantStats.StreamDropped.
+func (s *Server) handleViolations(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported (response writer is not an http.Flusher)",
+			http.StatusInternalServerError)
+		return
+	}
+	ch, cancel, ok := t.SubscribeViolations(256)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: %s", ErrTenantNotFound, t.ID()))
+		return
+	}
+	defer cancel()
+	sseHeaders(w)
+	flusher.Flush()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case frame, open := <-ch:
+			if !open {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// handleEvents streams the tenant's GC events as SSE. ?replay=N resends the
+// last N retained events first. The tracer's live hub has no close signal,
+// so the loop also watches tenant deletion to end the stream.
+func (s *Server) handleEvents(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported (response writer is not an http.Flusher)",
+			http.StatusInternalServerError)
+		return
+	}
+	replay := 0
+	if v := r.URL.Query().Get("replay"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &replay); err != nil || replay < 0 {
+			http.Error(w, "bad replay parameter", http.StatusBadRequest)
+			return
+		}
+	}
+	ch, cancel := t.SubscribeEvents(64)
+	defer cancel()
+	sseHeaders(w)
+	if replay > 0 {
+		evs := t.Events()
+		if len(evs) > replay {
+			evs = evs[len(evs)-replay:]
+		}
+		for i := range evs {
+			frame, err := json.Marshal(&evs[i])
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
+				return
+			}
+		}
+	}
+	flusher.Flush()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.done:
+			return
+		case frame, open := <-ch:
+			if !open {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+func sseHeaders(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer SSE
+	w.WriteHeader(http.StatusOK)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError maps service errors onto HTTP status codes.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrTenantNotFound), errors.Is(err, errTenantGone):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrTenantExists), errors.Is(err, ErrNoProgram):
+		code = http.StatusConflict
+	case errors.Is(err, ErrBadProgram), errors.Is(err, ErrBadTenantID):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrServerFull):
+		code = http.StatusServiceUnavailable
+	default:
+		// Guest faults (OOM, halt, VM error) are the guest's problem, not
+		// the server's: report them as a client-visible 422 with the fault.
+		code = http.StatusUnprocessableEntity
+	}
+	http.Error(w, err.Error(), code)
+}

@@ -1,0 +1,94 @@
+package assertd
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gcassert/internal/telemetry"
+)
+
+// hub fans pre-marshaled frames out to SSE subscribers. It is the tenant's
+// violation stream, and it follows the same backpressure policy as the
+// telemetry live feed (PR 6): publishing happens on the tenant's service
+// goroutine — often inside a stop-the-world collection — so it must never
+// block. Sends are non-blocking; a subscriber that cannot keep up loses
+// frames, and every loss is counted on the tenant's dropped-frames metric,
+// which is the visible cost of the never-block-the-tenant rule.
+//
+// Unlike the telemetry liveHub, a tenant hub can close: deleting the tenant
+// closes every subscriber channel, which ends the SSE handlers cleanly.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[chan []byte]struct{}
+	closed bool
+
+	dropped       atomic.Uint64
+	droppedMetric *telemetry.Counter
+}
+
+// subscribe registers a subscriber with the given channel buffer (min 1).
+// It returns false when the hub is already closed (tenant deleted); the
+// cancel function is idempotent and closes the channel, so readers may
+// range over it.
+func (h *hub) subscribe(buf int) (<-chan []byte, func(), bool) {
+	if buf < 1 {
+		buf = 1
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, nil, false
+	}
+	ch := make(chan []byte, buf)
+	if h.subs == nil {
+		h.subs = make(map[chan []byte]struct{})
+	}
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			// close() may have won the race and already closed the channel.
+			if _, live := h.subs[ch]; live {
+				delete(h.subs, ch)
+				close(ch)
+			}
+			h.mu.Unlock()
+		})
+	}
+	return ch, cancel, true
+}
+
+// publish sends one frame to every subscriber, dropping on full channels.
+func (h *hub) publish(frame []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- frame:
+		default:
+			h.dropped.Add(1)
+			if h.droppedMetric != nil {
+				h.droppedMetric.Inc()
+			}
+		}
+	}
+}
+
+// close closes every subscriber channel and rejects future subscriptions.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
+
+// droppedFrames reports frames lost to slow subscribers.
+func (h *hub) droppedFrames() uint64 { return h.dropped.Load() }

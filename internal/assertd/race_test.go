@@ -1,0 +1,154 @@
+package assertd_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gcassert/internal/assertd"
+)
+
+// TestConcurrentTenantsIsolation drives ≥8 tenants through their whole
+// lifecycle — create, submit, drive, stream violations, delete —
+// concurrently, and asserts the isolation properties the service exists
+// for: no tenant ever observes another tenant's violations, per-tenant
+// counts are exact, and tenant deletion releases every goroutine (service
+// loops, SSE handlers, fleet exporters). Run it under -race: the tenants
+// share a server, a registry, and nothing else.
+func TestConcurrentTenantsIsolation(t *testing.T) {
+	const tenants = 10 // half leakers, half steady
+	const runs = 4
+
+	before := runtime.NumGoroutine()
+	s, ts := testServer(t, assertd.Config{InstanceID: "race-host"})
+
+	var wg sync.WaitGroup
+	violFrames := make([][]assertd.ViolationFrame, tenants)
+	results := make([]assertd.DriveResult, tenants)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("t%02d", i)
+			leaker := i%2 == 0
+			createTenant(t, ts, id, assertd.TenantOptions{HeapMiB: 2})
+			src := steadySrc
+			if leaker {
+				src = leakerSrc
+			}
+			submit(t, ts, id, src)
+
+			// Attach this tenant's violation stream before driving.
+			resp, err := http.Get(ts.URL + "/tenants/" + id + "/violations")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			streamed := make(chan []assertd.ViolationFrame, 1)
+			go func() {
+				var frames []assertd.ViolationFrame
+				sc := bufio.NewScanner(resp.Body)
+				for sc.Scan() {
+					line := sc.Text()
+					if !strings.HasPrefix(line, "data: ") {
+						continue
+					}
+					var f assertd.ViolationFrame
+					if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f); err == nil {
+						frames = append(frames, f)
+					}
+				}
+				streamed <- frames // stream ends when the tenant is deleted
+			}()
+
+			results[i] = drive(t, ts, id, runs, false)
+			doJSON(t, "DELETE", ts.URL+"/tenants/"+id, nil, http.StatusOK, nil)
+			violFrames[i] = <-streamed
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("t%02d", i)
+		leaker := i%2 == 0
+		want := uint64(0)
+		if leaker {
+			want = runs
+		}
+		if results[i].Violations != want {
+			t.Errorf("%s: drive violations = %d, want %d", id, results[i].Violations, want)
+		}
+		if got := uint64(len(violFrames[i])); got != want {
+			t.Errorf("%s: streamed %d violation frames, want %d", id, got, want)
+		}
+		// The bleed check: every frame on this tenant's stream names this
+		// tenant and this tenant only.
+		for _, f := range violFrames[i] {
+			if f.Tenant != id {
+				t.Errorf("%s: stream carried a frame for tenant %q — cross-tenant bleed", id, f.Tenant)
+			}
+		}
+	}
+	if got := len(s.List()); got != 0 {
+		t.Errorf("%d tenants survive their deletion", got)
+	}
+
+	// Goroutine bracketing: once every tenant is deleted and every stream
+	// closed, the goroutine count must come back to the starting
+	// neighborhood (httptest keep-alive workers unwind asynchronously, so
+	// poll with a deadline and a small slack).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections() // keep-alive conns hold server goroutines
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d before, %d after tenant teardown\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDeleteDuringDrive races deletion against in-flight drives: the drive
+// either completes or reports the tenant gone, and nothing deadlocks.
+func TestDeleteDuringDrive(t *testing.T) {
+	_, ts := testServer(t, assertd.Config{})
+	createTenant(t, ts, "victim", assertd.TenantOptions{HeapMiB: 2})
+	submit(t, ts, "victim", steadySrc)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				resp, err := http.Post(ts.URL+"/tenants/victim/drive", "application/json",
+					strings.NewReader(`{"requests":1}`))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusNotFound:
+				default:
+					t.Errorf("drive during delete = %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	doJSON(t, "DELETE", ts.URL+"/tenants/victim", nil, http.StatusOK, nil)
+	wg.Wait()
+}

@@ -1,0 +1,622 @@
+package assertd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gcassert"
+	"gcassert/internal/core"
+	"gcassert/internal/minivm"
+	"gcassert/internal/stats"
+	"gcassert/internal/telemetry"
+)
+
+// TenantOptions is the per-tenant runtime configuration accepted on tenant
+// creation. Every field is optional; the zero value is a sensible small
+// tenant. The server clamps resource fields against its own limits, so a
+// tenant can never configure itself past the host's per-tenant budget.
+type TenantOptions struct {
+	// HeapMiB sizes the tenant's managed heap in MiB (default
+	// Config.DefaultHeapMiB, clamped to [1, Config.MaxHeapMiB]).
+	HeapMiB int `json:"heap_mib,omitempty"`
+	// Workers selects the mark-phase worker count (0/1 sequential).
+	Workers int `json:"workers,omitempty"`
+	// Provenance selects allocation-site provenance: "", "off", "sampled",
+	// or "exhaustive".
+	Provenance string `json:"provenance,omitempty"`
+	// Generational selects the sticky-mark-bit generational mode.
+	Generational bool `json:"generational,omitempty"`
+	// MaxSteps bounds each guest request's executed instructions. 0 applies
+	// the server default (defaultMaxSteps); there is no unlimited setting —
+	// a tenant must not be able to pin its service loop forever.
+	MaxSteps uint64 `json:"max_steps,omitempty"`
+	// React maps assertion kinds ("assert-dead", "dead", ...) to reactions
+	// ("log", "halt", "force"). Unlisted kinds log.
+	React map[string]string `json:"react,omitempty"`
+	// FlightRecorder enables the GC flight recorder.
+	FlightRecorder bool `json:"flight_recorder,omitempty"`
+	// Introspection enables the census/leak-ranking layer. Forced on when
+	// the server has a fleet collector configured (census is what ships).
+	Introspection bool `json:"introspection,omitempty"`
+}
+
+// defaultMaxSteps bounds a guest request when the tenant does not choose a
+// bound. Isolation requires some bound: the service loop is the tenant's
+// only execution resource, and an infinite guest loop would otherwise hold
+// it forever.
+const defaultMaxSteps = 50_000_000
+
+// parseReaction maps the wire spelling of a reaction.
+func parseReaction(s string) (gcassert.Reaction, error) {
+	switch s {
+	case "log":
+		return gcassert.ReactLog, nil
+	case "halt":
+		return gcassert.ReactHalt, nil
+	case "force":
+		return gcassert.ReactForce, nil
+	}
+	return gcassert.ReactLog, fmt.Errorf("unknown reaction %q (want log, halt or force)", s)
+}
+
+// parseKind maps the wire spelling of an assertion kind, accepting both the
+// stable label ("assert-dead") and its short form ("dead").
+func parseKind(s string) (gcassert.Kind, error) {
+	for k := gcassert.Kind(0); k < core.NumKinds; k++ {
+		label := k.String()
+		if s == label || "assert-"+s == label || (k == core.KindImproperOwnership && s == "improper-ownership") {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown assertion kind %q", s)
+}
+
+// policy builds the per-kind reaction policy from the wire map.
+func (o TenantOptions) policy() (gcassert.Policy, error) {
+	var p gcassert.Policy
+	for ks, rs := range o.React {
+		k, err := parseKind(ks)
+		if err != nil {
+			return p, err
+		}
+		r, err := parseReaction(rs)
+		if err != nil {
+			return p, err
+		}
+		p[k] = r
+	}
+	return p, nil
+}
+
+// Errors the HTTP layer maps onto status codes.
+var (
+	// ErrBadProgram wraps guest program compile/load failures (HTTP 400).
+	ErrBadProgram = errors.New("bad program")
+	// ErrNoProgram reports a drive against a tenant with no program (409).
+	ErrNoProgram = errors.New("no program submitted")
+	// errTenantGone reports a command raced with tenant deletion (404).
+	errTenantGone = errors.New("tenant deleted")
+)
+
+// Tenant is one isolated guest runtime hosted by a Server. All use of the
+// underlying gcassert.Runtime happens on the tenant's own service-loop
+// goroutine — the runtime's single-goroutine discipline is the isolation
+// boundary — and HTTP handlers talk to it by sending commands over a
+// channel. Concurrent requests against one tenant therefore serialize, and
+// the queueing they experience is exactly the per-tenant service latency
+// the load driver measures.
+type Tenant struct {
+	id      string
+	opts    TenantOptions
+	created time.Time
+
+	cmds chan tenantCmd
+	stop chan struct{} // closed by Server.DeleteTenant
+	done chan struct{} // closed when the service loop has fully exited
+
+	stopOnce sync.Once
+
+	tel *telemetry.Tracer // concurrency-safe views (pause histogram, SSE)
+	hub hub               // violation SSE stream
+
+	// Cross-goroutine counters (written on the loop, read anywhere).
+	requests   atomic.Uint64
+	failures   atomic.Uint64
+	violations atomic.Uint64
+	violSeq    atomic.Uint64
+
+	// Loop-goroutine-only state (no locking: single writer, snapshotted).
+	latency    stats.LogHist
+	violByKind [core.NumKinds]uint64
+	costNs     [core.NumKinds]int64
+	costChecks [core.NumKinds]uint64
+
+	mu   sync.Mutex
+	snap TenantStats // cached; refreshed on the loop after every command
+
+	metrics tenantMetrics
+}
+
+// tenantMetrics are the tenant's label-bound series in the server registry.
+type tenantMetrics struct {
+	requests *telemetry.Counter
+	failures *telemetry.Counter
+	viols    *telemetry.Counter
+	dropped  *telemetry.Counter
+	latency  *telemetry.Histogram
+	liveWords   *telemetry.Gauge
+	collections *telemetry.Gauge
+	pauseP99Ns  *telemetry.Gauge
+}
+
+type cmdResult struct {
+	v   any
+	err error
+}
+
+type tenantCmd struct {
+	fn    func(*guest) (any, error)
+	reply chan cmdResult
+}
+
+// guest is the loop-private execution state: the runtime plus the currently
+// loaded program image. It exists only on the service-loop goroutine.
+type guest struct {
+	t  *Tenant
+	vm *gcassert.Runtime
+	im *minivm.Image
+}
+
+// newTenant builds the runtime and starts the service loop. The runtime is
+// constructed here and handed to the loop goroutine; the goroutine start
+// is the happens-before edge, and nothing on this side touches it again.
+func newTenant(s *Server, id string, topts TenantOptions) (*Tenant, error) {
+	pol, err := topts.policy()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadProgram, err)
+	}
+	switch topts.Provenance {
+	case "", "off", "sampled", "exhaustive":
+	default:
+		return nil, fmt.Errorf("%w: unknown provenance mode %q", ErrBadProgram, topts.Provenance)
+	}
+	// Clamp resources to the host's per-tenant budget.
+	if topts.HeapMiB <= 0 {
+		topts.HeapMiB = s.cfg.DefaultHeapMiB
+	}
+	if topts.HeapMiB > s.cfg.MaxHeapMiB {
+		topts.HeapMiB = s.cfg.MaxHeapMiB
+	}
+	if topts.HeapMiB < 1 {
+		topts.HeapMiB = 1
+	}
+	if topts.MaxSteps == 0 || topts.MaxSteps > defaultMaxSteps {
+		topts.MaxSteps = defaultMaxSteps
+	}
+	if s.cfg.FleetURL != "" {
+		topts.Introspection = true // census is the fleet payload
+	}
+
+	t := &Tenant{
+		id:      id,
+		opts:    topts,
+		created: time.Now(),
+		cmds:    make(chan tenantCmd),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	lbl := telemetry.Label{Name: "tenant", Value: id}
+	t.metrics = tenantMetrics{
+		requests: s.reg.Counter("gcassertd_requests_total", "Guest requests run, by tenant.", lbl),
+		failures: s.reg.Counter("gcassertd_request_failures_total", "Guest requests that failed (VM error, OOM, halt), by tenant.", lbl),
+		viols:    s.reg.Counter("gcassertd_violations_total", "Assertion violations reported, by tenant.", lbl),
+		dropped:  s.reg.Counter("gcassertd_stream_dropped_frames_total", "Violation-stream frames dropped on slow subscribers, by tenant.", lbl),
+		latency:  s.reg.Histogram("gcassertd_request_seconds", "Guest request service time, by tenant.", telemetry.DefaultPauseBuckets(), lbl),
+		liveWords:   s.reg.Gauge("gcassertd_heap_live_words", "Live heap words after the last command, by tenant.", lbl),
+		collections: s.reg.Gauge("gcassertd_gc_collections", "Completed collections, by tenant.", lbl),
+		pauseP99Ns:  s.reg.Gauge("gcassertd_gc_pause_p99_ns", "p99 GC pause in nanoseconds, by tenant.", lbl),
+	}
+	t.hub.droppedMetric = t.metrics.dropped
+
+	vm := gcassert.New(gcassert.Options{
+		HeapBytes:       topts.HeapMiB << 20,
+		Infrastructure:  true,
+		Reporter:        core.FuncReporter(t.onViolation),
+		Policy:          pol,
+		Generational:    topts.Generational,
+		Workers:         topts.Workers,
+		Telemetry:       true,
+		CostAttribution: true,
+		Provenance:      topts.Provenance,
+		FlightRecorder:  topts.FlightRecorder,
+		Introspection:   topts.Introspection,
+		InstanceID:      s.cfg.InstanceID,
+		Tenant:          id,
+		FleetURL:        s.cfg.FleetURL,
+	})
+	t.tel = vm.Telemetry()
+	t.tel.OnRecord(t.onGCEvent)
+
+	// Snapshot once before the handoff, so the create response already
+	// carries a populated stats document; from here on only the loop
+	// goroutine touches the runtime.
+	g := &guest{t: t, vm: vm}
+	t.refreshSnapshot(g)
+	go t.loop(g)
+	return t, nil
+}
+
+// loop is the tenant's service loop: the one goroutine that may touch the
+// runtime. It executes commands in arrival order, refreshes the cached
+// stats snapshot after each, and on shutdown closes the violation hub (so
+// SSE handlers return) and the fleet exporter before signalling done.
+func (t *Tenant) loop(g *guest) {
+	defer close(t.done)
+	defer g.vm.CloseFleet()
+	defer t.hub.close()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case c := <-t.cmds:
+			v, err := runCmd(g, c.fn)
+			t.refreshSnapshot(g)
+			c.reply <- cmdResult{v, err}
+		}
+	}
+}
+
+// runCmd executes one command with panic isolation: a guest that OOMs its
+// heap or halts on a violation (ReactHalt) unwinds to here, is converted to
+// an error, and the tenant — and every other tenant — keeps serving.
+func runCmd(g *guest, fn func(*guest) (any, error)) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = guestError(r)
+		}
+	}()
+	return fn(g)
+}
+
+// guestError converts a recovered guest panic into an error.
+func guestError(r any) error {
+	switch e := r.(type) {
+	case *gcassert.HaltError:
+		return fmt.Errorf("assertion halt: %v", e)
+	case error:
+		return fmt.Errorf("guest fault: %w", e)
+	default:
+		return fmt.Errorf("guest panic: %v", r)
+	}
+}
+
+// do sends a command to the service loop and waits for its result. It never
+// blocks past tenant deletion: both the send and the receive also select on
+// done, so handlers racing a DELETE get errTenantGone instead of hanging.
+func (t *Tenant) do(fn func(*guest) (any, error)) (any, error) {
+	c := tenantCmd{fn: fn, reply: make(chan cmdResult, 1)}
+	select {
+	case t.cmds <- c:
+	case <-t.done:
+		return nil, errTenantGone
+	}
+	select {
+	case r := <-c.reply:
+		return r.v, r.err
+	case <-t.done:
+		return nil, errTenantGone
+	}
+}
+
+// shutdown asks the loop to exit and waits until it has.
+func (t *Tenant) shutdown() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	<-t.done
+}
+
+// ID returns the tenant's name.
+func (t *Tenant) ID() string { return t.id }
+
+// onViolation is the tenant's reporter. It runs on the service-loop
+// goroutine inside the stop-the-world collection, so it must stay brief and
+// must never block: count, marshal once, publish non-blocking.
+func (t *Tenant) onViolation(v *gcassert.Violation) {
+	seq := t.violSeq.Add(1)
+	t.violations.Add(1)
+	t.metrics.viols.Inc()
+	if int(v.Kind) < len(t.violByKind) {
+		t.violByKind[v.Kind]++
+	}
+	frame := ViolationFrame{
+		Tenant:   t.id,
+		Seq:      seq,
+		Kind:     v.Kind.String(),
+		GC:       v.GC,
+		TypeName: v.TypeName,
+		Site:     v.Site,
+		Root:     v.Root,
+		Message:  v.Message,
+		UnixNs:   time.Now().UnixNano(),
+	}
+	for _, step := range v.Path {
+		s := step.TypeName
+		if step.Field != "" {
+			s += "." + step.Field
+		}
+		frame.Path = append(frame.Path, s)
+	}
+	if b, err := json.Marshal(&frame); err == nil {
+		t.hub.publish(b)
+	}
+}
+
+// ViolationFrame is one violation as streamed on the tenant's SSE feed.
+type ViolationFrame struct {
+	Tenant   string   `json:"tenant"`
+	Seq      uint64   `json:"seq"`
+	Kind     string   `json:"kind"`
+	GC       uint64   `json:"gc"`
+	TypeName string   `json:"type"`
+	Site     string   `json:"site,omitempty"`
+	Root     string   `json:"root,omitempty"`
+	Path     []string `json:"path,omitempty"`
+	Message  string   `json:"message,omitempty"`
+	UnixNs   int64    `json:"unix_ns"`
+}
+
+// onGCEvent accumulates per-kind assertion cost from each collection's
+// event. Runs on the service loop during the stop-the-world window.
+func (t *Tenant) onGCEvent(ev *telemetry.Event) {
+	for _, c := range ev.Costs {
+		for k := gcassert.Kind(0); k < core.NumKinds; k++ {
+			if k.String() == c.Kind {
+				t.costChecks[k] += c.Checks
+				t.costNs[k] += c.Ns
+				break
+			}
+		}
+	}
+}
+
+// AssertCostStat is one kind's cumulative attributed GC-time cost.
+type AssertCostStat struct {
+	Kind   string `json:"kind"`
+	Checks uint64 `json:"checks"`
+	Ns     int64  `json:"ns"`
+}
+
+// LatencyNs is a latency tail summary in nanoseconds.
+type LatencyNs struct {
+	Count uint64 `json:"count"`
+	P50   int64  `json:"p50_ns"`
+	P99   int64  `json:"p99_ns"`
+	P999  int64  `json:"p999_ns"`
+	Max   int64  `json:"max_ns"`
+}
+
+// TenantStats is the per-tenant stats document served on /tenants/{id} and
+// folded into /tenants. It is a cached snapshot refreshed by the service
+// loop after every command — the collector and heap stats it summarizes are
+// not concurrency-safe, so handlers never read the runtime directly.
+type TenantStats struct {
+	ID            string        `json:"id"`
+	InstanceID    string        `json:"instance_id"`
+	CreatedUnixNs int64         `json:"created_unix_ns"`
+	Options       TenantOptions `json:"options"`
+	Program       bool          `json:"program"`
+
+	Requests   uint64 `json:"requests"`
+	Failures   uint64 `json:"failures"`
+	Violations uint64 `json:"violations"`
+
+	ViolationsByKind map[string]uint64 `json:"violations_by_kind,omitempty"`
+	AssertCosts      []AssertCostStat  `json:"assert_costs,omitempty"`
+
+	Latency LatencyNs `json:"latency"`
+
+	HeapLiveObjects uint64 `json:"heap_live_objects"`
+	HeapLiveWords   uint64 `json:"heap_live_words"`
+	Collections     uint64 `json:"collections"`
+	GCTotalNs       int64  `json:"gc_total_ns"`
+	PauseP50Ns      int64  `json:"gc_pause_p50_ns"`
+	PauseP99Ns      int64  `json:"gc_pause_p99_ns"`
+	MaxPauseNs      int64  `json:"gc_pause_max_ns"`
+
+	StreamDropped uint64 `json:"stream_dropped_frames"`
+}
+
+// refreshSnapshot rebuilds the cached stats document. Loop goroutine only.
+func (t *Tenant) refreshSnapshot(g *guest) {
+	gc := g.vm.GCStats()
+	hs := g.vm.HeapStats()
+	p50, _, p99 := t.tel.PauseHistogram().Summary()
+	lp50, lp99, lp999, lmax := t.latency.Tail()
+
+	s := TenantStats{
+		ID:            t.id,
+		InstanceID:    g.vm.Identity().InstanceID,
+		CreatedUnixNs: t.created.UnixNano(),
+		Options:       t.opts,
+		Program:       g.im != nil,
+		Requests:      t.requests.Load(),
+		Failures:      t.failures.Load(),
+		Violations:    t.violations.Load(),
+		Latency: LatencyNs{
+			Count: t.latency.Count(),
+			P50:   lp50.Nanoseconds(),
+			P99:   lp99.Nanoseconds(),
+			P999:  lp999.Nanoseconds(),
+			Max:   lmax.Nanoseconds(),
+		},
+		HeapLiveObjects: hs.LiveObjects,
+		HeapLiveWords:   hs.LiveWords,
+		Collections:     gc.Collections,
+		GCTotalNs:       gc.TotalGCTime.Nanoseconds(),
+		PauseP50Ns:      p50.Nanoseconds(),
+		PauseP99Ns:      p99.Nanoseconds(),
+		MaxPauseNs:      gc.MaxPause.Nanoseconds(),
+		StreamDropped:   t.hub.droppedFrames(),
+	}
+	for k := gcassert.Kind(0); k < core.NumKinds; k++ {
+		if n := t.violByKind[k]; n > 0 {
+			if s.ViolationsByKind == nil {
+				s.ViolationsByKind = make(map[string]uint64)
+			}
+			s.ViolationsByKind[k.String()] = n
+		}
+		if t.costChecks[k] > 0 || t.costNs[k] > 0 {
+			s.AssertCosts = append(s.AssertCosts, AssertCostStat{
+				Kind: k.String(), Checks: t.costChecks[k], Ns: t.costNs[k],
+			})
+		}
+	}
+	t.metrics.liveWords.Set(int64(hs.LiveWords))
+	t.metrics.collections.Set(int64(gc.Collections))
+	t.metrics.pauseP99Ns.Set(p99.Nanoseconds())
+
+	t.mu.Lock()
+	t.snap = s
+	t.mu.Unlock()
+}
+
+// Stats returns the cached stats snapshot. Safe from any goroutine.
+func (t *Tenant) Stats() TenantStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.snap
+}
+
+// ProgramInfo reports a successfully submitted program.
+type ProgramInfo struct {
+	Classes int `json:"classes"`
+	Methods int `json:"methods"`
+}
+
+// Submit compiles src and loads it into the tenant's runtime, replacing the
+// current program. Compile and load failures wrap ErrBadProgram. A replaced
+// program's classes stay registered as heap types; resubmitting a program
+// whose class shapes conflict with an earlier submission is a load error.
+func (t *Tenant) Submit(src string) (ProgramInfo, error) {
+	v, err := t.do(func(g *guest) (any, error) {
+		unit, err := minivm.Compile(src)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadProgram, err)
+		}
+		im, err := minivm.Load(g.vm, unit, io.Discard)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadProgram, err)
+		}
+		im.MaxSteps = t.opts.MaxSteps
+		g.im = im
+		return ProgramInfo{Classes: len(unit.Classes), Methods: len(unit.Methods)}, nil
+	})
+	if err != nil {
+		return ProgramInfo{}, err
+	}
+	return v.(ProgramInfo), nil
+}
+
+// DriveResult reports one drive batch: how many guest requests ran, how
+// many failed, and how many assertion violations the batch produced
+// (including any from the optional trailing forced collection).
+type DriveResult struct {
+	Requests   int    `json:"requests"`
+	Failures   uint64 `json:"failures"`
+	Violations uint64 `json:"violations"`
+	ElapsedNs  int64  `json:"elapsed_ns"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// Drive runs n guest requests back to back on the service loop, optionally
+// forcing a collection afterwards (so end-of-request assert-dead style
+// assertions are checked even when the batch didn't fill the heap).
+func (t *Tenant) Drive(n int, collect bool) (DriveResult, error) {
+	v, err := t.do(func(g *guest) (any, error) {
+		if g.im == nil {
+			return nil, ErrNoProgram
+		}
+		res := DriveResult{Requests: n}
+		v0 := t.violations.Load()
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			g.im.ResetSteps() // per-request step budget
+			t0 := time.Now()
+			err := g.runOne()
+			d := time.Since(t0)
+			t.latency.Observe(d)
+			t.metrics.latency.Observe(d)
+			t.requests.Add(1)
+			t.metrics.requests.Inc()
+			if err != nil {
+				t.failures.Add(1)
+				t.metrics.failures.Inc()
+				res.Failures++
+				res.LastError = err.Error()
+			}
+		}
+		if collect {
+			if err := g.collectOne(); err != nil {
+				res.Failures++
+				res.LastError = err.Error()
+			}
+		}
+		res.Violations = t.violations.Load() - v0
+		res.ElapsedNs = time.Since(start).Nanoseconds()
+		return res, nil
+	})
+	if err != nil {
+		return DriveResult{}, err
+	}
+	return v.(DriveResult), nil
+}
+
+// Collect forces one collection on the service loop.
+func (t *Tenant) Collect() error {
+	_, err := t.do(func(g *guest) (any, error) {
+		return nil, g.collectOne()
+	})
+	return err
+}
+
+// runOne executes one guest request with per-request panic isolation: a
+// heap OOM or a ReactHalt violation fails this request, not the tenant.
+func (g *guest) runOne() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = guestError(r)
+		}
+	}()
+	return g.im.Run()
+}
+
+// collectOne forces a collection with the same isolation (ReactHalt
+// violations surface as errors).
+func (g *guest) collectOne() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = guestError(r)
+		}
+	}()
+	g.vm.Collect()
+	return nil
+}
+
+// SubscribeViolations subscribes to the tenant's violation stream. ok is
+// false when the tenant is already deleted.
+func (t *Tenant) SubscribeViolations(buf int) (frames <-chan []byte, cancel func(), ok bool) {
+	return t.hub.subscribe(buf)
+}
+
+// SubscribeEvents subscribes to the tenant's live GC event feed (the
+// telemetry tracer's own hub — concurrency-safe, same drop policy).
+func (t *Tenant) SubscribeEvents(buf int) (<-chan []byte, func()) {
+	return t.tel.SubscribeLive(buf)
+}
+
+// Events returns the tenant's retained GC event trace.
+func (t *Tenant) Events() []telemetry.Event { return t.tel.Events() }

@@ -1,0 +1,134 @@
+package loadlab
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPDrive adapts a remote drive endpoint (gcassertd's
+// POST /tenants/{id}/drive, or anything speaking the same wire contract) to
+// a RunSessions op: each invocation POSTs one single-request batch and
+// accounts the response. The wire contract is deliberately tiny —
+//
+//	request:  {"requests": 1}
+//	response: {"requests": N, "failures": F, "violations": V}
+//
+// — so the driver depends on the shape of the API, not on the service
+// package. Violations and failures are accumulated per session with
+// atomics: Op is called concurrently across sessions, serially within one.
+type HTTPDrive struct {
+	client *http.Client
+	url    func(session int) string
+	state  []httpSessionState
+}
+
+// httpSessionState accumulates one session's drive outcomes.
+type httpSessionState struct {
+	requests   atomic.Uint64
+	violations atomic.Uint64
+	failures   atomic.Uint64
+	errors     atomic.Uint64
+	lastErr    atomic.Pointer[string]
+}
+
+// HTTPDriveStats is one session's accumulated drive outcome.
+type HTTPDriveStats struct {
+	// Requests counts guest requests the server reports having run;
+	// Failures those the server reports failing (guest error, OOM, halt).
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+	// Violations counts assertion violations the server attributed to this
+	// session's batches.
+	Violations uint64 `json:"violations"`
+	// Errors counts transport-level failures (connection refused, non-2xx,
+	// bad response body); LastErr is the most recent one.
+	Errors  uint64 `json:"errors"`
+	LastErr string `json:"last_err,omitempty"`
+}
+
+// NewHTTPDrive builds a drive op over `sessions` sessions; url maps a
+// session index to its drive endpoint. client may be nil (a 30s-timeout
+// client is used — generous, because an open-loop driver must observe slow
+// responses as latency, not convert them into transport errors).
+func NewHTTPDrive(client *http.Client, sessions int, url func(session int) string) *HTTPDrive {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &HTTPDrive{client: client, url: url, state: make([]httpSessionState, sessions)}
+}
+
+// driveWire is the request/response body of the drive contract.
+type driveWire struct {
+	Requests   int    `json:"requests"`
+	Failures   uint64 `json:"failures,omitempty"`
+	Violations uint64 `json:"violations,omitempty"`
+}
+
+// Op performs one drive call for (session, seq); pass it to RunSessions.
+// Transport errors are recorded, never fatal — a load run keeps slamming a
+// struggling server, which is the scenario worth measuring.
+func (d *HTTPDrive) Op(session, seq int) {
+	st := &d.state[session]
+	resp, err := d.client.Post(d.url(session), "application/json",
+		bytes.NewReader([]byte(`{"requests":1}`)))
+	if err != nil {
+		st.fail(err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		st.fail(fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body)))
+		return
+	}
+	var out driveWire
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		st.fail(err)
+		return
+	}
+	st.requests.Add(uint64(out.Requests))
+	st.failures.Add(out.Failures)
+	st.violations.Add(out.Violations)
+}
+
+func (st *httpSessionState) fail(err error) {
+	st.errors.Add(1)
+	msg := err.Error()
+	st.lastErr.Store(&msg)
+}
+
+// Stats returns one session's accumulated outcome.
+func (d *HTTPDrive) Stats(session int) HTTPDriveStats {
+	st := &d.state[session]
+	out := HTTPDriveStats{
+		Requests:   st.requests.Load(),
+		Failures:   st.failures.Load(),
+		Violations: st.violations.Load(),
+		Errors:     st.errors.Load(),
+	}
+	if p := st.lastErr.Load(); p != nil {
+		out.LastErr = *p
+	}
+	return out
+}
+
+// Totals sums every session's outcome.
+func (d *HTTPDrive) Totals() HTTPDriveStats {
+	var out HTTPDriveStats
+	for i := range d.state {
+		s := d.Stats(i)
+		out.Requests += s.Requests
+		out.Failures += s.Failures
+		out.Violations += s.Violations
+		out.Errors += s.Errors
+		if s.LastErr != "" {
+			out.LastErr = s.LastErr
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package loadlab
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gcassert/internal/stats"
+)
+
+// MultiReport aggregates many concurrent open-loop sessions: one Report per
+// session plus exactly-merged component histograms, the fleet-level view a
+// multi-tenant service is judged by. Session i's report is Sessions[i].
+type MultiReport struct {
+	// RPS echoes the per-session target rate; Sessions the session count.
+	RPS      float64
+	Requests int // total completed requests across all sessions
+	// StartUnixNs is the earliest session start, EndUnixNs the latest
+	// session end.
+	StartUnixNs int64
+	EndUnixNs   int64
+	// Sessions holds each session's own report.
+	Sessions []*Report
+	// Latency, Service and Queue are the merged component histograms.
+	Latency stats.LogHist
+	Service stats.LogHist
+	Queue   stats.LogHist
+}
+
+// AchievedRPS is the aggregate completion rate actually sustained: total
+// requests over the wall-clock span of the whole run.
+func (m *MultiReport) AchievedRPS() float64 {
+	dur := float64(m.EndUnixNs - m.StartUnixNs)
+	if dur <= 0 {
+		return 0
+	}
+	return float64(m.Requests) / (dur / 1e9)
+}
+
+// RunSessions drives op through `sessions` concurrent open-loop load runs.
+// Each session is its own independent open loop — its own goroutine, its
+// own fixed arrival schedule at opts.RPS, its own Report — so the aggregate
+// arrival rate is sessions × opts.RPS. op(session, seq) must be safe for
+// concurrent calls with distinct session values; calls within one session
+// are serial, in seq order (the per-session service-loop discipline Run
+// documents). This is the client shape for a multi-tenant service: one
+// session per tenant, each tenant's queueing visible in its own report.
+//
+// Unlike the single-session Run, op here typically performs network I/O, so
+// a session blocked on a slow server accumulates open-loop queue delay for
+// every arrival scheduled behind the stall — exactly the SLO view.
+func RunSessions(opts Options, sessions int, op func(session, seq int)) (*MultiReport, error) {
+	if sessions <= 0 {
+		return nil, errors.New("loadlab: RunSessions needs a positive session count")
+	}
+	// Validate once up front so every goroutine either runs or none do.
+	if opts.RPS <= 0 {
+		return nil, errors.New("loadlab: Options.RPS must be positive")
+	}
+	if opts.Requests <= 0 {
+		return nil, errors.New("loadlab: Options.Requests must be positive")
+	}
+
+	reports := make([]*Report, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			reports[s], errs[s] = Run(opts, func(seq int) { op(s, seq) })
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("loadlab: session %d: %w", s, err)
+		}
+	}
+
+	m := &MultiReport{RPS: opts.RPS, Sessions: reports}
+	for _, rep := range reports {
+		m.Requests += rep.Requests
+		if m.StartUnixNs == 0 || rep.StartUnixNs < m.StartUnixNs {
+			m.StartUnixNs = rep.StartUnixNs
+		}
+		if rep.EndUnixNs > m.EndUnixNs {
+			m.EndUnixNs = rep.EndUnixNs
+		}
+		m.Latency.Merge(&rep.Latency)
+		m.Service.Merge(&rep.Service)
+		m.Queue.Merge(&rep.Queue)
+	}
+	return m, nil
+}

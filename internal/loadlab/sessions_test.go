@@ -1,0 +1,152 @@
+package loadlab
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gcassert/internal/stats"
+)
+
+func TestLogHistMergeMatchesUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, union stats.LogHist
+	for i := 0; i < 2000; i++ {
+		d := time.Duration(rng.Int63n(int64(20 * time.Millisecond)))
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		union.Observe(d)
+	}
+	var merged stats.LogHist
+	merged.Merge(&a)
+	merged.Merge(&b)
+	if merged.Count() != union.Count() || merged.Sum() != union.Sum() {
+		t.Fatalf("merge count/sum = %d/%v, want %d/%v",
+			merged.Count(), merged.Sum(), union.Count(), union.Sum())
+	}
+	if merged.Min() != union.Min() || merged.Max() != union.Max() {
+		t.Errorf("merge min/max = %v/%v, want %v/%v",
+			merged.Min(), merged.Max(), union.Min(), union.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if got, want := merged.Quantile(q), union.Quantile(q); got != want {
+			t.Errorf("q%v: merged %v != union %v", q, got, want)
+		}
+	}
+	// Merging an empty histogram is a no-op (notably for Min).
+	before := merged.Min()
+	var empty stats.LogHist
+	merged.Merge(&empty)
+	if merged.Min() != before {
+		t.Errorf("empty merge disturbed min: %v -> %v", before, merged.Min())
+	}
+}
+
+func TestRunSessionsAggregates(t *testing.T) {
+	const sessions, requests = 4, 20
+	var calls [sessions][]int
+	m, err := RunSessions(Options{RPS: 2000, Requests: requests, Capture: true},
+		sessions, func(s, seq int) { calls[s] = append(calls[s], seq) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != sessions*requests {
+		t.Errorf("total requests = %d, want %d", m.Requests, sessions*requests)
+	}
+	if len(m.Sessions) != sessions {
+		t.Fatalf("session reports = %d, want %d", len(m.Sessions), sessions)
+	}
+	for s, seqs := range calls {
+		if len(seqs) != requests {
+			t.Fatalf("session %d saw %d calls, want %d", s, len(seqs), requests)
+		}
+		for i, seq := range seqs {
+			if seq != i {
+				t.Fatalf("session %d out of order at %d: %d", s, i, seq)
+			}
+		}
+	}
+	if got := m.Latency.Count(); got != uint64(sessions*requests) {
+		t.Errorf("merged latency count = %d", got)
+	}
+	if m.StartUnixNs == 0 || m.EndUnixNs <= m.StartUnixNs {
+		t.Errorf("bad run span: [%d, %d]", m.StartUnixNs, m.EndUnixNs)
+	}
+	if rps := m.AchievedRPS(); rps <= 0 {
+		t.Errorf("achieved RPS = %v", rps)
+	}
+}
+
+func TestRunSessionsValidates(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		opts     Options
+		sessions int
+	}{
+		{"zero sessions", Options{RPS: 10, Requests: 1}, 0},
+		{"zero rps", Options{Requests: 1}, 1},
+		{"zero requests", Options{RPS: 10}, 1},
+	} {
+		if _, err := RunSessions(tc.opts, tc.sessions, func(int, int) {}); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+// TestHTTPDrive exercises the wire contract against a fake drive endpoint:
+// per-session accounting, failure passthrough, and transport errors.
+func TestHTTPDrive(t *testing.T) {
+	var hits atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		var in struct {
+			Requests int `json:"requests"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil || in.Requests != 1 {
+			http.Error(w, "bad drive body", http.StatusBadRequest)
+			return
+		}
+		switch r.URL.Path {
+		case "/t/leaky/drive":
+			json.NewEncoder(w).Encode(map[string]any{"requests": 1, "violations": 2})
+		case "/t/flaky/drive":
+			http.Error(w, "tenant deleted", http.StatusNotFound)
+		default:
+			json.NewEncoder(w).Encode(map[string]any{"requests": 1})
+		}
+	}))
+	defer ts.Close()
+
+	names := []string{"steady", "leaky", "flaky"}
+	d := NewHTTPDrive(nil, len(names), func(s int) string {
+		return ts.URL + "/t/" + names[s] + "/drive"
+	})
+	m, err := RunSessions(Options{RPS: 500, Requests: 10, Capture: true}, len(names), d.Op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 30 || hits.Load() != 30 {
+		t.Fatalf("requests = %d, server hits = %d, want 30/30", m.Requests, hits.Load())
+	}
+	steady, leaky, flaky := d.Stats(0), d.Stats(1), d.Stats(2)
+	if steady.Requests != 10 || steady.Violations != 0 || steady.Errors != 0 {
+		t.Errorf("steady stats: %+v", steady)
+	}
+	if leaky.Requests != 10 || leaky.Violations != 20 {
+		t.Errorf("leaky stats: %+v", leaky)
+	}
+	if flaky.Requests != 0 || flaky.Errors != 10 || flaky.LastErr == "" {
+		t.Errorf("flaky stats: %+v", flaky)
+	}
+	tot := d.Totals()
+	if tot.Requests != 20 || tot.Violations != 20 || tot.Errors != 10 {
+		t.Errorf("totals: %+v", tot)
+	}
+}

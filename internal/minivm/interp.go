@@ -85,6 +85,12 @@ func (im *Image) TypeID(name string) (gcassert.TypeID, bool) {
 // Thread returns the image's mutator thread.
 func (im *Image) Thread() *gcassert.Thread { return im.th }
 
+// ResetSteps restarts the MaxSteps budget. The step counter is cumulative
+// across Run calls, so a long-lived image serving many guest requests (a
+// gcassertd tenant) resets between requests to make the bound per-request
+// rather than per-lifetime.
+func (im *Image) ResetSteps() { im.steps = 0 }
+
 // Run executes Main.main() on a fresh Main instance, converting guest
 // runtime errors into *VMError.
 func (im *Image) Run() (err error) {

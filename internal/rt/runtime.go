@@ -96,6 +96,12 @@ type Config struct {
 	// bundles, census documents, fleet envelopes). Empty generates a
 	// host-pid-random ID, which is right for fleets of identical replicas.
 	InstanceID string
+	// Tenant, when non-empty, marks this runtime as one named tenant of a
+	// multi-runtime host: the effective instance ID becomes
+	// "InstanceID/Tenant" (composed via version.Identity.Sub), so many
+	// tenants sharing one configured InstanceID export to the fleet
+	// collector as distinct instances instead of colliding.
+	Tenant string
 	// FleetURL, when non-empty, enables the fleet exporter: census
 	// envelopes (and, on violation, flight bundles) are content-addressed
 	// and shipped to the gcfleet collector at this base URL from a
@@ -151,6 +157,9 @@ func New(cfg Config) *Runtime {
 	}
 	r := &Runtime{reg: reg, space: heap.NewSpace(reg, cfg.HeapBytes)}
 	r.identity = version.NewIdentity(cfg.InstanceID)
+	if cfg.Tenant != "" {
+		r.identity = r.identity.Sub(cfg.Tenant)
+	}
 	if cfg.ProvenanceSample > 0 {
 		r.space.EnableProvenance(cfg.ProvenanceSample)
 	}

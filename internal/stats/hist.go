@@ -120,6 +120,29 @@ func (h *LogHist) Tail() (p50, p99, p999, max time.Duration) {
 	return h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Max()
 }
 
+// Merge folds another histogram into this one bucket by bucket, so many
+// per-session histograms aggregate into one fleet-level distribution
+// without re-observing raw values. Buckets are identical across all
+// LogHists (the bounds are compile-time constants), so the merge is exact —
+// quantiles of the merged histogram equal quantiles over the union of
+// observations, up to the usual one-doubling bucket resolution.
+func (h *LogHist) Merge(o *LogHist) {
+	if o.count == 0 {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	if h.count == 0 || o.minNs < h.minNs {
+		h.minNs = o.minNs
+	}
+	if o.maxNs > h.maxNs {
+		h.maxNs = o.maxNs
+	}
+	h.count += o.count
+	h.sumNs += o.sumNs
+}
+
 // Buckets returns the non-empty (upperBoundNs, count) pairs, low to high
 // (the overflow bucket reports upper bound math.MaxInt64). For exports.
 func (h *LogHist) Buckets() (bounds []int64, counts []uint64) {

@@ -116,3 +116,13 @@ func NewIdentity(instanceID string) Identity {
 	}
 	return Identity{InstanceID: instanceID, Host: host, PID: os.Getpid(), Build: CurrentBuild()}
 }
+
+// Sub derives the identity of a named sub-instance hosted inside this one —
+// a tenant of a multi-runtime server. The child shares host, PID, and build
+// and composes its ID as "parent/name", so many tenants configured with the
+// same base instance ID stay distinguishable at the fleet collector instead
+// of colliding, while still sorting under their host.
+func (id Identity) Sub(name string) Identity {
+	id.InstanceID = id.InstanceID + "/" + name
+	return id
+}

@@ -1,0 +1,36 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewIdentityGeneratesDistinctIDs(t *testing.T) {
+	a, b := NewIdentity(""), NewIdentity("")
+	if a.InstanceID == "" || a.InstanceID == b.InstanceID {
+		t.Errorf("generated IDs not distinct: %q vs %q", a.InstanceID, b.InstanceID)
+	}
+	if c := NewIdentity("fixed"); c.InstanceID != "fixed" {
+		t.Errorf("explicit ID not preserved: %q", c.InstanceID)
+	}
+}
+
+func TestSubComposesTenantIDs(t *testing.T) {
+	parent := NewIdentity("host-9")
+	a, b := parent.Sub("tenant-a"), parent.Sub("tenant-b")
+	if a.InstanceID != "host-9/tenant-a" || b.InstanceID != "host-9/tenant-b" {
+		t.Errorf("composed IDs = %q, %q", a.InstanceID, b.InstanceID)
+	}
+	// The child shares everything but the ID; the parent is unchanged.
+	if a.Host != parent.Host || a.PID != parent.PID || a.Build != parent.Build {
+		t.Error("Sub changed host/PID/build")
+	}
+	if parent.InstanceID != "host-9" {
+		t.Errorf("Sub mutated the parent: %q", parent.InstanceID)
+	}
+	// Composition also applies to generated parent IDs.
+	gen := NewIdentity("").Sub("t")
+	if !strings.HasSuffix(gen.InstanceID, "/t") {
+		t.Errorf("generated parent did not compose: %q", gen.InstanceID)
+	}
+}

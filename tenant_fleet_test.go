@@ -1,0 +1,102 @@
+package gcassert_test
+
+// Tenant identity composition end to end: two runtimes hosted in one
+// process share the host's configured InstanceID but carry distinct Tenant
+// names (the gcassertd arrangement). Their fleet exports must reach the
+// collector as two distinct instances — "host/tenant" composed IDs, not a
+// collision — while identical workload content still dedupes by hash,
+// because the instance stamp travels alongside the content hash, never
+// inside it.
+
+import (
+	"net/http/httptest"
+	"slices"
+	"testing"
+
+	"gcassert"
+	"gcassert/internal/fleet"
+)
+
+// runTenantReplica runs one steady workload on a runtime configured as a
+// named tenant of the shared host instance ID.
+func runTenantReplica(t *testing.T, url, host, tenant string) {
+	t.Helper()
+	vm := gcassert.New(gcassert.Options{
+		HeapBytes:      8 << 20,
+		Infrastructure: true,
+		Introspection:  true,
+		InstanceID:     host,
+		Tenant:         tenant,
+		FleetURL:       url,
+	})
+	if got, want := vm.Identity().InstanceID, host+"/"+tenant; got != want {
+		t.Fatalf("composed instance ID = %q, want %q", got, want)
+	}
+	cache := vm.Define("app/Cache", gcassert.Field{Name: "next", Ref: true})
+	next := vm.FieldIndex(cache, "next")
+	th := vm.NewThread("main")
+	fr := th.Push(1)
+	head := gcassert.Nil
+	for i := 0; i < 8; i++ {
+		c := th.New(cache)
+		vm.SetRef(c, next, head)
+		head = c
+		fr.Set(0, head)
+	}
+	for iter := 0; iter < 3; iter++ {
+		vm.Collect()
+	}
+	vm.CloseFleet()
+}
+
+func TestTenantInstanceIDsComposeThroughFleetDedupe(t *testing.T) {
+	store, err := fleet.OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(fleet.NewServer(store).Handler())
+	defer ts.Close()
+
+	// Both tenants configure the same InstanceID — before Tenant existed
+	// these would have collided into one fleet instance.
+	runTenantReplica(t, ts.URL, "host-1", "tenant-a")
+	runTenantReplica(t, ts.URL, "host-1", "tenant-b")
+
+	var ids []string
+	fetchFleetJSON(t, ts.URL+"/fleet/instances", &ids)
+	for _, want := range []string{"host-1/tenant-a", "host-1/tenant-b"} {
+		if !slices.Contains(ids, want) {
+			t.Errorf("collector instances = %v, missing %q", ids, want)
+		}
+	}
+	if len(ids) != 2 {
+		t.Errorf("collector saw %d instances (%v), want 2", len(ids), ids)
+	}
+
+	// Identical content from distinct tenants must still dedupe: the tenant
+	// suffix lives in the identity stamp, which the canonical hash strips.
+	var stats struct {
+		fleet.StoreStats
+		DedupeRatio float64 `json:"dedupe_ratio"`
+	}
+	fetchFleetJSON(t, ts.URL+"/fleet/stats", &stats)
+	if stats.Ingested == 0 {
+		t.Fatalf("collector saw nothing: %+v", stats)
+	}
+	if stats.DedupeRatio <= 0 {
+		t.Errorf("identical tenant workloads did not dedupe: %+v", stats)
+	}
+
+	// And the per-artifact metadata must attribute the shared artifact to
+	// both composed IDs, so cross-tenant leak diffing can tell them apart.
+	sawBoth := false
+	for _, m := range store.List() {
+		if slices.Contains(m.Instances, "host-1/tenant-a") &&
+			slices.Contains(m.Instances, "host-1/tenant-b") {
+			sawBoth = true
+		}
+	}
+	if !sawBoth {
+		t.Error("no deduped artifact lists both composed tenant IDs as sources")
+	}
+}
