@@ -9,18 +9,25 @@
 //
 // API (see internal/assertd for the full contract):
 //
-//	POST   /tenants                  {"id": "t1", "options": {"heap_mib": 16, "react": {"dead": "log"}}}
+//	POST   /tenants                  {"id": "t1", "options": {"heap_mib": 16, "react": {"dead": "log"}, "slo": {...}}}
 //	POST   /tenants/t1/program       MJ source body
 //	POST   /tenants/t1/drive         {"requests": 100, "collect": true}
 //	GET    /tenants/t1               per-tenant stats (also /tenants for all)
 //	GET    /tenants/t1/violations    SSE violation stream
 //	GET    /tenants/t1/events        SSE GC event stream (?replay=N)
+//	PUT    /tenants/t1/slo           SLO spec JSON (internal/slo.Spec); GET reads the
+//	                                 judgment document, DELETE clears the SLO
+//	GET    /alerts                   SSE stream of SLO burn-rate alert transitions,
+//	                                 all tenants, with bounded replay on attach
 //	DELETE /tenants/t1
 //	GET    /metrics                  Prometheus text, tenant label on per-tenant series
+//	                                 (incl. gcassertd_slo_* budget/burn/state gauges)
 //
 // With -fleet, every tenant exports census envelopes to the gcfleet
 // collector under the composed instance ID "<instance>/<tenant>", so
-// cross-instance leak diffing sees each tenant as its own instance.
+// cross-instance leak diffing sees each tenant as its own instance — and
+// every SLO alert transition ships a sealed report envelope the collector
+// rolls up on /fleet/slo (`gcfleet slo`).
 //
 // Exit status: 0 on success (clean shutdown), 1 when the listener cannot be
 // opened or serving fails, 2 on usage errors.

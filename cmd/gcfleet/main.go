@@ -6,6 +6,7 @@
 //
 //	gcfleet serve  [-addr :9464] [-store DIR] [-max N]
 //	gcfleet leaks  (-url URL | -store DIR) [-top N] [-min-instances N] [-json]
+//	gcfleet slo    (-url URL | -store DIR) [-top N] [-json]
 //	gcfleet ls     (-url URL | -store DIR)
 //	gcfleet ingest (-url URL | -store DIR) envelope.json...
 //
@@ -16,8 +17,11 @@
 // leaks is the cross-instance diff — which (type, allocation site) is
 // growing on how many replicas, since when, kept alive through what — read
 // either live from a collector (-url) or straight off its store directory
-// (-store). ls lists stored artifacts with their reporting instances.
-// ingest posts envelope files by hand (re-homing a store, testing).
+// (-store). slo is the fleet SLO rollup: the latest burn-rate alert state
+// and error-budget position per tenant across every reporting gcassertd,
+// worst-burning tenants first. ls lists stored artifacts with their
+// reporting instances. ingest posts envelope files by hand (re-homing a
+// store, testing).
 //
 // Exit status: 0 on success, 1 when an input file, store, or collector
 // cannot be read, 2 on usage errors.
@@ -46,6 +50,7 @@ const topUsage = `usage: gcfleet <command> [flags]
 commands:
   serve    run the collector (ingest + dedupe + query + /metrics)
   leaks    rank cross-instance leak suspects
+  slo      roll up per-tenant SLO alert state across the fleet
   ls       list stored artifacts
   ingest   post envelope files to a collector or store
 
@@ -64,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runServe(rest, stdout, stderr)
 	case "leaks":
 		return runLeaks(rest, stdout, stderr)
+	case "slo":
+		return runSLO(rest, stdout, stderr)
 	case "ls":
 		return runLs(rest, stdout, stderr)
 	case "ingest":
@@ -219,6 +226,76 @@ func printLeaks(w io.Writer, doc fleet.LeaksDocument) {
 		for _, p := range l.SamplePaths {
 			fmt.Fprintf(w, "     kept alive via %s\n", p)
 		}
+	}
+}
+
+func runSLO(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gcfleet slo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var src sourceFlags
+	src.register(fs)
+	top := fs.Int("top", 20, "tenants to report (0 = all)")
+	jsonOut := fs.Bool("json", false, "emit the rollup document as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "gcfleet slo: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	if !src.validate(stderr, "slo") {
+		return 2
+	}
+	if *top < 0 {
+		fmt.Fprintln(stderr, "gcfleet slo: -top must be non-negative")
+		return 2
+	}
+
+	var doc fleet.SLORollup
+	if src.url != "" {
+		if err := fetchJSON(src.url, fmt.Sprintf("/fleet/slo?top=%d", *top), &doc); err != nil {
+			fmt.Fprintln(stderr, "gcfleet:", err)
+			return 1
+		}
+	} else {
+		store, err := fleet.OpenStore(src.dir, 0)
+		if err != nil {
+			fmt.Fprintln(stderr, "gcfleet:", err)
+			return 1
+		}
+		doc = fleet.RollupSLO(store, *top)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+		return 0
+	}
+	printSLO(stdout, doc)
+	return 0
+}
+
+// printSLO renders the rollup the way an on-caller triages it: how much of
+// the fleet is alight, then the worst-burning tenants first.
+func printSLO(w io.Writer, doc fleet.SLORollup) {
+	fmt.Fprintf(w, "fleet slo rollup: %d reporting tenants, %d firing, %d pending\n",
+		doc.Instances, doc.Firing, doc.Pending)
+	if len(doc.Tenants) == 0 {
+		fmt.Fprintln(w, "  none (no instance has shipped an SLO report)")
+		return
+	}
+	fmt.Fprintf(w, "  %-8s %-5s %-28s %-18s %8s %7s  %s\n",
+		"state", "sev", "instance", "worst objective", "burn", "budget", "as of")
+	for _, row := range doc.Tenants {
+		compliant := ""
+		if !row.Compliant {
+			compliant = "  NONCOMPLIANT"
+		}
+		fmt.Fprintf(w, "  %-8s %-5s %-28s %-18s %7.1fx %6.0f%%  %s%s\n",
+			row.State, row.Severity, row.Instance, row.WorstObjective,
+			row.WorstBurn, 100*row.MinBudgetRemaining,
+			time.Unix(0, row.CapturedUnixNs).UTC().Format(time.RFC3339), compliant)
 	}
 }
 

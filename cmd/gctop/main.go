@@ -4,6 +4,7 @@
 // GC cost, and per-thread allocation rates, redrawing on every collection.
 //
 //	gctop -url http://localhost:6060/debug/gcassert/live -replay 32
+//	gctop -url http://localhost:8080/tenants/web/events -alerts http://localhost:8080/alerts
 //
 // Point it at any process serving the telemetry handler (for example
 // `mjrun -serve :6060`, or a program mounting Runtime.TelemetryHandler).
@@ -11,6 +12,12 @@
 // going live. -once renders a single frame after the first event and exits
 // (useful in scripts and smoke tests); in this mode connection failures are
 // fatal rather than retried, so scripted captures fail fast.
+//
+// -alerts attaches a second stream — a gcassertd /alerts endpoint — and
+// overlays per-tenant SLO burn-rate alerts as their own dashboard pane
+// (state, severity, tenant, objective, burn vs threshold, budget left). The
+// overlay is best-effort: it reconnects on drops with the same backoff
+// ladder, and a missing alerts endpoint never takes the dashboard down.
 //
 // When the stream drops — the watched process restarted, the network
 // hiccuped — gctop reconnects with exponential backoff (1s doubling to 30s,
@@ -30,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"gcassert/internal/topview"
@@ -49,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"SSE endpoint of a telemetry-enabled gcassert process")
 	replay := fs.Int("replay", 16, "backfill with the last N retained events")
 	once := fs.Bool("once", false, "render one frame after the first event and exit")
+	alerts := fs.String("alerts", "", "gcassertd /alerts SSE endpoint to overlay SLO burn-rate alerts")
 	showVersion := fs.Bool("version", false, "print build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -58,10 +67,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if fs.NArg() != 0 {
-		fmt.Fprintln(stderr, "gctop: usage: gctop [-url sse-endpoint] [-replay N] [-once]")
+		fmt.Fprintln(stderr, "gctop: usage: gctop [-url sse-endpoint] [-replay N] [-once] [-alerts sse-endpoint]")
 		return 2
 	}
 	w := newWatcher(stdout, stderr, *once)
+	w.alertsURL = *alerts
 	if err := w.watch(streamURL(*url, *replay)); err != nil {
 		fmt.Fprintln(stderr, "gctop:", err)
 		return 1
@@ -125,11 +135,17 @@ func (b *backoff) reset() { b.cur = 0 }
 // to the real transport and clock; tests inject fakes to drive the loop
 // without a live server.
 type watcher struct {
-	model *topview.Model
-	out   io.Writer
-	errw  io.Writer
-	once  bool
+	model     *topview.Model
+	out       io.Writer
+	errw      io.Writer
+	once      bool
+	alertsURL string
+	// mu serializes model feeds, header-state updates and repaints: with
+	// -alerts the overlay goroutine touches the same model and terminal as
+	// the event loop.
+	mu    sync.Mutex
 	state string // connection state shown in the header
+	done  chan struct{}
 	bo    backoff
 	get   func(url string) (*http.Response, error)
 	sleep func(d time.Duration)
@@ -138,17 +154,29 @@ type watcher struct {
 func newWatcher(out, errw io.Writer, once bool) *watcher {
 	return &watcher{
 		model: topview.New(), out: out, errw: errw, once: once,
-		get: http.Get, sleep: time.Sleep,
+		done: make(chan struct{}),
+		get:  http.Get, sleep: time.Sleep,
 	}
+}
+
+// setState updates the connection-state header line.
+func (w *watcher) setState(s string) {
+	w.mu.Lock()
+	w.state = s
+	w.mu.Unlock()
 }
 
 // watch runs the reconnect loop until the stream is satisfied (-once) or a
 // permanent error surfaces.
 func (w *watcher) watch(url string) error {
+	defer close(w.done)
+	if w.alertsURL != "" {
+		go w.watchAlerts(w.alertsURL)
+	}
 	for attempt := 1; ; attempt++ {
-		w.state = "connecting"
+		w.setState("connecting")
 		if attempt > 1 {
-			w.state = fmt.Sprintf("reconnecting (attempt %d)", attempt)
+			w.setState(fmt.Sprintf("reconnecting (attempt %d)", attempt))
 		}
 		if !w.once {
 			// Show the dial in progress; -once stays silent until its frame.
@@ -175,9 +203,9 @@ func (w *watcher) watch(url string) error {
 			if ok := asPermanent(err, &perm); ok {
 				return perm.err
 			}
-			w.state = fmt.Sprintf("disconnected: %v — retrying in %s", trim(err), w.bo.peek())
+			w.setState(fmt.Sprintf("disconnected: %v — retrying in %s", trim(err), w.bo.peek()))
 		} else {
-			w.state = fmt.Sprintf("stream closed — retrying in %s", w.bo.peek())
+			w.setState(fmt.Sprintf("stream closed — retrying in %s", w.bo.peek()))
 		}
 		w.redraw()
 		w.sleep(w.bo.delay())
@@ -228,14 +256,19 @@ func (w *watcher) stream(url string) (done bool, err error) {
 		if !strings.HasPrefix(line, "data: ") {
 			continue // SSE comments/blank separators
 		}
-		if err := w.model.FeedJSON([]byte(strings.TrimPrefix(line, "data: "))); err != nil {
+		w.mu.Lock()
+		err := w.model.FeedJSON([]byte(strings.TrimPrefix(line, "data: ")))
+		if err == nil {
+			// An event arrived: the connection is healthy again, so the next
+			// drop retries fast instead of inheriting the old ladder position.
+			w.state = "connected"
+			w.bo.reset()
+		}
+		w.mu.Unlock()
+		if err != nil {
 			fmt.Fprintln(w.errw, "gctop:", err)
 			continue
 		}
-		// An event arrived: the connection is healthy again, so the next
-		// drop retries fast instead of inheriting the old ladder position.
-		w.state = "connected"
-		w.bo.reset()
 		w.redraw()
 		if w.once {
 			return true, nil
@@ -244,10 +277,85 @@ func (w *watcher) stream(url string) (done bool, err error) {
 	return false, sc.Err()
 }
 
+// stopping reports whether the main watch loop has exited (so the alerts
+// overlay should too).
+func (w *watcher) stopping() bool {
+	select {
+	case <-w.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// watchAlerts is the overlay's reconnect loop: it attaches to a gcassertd
+// /alerts stream and feeds SLO alert transitions into the model's alerts
+// pane. Transport drops retry on the same backoff ladder; a non-SSE
+// endpoint is reported once and the overlay gives up (the dashboard itself
+// keeps running — the overlay is best-effort by design).
+func (w *watcher) watchAlerts(url string) {
+	var bo backoff
+	for {
+		err := w.streamAlerts(url)
+		if w.stopping() {
+			return
+		}
+		var perm permanentError
+		if asPermanent(err, &perm) {
+			fmt.Fprintln(w.errw, "gctop: alerts:", perm.err)
+			return
+		}
+		w.sleep(bo.delay())
+		if w.stopping() {
+			return
+		}
+	}
+}
+
+// streamAlerts connects to the alerts endpoint once and feeds transitions
+// until the stream ends.
+func (w *watcher) streamAlerts(url string) error {
+	resp, err := w.get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		return permanentError{fmt.Errorf(
+			"%s is not an SSE endpoint (Content-Type %q); point -alerts at a gcassertd /alerts", url, ct)}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		w.mu.Lock()
+		err := w.model.FeedAlertJSON([]byte(strings.TrimPrefix(line, "data: ")))
+		w.mu.Unlock()
+		if err != nil {
+			fmt.Fprintln(w.errw, "gctop:", err)
+			continue
+		}
+		if !w.once {
+			// -once captures stay single-frame; live dashboards repaint so a
+			// firing alert shows without waiting for the next GC event.
+			w.redraw()
+		}
+	}
+	return sc.Err()
+}
+
 // redraw repaints the dashboard: the connection-state header line, then the
 // model. -once keeps the plain single-frame output (no clear, no header) so
 // scripted captures stay stable.
 func (w *watcher) redraw() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.once {
 		w.model.Render(w.out)
 		return

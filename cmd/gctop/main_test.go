@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -146,6 +147,70 @@ func TestWatchOnceRendersOneFrameAndExits(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "gctop — gc #4") {
 		t.Errorf("frame not rendered:\n%s", out.String())
+	}
+}
+
+// signalEOF wraps a reader and closes ch the first time the reader hits
+// EOF — i.e. after every SSE frame in it has been scanned and fed.
+type signalEOF struct {
+	r    io.Reader
+	ch   chan struct{}
+	once sync.Once
+}
+
+func (s *signalEOF) Read(p []byte) (int, error) {
+	n, err := s.r.Read(p)
+	if err == io.EOF {
+		s.once.Do(func() { close(s.ch) })
+	}
+	return n, err
+}
+
+// TestAlertsOverlay runs the -alerts goroutine against a canned transition
+// stream: both transitions land in the model, the pane renders, and the
+// overlay shuts down with the main loop.
+func TestAlertsOverlay(t *testing.T) {
+	fed := make(chan struct{})
+	alertFrames := "data: " +
+		`{"tenant":"leaky","objective":"violation_rate","severity":"fast","state":"pending","prev":"ok","burn_short":12,"threshold":10}` +
+		"\n\ndata: " +
+		`{"tenant":"leaky","objective":"violation_rate","severity":"fast","state":"firing","prev":"pending","burn_short":66,"threshold":10}` +
+		"\n\n"
+	var out bytes.Buffer
+	w := newWatcher(&out, io.Discard, false)
+	w.alertsURL = "http://fake/alerts"
+	w.sleep = func(time.Duration) {}
+	dial := errors.New("dial tcp: connection refused")
+	w.get = func(url string) (*http.Response, error) {
+		if strings.HasSuffix(url, "/alerts") {
+			select {
+			case <-fed: // overlay reconnects after its one stream just fail
+				return nil, dial
+			default:
+			}
+			return &http.Response{
+				StatusCode: http.StatusOK,
+				Header:     http.Header{"Content-Type": []string{"text/event-stream"}},
+				Body:       io.NopCloser(&signalEOF{r: strings.NewReader(alertFrames), ch: fed}),
+			}, nil
+		}
+		// The event stream connects only after the overlay has fed both
+		// transitions, then ends the watch with a permanent error.
+		<-fed
+		return notSSE(), nil
+	}
+	err := w.watch("http://fake/live")
+	if err == nil || !strings.Contains(err.Error(), "not an SSE endpoint") {
+		t.Fatalf("watch = %v, want the scripted permanent error", err)
+	}
+	if got := w.model.Alerts(); got != 2 {
+		t.Fatalf("model saw %d alert transitions, want 2", got)
+	}
+	s := out.String()
+	for _, want := range []string{"slo alerts", "firing", "leaky", "violation_rate"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("overlay never rendered %q:\n%s", want, s)
+		}
 	}
 }
 

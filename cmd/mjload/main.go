@@ -24,7 +24,11 @@
 // open-loop session at -rps (aggregate arrival rate = tenants × rps). The
 // report shows aggregate and per-tenant latency tails plus the violation
 // rate per million requests; -keep leaves the tenants (and their /metrics
-// series) on the server for inspection afterwards.
+// series) on the server for inspection afterwards. -slo attaches an SLO
+// spec (JSON, see internal/slo.Spec) to every provisioned tenant and adds
+// each tenant's post-run compliance judgment — budget remaining, worst
+// burn rate, alert state — to the report; -bench-out archives the run as a
+// BENCH_run service document (schema v2) for the trajectory pipeline.
 //
 // The report decomposes each latency component and blames GC stop-the-world
 // time per trigger reason and per assertion kind (via the runtime's cost
@@ -56,6 +60,7 @@ import (
 	"gcassert/internal/bench/workloads"
 	"gcassert/internal/loadlab"
 	"gcassert/internal/minivm"
+	"gcassert/internal/slo"
 	"gcassert/internal/stats"
 	"gcassert/internal/version"
 )
@@ -81,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tenants := fs.Int("tenants", 8, "concurrent tenant sessions to provision and drive (-server mode)")
 	prefix := fs.String("prefix", "load", "tenant name prefix (-server mode)")
 	keep := fs.Bool("keep", false, "leave the provisioned tenants on the server after the run (-server mode)")
+	sloFile := fs.String("slo", "", "SLO spec JSON to attach to every provisioned tenant; the report adds per-tenant compliance (-server mode)")
+	benchOut := fs.String("bench-out", "", "write the run as a BENCH_run service document (schema v2) to this file (-server mode)")
 	showVersion := fs.Bool("version", false, "print build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -113,22 +120,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return dataErr(err)
 		}
+		var sloSpec *slo.Spec
+		if *sloFile != "" {
+			raw, err := os.ReadFile(*sloFile)
+			if err != nil {
+				return dataErr(err)
+			}
+			var spec slo.Spec
+			if err := json.Unmarshal(raw, &spec); err != nil {
+				return dataErr(fmt.Errorf("%s: %w", *sloFile, err))
+			}
+			if err := spec.Validate(); err != nil {
+				return dataErr(fmt.Errorf("%s: %w", *sloFile, err))
+			}
+			sloSpec = &spec
+		}
 		heapMiB := *heapMB
 		if heapMiB == 0 {
 			heapMiB = 16
 		}
 		return runServer(serverRun{
-			url:     strings.TrimRight(*server, "/"),
-			tenants: *tenants,
-			prefix:  *prefix,
-			keep:    *keep,
-			rps:     *rps,
-			n:       *n,
-			heapMiB: heapMiB,
-			workers: *workers,
-			jsonOut: *jsonOut,
-			src:     string(src),
+			url:      strings.TrimRight(*server, "/"),
+			tenants:  *tenants,
+			prefix:   *prefix,
+			keep:     *keep,
+			rps:      *rps,
+			n:        *n,
+			heapMiB:  heapMiB,
+			workers:  *workers,
+			jsonOut:  *jsonOut,
+			src:      string(src),
+			slo:      sloSpec,
+			benchOut: *benchOut,
 		}, stdout, stderr)
+	}
+	if *sloFile != "" || *benchOut != "" {
+		return usage("-slo and -bench-out require -server")
 	}
 	if (*workload == "") == (fs.NArg() != 1) {
 		return usage("mjload [flags] program.mj  |  mjload -workload name [flags]")

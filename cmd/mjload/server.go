@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
+	"gcassert/internal/bench"
 	"gcassert/internal/loadlab"
+	"gcassert/internal/slo"
 )
 
 // serverRun is the -server client mode: slam a remote gcassertd with many
@@ -19,16 +22,18 @@ import (
 // the in-process lab does — but over HTTP, against a real multi-tenant
 // server.
 type serverRun struct {
-	url     string
-	tenants int
-	prefix  string
-	keep    bool
-	rps     float64
-	n       int
-	heapMiB int
-	workers int
-	jsonOut bool
-	src     string
+	url      string
+	tenants  int
+	prefix   string
+	keep     bool
+	rps      float64
+	n        int
+	heapMiB  int
+	workers  int
+	jsonOut  bool
+	src      string
+	slo      *slo.Spec // attached to every tenant at creation when non-nil
+	benchOut string    // write a BENCH_run service document here when non-empty
 }
 
 // tenantName returns session i's tenant ID.
@@ -80,25 +85,134 @@ func runServer(sr serverRun, stdout, stderr io.Writer) int {
 		return dataErr(err)
 	}
 
+	// With -slo, judge every tenant before cleanup tears it down: the
+	// post-run compliance read is the whole point of declaring the SLO.
+	var sloRows []tenantSLOJSON
+	if sr.slo != nil {
+		if sloRows, err = fetchTenantSLOs(client, sr); err != nil {
+			return dataErr(err)
+		}
+	}
+
+	if sr.benchOut != "" {
+		if err := writeBenchDoc(sr, m, drive, sloRows); err != nil {
+			return dataErr(err)
+		}
+	}
+
 	if sr.jsonOut {
-		if err := json.NewEncoder(stdout).Encode(serverSummary(sr, m, drive)); err != nil {
+		if err := json.NewEncoder(stdout).Encode(serverSummary(sr, m, drive, sloRows)); err != nil {
 			return dataErr(err)
 		}
 		return 0
 	}
-	writeServerReport(stdout, sr, m, drive)
+	writeServerReport(stdout, sr, m, drive, sloRows)
 	return 0
+}
+
+// tenantSLOJSON is one tenant's post-run SLO judgment in the report.
+type tenantSLOJSON struct {
+	Tenant    string  `json:"tenant"`
+	Compliant bool    `json:"compliant"`
+	WorstBurn float64 `json:"worst_burn"`
+	// MinBudgetRemaining is the closest-to-exhausted objective's remaining
+	// error budget, 0..1.
+	MinBudgetRemaining float64 `json:"min_budget_remaining"`
+	Alerting           bool    `json:"alerting"` // any rule pending or firing
+}
+
+// fetchTenantSLOs reads each tenant's SLO status document after the run.
+func fetchTenantSLOs(client *http.Client, sr serverRun) ([]tenantSLOJSON, error) {
+	rows := make([]tenantSLOJSON, 0, sr.tenants)
+	for i := 0; i < sr.tenants; i++ {
+		id := sr.tenantName(i)
+		resp, err := client.Get(sr.url + "/tenants/" + id + "/slo")
+		if err != nil {
+			return nil, err
+		}
+		var st slo.Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("reading SLO status of %s: %w", id, err)
+		}
+		row := tenantSLOJSON{
+			Tenant: id, Compliant: st.Compliant, WorstBurn: st.WorstBurn,
+			MinBudgetRemaining: 1,
+		}
+		for _, o := range st.Objectives {
+			if o.BudgetRemainingRatio < row.MinBudgetRemaining {
+				row.MinBudgetRemaining = o.BudgetRemainingRatio
+			}
+			for _, a := range o.Alerts {
+				if a.State != "ok" {
+					row.Alerting = true
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// writeBenchDoc archives the run as a BENCH_run service document.
+func writeBenchDoc(sr serverRun, m *loadlab.MultiReport, d *loadlab.HTTPDrive, sloRows []tenantSLOJSON) error {
+	tot := d.Totals()
+	p50, p99, p999, max := m.Latency.Tail()
+	svc := bench.ServiceRun{
+		Name:                 sr.prefix,
+		Server:               sr.url,
+		Tenants:              sr.tenants,
+		TargetRPSPerTenant:   sr.rps,
+		AchievedRPSAggregate: m.AchievedRPS(),
+		Requests:             tot.Requests,
+		Failures:             tot.Failures,
+		Violations:           tot.Violations,
+		ViolationsPerMillion: violationsPerMillion(tot.Violations, tot.Requests),
+		LatencyP50Ns:         p50.Nanoseconds(),
+		LatencyP99Ns:         p99.Nanoseconds(),
+		LatencyP999Ns:        p999.Nanoseconds(),
+		LatencyMaxNs:         max.Nanoseconds(),
+	}
+	for _, row := range sloRows {
+		svc.SLOTenants++
+		if row.Compliant {
+			svc.SLOTenantsCompliant++
+		}
+		if row.WorstBurn > svc.SLOWorstBurn {
+			svc.SLOWorstBurn, svc.SLOWorstTenant = row.WorstBurn, row.Tenant
+		}
+	}
+	doc := bench.RunDoc{
+		SchemaVersion: bench.RunSchemaVersion,
+		GeneratedUnix: time.Now().Unix(),
+		Runner:        bench.CurrentRunner(),
+		Service:       []bench.ServiceRun{svc},
+	}
+	f, err := os.Create(sr.benchOut)
+	if err != nil {
+		return err
+	}
+	if err := doc.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // createServerTenant creates tenant i and submits the program to it.
 func createServerTenant(client *http.Client, sr serverRun, i int) error {
 	id := sr.tenantName(i)
+	options := map[string]any{
+		"heap_mib": sr.heapMiB,
+		"workers":  sr.workers,
+	}
+	if sr.slo != nil {
+		options["slo"] = sr.slo
+	}
 	body, err := json.Marshal(map[string]any{
-		"id": id,
-		"options": map[string]any{
-			"heap_mib": sr.heapMiB,
-			"workers":  sr.workers,
-		},
+		"id":      id,
+		"options": options,
 	})
 	if err != nil {
 		return err
@@ -157,9 +271,10 @@ type serverSummaryJSON struct {
 	Service              tailJSON           `json:"service"`
 	Queue                tailJSON           `json:"queue"`
 	PerTenant            []tenantReportJSON `json:"per_tenant"`
+	SLO                  []tenantSLOJSON    `json:"slo,omitempty"`
 }
 
-func serverSummary(sr serverRun, m *loadlab.MultiReport, d *loadlab.HTTPDrive) serverSummaryJSON {
+func serverSummary(sr serverRun, m *loadlab.MultiReport, d *loadlab.HTTPDrive, sloRows []tenantSLOJSON) serverSummaryJSON {
 	tot := d.Totals()
 	out := serverSummaryJSON{
 		Server:               sr.url,
@@ -182,12 +297,13 @@ func serverSummary(sr serverRun, m *loadlab.MultiReport, d *loadlab.HTTPDrive) s
 			Latency:        tails(&m.Sessions[i].Latency),
 		})
 	}
+	out.SLO = sloRows
 	return out
 }
 
 // writeServerReport renders the text report: aggregate pacing and tails,
 // the violation rate, then one row per tenant.
-func writeServerReport(w io.Writer, sr serverRun, m *loadlab.MultiReport, d *loadlab.HTTPDrive) {
+func writeServerReport(w io.Writer, sr serverRun, m *loadlab.MultiReport, d *loadlab.HTTPDrive, sloRows []tenantSLOJSON) {
 	tot := d.Totals()
 	fmt.Fprintf(w, "server:   %s, %d tenant sessions (prefix %q)\n", sr.url, sr.tenants, sr.prefix)
 	fmt.Fprintf(w, "requests: %d total @ %g rps/tenant target, %.1f rps aggregate achieved\n",
@@ -216,6 +332,26 @@ func writeServerReport(w io.Writer, sr serverRun, m *loadlab.MultiReport, d *loa
 			row += fmt.Sprintf("  transport-errors=%d", st.Errors)
 		}
 		fmt.Fprintln(w, strings.TrimRight(row, " "))
+	}
+	if len(sloRows) > 0 {
+		compliant := 0
+		for _, r := range sloRows {
+			if r.Compliant {
+				compliant++
+			}
+		}
+		fmt.Fprintf(w, "slo: %d/%d tenants compliant\n", compliant, len(sloRows))
+		for _, r := range sloRows {
+			verdict := "compliant"
+			if !r.Compliant {
+				verdict = "NONCOMPLIANT"
+			}
+			if r.Alerting {
+				verdict += " (alerting)"
+			}
+			fmt.Fprintf(w, "  %-12s %-24s worst burn %5.1fx  budget left %3.0f%%\n",
+				r.Tenant, verdict, r.WorstBurn, 100*r.MinBudgetRemaining)
+		}
 	}
 	if sr.keep {
 		fmt.Fprintf(w, "tenants kept: inspect %s/tenants and %s/metrics\n", sr.url, sr.url)

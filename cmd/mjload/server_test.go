@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"gcassert/internal/assertd"
+	"gcassert/internal/bench"
 )
 
 // leakerMJ trips assert-dead once per request; steadyMJ never does.
@@ -67,6 +68,8 @@ func TestServerModeUsageErrors(t *testing.T) {
 		{"server with two programs", []string{"-server", "http://x", "a.mj", "b.mj"}},
 		{"zero tenants", []string{"-server", "http://x", "-tenants", "0", "prog.mj"}},
 		{"zero rps", []string{"-server", "http://x", "-rps", "0", "prog.mj"}},
+		{"slo without server", []string{"-slo", "spec.json", "prog.mj"}},
+		{"bench-out without server", []string{"-bench-out", "out.json", "prog.mj"}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
@@ -152,6 +155,82 @@ func TestServerModeKeepAndJSON(t *testing.T) {
 	body.ReadFrom(resp.Body)
 	if !strings.Contains(body.String(), `gcassertd_requests_total{tenant="st-0"} 4`) {
 		t.Errorf("metrics missing kept tenant series:\n%s", body.String())
+	}
+}
+
+// TestServerModeSLOAndBenchOut declares an SLO for every provisioned
+// tenant, lets the leaker torch the budget, and checks both report paths:
+// the -json summary carries per-tenant compliance and -bench-out archives a
+// valid BENCH_run service document.
+func TestServerModeSLOAndBenchOut(t *testing.T) {
+	_, ts := startAssertd(t)
+	prog := writeMJ(t, "leaker.mj", leakerMJ)
+	specPath := filepath.Join(t.TempDir(), "slo.json")
+	spec := `{"objectives":[{"kind":"violation_rate","max_per_million":1000}]}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	benchPath := filepath.Join(t.TempDir(), "BENCH_run.json")
+
+	var stdout, stderr bytes.Buffer
+	args := []string{"-server", ts.URL, "-tenants", "2", "-prefix", "slo",
+		"-rps", "300", "-n", "5", "-heap", "2", "-json",
+		"-slo", specPath, "-bench-out", benchPath, prog}
+	if got := run(args, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d\nstderr: %s", got, stderr.String())
+	}
+
+	var sum serverSummaryJSON
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, stdout.String())
+	}
+	if len(sum.SLO) != 2 {
+		t.Fatalf("summary has %d SLO rows, want 2: %+v", len(sum.SLO), sum.SLO)
+	}
+	for _, row := range sum.SLO {
+		if row.Compliant || row.MinBudgetRemaining != 0 || row.WorstBurn <= 0 {
+			t.Errorf("leaker tenant %s should have torched its budget: %+v", row.Tenant, row)
+		}
+	}
+
+	doc, err := bench.ReadRunDoc(benchPath)
+	if err != nil {
+		t.Fatalf("bench doc: %v", err)
+	}
+	if len(doc.Service) != 1 {
+		t.Fatalf("bench doc has %d service runs, want 1", len(doc.Service))
+	}
+	svc := doc.Service[0]
+	if svc.Tenants != 2 || svc.Requests != 10 || svc.Violations != 10 ||
+		svc.SLOTenants != 2 || svc.SLOTenantsCompliant != 0 || svc.SLOWorstBurn <= 0 {
+		t.Errorf("service run record wrong: %+v", svc)
+	}
+	if svc.LatencyP99Ns <= 0 {
+		t.Errorf("service run missing latency tail: %+v", svc)
+	}
+}
+
+// TestServerModeSLOTextReport covers the text rendering of the compliance
+// section and the steady (compliant) path.
+func TestServerModeSLOTextReport(t *testing.T) {
+	_, ts := startAssertd(t)
+	prog := writeMJ(t, "steady.mj", steadyMJ)
+	specPath := filepath.Join(t.TempDir(), "slo.json")
+	if err := os.WriteFile(specPath,
+		[]byte(`{"objectives":[{"kind":"violation_rate","max_per_million":1000}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	args := []string{"-server", ts.URL, "-tenants", "2", "-prefix", "ok",
+		"-rps", "300", "-n", "4", "-heap", "2", "-slo", specPath, prog}
+	if got := run(args, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d\nstderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"slo: 2/2 tenants compliant", "ok-0", "budget left 100%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"gcassert/internal/telemetry"
+	"gcassert/internal/version"
 )
 
 // Config configures a Server.
@@ -40,6 +42,10 @@ type Config struct {
 	MaxHeapMiB int
 	// DefaultHeapMiB sizes tenants that don't choose (default 16).
 	DefaultHeapMiB int
+	// Clock overrides the server's time source (default time.Now). Tenant
+	// creation stamps, violation frames and SLO window accounting all read
+	// it, so tests drive window expiry with a fake clock instead of sleeps.
+	Clock func() time.Time
 }
 
 // Server errors the HTTP layer maps onto status codes.
@@ -66,6 +72,17 @@ type Server struct {
 	tenantsGauge *telemetry.Gauge
 	created      *telemetry.Counter
 	deleted      *telemetry.Counter
+
+	// Server-wide SLO alert stream: every tenant's alert transitions fan
+	// out through one hub (GET /alerts), with a bounded replay ring so a
+	// subscriber attaching after a burst still sees it.
+	alerts   hub
+	alertMu  sync.Mutex
+	alertLog [][]byte
+
+	// sloShip ships SLO report envelopes to the fleet collector (nil when
+	// Config.FleetURL is empty).
+	sloShip *sloShipper
 }
 
 // NewServer creates a server. Close it to shut every tenant down.
@@ -82,8 +99,11 @@ func NewServer(cfg Config) *Server {
 	if cfg.DefaultHeapMiB > cfg.MaxHeapMiB {
 		cfg.DefaultHeapMiB = cfg.MaxHeapMiB
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
 	reg := telemetry.NewRegistry()
-	return &Server{
+	s := &Server{
 		cfg:          cfg,
 		reg:          reg,
 		tenants:      make(map[string]*Tenant),
@@ -91,6 +111,12 @@ func NewServer(cfg Config) *Server {
 		created:      reg.Counter("gcassertd_tenants_created_total", "Tenants created."),
 		deleted:      reg.Counter("gcassertd_tenants_deleted_total", "Tenants deleted."),
 	}
+	s.alerts.droppedMetric = reg.Counter("gcassertd_alert_dropped_frames_total",
+		"Alert-stream frames dropped on slow /alerts subscribers.")
+	if cfg.FleetURL != "" {
+		s.sloShip = newSLOShipper(cfg.FleetURL, version.NewIdentity(cfg.InstanceID))
+	}
+	return s
 }
 
 // Registry exposes the server's metrics registry (every per-tenant series
@@ -191,6 +217,7 @@ func (s *Server) List() []TenantStats {
 // than once.
 func (s *Server) Close() {
 	s.mu.Lock()
+	wasClosed := s.closed
 	s.closed = true
 	ts := make([]*Tenant, 0, len(s.tenants))
 	for id, t := range s.tenants {
@@ -202,5 +229,11 @@ func (s *Server) Close() {
 	for _, t := range ts {
 		s.deleted.Inc()
 		t.shutdown()
+	}
+	if !wasClosed {
+		s.alerts.close()
+		if s.sloShip != nil {
+			s.sloShip.close()
+		}
 	}
 }

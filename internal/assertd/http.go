@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"gcassert/internal/slo"
 )
 
 // maxProgramBytes bounds a submitted MJ source body.
@@ -29,6 +31,10 @@ const maxDriveBatch = 100_000
 //	POST   /tenants/{id}/collect     force one collection
 //	GET    /tenants/{id}/violations  SSE stream of ViolationFrame JSON
 //	GET    /tenants/{id}/events      SSE stream of GC events (?replay=N)
+//	PUT    /tenants/{id}/slo         set/replace the tenant's SLO spec (JSON)
+//	GET    /tenants/{id}/slo         fresh SLO status + remaining error budget
+//	DELETE /tenants/{id}/slo         clear the tenant's SLO
+//	GET    /alerts                   SSE stream of SLO alert transitions, all tenants
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -64,7 +70,82 @@ func (s *Server) Handler() http.Handler {
 	}))
 	mux.HandleFunc("GET /tenants/{id}/violations", s.withTenant(s.handleViolations))
 	mux.HandleFunc("GET /tenants/{id}/events", s.withTenant(s.handleEvents))
+	mux.HandleFunc("PUT /tenants/{id}/slo", s.withTenant(s.handleSetSLO))
+	mux.HandleFunc("GET /tenants/{id}/slo", s.withTenant(func(t *Tenant, w http.ResponseWriter, r *http.Request) {
+		st, err := t.SLOStatus()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	}))
+	mux.HandleFunc("DELETE /tenants/{id}/slo", s.withTenant(func(t *Tenant, w http.ResponseWriter, r *http.Request) {
+		if _, err := t.SetSLO(nil); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"cleared": t.ID()})
+	}))
+	mux.HandleFunc("GET /alerts", s.handleAlerts)
 	return mux
+}
+
+// handleSetSLO installs or replaces a tenant's SLO spec. The window
+// accounting restarts from now — changing objectives mid-window re-judges
+// under the new contract, it does not re-interpret old history.
+func (s *Server) handleSetSLO(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	var spec slo.Spec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&spec); err != nil {
+		http.Error(w, "bad slo body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := t.SetSLO(&spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleAlerts streams SLO alert transitions for every tenant as SSE,
+// replaying recent transitions first so a subscriber attaching after a
+// burst still sees it (delivery is at-least-once around attach time). Slow
+// clients lose frames rather than stall tenants.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported (response writer is not an http.Flusher)",
+			http.StatusInternalServerError)
+		return
+	}
+	ch, replay, cancel, ok := s.SubscribeAlerts(256)
+	if !ok {
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	defer cancel()
+	sseHeaders(w)
+	for _, frame := range replay {
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case frame, open := <-ch:
+			if !open {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
 }
 
 // withTenant resolves {id} and 404s unknown tenants.
@@ -257,11 +338,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, ErrTenantNotFound), errors.Is(err, errTenantGone):
+	case errors.Is(err, ErrTenantNotFound), errors.Is(err, errTenantGone),
+		errors.Is(err, ErrNoSLO):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrTenantExists), errors.Is(err, ErrNoProgram):
 		code = http.StatusConflict
-	case errors.Is(err, ErrBadProgram), errors.Is(err, ErrBadTenantID):
+	case errors.Is(err, ErrBadProgram), errors.Is(err, ErrBadTenantID),
+		errors.Is(err, ErrBadSLO):
 		code = http.StatusBadRequest
 	case errors.Is(err, ErrServerFull):
 		code = http.StatusServiceUnavailable

@@ -127,7 +127,11 @@ func TestDeleteDuringDrive(t *testing.T) {
 	createTenant(t, ts, "victim", assertd.TenantOptions{HeapMiB: 2})
 	submit(t, ts, "victim", steadySrc)
 
+	// The DELETE waits for the first completed drive (not a sleep), so the
+	// race is guaranteed live: drives are in flight when deletion lands.
 	var wg sync.WaitGroup
+	var once sync.Once
+	driving := make(chan struct{})
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
 		go func() {
@@ -145,10 +149,11 @@ func TestDeleteDuringDrive(t *testing.T) {
 				default:
 					t.Errorf("drive during delete = %d", resp.StatusCode)
 				}
+				once.Do(func() { close(driving) })
 			}
 		}()
 	}
-	time.Sleep(5 * time.Millisecond)
+	<-driving
 	doJSON(t, "DELETE", ts.URL+"/tenants/victim", nil, http.StatusOK, nil)
 	wg.Wait()
 }

@@ -12,6 +12,7 @@ import (
 	"gcassert"
 	"gcassert/internal/core"
 	"gcassert/internal/minivm"
+	"gcassert/internal/slo"
 	"gcassert/internal/stats"
 	"gcassert/internal/telemetry"
 )
@@ -43,6 +44,10 @@ type TenantOptions struct {
 	// Introspection enables the census/leak-ranking layer. Forced on when
 	// the server has a fleet collector configured (census is what ships).
 	Introspection bool `json:"introspection,omitempty"`
+	// SLO declares the tenant's service-level objectives at creation time
+	// (replaceable later via PUT /tenants/{id}/slo). Nil means no SLO: the
+	// record seams reduce to one nil check and allocate nothing.
+	SLO *slo.Spec `json:"slo,omitempty"`
 }
 
 // defaultMaxSteps bounds a guest request when the tenant does not choose a
@@ -114,6 +119,13 @@ type Tenant struct {
 	id      string
 	opts    TenantOptions
 	created time.Time
+	srv     *Server
+	clock   func() time.Time
+
+	// sloT is the tenant's SLO tracker; nil when no SLO is configured, so
+	// the record seams cost one atomic load on the off path. Swapped whole
+	// on PUT/DELETE of the SLO (the tracker itself is concurrency-safe).
+	sloT atomic.Pointer[slo.Tracker]
 
 	cmds chan tenantCmd
 	stop chan struct{} // closed by Server.DeleteTenant
@@ -152,6 +164,7 @@ type tenantMetrics struct {
 	liveWords   *telemetry.Gauge
 	collections *telemetry.Gauge
 	pauseP99Ns  *telemetry.Gauge
+	alertTransitions *telemetry.Counter
 }
 
 type cmdResult struct {
@@ -201,14 +214,28 @@ func newTenant(s *Server, id string, topts TenantOptions) (*Tenant, error) {
 	if s.cfg.FleetURL != "" {
 		topts.Introspection = true // census is the fleet payload
 	}
+	if topts.SLO != nil {
+		if err := topts.SLO.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSLO, err)
+		}
+	}
 
 	t := &Tenant{
 		id:      id,
 		opts:    topts,
-		created: time.Now(),
+		created: s.cfg.Clock(),
+		srv:     s,
+		clock:   s.cfg.Clock,
 		cmds:    make(chan tenantCmd),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+	}
+	if topts.SLO != nil {
+		tr, err := slo.New(*topts.SLO, t.clock)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSLO, err)
+		}
+		t.sloT.Store(tr)
 	}
 	lbl := telemetry.Label{Name: "tenant", Value: id}
 	t.metrics = tenantMetrics{
@@ -220,6 +247,7 @@ func newTenant(s *Server, id string, topts TenantOptions) (*Tenant, error) {
 		liveWords:   s.reg.Gauge("gcassertd_heap_live_words", "Live heap words after the last command, by tenant.", lbl),
 		collections: s.reg.Gauge("gcassertd_gc_collections", "Completed collections, by tenant.", lbl),
 		pauseP99Ns:  s.reg.Gauge("gcassertd_gc_pause_p99_ns", "p99 GC pause in nanoseconds, by tenant.", lbl),
+		alertTransitions: s.reg.Counter("gcassertd_slo_alert_transitions_total", "SLO alert state transitions published, by tenant.", lbl),
 	}
 	t.hub.droppedMetric = t.metrics.dropped
 
@@ -341,7 +369,7 @@ func (t *Tenant) onViolation(v *gcassert.Violation) {
 		Site:     v.Site,
 		Root:     v.Root,
 		Message:  v.Message,
-		UnixNs:   time.Now().UnixNano(),
+		UnixNs:   t.clock().UnixNano(),
 	}
 	for _, step := range v.Path {
 		s := step.TypeName
@@ -370,9 +398,12 @@ type ViolationFrame struct {
 }
 
 // onGCEvent accumulates per-kind assertion cost from each collection's
-// event. Runs on the service loop during the stop-the-world window.
+// event and feeds the SLO pause/cost objectives. Runs on the service loop
+// during the stop-the-world window.
 func (t *Tenant) onGCEvent(ev *telemetry.Event) {
+	var assertNs int64
 	for _, c := range ev.Costs {
+		assertNs += c.Ns
 		for k := gcassert.Kind(0); k < core.NumKinds; k++ {
 			if k.String() == c.Kind {
 				t.costChecks[k] += c.Checks
@@ -381,6 +412,7 @@ func (t *Tenant) onGCEvent(ev *telemetry.Event) {
 			}
 		}
 	}
+	t.sloRecordPause(ev.TotalNs, assertNs)
 }
 
 // AssertCostStat is one kind's cumulative attributed GC-time cost.
@@ -428,6 +460,11 @@ type TenantStats struct {
 	MaxPauseNs      int64  `json:"gc_pause_max_ns"`
 
 	StreamDropped uint64 `json:"stream_dropped_frames"`
+
+	// SLO is the tenant's SLO status as of the last snapshot refresh; nil
+	// when no SLO is configured. GET /tenants/{id}/slo serves a fresh
+	// evaluation instead of this cached one.
+	SLO *slo.Status `json:"slo,omitempty"`
 }
 
 // refreshSnapshot rebuilds the cached stats document. Loop goroutine only.
@@ -478,6 +515,13 @@ func (t *Tenant) refreshSnapshot(g *guest) {
 	t.metrics.liveWords.Set(int64(hs.LiveWords))
 	t.metrics.collections.Set(int64(gc.Collections))
 	t.metrics.pauseP99Ns.Set(p99.Nanoseconds())
+
+	if tr := t.sloT.Load(); tr != nil {
+		st, evs := tr.Status()
+		t.publishAlerts(evs)
+		t.updateSLOMetrics(&st)
+		s.SLO = &st
+	}
 
 	t.mu.Lock()
 	t.snap = s
@@ -544,6 +588,13 @@ func (t *Tenant) Drive(n int, collect bool) (DriveResult, error) {
 		v0 := t.violations.Load()
 		start := time.Now()
 		for i := 0; i < n; i++ {
+			// Per-request SLO accounting: only touch the violation counter
+			// when a tracker is live, so the off path stays one nil check.
+			sloOn := t.sloT.Load() != nil
+			var pv uint64
+			if sloOn {
+				pv = t.violations.Load()
+			}
 			g.im.ResetSteps() // per-request step budget
 			t0 := time.Now()
 			err := g.runOne()
@@ -552,17 +603,28 @@ func (t *Tenant) Drive(n int, collect bool) (DriveResult, error) {
 			t.metrics.latency.Observe(d)
 			t.requests.Add(1)
 			t.metrics.requests.Inc()
+			var fail uint64
 			if err != nil {
 				t.failures.Add(1)
 				t.metrics.failures.Inc()
 				res.Failures++
 				res.LastError = err.Error()
+				fail = 1
+			}
+			if sloOn {
+				t.sloRecordRequests(1, fail, t.violations.Load()-pv)
 			}
 		}
 		if collect {
+			vc := t.violations.Load()
 			if err := g.collectOne(); err != nil {
 				res.Failures++
 				res.LastError = err.Error()
+			}
+			// Violations from the trailing forced collection still spend
+			// the violation budget, attributed to no particular request.
+			if d := t.violations.Load() - vc; d > 0 {
+				t.sloRecordRequests(0, 0, d)
 			}
 		}
 		res.Violations = t.violations.Load() - v0

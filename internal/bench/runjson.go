@@ -121,6 +121,32 @@ type AllocRateRun struct {
 	Threads           int     `json:"threads"`
 }
 
+// ServiceRun is one mjload -server run against a live gcassertd: the
+// service-level throughput, latency-tail and SLO-compliance record. It is
+// an additive schema-2 section — documents without it (and readers that
+// predate it) are unaffected.
+type ServiceRun struct {
+	Name                 string  `json:"name"`
+	Server               string  `json:"server"`
+	Tenants              int     `json:"tenants"`
+	TargetRPSPerTenant   float64 `json:"target_rps_per_tenant"`
+	AchievedRPSAggregate float64 `json:"achieved_rps_aggregate"`
+	Requests             uint64  `json:"requests"`
+	Failures             uint64  `json:"failures"`
+	Violations           uint64  `json:"violations"`
+	ViolationsPerMillion float64 `json:"violations_per_million_requests"`
+	LatencyP50Ns         int64   `json:"latency_p50_ns"`
+	LatencyP99Ns         int64   `json:"latency_p99_ns"`
+	LatencyP999Ns        int64   `json:"latency_p999_ns"`
+	LatencyMaxNs         int64   `json:"latency_max_ns"`
+	// SLO fields are present only when the run declared an SLO (-slo):
+	// how many tenants ended compliant and the worst fast-burn observed.
+	SLOTenants          int     `json:"slo_tenants,omitempty"`
+	SLOTenantsCompliant int     `json:"slo_tenants_compliant,omitempty"`
+	SLOWorstBurn        float64 `json:"slo_worst_burn,omitempty"`
+	SLOWorstTenant      string  `json:"slo_worst_tenant,omitempty"`
+}
+
 // RunDoc is the versioned machine-readable benchmark run: the trajectory
 // pipeline's unit of archival and comparison.
 type RunDoc struct {
@@ -134,6 +160,7 @@ type RunDoc struct {
 	MarkSpeedup []MarkSpeedupRun `json:"mark_speedup,omitempty"`
 	AssertCost  []AssertCostRun  `json:"assert_cost,omitempty"`
 	AllocRate   []AllocRateRun   `json:"alloc_rate,omitempty"`
+	Service     []ServiceRun     `json:"service,omitempty"`
 }
 
 // Workload returns the named workload's record, or nil.

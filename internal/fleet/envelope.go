@@ -18,7 +18,15 @@ const (
 	KindCensus = "census"
 	// KindFlight is a flight-recorder forensic bundle.
 	KindFlight = "flight"
+	// KindSLO is a per-tenant SLO report: an alert transition plus the
+	// tenant's full SLO status document at that moment.
+	KindSLO = "slo"
 )
+
+// knownKind reports whether k is an artifact kind this package speaks.
+func knownKind(k string) bool {
+	return k == KindCensus || k == KindFlight || k == KindSLO
+}
 
 // Envelope is the wire unit the collector ingests: one content-addressed
 // artifact plus the identity that produced it. Hash covers Kind,
@@ -38,7 +46,7 @@ type Envelope struct {
 // Seal builds an envelope around payload, canonicalizing it and computing
 // the content hash.
 func Seal(kind, registryRef string, instance version.Identity, capturedNs int64, payload []byte) (Envelope, error) {
-	if kind != KindCensus && kind != KindFlight {
+	if !knownKind(kind) {
 		return Envelope{}, fmt.Errorf("fleet: unknown artifact kind %q", kind)
 	}
 	canon, err := CanonicalPayload(payload)
@@ -65,7 +73,7 @@ func (e *Envelope) Verify() error {
 		return fmt.Errorf("fleet: envelope schema %d not supported (this collector speaks %d)",
 			e.Schema, EnvelopeSchemaVersion)
 	}
-	if e.Kind != KindCensus && e.Kind != KindFlight {
+	if !knownKind(e.Kind) {
 		return fmt.Errorf("fleet: unknown artifact kind %q", e.Kind)
 	}
 	if e.Instance.InstanceID == "" {

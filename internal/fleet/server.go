@@ -81,6 +81,7 @@ func (s *Server) syncGauges() {
 //	GET  /fleet/instances   instance IDs seen (JSON array)
 //	GET  /fleet/stats       store stats incl. dedupe ratio (JSON)
 //	GET  /fleet/leaks       cross-instance leak diff (?top=N&min-instances=N)
+//	GET  /fleet/slo         fleet SLO rollup, worst-burning tenants first (?top=N)
 //	GET  /metrics           Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -119,6 +120,14 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, RankLeaks(s.store, top, min))
+	})
+	mux.HandleFunc("/fleet/slo", func(w http.ResponseWriter, r *http.Request) {
+		top, err := intQuery(r, "top", 20)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, RollupSLO(s.store, top))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

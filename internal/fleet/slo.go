@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"encoding/json"
+	"sort"
+
+	"gcassert/internal/slo"
+)
+
+// SLORegistryRef keys the content hash of SLO report envelopes. Bump the
+// version when the report shape changes incompatibly.
+const SLORegistryRef = "gcassertd-slo-v1"
+
+// SLOReport is the payload of a KindSLO envelope: one tenant's alert
+// transition plus its full SLO status at that moment. The envelope's
+// Instance carries the composed "host/tenant" identity, so the tenant name
+// here is a convenience for rollup rendering, not the identity of record.
+type SLOReport struct {
+	Tenant string         `json:"tenant"`
+	Event  slo.AlertEvent `json:"event"`
+	Status slo.Status     `json:"status"`
+}
+
+// SLORow is one tenant's entry in the fleet SLO rollup: the latest report
+// the collector has from that composed host/tenant instance.
+type SLORow struct {
+	// Instance is the composed "host/tenant" instance ID that shipped the
+	// report; Tenant the bare tenant name from the payload.
+	Instance string `json:"instance"`
+	Tenant   string `json:"tenant"`
+	// State is the worst alert state across the tenant's objectives
+	// ("firing" > "pending" > "ok"), Severity the severity of that worst
+	// rule.
+	State    string `json:"state"`
+	Severity string `json:"severity,omitempty"`
+	// WorstBurn is the tenant's highest fast-rule short-window burn and
+	// WorstObjective the objective producing it.
+	WorstBurn      float64 `json:"worst_burn"`
+	WorstObjective string  `json:"worst_objective,omitempty"`
+	// MinBudgetRemaining is the lowest budget-remaining ratio across
+	// objectives — the closest-to-exhausted budget.
+	MinBudgetRemaining float64 `json:"min_budget_remaining"`
+	Compliant          bool    `json:"compliant"`
+	CapturedUnixNs     int64   `json:"captured_unix_ns"`
+}
+
+// SLORollup is the /fleet/slo response: worst-burning tenants first.
+type SLORollup struct {
+	// Instances counts distinct host/tenant instances with SLO reports;
+	// Firing and Pending count those whose worst state is each.
+	Instances int      `json:"instances"`
+	Firing    int      `json:"firing"`
+	Pending   int      `json:"pending"`
+	Tenants   []SLORow `json:"tenants"`
+}
+
+// stateRank orders alert states for rollup sorting.
+func stateRank(s string) int {
+	switch s {
+	case "firing":
+		return 2
+	case "pending":
+		return 1
+	}
+	return 0
+}
+
+// RollupSLO aggregates the latest SLO report per composed host/tenant
+// instance and ranks tenants worst first: firing before pending before ok,
+// then by fast-burn rate descending. top bounds the returned rows (0 = all).
+func RollupSLO(store *Store, top int) SLORollup {
+	type latest struct {
+		report SLOReport
+		meta   Meta
+	}
+	byInstance := map[string]latest{}
+	store.ForEach(func(m Meta, env Envelope) bool {
+		if m.Kind != KindSLO {
+			return true
+		}
+		var rep SLOReport
+		if json.Unmarshal(env.Payload, &rep) != nil {
+			return true
+		}
+		id := env.Instance.InstanceID
+		if cur, ok := byInstance[id]; ok && cur.meta.CapturedUnixNs >= m.CapturedUnixNs {
+			return true
+		}
+		byInstance[id] = latest{report: rep, meta: m}
+		return true
+	})
+
+	out := SLORollup{Instances: len(byInstance)}
+	for id, l := range byInstance {
+		row := SLORow{
+			Instance:           id,
+			Tenant:             l.report.Tenant,
+			State:              "ok",
+			WorstBurn:          l.report.Status.WorstBurn,
+			WorstObjective:     l.report.Status.WorstObjective,
+			MinBudgetRemaining: 1,
+			Compliant:          l.report.Status.Compliant,
+			CapturedUnixNs:     l.meta.CapturedUnixNs,
+		}
+		for _, o := range l.report.Status.Objectives {
+			if o.BudgetRemainingRatio < row.MinBudgetRemaining {
+				row.MinBudgetRemaining = o.BudgetRemainingRatio
+			}
+			for _, a := range o.Alerts {
+				if stateRank(a.State) > stateRank(row.State) {
+					row.State, row.Severity = a.State, a.Severity
+				}
+			}
+		}
+		switch row.State {
+		case "firing":
+			out.Firing++
+		case "pending":
+			out.Pending++
+		}
+		out.Tenants = append(out.Tenants, row)
+	}
+	sort.Slice(out.Tenants, func(i, j int) bool {
+		a, b := out.Tenants[i], out.Tenants[j]
+		if ra, rb := stateRank(a.State), stateRank(b.State); ra != rb {
+			return ra > rb
+		}
+		if a.WorstBurn != b.WorstBurn {
+			return a.WorstBurn > b.WorstBurn
+		}
+		return a.Instance < b.Instance
+	})
+	if top > 0 && len(out.Tenants) > top {
+		out.Tenants = out.Tenants[:top]
+	}
+	return out
+}

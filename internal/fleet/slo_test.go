@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gcassert/internal/slo"
+	"gcassert/internal/version"
+)
+
+// sloEnvelope seals one SLO report for the composed host/tenant identity.
+func sloEnvelope(t *testing.T, host, tenant string, capturedNs int64, st slo.Status, burn float64) Envelope {
+	t.Helper()
+	rep := SLOReport{
+		Tenant: tenant,
+		Event: slo.AlertEvent{
+			Tenant: tenant, Objective: "violation_rate", Severity: "fast",
+			State: "firing", Prev: "pending", BurnShort: burn, Threshold: 10,
+		},
+		Status: st,
+	}
+	payload, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Seal(KindSLO, SLORegistryRef, version.NewIdentity(host).Sub(tenant), capturedNs, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// firingStatus builds a status document whose fast rule is in the given
+// state with the given burn.
+func firingStatus(state string, burn, remaining float64) slo.Status {
+	return slo.Status{
+		Compliant:      state == "ok",
+		WorstBurn:      burn,
+		WorstObjective: "violation_rate",
+		Objectives: []slo.ObjectiveStatus{{
+			Name: "violation_rate", Kind: slo.KindViolationRate,
+			BudgetRemainingRatio: remaining,
+			Met:                  state == "ok",
+			Alerts: []slo.AlertStatus{
+				{Severity: "fast", State: state, BurnShort: burn, Threshold: 10},
+				{Severity: "slow", State: "ok"},
+			},
+		}},
+	}
+}
+
+// TestRollupSLO pins the fleet rollup contract: latest report wins per
+// composed instance, rows rank firing > pending > ok then by burn, and the
+// counters summarize the fleet's alert posture.
+func TestRollupSLO(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest := func(env Envelope) {
+		t.Helper()
+		if _, err := store.Ingest(env, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// host-a/leaky: an old pending report superseded by a firing one.
+	ingest(sloEnvelope(t, "host-a", "leaky", 100, firingStatus("pending", 12, 0.5), 12))
+	ingest(sloEnvelope(t, "host-a", "leaky", 200, firingStatus("firing", 66, 0), 66))
+	// host-b/warm: pending. host-b/steady: all clear.
+	ingest(sloEnvelope(t, "host-b", "warm", 150, firingStatus("pending", 11, 0.7), 11))
+	ingest(sloEnvelope(t, "host-b", "steady", 150, firingStatus("ok", 0.2, 0.98), 0.2))
+
+	doc := RollupSLO(store, 0)
+	if doc.Instances != 3 || doc.Firing != 1 || doc.Pending != 1 {
+		t.Fatalf("rollup counts = %d/%d/%d, want 3 instances, 1 firing, 1 pending", doc.Instances, doc.Firing, doc.Pending)
+	}
+	wantOrder := []string{"host-a/leaky", "host-b/warm", "host-b/steady"}
+	for i, want := range wantOrder {
+		if doc.Tenants[i].Instance != want {
+			t.Fatalf("row %d = %s, want %s (full: %+v)", i, doc.Tenants[i].Instance, want, doc.Tenants)
+		}
+	}
+	worst := doc.Tenants[0]
+	if worst.State != "firing" || worst.Severity != "fast" || worst.WorstBurn != 66 ||
+		worst.MinBudgetRemaining != 0 || worst.Compliant || worst.CapturedUnixNs != 200 {
+		t.Fatalf("worst row did not take the latest firing report: %+v", worst)
+	}
+	if doc.Tenants[2].State != "ok" || !doc.Tenants[2].Compliant {
+		t.Fatalf("steady row wrong: %+v", doc.Tenants[2])
+	}
+
+	// top bounds the rows but not the counters.
+	if top1 := RollupSLO(store, 1); len(top1.Tenants) != 1 || top1.Instances != 3 {
+		t.Fatalf("top=1 rollup = %d rows / %d instances, want 1 / 3", len(top1.Tenants), top1.Instances)
+	}
+}
+
+// TestFleetSLOEndpoint serves the rollup over the collector's HTTP surface.
+func TestFleetSLOEndpoint(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Ingest(sloEnvelope(t, "host-a", "leaky", 100, firingStatus("firing", 66, 0), 66), 1); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(store).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/fleet/slo?top=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /fleet/slo = %s", resp.Status)
+	}
+	var doc SLORollup
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Firing != 1 || len(doc.Tenants) != 1 || doc.Tenants[0].Instance != "host-a/leaky" {
+		t.Fatalf("endpoint rollup = %+v", doc)
+	}
+
+	bad, err := http.Get(ts.URL + "/fleet/slo?top=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad top = %d, want 400", bad.StatusCode)
+	}
+}

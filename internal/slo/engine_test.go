@@ -1,0 +1,306 @@
+package slo
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for deterministic window tests.
+type fakeClock struct{ ns int64 }
+
+func (c *fakeClock) now() time.Time         { return time.Unix(0, c.ns) }
+func (c *fakeClock) advance(d time.Duration) { c.ns += int64(d) }
+
+// testSpec is the scaled-down shape every engine test uses: 60s compliance
+// window, fast rule 5s/30s at 10×, slow rule effectively disabled (its
+// threshold exceeds the maximum possible burn of 1/budgetFraction).
+func testSpec(objs ...Objective) Spec {
+	return Spec{
+		Window:     Duration(60 * time.Second),
+		Objectives: objs,
+		Alerting: Alerting{
+			FastShort: Duration(5 * time.Second),
+			FastLong:  Duration(30 * time.Second),
+			FastBurn:  10,
+			SlowShort: Duration(30 * time.Second),
+			SlowLong:  Duration(60 * time.Second),
+			SlowBurn:  5000,
+		},
+	}
+}
+
+// TestAlertSequencePendingFiringClear is the acceptance test: a tenant
+// driven through budget exhaustion on a fake clock must produce exactly
+// pending → fast-burn firing → hysteresis clear, nothing else.
+func TestAlertSequencePendingFiringClear(t *testing.T) {
+	clk := &fakeClock{ns: int64(1_700_000_000) * int64(time.Second)}
+	tr, err := New(testSpec(Objective{Kind: KindViolationRate, MaxPerMillion: 10000}), clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []AlertEvent
+	record := func(requests, violations uint64) {
+		events = append(events, tr.RecordRequests(requests, 0, violations)...)
+	}
+
+	// 30s of clean traffic fills the long window with good history.
+	for i := 0; i < 30; i++ {
+		record(100, 0)
+		clk.advance(time.Second)
+	}
+	if len(events) != 0 {
+		t.Fatalf("clean traffic raised %d events: %+v", len(events), events)
+	}
+
+	// Violations start: the short window spikes over the threshold while the
+	// good history still dilutes the long window → pending, then the long
+	// window catches up → firing.
+	for i := 0; i < 4; i++ {
+		record(100, 100)
+		clk.advance(time.Second)
+	}
+
+	// Cause stops; the short window drains, then the hold must pass.
+	for i := 0; i < 15; i++ {
+		record(100, 0)
+		clk.advance(time.Second)
+	}
+
+	want := []struct{ state, prev string }{
+		{"pending", "ok"},
+		{"firing", "pending"},
+		{"ok", "firing"},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d transitions, want %d: %+v", len(events), len(want), events)
+	}
+	for i, w := range want {
+		ev := events[i]
+		if ev.State != w.state || ev.Prev != w.prev {
+			t.Fatalf("transition %d: got %s→%s, want %s→%s", i, ev.Prev, ev.State, w.prev, w.state)
+		}
+		if ev.Severity != SeverityFast {
+			t.Fatalf("transition %d: severity %q, want fast", i, ev.Severity)
+		}
+		if ev.Kind != KindViolationRate || ev.Objective != KindViolationRate {
+			t.Fatalf("transition %d: kind %q objective %q", i, ev.Kind, ev.Objective)
+		}
+		if i > 0 && ev.UnixNs < events[i-1].UnixNs {
+			t.Fatalf("transition %d: time went backwards", i)
+		}
+	}
+	if events[1].BurnShort < events[1].Threshold || events[1].BurnLong < events[1].Threshold {
+		t.Fatalf("firing with burns %g/%g below threshold %g",
+			events[1].BurnShort, events[1].BurnLong, events[1].Threshold)
+	}
+	if events[2].BurnShort >= 0.9*events[2].Threshold {
+		t.Fatalf("cleared while short burn %g still ≥ clear point", events[2].BurnShort)
+	}
+
+	// The hysteresis hold is real: the clear arrived well after the burn
+	// first dropped, not on the first quiet record.
+	if gap := events[2].UnixNs - events[1].UnixNs; gap < int64(5*time.Second) {
+		t.Fatalf("clear only %v after firing — hysteresis hold not applied", time.Duration(gap))
+	}
+
+	status, extra := tr.Status()
+	if len(extra) != 0 {
+		t.Fatalf("status raised unexpected transitions: %+v", extra)
+	}
+	if status.Objectives[0].BudgetRemainingRatio != 0 {
+		t.Fatalf("budget remaining %g after exhaustion, want 0", status.Objectives[0].BudgetRemainingRatio)
+	}
+	if status.Objectives[0].Met {
+		t.Fatal("objective reports met with budget exhausted")
+	}
+}
+
+// TestHysteresisBlocksFlappingClear: a burn that dips below the clear point
+// but returns before the hold expires must keep the alert firing.
+func TestHysteresisBlocksFlappingClear(t *testing.T) {
+	clk := &fakeClock{ns: int64(1_700_000_000) * int64(time.Second)}
+	tr, err := New(testSpec(Objective{Kind: KindViolationRate, MaxPerMillion: 10000}), clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-bad traffic from a cold start: both windows trip at once → firing
+	// directly (no good history to dilute the long window).
+	evs := tr.RecordRequests(100, 0, 100)
+	if len(evs) != 1 || evs[0].State != "firing" || evs[0].Prev != "ok" {
+		t.Fatalf("cold all-bad start: got %+v, want ok→firing", evs)
+	}
+	// Quiet for 3s (inside the 5s hold), then bad again: no clear.
+	for i := 0; i < 3; i++ {
+		clk.advance(time.Second)
+		if evs := tr.RecordRequests(100, 0, 0); len(evs) != 0 {
+			t.Fatalf("cleared inside the hold: %+v", evs)
+		}
+	}
+	clk.advance(time.Second)
+	if evs := tr.RecordRequests(100, 0, 100); len(evs) != 0 {
+		t.Fatalf("flap raised transitions: %+v", evs)
+	}
+	if st, _ := tr.Status(); st.Compliant {
+		t.Fatal("tracker reports compliant while alert still firing")
+	}
+}
+
+// TestStatusReadClearsIdleAlert: the firing→ok transition must happen on a
+// status read of a quiet tenant, not only on the next record.
+func TestStatusReadClearsIdleAlert(t *testing.T) {
+	clk := &fakeClock{ns: int64(1_700_000_000) * int64(time.Second)}
+	tr, err := New(testSpec(Objective{Kind: KindViolationRate, MaxPerMillion: 10000}), clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs := tr.RecordRequests(100, 0, 100); len(evs) != 1 || evs[0].State != "firing" {
+		t.Fatalf("want immediate firing, got %+v", evs)
+	}
+	// Tenant goes idle past the whole compliance window; the hold passes
+	// with no records at all.
+	clk.advance(70 * time.Second)
+	st, evs := tr.Status()
+	if len(evs) != 1 || evs[0].State != "ok" || evs[0].Prev != "firing" {
+		t.Fatalf("status read: got %+v, want one firing→ok transition", evs)
+	}
+	if !st.Compliant {
+		t.Fatal("tracker not compliant after idle clear")
+	}
+}
+
+func TestPauseAndCostObjectives(t *testing.T) {
+	clk := &fakeClock{ns: int64(1_700_000_000) * int64(time.Second)}
+	tr, err := New(testSpec(
+		Objective{Kind: KindPauseP99, MaxMs: 10},
+		Objective{Kind: KindAssertCost, MaxPct: 25},
+	), clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 99 fast pauses and one slow one: exactly at the 1% budget, met.
+	for i := 0; i < 99; i++ {
+		tr.RecordPause(int64(2*time.Millisecond), int64(100*time.Microsecond))
+	}
+	tr.RecordPause(int64(20*time.Millisecond), int64(time.Millisecond))
+	st, _ := tr.Status()
+	pp := st.Objectives[0]
+	if pp.Kind != KindPauseP99 || pp.WindowTotal != 100 || pp.WindowBad != 1 {
+		t.Fatalf("pause objective accounting: %+v", pp)
+	}
+	if !pp.Met {
+		t.Fatal("pause p99 exactly at budget should be met")
+	}
+	ac := st.Objectives[1]
+	if ac.Kind != KindAssertCost || !ac.Met {
+		t.Fatalf("assert cost should be met (~5%% of GC time): %+v", ac)
+	}
+	// One more slow pause exceeds the 1% budget.
+	tr.RecordPause(int64(20*time.Millisecond), 0)
+	if st, _ := tr.Status(); st.Objectives[0].Met {
+		t.Fatal("pause p99 over budget still reports met")
+	}
+	// Attribution noise: assertNs above pauseNs must clamp, not panic or
+	// overflow the bad count past total.
+	tr.RecordPause(int64(time.Millisecond), int64(5*time.Millisecond))
+	st, _ = tr.Status()
+	if ac := st.Objectives[1]; ac.WindowBad > ac.WindowTotal {
+		t.Fatalf("assert cost bad %d > total %d", ac.WindowBad, ac.WindowTotal)
+	}
+}
+
+func TestAvailabilityObjective(t *testing.T) {
+	clk := &fakeClock{ns: int64(1_700_000_000) * int64(time.Second)}
+	tr, err := New(testSpec(Objective{Kind: KindAvailability, TargetPct: 99}), clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.RecordRequests(1000, 5, 0)
+	st, _ := tr.Status()
+	o := st.Objectives[0]
+	if !o.Met {
+		t.Fatalf("5/1000 failures against 99%% target should be met: %+v", o)
+	}
+	if got, want := o.BudgetRemainingRatio, 0.5; got != want {
+		t.Fatalf("budget remaining %g, want %g (5 of 10 allowed failures spent)", got, want)
+	}
+	tr.RecordRequests(0, 0, 0) // no-op fast path
+	tr.RecordRequests(10, 10, 0)
+	if st, _ := tr.Status(); st.Objectives[0].Met {
+		t.Fatal("15/1010 failures against 99% target still met")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{},                                        // no objectives
+		{Objectives: []Objective{{Kind: "nope"}}}, // unknown kind
+		{Objectives: []Objective{{Kind: KindAvailability, TargetPct: 100}}},
+		{Objectives: []Objective{{Kind: KindViolationRate}}},
+		{Objectives: []Objective{{Kind: KindPauseP99, MaxMs: -1}}},
+		{Objectives: []Objective{{Kind: KindAssertCost, MaxPct: 101}}},
+		{Objectives: []Objective{ // duplicate names
+			{Kind: KindPauseP99, MaxMs: 1},
+			{Kind: KindPauseP99, Name: KindPauseP99, MaxMs: 2},
+		}},
+		{Objectives: []Objective{{Kind: KindPauseP99, MaxMs: 1}},
+			Alerting: Alerting{FastShort: Duration(time.Hour), FastLong: Duration(time.Minute)}},
+		{Objectives: []Objective{{Kind: KindPauseP99, MaxMs: 1}},
+			Alerting: Alerting{ClearRatio: 1.5}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d validated unexpectedly: %+v", i, s)
+		}
+	}
+	good := Spec{Objectives: []Objective{{Kind: KindViolationRate, MaxPerMillion: 50}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("minimal spec rejected: %v", err)
+	}
+	if _, err := New(good, nil); err != nil {
+		t.Fatalf("New with nil clock: %v", err)
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	var s Spec
+	in := `{"window":"90s","objectives":[{"kind":"pause_p99","max_ms":5}],
+	        "alerting":{"fast_short":2000000000,"fast_long":"10s"}}`
+	if err := json.Unmarshal([]byte(in), &s); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(s.Window) != 90*time.Second {
+		t.Fatalf("window %v", time.Duration(s.Window))
+	}
+	if time.Duration(s.Alerting.FastShort) != 2*time.Second {
+		t.Fatalf("fast_short (numeric ns) %v", time.Duration(s.Alerting.FastShort))
+	}
+	out, err := json.Marshal(s.Window)
+	if err != nil || string(out) != `"1m30s"` {
+		t.Fatalf("marshal: %s, %v", out, err)
+	}
+	if err := json.Unmarshal([]byte(`{"window":"fast"}`), &s); err == nil {
+		t.Fatal("bad duration string accepted")
+	}
+}
+
+// TestRecordPathAllocs pins the configured-tracker record path itself: ring
+// accounting and evaluation allocate nothing while no transition occurs.
+func TestRecordPathAllocs(t *testing.T) {
+	clk := &fakeClock{ns: int64(1_700_000_000) * int64(time.Second)}
+	tr, err := New(testSpec(
+		Objective{Kind: KindViolationRate, MaxPerMillion: 500000},
+		Objective{Kind: KindPauseP99, MaxMs: 10},
+	), clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.RecordRequests(10, 0, 0)
+		tr.RecordPause(int64(time.Millisecond), 0)
+	})
+	if allocs > 0 {
+		t.Fatalf("record path allocates %.1f/op with no transitions", allocs)
+	}
+}

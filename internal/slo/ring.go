@@ -1,0 +1,94 @@
+package slo
+
+// bucket is one time slice's event accounting: total events observed and
+// the bad subset (both in the objective's natural unit — requests, pauses,
+// or nanoseconds).
+type bucket struct {
+	total uint64
+	bad   uint64
+}
+
+// ringBuckets is the fixed bucket count every ring uses. The bucket
+// duration is longestWindow/ringBuckets, so the shortest alert window keeps
+// useful resolution as long as it is no finer than ~1/120 of the longest —
+// true for both the production defaults (5m against 6h is 1/72) and the
+// scaled-down test shapes, which preserve the ratios.
+const ringBuckets = 120
+
+// ring is a fixed-size sliding-window accumulator: time is divided into
+// aligned buckets of durNs, the ring holds the most recent ringBuckets of
+// them, and any window up to the ring's span is answered by summing the
+// buckets it overlaps. All storage is allocated at construction; advancing
+// and recording never allocate.
+type ring struct {
+	buckets     [ringBuckets]bucket
+	durNs       int64
+	head        int   // index of the current bucket
+	headStartNs int64 // aligned start time of the current bucket
+	started     bool  // false until the first advance
+}
+
+// newRing sizes a ring so spanNs fits exactly.
+func newRing(spanNs int64) ring {
+	dur := spanNs / ringBuckets
+	if dur < 1 {
+		dur = 1
+	}
+	return ring{durNs: dur}
+}
+
+// advance rotates the ring so the bucket containing nowNs is current,
+// zeroing every bucket whose time slice was passed over.
+func (r *ring) advance(nowNs int64) {
+	aligned := nowNs - nowNs%r.durNs
+	if !r.started {
+		r.started = true
+		r.headStartNs = aligned
+		return
+	}
+	if aligned <= r.headStartNs {
+		return // same bucket, or a clock running backwards: don't rewind history
+	}
+	steps := (aligned - r.headStartNs) / r.durNs
+	if steps >= ringBuckets {
+		r.buckets = [ringBuckets]bucket{}
+		r.head = 0
+		r.headStartNs = aligned
+		return
+	}
+	for ; steps > 0; steps-- {
+		r.head = (r.head + 1) % ringBuckets
+		r.buckets[r.head] = bucket{}
+		r.headStartNs += r.durNs
+	}
+}
+
+// add records total/bad events at nowNs.
+func (r *ring) add(nowNs int64, total, bad uint64) {
+	r.advance(nowNs)
+	r.buckets[r.head].total += total
+	r.buckets[r.head].bad += bad
+}
+
+// sum returns the (total, bad) accumulated over the last windowNs ending at
+// nowNs. A bucket counts when any part of its slice lies inside the window,
+// so the effective window rounds up to whole buckets — the documented
+// resolution of the engine.
+func (r *ring) sum(nowNs, windowNs int64) (total, bad uint64) {
+	r.advance(nowNs)
+	if !r.started {
+		return 0, 0
+	}
+	cutoff := nowNs - windowNs
+	start := r.headStartNs
+	for k := 0; k < ringBuckets; k++ {
+		if start+r.durNs <= cutoff {
+			break
+		}
+		b := &r.buckets[(r.head-k+ringBuckets)%ringBuckets]
+		total += b.total
+		bad += b.bad
+		start -= r.durNs
+	}
+	return total, bad
+}

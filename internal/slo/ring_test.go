@@ -1,0 +1,70 @@
+package slo
+
+import "testing"
+
+const sec = int64(1e9)
+
+func TestRingSumWindows(t *testing.T) {
+	r := newRing(60 * sec) // 0.5s buckets
+	base := int64(1_700_000_000) * sec
+	for i := int64(0); i < 30; i++ {
+		r.add(base+i*sec, 100, 1)
+	}
+	now := base + 29*sec
+	if total, bad := r.sum(now, 60*sec); total != 3000 || bad != 30 {
+		t.Fatalf("full window: got (%d, %d), want (3000, 30)", total, bad)
+	}
+	// A 5s window rounds up to whole buckets: records at 24..29 inclusive.
+	if total, bad := r.sum(now, 5*sec); total != 600 || bad != 6 {
+		t.Fatalf("5s window: got (%d, %d), want (600, 6)", total, bad)
+	}
+}
+
+func TestRingRotationZeroesPassedBuckets(t *testing.T) {
+	r := newRing(60 * sec)
+	base := int64(1_700_000_000) * sec
+	r.add(base, 50, 5)
+	// Jump 10s: the old bucket must still be visible in a wide window...
+	if total, _ := r.sum(base+10*sec, 60*sec); total != 50 {
+		t.Fatalf("after 10s: total %d, want 50", total)
+	}
+	// ...but not once it slides out of the span entirely.
+	if total, bad := r.sum(base+100*sec, 60*sec); total != 0 || bad != 0 {
+		t.Fatalf("after 100s: got (%d, %d), want (0, 0)", total, bad)
+	}
+}
+
+func TestRingLargeJumpResets(t *testing.T) {
+	r := newRing(60 * sec)
+	base := int64(1_700_000_000) * sec
+	for i := int64(0); i < ringBuckets; i++ {
+		r.add(base+i*sec/2, 1, 0)
+	}
+	r.advance(base + 1000*sec) // > full span: everything expires at once
+	if total, _ := r.sum(base+1000*sec, 60*sec); total != 0 {
+		t.Fatalf("after full-span jump: total %d, want 0", total)
+	}
+	r.add(base+1000*sec, 7, 2)
+	if total, bad := r.sum(base+1000*sec, 60*sec); total != 7 || bad != 2 {
+		t.Fatalf("post-reset add: got (%d, %d), want (7, 2)", total, bad)
+	}
+}
+
+func TestRingBackwardsClockDoesNotRewind(t *testing.T) {
+	r := newRing(60 * sec)
+	base := int64(1_700_000_000) * sec
+	r.add(base+10*sec, 10, 1)
+	r.add(base+5*sec, 20, 2) // lands in the current bucket, history intact
+	if total, bad := r.sum(base+10*sec, 60*sec); total != 30 || bad != 3 {
+		t.Fatalf("got (%d, %d), want (30, 3)", total, bad)
+	}
+}
+
+func TestRingNearZeroClock(t *testing.T) {
+	// A fake clock starting at (or aligned to) time 0 must still count.
+	r := newRing(60 * sec)
+	r.add(0, 3, 1)
+	if total, bad := r.sum(0, 60*sec); total != 3 || bad != 1 {
+		t.Fatalf("got (%d, %d), want (3, 1)", total, bad)
+	}
+}

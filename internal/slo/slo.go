@@ -1,0 +1,285 @@
+// Package slo is the per-tenant SLO engine: it turns the telemetry streams
+// the runtime already emits — request outcomes, assertion violations, GC
+// pauses, per-kind assertion cost — into a judgment: is this tenant inside
+// its heap-health budget, and how fast is it burning it?
+//
+// An SLO spec declares objectives over a sliding compliance window. Every
+// objective reduces to the same accounting shape — a (total, bad) event pair
+// per time bucket — so one windowed ring per objective answers every
+// question the engine asks:
+//
+//   - availability:     total = requests,   bad = failed requests
+//   - violation_rate:   total = requests,   bad = assertion violations
+//   - pause_p99:        total = GC pauses,  bad = pauses over the threshold
+//   - assert_cost:      total = GC ns,      bad = assertion-attributed ns
+//
+// The error budget over the compliance window is budgetFraction × total;
+// burn rate over any window is (bad/total) / budgetFraction — burn 1.0
+// spends the budget exactly at the window's natural rate, burn 14.4 spends a
+// 30-day budget in ~2 days (the classic fast-burn page threshold).
+//
+// Alerting is Google-SRE multi-window multi-burn-rate: a severity fires only
+// when both its short and long window burn above the threshold (the long
+// window proves the problem is sustained, the short window makes the alert
+// reset quickly once the cause stops), with hysteresis on clear — a firing
+// alert must stay below clear_ratio × threshold on the short window for
+// clear_hold before it resolves, so a flapping burn rate does not flap the
+// alert.
+//
+// The engine is clock-injected and allocation-free on the record path; when
+// a tenant has no SLO configured the tracker simply does not exist and the
+// record seams are one nil-check each.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("5m", "1h30m") so SLO specs read naturally on the wire. It also accepts
+// bare JSON numbers (nanoseconds) for programmatic clients.
+type Duration time.Duration
+
+// MarshalJSON renders the duration string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "5m"-style strings or nanosecond numbers.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("slo: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("slo: bad duration %s (want \"5m\"-style string or nanoseconds)", b)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Objective kinds.
+const (
+	// KindAvailability targets a request success ratio: failed requests
+	// spend the budget. Threshold: TargetPct (e.g. 99.9).
+	KindAvailability = "availability"
+	// KindViolationRate bounds assertion violations per million requests.
+	// Threshold: MaxPerMillion.
+	KindViolationRate = "violation_rate"
+	// KindPauseP99 bounds the GC pause p99: at most 1% of pauses in the
+	// window may exceed MaxMs milliseconds.
+	KindPauseP99 = "pause_p99"
+	// KindAssertCost bounds the assertion-attributed fraction of GC time.
+	// Threshold: MaxPct (percent of GC nanoseconds).
+	KindAssertCost = "assert_cost"
+)
+
+// pauseP99BadFraction is the budget fraction implied by a p99 pause
+// objective: "p99 ≤ N ms" is "at most 1% of pauses exceed N ms".
+const pauseP99BadFraction = 0.01
+
+// Objective is one declared objective. Exactly the threshold field matching
+// Kind must be set.
+type Objective struct {
+	// Kind selects the objective type (the Kind* constants).
+	Kind string `json:"kind"`
+	// Name labels the objective in status documents, alerts and metric
+	// labels; defaults to Kind. Must be unique within a spec.
+	Name string `json:"name,omitempty"`
+	// TargetPct is the availability target in percent (KindAvailability).
+	TargetPct float64 `json:"target_pct,omitempty"`
+	// MaxPerMillion is the violation budget per million requests
+	// (KindViolationRate).
+	MaxPerMillion float64 `json:"max_per_million,omitempty"`
+	// MaxMs is the pause threshold in milliseconds (KindPauseP99).
+	MaxMs float64 `json:"max_ms,omitempty"`
+	// MaxPct is the assertion-cost ceiling as a percent of GC time
+	// (KindAssertCost).
+	MaxPct float64 `json:"max_pct,omitempty"`
+}
+
+// budgetFraction is the allowed bad/total ratio the objective's threshold
+// implies. Valid only after Spec.normalize.
+func (o *Objective) budgetFraction() float64 {
+	switch o.Kind {
+	case KindAvailability:
+		return (100 - o.TargetPct) / 100
+	case KindViolationRate:
+		return o.MaxPerMillion / 1e6
+	case KindPauseP99:
+		return pauseP99BadFraction
+	case KindAssertCost:
+		return o.MaxPct / 100
+	}
+	return 0
+}
+
+// threshold returns the configured threshold in its natural unit, for
+// status documents.
+func (o *Objective) threshold() float64 {
+	switch o.Kind {
+	case KindAvailability:
+		return o.TargetPct
+	case KindViolationRate:
+		return o.MaxPerMillion
+	case KindPauseP99:
+		return o.MaxMs
+	case KindAssertCost:
+		return o.MaxPct
+	}
+	return 0
+}
+
+// Severity labels for the two alert rules.
+const (
+	SeverityFast = "fast"
+	SeveritySlow = "slow"
+)
+
+// Alerting configures the two burn-rate rules and the clear hysteresis.
+// Zero fields take the Google-SRE-shaped defaults (5m/1h at 14.4×,
+// 1h/6h at 6×); tests scale every window down.
+type Alerting struct {
+	FastShort Duration `json:"fast_short,omitempty"`
+	FastLong  Duration `json:"fast_long,omitempty"`
+	FastBurn  float64  `json:"fast_burn,omitempty"`
+	SlowShort Duration `json:"slow_short,omitempty"`
+	SlowLong  Duration `json:"slow_long,omitempty"`
+	SlowBurn  float64  `json:"slow_burn,omitempty"`
+	// ClearHold is how long a firing alert's short-window burn must stay
+	// below ClearRatio × threshold before the alert resolves (default:
+	// the rule's short window). ClearRatio defaults to 0.9.
+	ClearHold  Duration `json:"clear_hold,omitempty"`
+	ClearRatio float64  `json:"clear_ratio,omitempty"`
+}
+
+// Spec is the wire-format SLO declaration, set at tenant creation or via
+// PUT /tenants/{id}/slo.
+type Spec struct {
+	// Window is the compliance window the error budget is measured over
+	// (default 1h).
+	Window     Duration    `json:"window,omitempty"`
+	Objectives []Objective `json:"objectives"`
+	Alerting   Alerting    `json:"alerting,omitempty"`
+}
+
+// Default windows and thresholds.
+const (
+	defaultWindow    = Duration(time.Hour)
+	defaultFastShort = Duration(5 * time.Minute)
+	defaultFastLong  = Duration(time.Hour)
+	defaultFastBurn  = 14.4
+	defaultSlowShort = Duration(time.Hour)
+	defaultSlowLong  = Duration(6 * time.Hour)
+	defaultSlowBurn  = 6.0
+	defaultClearRatio = 0.9
+)
+
+// normalize fills defaults and validates; it returns the normalized copy so
+// the original wire document round-trips unchanged in TenantOptions.
+func (s Spec) normalize() (Spec, error) {
+	if s.Window <= 0 {
+		s.Window = defaultWindow
+	}
+	a := &s.Alerting
+	if a.FastShort <= 0 {
+		a.FastShort = defaultFastShort
+	}
+	if a.FastLong <= 0 {
+		a.FastLong = defaultFastLong
+	}
+	if a.FastBurn <= 0 {
+		a.FastBurn = defaultFastBurn
+	}
+	if a.SlowShort <= 0 {
+		a.SlowShort = defaultSlowShort
+	}
+	if a.SlowLong <= 0 {
+		a.SlowLong = defaultSlowLong
+	}
+	if a.SlowBurn <= 0 {
+		a.SlowBurn = defaultSlowBurn
+	}
+	if a.ClearHold <= 0 {
+		a.ClearHold = a.FastShort
+	}
+	if a.ClearRatio <= 0 {
+		a.ClearRatio = defaultClearRatio
+	}
+	if a.ClearRatio > 1 {
+		return s, fmt.Errorf("slo: clear_ratio %g > 1 would require the burn to rise to clear", a.ClearRatio)
+	}
+	if a.FastShort >= a.FastLong {
+		return s, fmt.Errorf("slo: fast_short %v must be shorter than fast_long %v",
+			time.Duration(a.FastShort), time.Duration(a.FastLong))
+	}
+	if a.SlowShort >= a.SlowLong {
+		return s, fmt.Errorf("slo: slow_short %v must be shorter than slow_long %v",
+			time.Duration(a.SlowShort), time.Duration(a.SlowLong))
+	}
+
+	if len(s.Objectives) == 0 {
+		return s, fmt.Errorf("slo: spec declares no objectives")
+	}
+	seen := make(map[string]bool, len(s.Objectives))
+	objs := append([]Objective(nil), s.Objectives...)
+	for i := range objs {
+		o := &objs[i]
+		if o.Name == "" {
+			o.Name = o.Kind
+		}
+		if seen[o.Name] {
+			return s, fmt.Errorf("slo: duplicate objective name %q", o.Name)
+		}
+		seen[o.Name] = true
+		switch o.Kind {
+		case KindAvailability:
+			if o.TargetPct <= 0 || o.TargetPct >= 100 {
+				return s, fmt.Errorf("slo: objective %q: target_pct %g must be in (0, 100)", o.Name, o.TargetPct)
+			}
+		case KindViolationRate:
+			if o.MaxPerMillion <= 0 {
+				return s, fmt.Errorf("slo: objective %q: max_per_million must be positive", o.Name)
+			}
+		case KindPauseP99:
+			if o.MaxMs <= 0 {
+				return s, fmt.Errorf("slo: objective %q: max_ms must be positive", o.Name)
+			}
+		case KindAssertCost:
+			if o.MaxPct <= 0 || o.MaxPct > 100 {
+				return s, fmt.Errorf("slo: objective %q: max_pct %g must be in (0, 100]", o.Name, o.MaxPct)
+			}
+		default:
+			return s, fmt.Errorf("slo: unknown objective kind %q (want %s, %s, %s or %s)",
+				o.Kind, KindAvailability, KindViolationRate, KindPauseP99, KindAssertCost)
+		}
+	}
+	s.Objectives = objs
+	return s, nil
+}
+
+// Validate checks a wire spec without building a tracker (the HTTP layer's
+// 400-vs-200 decision).
+func (s Spec) Validate() error {
+	_, err := s.normalize()
+	return err
+}
+
+// longestWindow is the widest window any accounting question needs.
+func (s *Spec) longestWindow() Duration {
+	max := s.Window
+	for _, d := range []Duration{s.Alerting.FastLong, s.Alerting.SlowLong} {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -54,6 +54,16 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a settable float-valued instantaneous value (ratios, burn
+// rates). Set/Value are atomic over the value's IEEE bits.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Label is one metric label pair.
 type Label struct{ Name, Value string }
 
@@ -63,6 +73,7 @@ type series struct {
 	counter  *Counter
 	fcounter *FloatCounter
 	gauge    *Gauge
+	fgauge   *FloatGauge
 	hist     *Histogram
 }
 
@@ -162,6 +173,21 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	return s.gauge
 }
 
+// FloatGauge finds or creates a float-valued gauge. It renders as a
+// Prometheus gauge; a name may hold integer or float series, not both.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	s := r.lookup(name, help, "gauge", labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.gauge != nil {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as float gauge (was integer)", name))
+	}
+	if s.fgauge == nil {
+		s.fgauge = &FloatGauge{}
+	}
+	return s.fgauge
+}
+
 // Histogram finds or creates a histogram over bounds (seconds, ascending).
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
 	s := r.lookup(name, help, "histogram", labels)
@@ -220,6 +246,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.fcounter.Value()))
 			case s.gauge != nil:
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.gauge.Value())
+			case s.fgauge != nil:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.fgauge.Value()))
 			case s.hist != nil:
 				err = writeHist(w, f.name, s.labels, s.hist)
 			}

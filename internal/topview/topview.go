@@ -4,15 +4,19 @@
 // per-thread allocation rates. The model is transport-agnostic: feed it
 // decoded events (in-process subscribers) or raw SSE JSON frames (cmd/gctop
 // over /debug/gcassert/live) and render whenever a new frame should appear.
+// An optional second feed (FeedAlert, from a gcassertd /alerts stream)
+// overlays per-tenant SLO burn-rate alerts as their own pane.
 package topview
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 
+	"gcassert/internal/slo"
 	"gcassert/internal/telemetry"
 )
 
@@ -20,6 +24,22 @@ import (
 const sparkCap = 48
 
 var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// alertCap bounds how many alert rules the alerts pane tracks; beyond it,
+// resolved rules are evicted first.
+const alertCap = 32
+
+// alertRow tracks one (tenant, objective, severity) rule's latest observed
+// transition from the /alerts feed.
+type alertRow struct {
+	tenant    string
+	objective string
+	severity  string
+	state     string
+	burn      float64
+	threshold float64
+	remaining float64
+}
 
 // threadRow tracks one mutator thread's allocation counters across frames so
 // the dashboard can show a per-interval rate, not just lifetime totals.
@@ -42,6 +62,8 @@ type Model struct {
 	gcNs     int64
 	threads  []threadRow
 	firstSeq uint64
+	alerts   []alertRow
+	alertsIn uint64
 }
 
 // New creates an empty model.
@@ -105,8 +127,61 @@ func (m *Model) foldThreads(ts []telemetry.ThreadAlloc) {
 	}
 }
 
+// FeedAlertJSON decodes one JSON-encoded SLO alert transition (a gcassertd
+// /alerts SSE `data:` payload) and feeds it.
+func (m *Model) FeedAlertJSON(frame []byte) error {
+	var ev slo.AlertEvent
+	if err := json.Unmarshal(frame, &ev); err != nil {
+		return fmt.Errorf("topview: bad alert frame: %w", err)
+	}
+	m.FeedAlert(&ev)
+	return nil
+}
+
+// FeedAlert folds one SLO alert transition into the alerts pane: the row
+// for that (tenant, objective, severity) rule takes the transition's new
+// state and burn figures.
+func (m *Model) FeedAlert(ev *slo.AlertEvent) {
+	m.alertsIn++
+	i := -1
+	for j := range m.alerts {
+		r := &m.alerts[j]
+		if r.tenant == ev.Tenant && r.objective == ev.Objective && r.severity == ev.Severity {
+			i = j
+			break
+		}
+	}
+	if i < 0 {
+		if len(m.alerts) >= alertCap {
+			m.evictAlert()
+		}
+		m.alerts = append(m.alerts, alertRow{
+			tenant: ev.Tenant, objective: ev.Objective, severity: ev.Severity,
+		})
+		i = len(m.alerts) - 1
+	}
+	r := &m.alerts[i]
+	r.state, r.burn, r.threshold, r.remaining =
+		ev.State, ev.BurnShort, ev.Threshold, ev.BudgetRemainingRatio
+}
+
+// evictAlert drops one row to make room: the first resolved rule, or the
+// oldest row when everything is still alight.
+func (m *Model) evictAlert() {
+	for j := range m.alerts {
+		if m.alerts[j].state == "ok" {
+			m.alerts = append(m.alerts[:j], m.alerts[j+1:]...)
+			return
+		}
+	}
+	m.alerts = m.alerts[1:]
+}
+
 // Events returns how many events have been fed.
 func (m *Model) Events() uint64 { return m.events }
+
+// Alerts returns how many alert transitions have been fed.
+func (m *Model) Alerts() uint64 { return m.alertsIn }
 
 // sparkline renders the pause history, scaled to its own max.
 func (m *Model) sparkline() string {
@@ -145,6 +220,7 @@ func bar(pct float64, width int) string {
 func (m *Model) Render(w io.Writer) {
 	if m.events == 0 {
 		fmt.Fprintln(w, "gctop: waiting for GC events...")
+		m.renderAlerts(w)
 		return
 	}
 	e := &m.last
@@ -185,6 +261,45 @@ func (m *Model) Render(w io.Writer) {
 			t := &m.threads[i]
 			fmt.Fprintf(w, "%-16s %12d %14d %14d\n", t.name, t.objects, t.words, t.deltaWords)
 		}
+	}
+	m.renderAlerts(w)
+}
+
+// alertStateRank orders the alerts pane: firing above pending above
+// resolved.
+func alertStateRank(s string) int {
+	switch s {
+	case "firing":
+		return 2
+	case "pending":
+		return 1
+	}
+	return 0
+}
+
+// renderAlerts writes the SLO alerts pane when an alert feed is attached
+// and has seen at least one transition.
+func (m *Model) renderAlerts(w io.Writer) {
+	if len(m.alerts) == 0 {
+		return
+	}
+	rows := append([]alertRow(nil), m.alerts...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if ri, rj := alertStateRank(rows[i].state), alertStateRank(rows[j].state); ri != rj {
+			return ri > rj
+		}
+		if rows[i].burn != rows[j].burn {
+			return rows[i].burn > rows[j].burn
+		}
+		return rows[i].tenant < rows[j].tenant
+	})
+	fmt.Fprintf(w, "\nslo alerts (%d transitions)\n", m.alertsIn)
+	fmt.Fprintf(w, "%-8s %-5s %-16s %-18s %14s %8s\n",
+		"state", "sev", "tenant", "objective", "burn", "budget")
+	for i := range rows {
+		r := &rows[i]
+		fmt.Fprintf(w, "%-8s %-5s %-16s %-18s %6.1fx /%5.1fx %7.0f%%\n",
+			r.state, r.severity, r.tenant, r.objective, r.burn, r.threshold, 100*r.remaining)
 	}
 }
 

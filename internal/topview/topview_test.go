@@ -1,9 +1,11 @@
 package topview
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"gcassert/internal/slo"
 	"gcassert/internal/telemetry"
 )
 
@@ -84,6 +86,73 @@ func TestThreadDeltas(t *testing.T) {
 	for _, row := range m.threads {
 		if row.name == "main" && row.deltaWords != 500 {
 			t.Fatalf("main delta = %d words, want 500", row.deltaWords)
+		}
+	}
+}
+
+// TestAlertsPane pins the SLO overlay: transitions update rules in place,
+// firing rows sort above pending and resolved ones, and the pane renders
+// with or without GC events.
+func TestAlertsPane(t *testing.T) {
+	m := New()
+	m.FeedAlert(&slo.AlertEvent{
+		Tenant: "steady", Objective: "availability", Severity: "fast",
+		State: "pending", Prev: "ok", BurnShort: 11, Threshold: 10, BudgetRemainingRatio: 0.8,
+	})
+	m.FeedAlert(&slo.AlertEvent{
+		Tenant: "leaky", Objective: "violation_rate", Severity: "fast",
+		State: "pending", Prev: "ok", BurnShort: 12, Threshold: 10, BudgetRemainingRatio: 0.5,
+	})
+	m.FeedAlert(&slo.AlertEvent{
+		Tenant: "leaky", Objective: "violation_rate", Severity: "fast",
+		State: "firing", Prev: "pending", BurnShort: 66.7, Threshold: 10, BudgetRemainingRatio: 0,
+	})
+	if m.Alerts() != 3 {
+		t.Fatalf("alerts fed = %d, want 3", m.Alerts())
+	}
+	if len(m.alerts) != 2 {
+		t.Fatalf("alert rows = %d, want 2 (second leaky transition updates in place)", len(m.alerts))
+	}
+
+	// Pane renders even before any GC event arrives.
+	var out strings.Builder
+	m.Render(&out)
+	s := out.String()
+	for _, want := range []string{"slo alerts (3 transitions)", "firing", "leaky", "violation_rate", "66.7x", "steady", "pending"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("alerts pane missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Index(s, "leaky") > strings.Index(s, "steady") {
+		t.Fatalf("firing row not sorted above pending:\n%s", s)
+	}
+
+	// And below the dashboard once events flow.
+	m.Feed(sampleEvent(0, 1000))
+	out.Reset()
+	m.Render(&out)
+	if s := out.String(); !strings.Contains(s, "slo alerts") || !strings.Contains(s, "gc #1") {
+		t.Fatalf("combined render missing a pane:\n%s", s)
+	}
+}
+
+func TestAlertEviction(t *testing.T) {
+	m := New()
+	for i := 0; i < alertCap; i++ {
+		m.FeedAlert(&slo.AlertEvent{
+			Tenant: fmt.Sprintf("t%02d", i), Objective: "availability",
+			Severity: "fast", State: "firing",
+		})
+	}
+	// Resolve one rule, then overflow: the resolved row goes first.
+	m.FeedAlert(&slo.AlertEvent{Tenant: "t05", Objective: "availability", Severity: "fast", State: "ok"})
+	m.FeedAlert(&slo.AlertEvent{Tenant: "fresh", Objective: "availability", Severity: "fast", State: "pending"})
+	if len(m.alerts) != alertCap {
+		t.Fatalf("rows = %d, want the %d cap", len(m.alerts), alertCap)
+	}
+	for i := range m.alerts {
+		if m.alerts[i].tenant == "t05" {
+			t.Fatal("resolved row survived eviction")
 		}
 	}
 }
