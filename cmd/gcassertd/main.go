@@ -19,15 +19,26 @@
 //	                                 judgment document, DELETE clears the SLO
 //	GET    /alerts                   SSE stream of SLO burn-rate alert transitions,
 //	                                 all tenants, with bounded replay on attach
+//	GET    /tenants/t1/traces        tail-sampled request-to-GC traces, newest first
+//	GET    /tenants/t1/traces/{id}   one stored trace document (span tree)
 //	DELETE /tenants/t1
 //	GET    /metrics                  Prometheus text, tenant label on per-tenant series
-//	                                 (incl. gcassertd_slo_* budget/burn/state gauges)
+//	                                 (incl. gcassertd_slo_* gauges; request-latency
+//	                                 buckets carry kept-trace exemplars)
+//
+// Every handler honors an incoming W3C traceparent header; a drive on a
+// tenant with "trace" in its options continues the caller's trace (the
+// response traceparent carries the new root span) and records each GC
+// collection as a child span of the request it paused. Tail sampling
+// always keeps violating, SLO-bad, and slow-pause batches; `gctrace
+// -trace` renders stored documents as a span tree.
 //
 // With -fleet, every tenant exports census envelopes to the gcfleet
 // collector under the composed instance ID "<instance>/<tenant>", so
 // cross-instance leak diffing sees each tenant as its own instance — and
 // every SLO alert transition ships a sealed report envelope the collector
-// rolls up on /fleet/slo (`gcfleet slo`).
+// rolls up on /fleet/slo (`gcfleet slo`), while every kept trace ships a
+// sealed trace envelope listed by /fleet/traces (`gcfleet traces`).
 //
 // Exit status: 0 on success (clean shutdown), 1 when the listener cannot be
 // opened or serving fails, 2 on usage errors.

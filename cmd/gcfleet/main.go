@@ -7,7 +7,8 @@
 //	gcfleet serve  [-addr :9464] [-store DIR] [-max N]
 //	gcfleet leaks  (-url URL | -store DIR) [-top N] [-min-instances N] [-json]
 //	gcfleet slo    (-url URL | -store DIR) [-top N] [-json]
-//	gcfleet ls     (-url URL | -store DIR)
+//	gcfleet traces (-url URL | -store DIR) [-top N] [-json]
+//	gcfleet ls     (-url URL | -store DIR) [-kind census|flight|slo|trace]
 //	gcfleet ingest (-url URL | -store DIR) envelope.json...
 //
 // serve runs the collector: instances POST content-addressed envelopes to
@@ -19,9 +20,11 @@
 // either live from a collector (-url) or straight off its store directory
 // (-store). slo is the fleet SLO rollup: the latest burn-rate alert state
 // and error-budget position per tenant across every reporting gcassertd,
-// worst-burning tenants first. ls lists stored artifacts with their
-// reporting instances. ingest posts envelope files by hand (re-homing a
-// store, testing).
+// worst-burning tenants first. traces lists the tail-sampled
+// request-to-GC traces gcassertd instances shipped, newest first, with
+// their keep reason and violation/pause rollups. ls lists stored artifacts
+// with their reporting instances; -kind narrows it to one artifact kind.
+// ingest posts envelope files by hand (re-homing a store, testing).
 //
 // Exit status: 0 on success, 1 when an input file, store, or collector
 // cannot be read, 2 on usage errors.
@@ -51,6 +54,7 @@ commands:
   serve    run the collector (ingest + dedupe + query + /metrics)
   leaks    rank cross-instance leak suspects
   slo      roll up per-tenant SLO alert state across the fleet
+  traces   list tail-sampled request-to-GC traces across the fleet
   ls       list stored artifacts
   ingest   post envelope files to a collector or store
 
@@ -71,6 +75,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runLeaks(rest, stdout, stderr)
 	case "slo":
 		return runSLO(rest, stdout, stderr)
+	case "traces":
+		return runTraces(rest, stdout, stderr)
 	case "ls":
 		return runLs(rest, stdout, stderr)
 	case "ingest":
@@ -299,11 +305,85 @@ func printSLO(w io.Writer, doc fleet.SLORollup) {
 	}
 }
 
+func runTraces(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gcfleet traces", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var src sourceFlags
+	src.register(fs)
+	top := fs.Int("top", 50, "traces to report (0 = all)")
+	jsonOut := fs.Bool("json", false, "emit the trace list as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "gcfleet traces: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	if !src.validate(stderr, "traces") {
+		return 2
+	}
+	if *top < 0 {
+		fmt.Fprintln(stderr, "gcfleet traces: -top must be non-negative")
+		return 2
+	}
+
+	var doc fleet.TraceList
+	if src.url != "" {
+		if err := fetchJSON(src.url, fmt.Sprintf("/fleet/traces?top=%d", *top), &doc); err != nil {
+			fmt.Fprintln(stderr, "gcfleet:", err)
+			return 1
+		}
+	} else {
+		store, err := fleet.OpenStore(src.dir, 0)
+		if err != nil {
+			fmt.Fprintln(stderr, "gcfleet:", err)
+			return 1
+		}
+		doc = fleet.ListTraces(store, *top)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+		return 0
+	}
+	printTraces(stdout, doc)
+	return 0
+}
+
+// printTraces renders the fleet trace index the way an operator scans it:
+// the newest interesting traces, why each was kept, and how to pull it.
+func printTraces(w io.Writer, doc fleet.TraceList) {
+	fmt.Fprintf(w, "fleet traces: %d stored\n", doc.Total)
+	if len(doc.Traces) == 0 {
+		fmt.Fprintln(w, "  none (no instance has shipped a sampled trace)")
+		return
+	}
+	fmt.Fprintf(w, "  %-32s %-24s %-11s %4s %4s %5s %10s  %s\n",
+		"trace", "instance", "reason", "reqs", "gcs", "viols", "pause", "captured")
+	for _, row := range doc.Traces {
+		fmt.Fprintf(w, "  %-32s %-24s %-11s %4d %4d %5d %8.2fms  %s\n",
+			row.TraceID, row.Instance, row.Reason, row.Requests, row.GCs, row.Violations,
+			float64(row.GCPauseNs)/1e6,
+			time.Unix(0, row.CapturedUnixNs).UTC().Format(time.RFC3339))
+	}
+}
+
+// lsKinds are the artifact kinds gcfleet ls -kind accepts.
+var lsKinds = map[string]bool{
+	fleet.KindCensus: true,
+	fleet.KindFlight: true,
+	fleet.KindSLO:    true,
+	fleet.KindTrace:  true,
+}
+
 func runLs(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gcfleet ls", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var src sourceFlags
 	src.register(fs)
+	kind := fs.String("kind", "", "only list artifacts of this kind (census, flight, slo, trace)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -312,6 +392,10 @@ func runLs(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if !src.validate(stderr, "ls") {
+		return 2
+	}
+	if *kind != "" && !lsKinds[*kind] {
+		fmt.Fprintf(stderr, "gcfleet ls: unknown kind %q (want census, flight, slo or trace)\n", *kind)
 		return 2
 	}
 
@@ -328,6 +412,15 @@ func runLs(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		metas = store.List()
+	}
+	if *kind != "" {
+		kept := metas[:0]
+		for _, m := range metas {
+			if m.Kind == *kind {
+				kept = append(kept, m)
+			}
+		}
+		metas = kept
 	}
 
 	fmt.Fprintf(stdout, "%-22s %-7s %10s %5s  %s\n", "hash", "kind", "bytes", "seen", "instances")

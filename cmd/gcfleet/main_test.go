@@ -11,6 +11,7 @@ import (
 
 	"gcassert/internal/fleet"
 	"gcassert/internal/heapdump"
+	"gcassert/internal/trace"
 	"gcassert/internal/version"
 )
 
@@ -210,5 +211,134 @@ func TestLsAndIngestFromStoreDir(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "stored") || !strings.Contains(stdout.String(), "deduped") {
 		t.Errorf("ingest verdicts wrong (want one stored, one deduped):\n%s", stdout.String())
+	}
+}
+
+// seedTrace ingests one sealed trace envelope from a gcassertd instance so
+// the traces subcommand and ls -kind have something cross-kind to chew on.
+func seedTrace(t *testing.T, dir, instance, traceID string) {
+	t.Helper()
+	store, err := fleet.OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := trace.Document{
+		SchemaVersion: trace.DocumentSchemaVersion,
+		TraceID:       traceID,
+		Tenant:        "acme",
+		Instance:      instance,
+		StartUnixNs:   1000,
+		EndUnixNs:     5000,
+		SampledReason: trace.KeepViolation,
+		Requests:      3,
+		GCs:           2,
+		Violations:    1,
+		GCPauseNs:     250,
+	}
+	payload, err := json.Marshal(&doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := fleet.Seal(fleet.KindTrace, fleet.TraceRegistryRef,
+		version.Identity{InstanceID: instance + "/acme", Host: "h", PID: 1}, 5000, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Ingest(env, 5000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLsKindFilter pins the -kind contract: a valid kind narrows the
+// listing to that kind (exit 0), an unknown kind is a usage error (exit 2,
+// diagnostic on stderr, nothing listed).
+func TestLsKindFilter(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+	seedTrace(t, dir, "replica-grow", "0123456789abcdef0123456789abcdef")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"ls", "-store", dir, "-kind", "trace"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("ls -kind trace exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "trace") {
+		t.Errorf("ls -kind trace listed no trace artifact:\n%s", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "census") {
+		t.Errorf("ls -kind trace leaked census rows:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"ls", "-store", dir, "-kind", "census"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("ls -kind census exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "census") || strings.Contains(stdout.String(), "trace") {
+		t.Errorf("ls -kind census filtered wrong:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"ls", "-store", dir, "-kind", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("ls -kind bogus exit code = %d, want 2\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), `unknown kind "bogus"`) {
+		t.Errorf("stderr missing the unknown-kind diagnostic:\n%s", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("usage error still listed artifacts:\n%s", stdout.String())
+	}
+}
+
+// TestTracesFromStoreDir covers the traces subcommand offline: the seeded
+// trace surfaces with its keep reason and rollups, -json emits the
+// TraceList, and an empty store says so at exit 0.
+func TestTracesFromStoreDir(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+	seedTrace(t, dir, "replica-grow", "0123456789abcdef0123456789abcdef")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"traces", "-store", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("traces exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"0123456789abcdef0123456789abcdef", "replica-grow", "violation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("traces output missing %q:\n%s", want, out)
+		}
+	}
+
+	stdout.Reset()
+	if code := run([]string{"traces", "-store", dir, "-json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("traces -json exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	var list fleet.TraceList
+	if err := json.Unmarshal(stdout.Bytes(), &list); err != nil {
+		t.Fatalf("traces -json output is not a TraceList: %v", err)
+	}
+	if list.Total != 1 || len(list.Traces) != 1 {
+		t.Fatalf("trace list = %+v", list)
+	}
+	row := list.Traces[0]
+	if row.TraceID != "0123456789abcdef0123456789abcdef" || row.Reason != "violation" ||
+		row.Violations != 1 || row.GCPauseNs != 250 {
+		t.Errorf("trace row = %+v", row)
+	}
+
+	// No traces stored (census-only store): friendly empty listing, exit 0.
+	emptyDir := t.TempDir()
+	seedStore(t, emptyDir)
+	stdout.Reset()
+	if code := run([]string{"traces", "-store", emptyDir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("empty traces exit code = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "none") {
+		t.Errorf("empty store listing not announced:\n%s", stdout.String())
+	}
+
+	// Usage contract matches the other subcommands.
+	stderr.Reset()
+	if code := run([]string{"traces"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("traces with no source = %d, want 2", code)
 	}
 }

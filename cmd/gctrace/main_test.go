@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -56,4 +59,104 @@ func TestRunExportsJSONL(t *testing.T) {
 	if !strings.Contains(stderr.String(), "pause") {
 		t.Errorf("summary missing from stderr:\n%s", stderr.String())
 	}
+}
+
+// drillDoc is a minimal stored trace document for the -trace drill-down:
+// root -> request -> gc with one violation event.
+const drillDoc = `{
+  "schema_version": 1,
+  "trace_id": "0123456789abcdef0123456789abcdef",
+  "tenant": "acme",
+  "root_span_id": "0000000000000001",
+  "start_unix_ns": 1000,
+  "end_unix_ns": 9000,
+  "sampled_reason": "violation",
+  "requests": 1,
+  "gcs": 1,
+  "violations": 1,
+  "gc_pause_ns": 500,
+  "spans": [
+    {"trace_id": "0123456789abcdef0123456789abcdef", "span_id": "0000000000000001",
+     "name": "drive", "start_unix_ns": 1000, "end_unix_ns": 9000},
+    {"trace_id": "0123456789abcdef0123456789abcdef", "span_id": "0000000000000002",
+     "parent_id": "0000000000000001", "name": "request",
+     "start_unix_ns": 2000, "end_unix_ns": 8000},
+    {"trace_id": "0123456789abcdef0123456789abcdef", "span_id": "0000000000000003",
+     "parent_id": "0000000000000002", "name": "gc",
+     "start_unix_ns": 3000, "end_unix_ns": 3500,
+     "attrs": {"reason": "allocation-failure", "total_ns": 500},
+     "events": [{"name": "violation:assert-dead", "unix_ns": 3200,
+                 "attrs": {"kind": "assert-dead", "type": "Node", "allocated_at": "Main.main:4"}}]}
+  ]
+}`
+
+func TestTraceDrillDown(t *testing.T) {
+	doc := writeTemp(t, drillDoc)
+
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-trace", doc}, &stdout, &stderr); got != 0 {
+		t.Fatalf("drill-down = %d\nstderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"0123456789abcdef0123456789abcdef", "drive", "request", "gc",
+		"violation:assert-dead", "Allocated at: Main.main:4", "reason=violation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree view missing %q:\n%s", want, out)
+		}
+	}
+
+	// Chrome re-export is valid trace_event JSON carrying the same spans.
+	stdout.Reset()
+	if got := run([]string{"-trace", doc, "-format", "chrome"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("chrome drill-down = %d\nstderr: %s", got, stderr.String())
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &chrome); err != nil {
+		t.Fatalf("chrome export is not JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range chrome.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"drive", "request", "gc", "violation:assert-dead"} {
+		if !names[want] {
+			t.Errorf("chrome export missing event %q", want)
+		}
+	}
+
+	// A fleet envelope wrapping the document is unwrapped transparently.
+	wrapped := writeTemp(t, `{"kind":"trace","payload":`+drillDoc+`}`)
+	stdout.Reset()
+	if got := run([]string{"-trace", wrapped, "-format", "tree"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("enveloped drill-down = %d\nstderr: %s", got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "violation:assert-dead") {
+		t.Errorf("enveloped tree missing the violation:\n%s", stdout.String())
+	}
+
+	// Contract: bad format is usage (2); unreadable/garbage sources are data
+	// errors (1).
+	if got := run([]string{"-trace", doc, "-format", "xml"}, &stdout, &stderr); got != 2 {
+		t.Errorf("bad trace format = %d, want 2", got)
+	}
+	if got := run([]string{"-trace", doc + ".nope"}, &stdout, &stderr); got != 1 {
+		t.Errorf("missing trace file = %d, want 1", got)
+	}
+	if got := run([]string{"-trace", writeTemp(t, `{"not":"a trace"}`)}, &stdout, &stderr); got != 1 {
+		t.Errorf("non-trace JSON = %d, want 1", got)
+	}
+}
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "doc.json")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
 }

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"gcassert/internal/sse"
 	"gcassert/internal/telemetry"
 	"gcassert/internal/version"
 )
@@ -76,9 +77,7 @@ type Server struct {
 	// Server-wide SLO alert stream: every tenant's alert transitions fan
 	// out through one hub (GET /alerts), with a bounded replay ring so a
 	// subscriber attaching after a burst still sees it.
-	alerts   hub
-	alertMu  sync.Mutex
-	alertLog [][]byte
+	alerts sse.Hub
 
 	// sloShip ships SLO report envelopes to the fleet collector (nil when
 	// Config.FleetURL is empty).
@@ -111,7 +110,8 @@ func NewServer(cfg Config) *Server {
 		created:      reg.Counter("gcassertd_tenants_created_total", "Tenants created."),
 		deleted:      reg.Counter("gcassertd_tenants_deleted_total", "Tenants deleted."),
 	}
-	s.alerts.droppedMetric = reg.Counter("gcassertd_alert_dropped_frames_total",
+	s.alerts.ReplayLimit = alertReplay
+	s.alerts.DropMetric = reg.Counter("gcassertd_alert_dropped_frames_total",
 		"Alert-stream frames dropped on slow /alerts subscribers.")
 	if cfg.FleetURL != "" {
 		s.sloShip = newSLOShipper(cfg.FleetURL, version.NewIdentity(cfg.InstanceID))
@@ -231,7 +231,7 @@ func (s *Server) Close() {
 		t.shutdown()
 	}
 	if !wasClosed {
-		s.alerts.close()
+		s.alerts.Close()
 		if s.sloShip != nil {
 			s.sloShip.close()
 		}

@@ -1,6 +1,7 @@
 package assertd
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 
 	"gcassert/internal/slo"
+	"gcassert/internal/trace"
 )
 
 // maxProgramBytes bounds a submitted MJ source body.
@@ -34,7 +36,14 @@ const maxDriveBatch = 100_000
 //	PUT    /tenants/{id}/slo         set/replace the tenant's SLO spec (JSON)
 //	GET    /tenants/{id}/slo         fresh SLO status + remaining error budget
 //	DELETE /tenants/{id}/slo         clear the tenant's SLO
+//	GET    /tenants/{id}/traces      stored trace summaries, newest first
+//	GET    /tenants/{id}/traces/{traceID}  one stored trace document
 //	GET    /alerts                   SSE stream of SLO alert transitions, all tenants
+//
+// Every handler runs behind the traceparent middleware: an incoming W3C
+// traceparent header is parsed and echoed back; a traced drive overrides
+// the echo with the trace context it created, so the caller learns the
+// trace ID that will resolve against /tenants/{id}/traces.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -86,8 +95,50 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"cleared": t.ID()})
 	}))
+	mux.HandleFunc("GET /tenants/{id}/traces", s.withTenant(func(t *Tenant, w http.ResponseWriter, r *http.Request) {
+		sums, err := t.Traces()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sums)
+	}))
+	mux.HandleFunc("GET /tenants/{id}/traces/{traceID}", s.withTenant(func(t *Tenant, w http.ResponseWriter, r *http.Request) {
+		doc, err := t.TraceByID(r.PathValue("traceID"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, doc)
+	}))
 	mux.HandleFunc("GET /alerts", s.handleAlerts)
-	return mux
+	return withTraceparent(mux)
+}
+
+// traceCtxKey carries the extracted inbound trace context through the
+// request context.
+type traceCtxKey struct{}
+
+// withTraceparent is the distributed-tracing middleware: it extracts the
+// W3C traceparent header on every request (stashing the span context for
+// handlers that continue the trace) and injects one into every response —
+// callers that sent a context get it echoed even on untraced endpoints, so
+// log correlation works uniformly across the whole surface.
+func withTraceparent(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sc, ok := trace.ParseTraceparent(r.Header.Get(trace.Header)); ok {
+			r = r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, sc))
+			w.Header().Set(trace.Header, sc.Traceparent())
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// spanContext returns the request's extracted inbound trace context (the
+// zero SpanContext when the caller sent none).
+func spanContext(r *http.Request) trace.SpanContext {
+	sc, _ := r.Context().Value(traceCtxKey{}).(trace.SpanContext)
+	return sc
 }
 
 // handleSetSLO installs or replaces a tenant's SLO spec. The window
@@ -219,10 +270,14 @@ func (s *Server) handleDrive(t *Tenant, w http.ResponseWriter, r *http.Request) 
 		http.Error(w, fmt.Sprintf("drive batch too large (max %d)", maxDriveBatch), http.StatusBadRequest)
 		return
 	}
-	res, err := t.Drive(req.Requests, req.Collect)
+	res, err := t.DriveTraced(req.Requests, req.Collect, spanContext(r))
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	if res.Traceparent != "" {
+		// Override the middleware's echo with the trace this drive created.
+		w.Header().Set(trace.Header, res.Traceparent)
 	}
 	writeJSON(w, http.StatusOK, res)
 }
@@ -339,7 +394,7 @@ func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrTenantNotFound), errors.Is(err, errTenantGone),
-		errors.Is(err, ErrNoSLO):
+		errors.Is(err, ErrNoSLO), errors.Is(err, ErrNoTracing), errors.Is(err, ErrNoTrace):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrTenantExists), errors.Is(err, ErrNoProgram):
 		code = http.StatusConflict

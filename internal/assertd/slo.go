@@ -70,15 +70,19 @@ func (t *Tenant) pokeSnapshot() {
 
 // sloRecordRequests is the request-path seam: one atomic load and a nil
 // check when no SLO is configured (BenchmarkSLOOff pins this at zero
-// allocations).
-func (t *Tenant) sloRecordRequests(requests, failures, violations uint64) {
+// allocations). It returns the SLO engine's at-record-time judgment —
+// whether this batch was SLO-bad — which the trace tail sampler consumes;
+// with no SLO configured nothing is ever SLO-bad.
+func (t *Tenant) sloRecordRequests(requests, failures, violations uint64) bool {
 	tr := t.sloT.Load()
 	if tr == nil {
-		return
+		return false
 	}
-	if evs := tr.RecordRequests(requests, failures, violations); len(evs) > 0 {
+	bad, evs := tr.RecordRequestsMarked(requests, failures, violations)
+	if len(evs) > 0 {
 		t.publishAlerts(evs)
 	}
+	return bad
 }
 
 // sloRecordPause is the GC-path seam, fed from the telemetry OnRecord tap
@@ -125,16 +129,10 @@ func (t *Tenant) SLOStatusQuiet() (*slo.Status, error) {
 	return &st, nil
 }
 
-// publishAlert appends one marshaled transition to the replay ring and
-// fans it out to /alerts subscribers.
+// publishAlert records one marshaled transition in the hub's replay ring
+// and fans it out to /alerts subscribers.
 func (s *Server) publishAlert(frame []byte) {
-	s.alertMu.Lock()
-	s.alertLog = append(s.alertLog, frame)
-	if len(s.alertLog) > alertReplay {
-		s.alertLog = s.alertLog[len(s.alertLog)-alertReplay:]
-	}
-	s.alertMu.Unlock()
-	s.alerts.publish(frame)
+	s.alerts.Publish(frame)
 }
 
 // SubscribeAlerts subscribes to the server-wide alert stream. replay
@@ -142,14 +140,7 @@ func (s *Server) publishAlert(frame []byte) {
 // at-least-once delivery around attach time (a transition racing the
 // subscription may appear in both the replay and the live stream).
 func (s *Server) SubscribeAlerts(buf int) (frames <-chan []byte, replay [][]byte, cancel func(), ok bool) {
-	frames, cancel, ok = s.alerts.subscribe(buf)
-	if !ok {
-		return nil, nil, nil, false
-	}
-	s.alertMu.Lock()
-	replay = append([][]byte(nil), s.alertLog...)
-	s.alertMu.Unlock()
-	return frames, replay, cancel, true
+	return s.alerts.SubscribeReplay(buf)
 }
 
 // sloStateNum encodes an alert state for the gcassertd_slo_alert_state
@@ -188,11 +179,11 @@ func (t *Tenant) updateSLOMetrics(st *slo.Status) {
 	}
 }
 
-// sloShipper ships SLO report envelopes to a gcfleet collector. Same
-// discipline as the fleet census exporter: enqueue never blocks (alert
-// transitions happen on tenant service loops, sometimes inside
-// stop-the-world pauses), a dedicated sender goroutine owns all network
-// I/O, and the bounded queue drops the oldest report on overflow.
+// sloShipper ships sealed envelopes (SLO reports, kept traces) to a gcfleet
+// collector. Same discipline as the fleet census exporter: enqueue never
+// blocks (alert transitions happen on tenant service loops, sometimes
+// inside stop-the-world pauses), a dedicated sender goroutine owns all
+// network I/O, and the bounded queue drops the oldest envelope on overflow.
 type sloShipper struct {
 	url    string
 	ident  version.Identity
@@ -232,7 +223,13 @@ func (sh *sloShipper) ship(tenant string, ev slo.AlertEvent, st slo.Status) {
 	if err != nil {
 		return
 	}
-	env, err := fleet.Seal(fleet.KindSLO, fleet.SLORegistryRef, sh.ident.Sub(tenant),
+	sh.shipEnvelope(fleet.KindSLO, fleet.SLORegistryRef, tenant, payload)
+}
+
+// shipEnvelope seals an arbitrary payload under the composed host/tenant
+// identity and queues it. Never blocks.
+func (sh *sloShipper) shipEnvelope(kind, registryRef, tenant string, payload []byte) {
+	env, err := fleet.Seal(kind, registryRef, sh.ident.Sub(tenant),
 		time.Now().UnixNano(), payload)
 	if err != nil {
 		return

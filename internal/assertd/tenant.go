@@ -13,8 +13,10 @@ import (
 	"gcassert/internal/core"
 	"gcassert/internal/minivm"
 	"gcassert/internal/slo"
+	"gcassert/internal/sse"
 	"gcassert/internal/stats"
 	"gcassert/internal/telemetry"
+	"gcassert/internal/trace"
 )
 
 // TenantOptions is the per-tenant runtime configuration accepted on tenant
@@ -48,6 +50,10 @@ type TenantOptions struct {
 	// (replaceable later via PUT /tenants/{id}/slo). Nil means no SLO: the
 	// record seams reduce to one nil check and allocate nothing.
 	SLO *slo.Spec `json:"slo,omitempty"`
+	// Trace enables request-to-GC tracing with tail-based sampling. Nil
+	// means tracing off: the drive path pays one atomic load per batch and
+	// one nil check per request, and allocates nothing.
+	Trace *TraceOptions `json:"trace,omitempty"`
 }
 
 // defaultMaxSteps bounds a guest request when the tenant does not choose a
@@ -127,6 +133,16 @@ type Tenant struct {
 	// on PUT/DELETE of the SLO (the tracker itself is concurrency-safe).
 	sloT atomic.Pointer[slo.Tracker]
 
+	// trc is the tenant's tracing state (store + tail sampler); nil when the
+	// tenant was created without a trace config, so the drive-path seam is
+	// one atomic load. Set once at creation, never swapped.
+	trc atomic.Pointer[tenantTracer]
+	// activeTrace is the span builder for the traced drive batch currently
+	// executing on the service loop, nil between batches. Loop-goroutine
+	// only — the GC event and violation taps read it inside the
+	// stop-the-world window, which runs on that same goroutine.
+	activeTrace *trace.Builder
+
 	cmds chan tenantCmd
 	stop chan struct{} // closed by Server.DeleteTenant
 	done chan struct{} // closed when the service loop has fully exited
@@ -134,7 +150,7 @@ type Tenant struct {
 	stopOnce sync.Once
 
 	tel *telemetry.Tracer // concurrency-safe views (pause histogram, SSE)
-	hub hub               // violation SSE stream
+	hub sse.Hub           // violation SSE stream
 
 	// Cross-goroutine counters (written on the loop, read anywhere).
 	requests   atomic.Uint64
@@ -156,14 +172,14 @@ type Tenant struct {
 
 // tenantMetrics are the tenant's label-bound series in the server registry.
 type tenantMetrics struct {
-	requests *telemetry.Counter
-	failures *telemetry.Counter
-	viols    *telemetry.Counter
-	dropped  *telemetry.Counter
-	latency  *telemetry.Histogram
-	liveWords   *telemetry.Gauge
-	collections *telemetry.Gauge
-	pauseP99Ns  *telemetry.Gauge
+	requests         *telemetry.Counter
+	failures         *telemetry.Counter
+	viols            *telemetry.Counter
+	dropped          *telemetry.Counter
+	latency          *telemetry.Histogram
+	liveWords        *telemetry.Gauge
+	collections      *telemetry.Gauge
+	pauseP99Ns       *telemetry.Gauge
 	alertTransitions *telemetry.Counter
 }
 
@@ -219,6 +235,11 @@ func newTenant(s *Server, id string, topts TenantOptions) (*Tenant, error) {
 			return nil, fmt.Errorf("%w: %v", ErrBadSLO, err)
 		}
 	}
+	if topts.Trace != nil {
+		if err := topts.Trace.validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadProgram, err)
+		}
+	}
 
 	t := &Tenant{
 		id:      id,
@@ -237,19 +258,22 @@ func newTenant(s *Server, id string, topts TenantOptions) (*Tenant, error) {
 		}
 		t.sloT.Store(tr)
 	}
+	if topts.Trace != nil {
+		t.trc.Store(newTenantTracer(topts.Trace))
+	}
 	lbl := telemetry.Label{Name: "tenant", Value: id}
 	t.metrics = tenantMetrics{
-		requests: s.reg.Counter("gcassertd_requests_total", "Guest requests run, by tenant.", lbl),
-		failures: s.reg.Counter("gcassertd_request_failures_total", "Guest requests that failed (VM error, OOM, halt), by tenant.", lbl),
-		viols:    s.reg.Counter("gcassertd_violations_total", "Assertion violations reported, by tenant.", lbl),
-		dropped:  s.reg.Counter("gcassertd_stream_dropped_frames_total", "Violation-stream frames dropped on slow subscribers, by tenant.", lbl),
-		latency:  s.reg.Histogram("gcassertd_request_seconds", "Guest request service time, by tenant.", telemetry.DefaultPauseBuckets(), lbl),
-		liveWords:   s.reg.Gauge("gcassertd_heap_live_words", "Live heap words after the last command, by tenant.", lbl),
-		collections: s.reg.Gauge("gcassertd_gc_collections", "Completed collections, by tenant.", lbl),
-		pauseP99Ns:  s.reg.Gauge("gcassertd_gc_pause_p99_ns", "p99 GC pause in nanoseconds, by tenant.", lbl),
+		requests:         s.reg.Counter("gcassertd_requests_total", "Guest requests run, by tenant.", lbl),
+		failures:         s.reg.Counter("gcassertd_request_failures_total", "Guest requests that failed (VM error, OOM, halt), by tenant.", lbl),
+		viols:            s.reg.Counter("gcassertd_violations_total", "Assertion violations reported, by tenant.", lbl),
+		dropped:          s.reg.Counter("gcassertd_stream_dropped_frames_total", "Violation-stream frames dropped on slow subscribers, by tenant.", lbl),
+		latency:          s.reg.Histogram("gcassertd_request_seconds", "Guest request service time, by tenant.", telemetry.DefaultPauseBuckets(), lbl),
+		liveWords:        s.reg.Gauge("gcassertd_heap_live_words", "Live heap words after the last command, by tenant.", lbl),
+		collections:      s.reg.Gauge("gcassertd_gc_collections", "Completed collections, by tenant.", lbl),
+		pauseP99Ns:       s.reg.Gauge("gcassertd_gc_pause_p99_ns", "p99 GC pause in nanoseconds, by tenant.", lbl),
 		alertTransitions: s.reg.Counter("gcassertd_slo_alert_transitions_total", "SLO alert state transitions published, by tenant.", lbl),
 	}
-	t.hub.droppedMetric = t.metrics.dropped
+	t.hub.DropMetric = t.metrics.dropped
 
 	vm := gcassert.New(gcassert.Options{
 		HeapBytes:       topts.HeapMiB << 20,
@@ -286,7 +310,7 @@ func newTenant(s *Server, id string, topts TenantOptions) (*Tenant, error) {
 func (t *Tenant) loop(g *guest) {
 	defer close(t.done)
 	defer g.vm.CloseFleet()
-	defer t.hub.close()
+	defer t.hub.Close()
 	for {
 		select {
 		case <-t.stop:
@@ -379,8 +403,9 @@ func (t *Tenant) onViolation(v *gcassert.Violation) {
 		frame.Path = append(frame.Path, s)
 	}
 	if b, err := json.Marshal(&frame); err == nil {
-		t.hub.publish(b)
+		t.hub.Publish(b)
 	}
+	t.traceTapViolation(v)
 }
 
 // ViolationFrame is one violation as streamed on the tenant's SSE feed.
@@ -413,6 +438,7 @@ func (t *Tenant) onGCEvent(ev *telemetry.Event) {
 		}
 	}
 	t.sloRecordPause(ev.TotalNs, assertNs)
+	t.traceTapEvent(ev)
 }
 
 // AssertCostStat is one kind's cumulative attributed GC-time cost.
@@ -461,6 +487,10 @@ type TenantStats struct {
 
 	StreamDropped uint64 `json:"stream_dropped_frames"`
 
+	// TracesStored counts traces currently retained by the tail sampler
+	// (only present when the tenant has tracing enabled).
+	TracesStored int `json:"traces_stored,omitempty"`
+
 	// SLO is the tenant's SLO status as of the last snapshot refresh; nil
 	// when no SLO is configured. GET /tenants/{id}/slo serves a fresh
 	// evaluation instead of this cached one.
@@ -497,7 +527,7 @@ func (t *Tenant) refreshSnapshot(g *guest) {
 		PauseP50Ns:      p50.Nanoseconds(),
 		PauseP99Ns:      p99.Nanoseconds(),
 		MaxPauseNs:      gc.MaxPause.Nanoseconds(),
-		StreamDropped:   t.hub.droppedFrames(),
+		StreamDropped:   t.hub.Dropped(),
 	}
 	for k := gcassert.Kind(0); k < core.NumKinds; k++ {
 		if n := t.violByKind[k]; n > 0 {
@@ -521,6 +551,9 @@ func (t *Tenant) refreshSnapshot(g *guest) {
 		t.publishAlerts(evs)
 		t.updateSLOMetrics(&st)
 		s.SLO = &st
+	}
+	if tr := t.trc.Load(); tr != nil {
+		s.TracesStored = tr.store.Len()
 	}
 
 	t.mu.Lock()
@@ -574,12 +607,32 @@ type DriveResult struct {
 	Violations uint64 `json:"violations"`
 	ElapsedNs  int64  `json:"elapsed_ns"`
 	LastError  string `json:"last_error,omitempty"`
+
+	// TraceID and Traceparent identify the batch's trace when the tenant has
+	// tracing enabled (Traceparent is the W3C header value naming the trace
+	// root span, also echoed as a response header by the HTTP layer).
+	// TraceSampled is the tail sampler's keep reason ("violation", "slo-bad",
+	// "slow-pause", "probability"); empty means the trace was dropped and
+	// TraceID will not resolve against the store.
+	TraceID      string `json:"trace_id,omitempty"`
+	Traceparent  string `json:"traceparent,omitempty"`
+	TraceSampled string `json:"trace_sampled,omitempty"`
 }
 
 // Drive runs n guest requests back to back on the service loop, optionally
 // forcing a collection afterwards (so end-of-request assert-dead style
 // assertions are checked even when the batch didn't fill the heap).
 func (t *Tenant) Drive(n int, collect bool) (DriveResult, error) {
+	return t.DriveTraced(n, collect, trace.SpanContext{})
+}
+
+// DriveTraced is Drive carrying a remote trace parent (from an incoming
+// traceparent header; the zero SpanContext starts a fresh trace). When the
+// tenant has tracing enabled, each request becomes a child span, the
+// runtime's request tag is set around its execution so collections are
+// stamped with the request they interrupted, and the finished span tree
+// goes through the tail sampler. With tracing off the parent is ignored.
+func (t *Tenant) DriveTraced(n int, collect bool, parent trace.SpanContext) (DriveResult, error) {
 	v, err := t.do(func(g *guest) (any, error) {
 		if g.im == nil {
 			return nil, ErrNoProgram
@@ -587,16 +640,27 @@ func (t *Tenant) Drive(n int, collect bool) (DriveResult, error) {
 		res := DriveResult{Requests: n}
 		v0 := t.violations.Load()
 		start := time.Now()
+		tb := t.traceBegin(parent, n, collect)
+		if tb != nil {
+			// A guest panic escaping the batch must not leave a stale
+			// builder installed for the next command's collections.
+			defer func() { t.activeTrace = nil }()
+		}
 		for i := 0; i < n; i++ {
 			// Per-request SLO accounting: only touch the violation counter
-			// when a tracker is live, so the off path stays one nil check.
+			// when a tracker or tracer is live, so the off path stays one
+			// nil check.
 			sloOn := t.sloT.Load() != nil
 			var pv uint64
-			if sloOn {
+			if sloOn || tb != nil {
 				pv = t.violations.Load()
 			}
 			g.im.ResetSteps() // per-request step budget
 			t0 := time.Now()
+			if tb != nil {
+				span := tb.StartRequest(t0.UnixNano())
+				g.vm.SetRequestTag(span.String())
+			}
 			err := g.runOne()
 			d := time.Since(t0)
 			t.latency.Observe(d)
@@ -611,8 +675,19 @@ func (t *Tenant) Drive(n int, collect bool) (DriveResult, error) {
 				res.LastError = err.Error()
 				fail = 1
 			}
+			// The SLO fold judges the batch bad at record time; the tail
+			// sampler consumes that verdict per request span.
+			bad := false
 			if sloOn {
-				t.sloRecordRequests(1, fail, t.violations.Load()-pv)
+				bad = t.sloRecordRequests(1, fail, t.violations.Load()-pv)
+			}
+			if tb != nil {
+				g.vm.SetRequestTag("")
+				emsg := ""
+				if err != nil {
+					emsg = err.Error()
+				}
+				tb.EndRequest(t0.UnixNano()+d.Nanoseconds(), emsg, bad, int(t.violations.Load()-pv))
 			}
 		}
 		if collect {
@@ -629,6 +704,9 @@ func (t *Tenant) Drive(n int, collect bool) (DriveResult, error) {
 		}
 		res.Violations = t.violations.Load() - v0
 		res.ElapsedNs = time.Since(start).Nanoseconds()
+		if tb != nil {
+			t.traceFinish(tb, &res)
+		}
 		return res, nil
 	})
 	if err != nil {
@@ -671,7 +749,7 @@ func (g *guest) collectOne() (err error) {
 // SubscribeViolations subscribes to the tenant's violation stream. ok is
 // false when the tenant is already deleted.
 func (t *Tenant) SubscribeViolations(buf int) (frames <-chan []byte, cancel func(), ok bool) {
-	return t.hub.subscribe(buf)
+	return t.hub.Subscribe(buf)
 }
 
 // SubscribeEvents subscribes to the tenant's live GC event feed (the

@@ -1,0 +1,162 @@
+package assertd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"gcassert"
+	"gcassert/internal/fleet"
+	"gcassert/internal/telemetry"
+	"gcassert/internal/trace"
+)
+
+// ErrNoTracing reports a trace query against a tenant created without a
+// trace config (HTTP 404: /tenants/{id}/traces does not exist).
+var ErrNoTracing = errors.New("tracing not enabled")
+
+// ErrNoTrace reports a lookup of a trace ID the tenant's store does not
+// hold — the trace was dropped by the tail sampler, or evicted (HTTP 404).
+var ErrNoTrace = errors.New("no such trace")
+
+// TraceOptions is a tenant's request-to-GC tracing configuration, accepted
+// on tenant creation. A nil TraceOptions means tracing off: the drive path
+// then pays one atomic load per batch and one nil check per request, and
+// allocates nothing (BenchmarkTracingOff pins this).
+type TraceOptions struct {
+	// Capacity bounds the tenant's stored traces; the store evicts oldest
+	// first. 0 applies trace.DefaultStoreCap.
+	Capacity int `json:"capacity,omitempty"`
+	// SlowPauseNs always keeps any trace containing a collection whose
+	// stop-the-world pause reaches this many nanoseconds. 0 disables the
+	// criterion. Violations and SLO-bad requests are always kept regardless.
+	SlowPauseNs int64 `json:"slow_pause_ns,omitempty"`
+	// Probability in [0, 1] keeps that fraction of the traces matching no
+	// always-keep criterion (the healthy, fast, quiet ones).
+	Probability float64 `json:"probability,omitempty"`
+}
+
+func (o *TraceOptions) validate() error {
+	if o.Capacity < 0 {
+		return fmt.Errorf("trace capacity must be non-negative (got %d)", o.Capacity)
+	}
+	if o.SlowPauseNs < 0 {
+		return fmt.Errorf("trace slow_pause_ns must be non-negative (got %d)", o.SlowPauseNs)
+	}
+	if o.Probability < 0 || o.Probability > 1 {
+		return fmt.Errorf("trace probability must be in [0, 1] (got %g)", o.Probability)
+	}
+	return nil
+}
+
+// tenantTracer is the tenant's tracing state: the bounded trace store plus
+// the tail sampler. Held behind an atomic pointer (nil = off) exactly like
+// the SLO tracker, so the hot-path seam is one load.
+type tenantTracer struct {
+	store   *trace.Store
+	sampler trace.Sampler
+}
+
+func newTenantTracer(o *TraceOptions) *tenantTracer {
+	return &tenantTracer{
+		store:   trace.NewStore(o.Capacity),
+		sampler: trace.Sampler{SlowPauseNs: o.SlowPauseNs, Probability: o.Probability},
+	}
+}
+
+// traceBegin is the batch-path tracing seam: nil (one atomic load, zero
+// allocations) when the tenant has no trace config, otherwise a live span
+// builder for the batch, installed as the loop's active trace so the GC
+// event and violation taps feed it. Loop goroutine only.
+func (t *Tenant) traceBegin(parent trace.SpanContext, n int, collect bool) *trace.Builder {
+	if t.trc.Load() == nil {
+		return nil
+	}
+	b := trace.NewBuilder(parent, t.id, t.srv.cfg.InstanceID, "drive", time.Now().UnixNano())
+	b.RootAttr("requests", n)
+	b.RootAttr("collect", collect)
+	t.activeTrace = b
+	return b
+}
+
+// traceTapEvent feeds a collection's telemetry event to the active trace,
+// if any. Called from onGCEvent on the service loop inside the
+// stop-the-world window — one nil check when no traced batch is running.
+func (t *Tenant) traceTapEvent(ev *telemetry.Event) {
+	if b := t.activeTrace; b != nil {
+		b.GCEvent(ev)
+	}
+}
+
+// traceTapViolation feeds a violation report to the active trace, if any.
+// Same discipline as traceTapEvent: loop goroutine, inside the pause, one
+// nil check when off.
+func (t *Tenant) traceTapViolation(v *gcassert.Violation) {
+	if b := t.activeTrace; b != nil {
+		b.Violation(v.Kind.String(), v.TypeName, v.Site, v.Root, v.Message, t.clock().UnixNano())
+	}
+}
+
+// traceFinish closes out a traced batch: assemble the span tree, make the
+// tail-sampling keep/drop decision, and for kept traces store the document,
+// attach latency exemplars, and ship a sealed envelope to the fleet
+// collector. Loop goroutine only.
+func (t *Tenant) traceFinish(b *trace.Builder, res *DriveResult) {
+	t.activeTrace = nil
+	tr := t.trc.Load()
+	if tr == nil || b == nil {
+		return
+	}
+	sc := b.Context()
+	res.TraceID = sc.TraceID.String()
+	res.Traceparent = sc.Traceparent()
+	keep, reason := tr.sampler.Keep(b.HasViolations(), b.SLOBad(), b.MaxPauseNs())
+	if !keep {
+		return
+	}
+	doc := b.Finish(time.Now().UnixNano())
+	doc.SampledReason = reason
+	tr.store.Put(doc)
+	res.TraceSampled = reason
+
+	// Exemplars: every scrape-visible latency bucket this batch touched now
+	// points at a trace that is actually stored, so following an exemplar
+	// from /metrics always resolves on /tenants/{id}/traces/{traceID}.
+	for i := range doc.Spans {
+		sp := &doc.Spans[i]
+		if sp.Name != "request" {
+			continue
+		}
+		t.metrics.latency.SetExemplar(float64(sp.DurNs())/1e9, res.TraceID, sp.EndUnixNs)
+	}
+
+	if t.srv.sloShip != nil {
+		if payload, err := json.Marshal(doc); err == nil {
+			t.srv.sloShip.shipEnvelope(fleet.KindTrace, fleet.TraceRegistryRef, t.id, payload)
+		}
+	}
+}
+
+// Traces returns summaries of the tenant's stored traces, newest first.
+// Safe from any goroutine (the store is internally locked).
+func (t *Tenant) Traces() ([]trace.Summary, error) {
+	tr := t.trc.Load()
+	if tr == nil {
+		return nil, fmt.Errorf("%w (tenant %s)", ErrNoTracing, t.id)
+	}
+	return tr.store.Summaries(), nil
+}
+
+// TraceByID returns one stored trace document. Safe from any goroutine.
+func (t *Tenant) TraceByID(id string) (*trace.Document, error) {
+	tr := t.trc.Load()
+	if tr == nil {
+		return nil, fmt.Errorf("%w (tenant %s)", ErrNoTracing, t.id)
+	}
+	doc, ok := tr.store.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (dropped by the tail sampler, or evicted)", ErrNoTrace, id)
+	}
+	return doc, nil
+}

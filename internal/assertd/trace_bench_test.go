@@ -1,0 +1,120 @@
+package assertd
+
+import (
+	"testing"
+
+	"gcassert"
+	"gcassert/internal/telemetry"
+	"gcassert/internal/trace"
+)
+
+// BenchmarkTracingOff is the acceptance gate for the tracing-disabled hot
+// path: with no Trace options configured, traceBegin must reduce to one
+// atomic load plus a nil check, and the per-event/per-violation taps to one
+// nil check each — zero allocations — so tenants that never opt in pay
+// nothing per drive, per collection, or per violation. Self-asserted
+// in-line like BenchmarkSLOOff so `go test -bench BenchmarkTracingOff`
+// fails loudly on a regression.
+func BenchmarkTracingOff(b *testing.B) {
+	s := NewServer(Config{})
+	defer s.Close()
+	tn, err := s.CreateTenant("bench", TenantOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if tb := tn.traceBegin(trace.SpanContext{}, 1, false); tb != nil {
+		b.Fatal("traceBegin returned a builder for an untraced tenant")
+	}
+
+	ev := &telemetry.Event{}
+	v := &gcassert.Violation{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tn.traceBegin(trace.SpanContext{}, 1, false)
+		tn.traceTapEvent(ev)
+		tn.traceTapViolation(v)
+	})
+	if allocs > 0.0001 {
+		b.Fatalf("tracing-off path allocates %.4f times/op, want 0", allocs)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn.traceBegin(trace.SpanContext{}, 1, false)
+		tn.traceTapEvent(ev)
+		tn.traceTapViolation(v)
+	}
+}
+
+// BenchmarkTracingOn measures the enabled-mode cost of building one traced
+// request (span open/close plus one GC event tap) for the EXPERIMENTS
+// overhead table. The builder is recreated each iteration the way a drive
+// batch would, but sampling always drops, isolating build cost from store
+// cost.
+func BenchmarkTracingOn(b *testing.B) {
+	s := NewServer(Config{})
+	defer s.Close()
+	tn, err := s.CreateTenant("bench", TenantOptions{Trace: &TraceOptions{Probability: 0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	ev := &telemetry.Event{StartUnixNs: 1000, TotalNs: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb := tn.traceBegin(trace.SpanContext{}, 1, false)
+		tb.StartRequest(int64(i))
+		tn.traceTapEvent(ev)
+		tb.EndRequest(int64(i)+10, "", false, 0)
+		tn.activeTrace = nil
+	}
+}
+
+// benchSrc is a small violation-free guest for the drive-level overhead
+// rows of the EXPERIMENTS tracing table.
+const benchSrc = `
+class Node { Node next; }
+class Main {
+  void main() {
+    Node g = null;
+    int j = 0;
+    while (j < 16) { Node t = new Node(); t.next = g; g = t; j = j + 1; }
+    g = null;
+    gc();
+  }
+}`
+
+// benchDrive measures one full service-loop drive per iteration under the
+// given tenant options: the end-to-end number the per-seam benchmarks
+// decompose.
+func benchDrive(b *testing.B, topts TenantOptions) {
+	s := NewServer(Config{})
+	defer s.Close()
+	tn, err := s.CreateTenant("bench", topts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tn.Submit(benchSrc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tn.Drive(1, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDriveUntraced(b *testing.B) {
+	benchDrive(b, TenantOptions{HeapMiB: 2})
+}
+
+func BenchmarkDriveTracedSampledOut(b *testing.B) {
+	benchDrive(b, TenantOptions{HeapMiB: 2, Trace: &TraceOptions{Probability: 0}})
+}
+
+func BenchmarkDriveTracedKept(b *testing.B) {
+	benchDrive(b, TenantOptions{HeapMiB: 2, Trace: &TraceOptions{Probability: 1}})
+}

@@ -108,6 +108,12 @@ type Collection struct {
 	// Trigger explains why the collection ran; zero unless the runtime
 	// installed a trigger explainer (Collector.ExplainTrigger).
 	Trigger Trigger
+	// Request is the request tag active when the collection began (set via
+	// Collector.SetRequestTag by the tracing layer; empty otherwise). It is
+	// captured at the top of Collect — the moment the pause starts — so it
+	// names the request the pause actually interrupted, a property that
+	// stays correct when marking goes concurrent.
+	Request string
 }
 
 // Reasons a cycle configured for parallel marking fell back to the

@@ -21,11 +21,14 @@ const (
 	// KindSLO is a per-tenant SLO report: an alert transition plus the
 	// tenant's full SLO status document at that moment.
 	KindSLO = "slo"
+	// KindTrace is a tail-sampled request-to-GC trace document: one drive
+	// batch's span tree, with each intersecting collection as a child span.
+	KindTrace = "trace"
 )
 
 // knownKind reports whether k is an artifact kind this package speaks.
 func knownKind(k string) bool {
-	return k == KindCensus || k == KindFlight || k == KindSLO
+	return k == KindCensus || k == KindFlight || k == KindSLO || k == KindTrace
 }
 
 // Envelope is the wire unit the collector ingests: one content-addressed

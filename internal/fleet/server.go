@@ -82,6 +82,7 @@ func (s *Server) syncGauges() {
 //	GET  /fleet/stats       store stats incl. dedupe ratio (JSON)
 //	GET  /fleet/leaks       cross-instance leak diff (?top=N&min-instances=N)
 //	GET  /fleet/slo         fleet SLO rollup, worst-burning tenants first (?top=N)
+//	GET  /fleet/traces      stored request-to-GC traces, newest first (?top=N)
 //	GET  /metrics           Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -128,6 +129,14 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, RollupSLO(s.store, top))
+	})
+	mux.HandleFunc("/fleet/traces", func(w http.ResponseWriter, r *http.Request) {
+		top, err := intQuery(r, "top", 50)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, ListTraces(s.store, top))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

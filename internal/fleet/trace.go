@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"encoding/json"
+	"sort"
+
+	"gcassert/internal/trace"
+)
+
+// TraceRegistryRef keys the content hash of trace envelopes. Bump the
+// version when the trace document shape changes incompatibly.
+const TraceRegistryRef = "gcassertd-trace-v1"
+
+// TraceRow is one stored trace in the fleet trace index: enough to triage
+// (who, when, why kept, how bad) without pulling the full span tree. The
+// envelope hash retrieves the document via /fleet/bundle?hash=.
+type TraceRow struct {
+	// Instance is the composed "host/tenant" identity that shipped the
+	// trace; Tenant the bare tenant name from the document.
+	Instance string `json:"instance"`
+	Tenant   string `json:"tenant"`
+	TraceID  string `json:"trace_id"`
+	// Reason is the tail sampler's keep reason ("violation", "slo-bad",
+	// "slow-pause", "probability").
+	Reason         string `json:"reason"`
+	StartUnixNs    int64  `json:"start_unix_ns"`
+	DurNs          int64  `json:"dur_ns"`
+	Requests       int    `json:"requests"`
+	GCs            int    `json:"gcs"`
+	Violations     int    `json:"violations"`
+	GCPauseNs      int64  `json:"gc_pause_ns"`
+	Hash           string `json:"hash"`
+	CapturedUnixNs int64  `json:"captured_unix_ns"`
+}
+
+// TraceList is the /fleet/traces response: newest captures first.
+type TraceList struct {
+	// Total counts stored trace envelopes before the top bound.
+	Total  int        `json:"total"`
+	Traces []TraceRow `json:"traces,omitempty"`
+}
+
+// ListTraces indexes the store's trace envelopes, newest first. top bounds
+// the returned rows (0 = all). Envelopes whose payload does not parse as a
+// trace document are skipped — a collector store can hold envelopes from
+// newer senders.
+func ListTraces(store *Store, top int) TraceList {
+	var out TraceList
+	store.ForEach(func(m Meta, env Envelope) bool {
+		if m.Kind != KindTrace {
+			return true
+		}
+		var doc trace.Document
+		if json.Unmarshal(env.Payload, &doc) != nil {
+			return true
+		}
+		out.Traces = append(out.Traces, TraceRow{
+			Instance:       env.Instance.InstanceID,
+			Tenant:         doc.Tenant,
+			TraceID:        doc.TraceID,
+			Reason:         doc.SampledReason,
+			StartUnixNs:    doc.StartUnixNs,
+			DurNs:          doc.DurNs(),
+			Requests:       doc.Requests,
+			GCs:            doc.GCs,
+			Violations:     doc.Violations,
+			GCPauseNs:      doc.GCPauseNs,
+			Hash:           m.Hash,
+			CapturedUnixNs: m.CapturedUnixNs,
+		})
+		return true
+	})
+	out.Total = len(out.Traces)
+	sort.Slice(out.Traces, func(i, j int) bool {
+		a, b := out.Traces[i], out.Traces[j]
+		if a.CapturedUnixNs != b.CapturedUnixNs {
+			return a.CapturedUnixNs > b.CapturedUnixNs
+		}
+		return a.TraceID < b.TraceID
+	})
+	if top > 0 && len(out.Traces) > top {
+		out.Traces = out.Traces[:top]
+	}
+	return out
+}

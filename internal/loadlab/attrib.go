@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"gcassert/internal/telemetry"
+	"gcassert/internal/trace"
 )
 
 // Attribution decomposes a load run's latency into GC stop-the-world
@@ -81,20 +82,6 @@ type PauseHit struct {
 	DominantShare float64 `json:"dominant_share,omitempty"`
 }
 
-func overlap(aStart, aEnd, bStart, bEnd int64) int64 {
-	lo, hi := aStart, aEnd
-	if bStart > lo {
-		lo = bStart
-	}
-	if bEnd < hi {
-		hi = bEnd
-	}
-	if hi <= lo {
-		return 0
-	}
-	return hi - lo
-}
-
 // Attribute intersects the run's request records with the GC pause windows
 // in events and returns the full decomposition. events may be the runtime's
 // whole event stream — collections outside the run window are ignored.
@@ -125,39 +112,34 @@ func Attribute(rep *Report, events []telemetry.Event, topK int) *Attribution {
 	kindNs := map[string]float64{}
 	var kindOrder []string
 
-	// Event-major sweep. Records are chronological with monotone service
-	// windows, so two cursors (one for service windows, one for queue
-	// waits) never move backwards.
-	si, qi := 0, 0
+	// Event-major sweep over the shared two-cursor intersection
+	// (trace.IntersectPauses — the live tracer runs the identical code).
+	// Records are chronological with monotone service windows and monotone
+	// queue waits, so each sweep's window cursor never moves backwards.
+	svcWins := make([]trace.Window, len(recs))
+	queWins := make([]trace.Window, len(recs))
+	for i, r := range recs {
+		// Service windows: [Start, End); queue waits: [Arrival, Start).
+		svcWins[i] = trace.Window{StartNs: r.StartUnixNs, EndNs: r.EndUnixNs}
+		queWins[i] = trace.Window{StartNs: r.ArrivalUnixNs, EndNs: r.StartUnixNs}
+	}
+	evSvc := make([]int64, len(evs))
+	trace.IntersectPauses(evs, svcWins, func(ei, wi int, o int64) {
+		svc[wi] += o
+		evSvc[ei] += o
+		at.ServicePauseNs += o
+	})
+	// One pause can delay many queued arrivals; each delayed request counts
+	// its own wait.
+	trace.IntersectPauses(evs, queWins, func(ei, wi int, o int64) {
+		que[wi] += o
+		at.QueuePauseNs += o
+	})
+
+	// Blame: by trigger reason (full service overlap) and by assertion
+	// kind (each kind's measured slow-path time, scaled by how much of
+	// the pause the run's requests actually absorbed — 1.0 when nested).
 	for i := range evs {
-		es, ee := evs[i].PauseWindow()
-
-		// Service windows: [Start, End). At most a few records intersect.
-		for si < len(recs) && recs[si].EndUnixNs <= es {
-			si++
-		}
-		var evSvc int64
-		for j := si; j < len(recs) && recs[j].StartUnixNs < ee; j++ {
-			o := overlap(recs[j].StartUnixNs, recs[j].EndUnixNs, es, ee)
-			svc[j] += o
-			evSvc += o
-		}
-		at.ServicePauseNs += evSvc
-
-		// Queue waits: [Arrival, Start). One pause can delay many queued
-		// arrivals; each delayed request counts its own wait.
-		for qi < len(recs) && recs[qi].StartUnixNs <= es {
-			qi++
-		}
-		for j := qi; j < len(recs) && recs[j].ArrivalUnixNs < ee; j++ {
-			o := overlap(recs[j].ArrivalUnixNs, recs[j].StartUnixNs, es, ee)
-			que[j] += o
-			at.QueuePauseNs += o
-		}
-
-		// Blame: by trigger reason (full service overlap) and by assertion
-		// kind (each kind's measured slow-path time, scaled by how much of
-		// the pause the run's requests actually absorbed — 1.0 when nested).
 		ri, ok := reasonIdx[evs[i].Reason]
 		if !ok {
 			ri = len(at.ByReason)
@@ -165,9 +147,9 @@ func Attribute(rep *Report, events []telemetry.Event, topK int) *Attribution {
 			at.ByReason = append(at.ByReason, ReasonPause{Reason: evs[i].Reason})
 		}
 		at.ByReason[ri].Pauses++
-		at.ByReason[ri].Ns += evSvc
+		at.ByReason[ri].Ns += evSvc[i]
 		if evs[i].TotalNs > 0 {
-			frac := float64(evSvc) / float64(evs[i].TotalNs)
+			frac := float64(evSvc[i]) / float64(evs[i].TotalNs)
 			for _, c := range evs[i].Costs {
 				if _, seen := kindNs[c.Kind]; !seen {
 					kindOrder = append(kindOrder, c.Kind)
@@ -211,8 +193,8 @@ func Attribute(rep *Report, events []telemetry.Event, topK int) *Attribution {
 					Reason:    evs[i].Reason,
 					Trigger:   evs[i].Trigger,
 					TotalNs:   evs[i].TotalNs,
-					ServiceNs: overlap(r.StartUnixNs, r.EndUnixNs, es, ee),
-					QueueNs:   overlap(r.ArrivalUnixNs, r.StartUnixNs, es, ee),
+					ServiceNs: trace.Overlap(r.StartUnixNs, r.EndUnixNs, es, ee),
+					QueueNs:   trace.Overlap(r.ArrivalUnixNs, r.StartUnixNs, es, ee),
 				}
 				hit.DominantKind, hit.DominantShare = evs[i].DominantCost()
 				if hit.ServiceNs > 0 || hit.QueueNs > 0 {

@@ -314,6 +314,15 @@ func (r *Runtime) AllocSite(a heap.Addr) (heap.SiteID, string) {
 	return r.space.SiteOf(a), r.space.SiteDesc(a)
 }
 
+// SetRequestTag names the request the mutator is currently serving; an
+// empty tag clears it. Collections that begin while the tag is set carry
+// it on their record and telemetry event (Collection.Request,
+// Event.Request), which is how the gcassertd tracing layer parents a GC
+// pause under the exact request span it interrupted. Single-goroutine like
+// every other mutator-side call; with tracing off it is simply never
+// called.
+func (r *Runtime) SetRequestTag(tag string) { r.gc.SetRequestTag(tag) }
+
 // SetMarkWorkers changes the mark-phase worker count for subsequent full
 // collections (1 = the sequential reference marker). It may be called
 // between collections — benchmarks use it to re-mark the same heap at

@@ -60,6 +60,7 @@ func (s *telemetrySink) PhaseEnd(p collector.Phase, d time.Duration) {
 func (s *telemetrySink) GCEnd(col *collector.Collection) {
 	ev := &telemetry.Event{
 		Reason:        string(col.Reason),
+		Request:       col.Request,
 		StartUnixNs:   s.gcStart.UnixNano(),
 		TotalNs:       int64(col.TotalTime),
 		Phases:        s.phases,

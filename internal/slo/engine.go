@@ -167,8 +167,20 @@ func (t *Tracker) Spec() Spec { return t.wire }
 // Returned events are the alert transitions this record caused (usually
 // nil).
 func (t *Tracker) RecordRequests(requests, failures, violations uint64) []AlertEvent {
+	_, evs := t.RecordRequestsMarked(requests, failures, violations)
+	return evs
+}
+
+// RecordRequestsMarked is RecordRequests plus the at-record-time judgment
+// the tracing layer's tail sampler consumes: bad reports whether this batch
+// contributed at least one bad unit to a request-driven objective the
+// tenant actually declared (a failure against an availability objective, a
+// violation against a violation-rate objective). The judgment is made here,
+// under the same lock that folds the units in, so a request marked good can
+// never later turn out to have spent budget.
+func (t *Tracker) RecordRequestsMarked(requests, failures, violations uint64) (bad bool, evs []AlertEvent) {
 	if requests == 0 && violations == 0 {
-		return nil
+		return false, nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -177,11 +189,17 @@ func (t *Tracker) RecordRequests(requests, failures, violations uint64) []AlertE
 		switch t.objs[i].o.Kind {
 		case KindAvailability:
 			t.objs[i].ring.add(nowNs, requests, failures)
+			if failures > 0 {
+				bad = true
+			}
 		case KindViolationRate:
 			t.objs[i].ring.add(nowNs, requests, violations)
+			if violations > 0 {
+				bad = true
+			}
 		}
 	}
-	return t.evaluateLocked(nowNs)
+	return bad, t.evaluateLocked(nowNs)
 }
 
 // RecordPause folds one collection into the pause and cost objectives:

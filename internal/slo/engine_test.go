@@ -9,7 +9,7 @@ import (
 // fakeClock is a hand-advanced clock for deterministic window tests.
 type fakeClock struct{ ns int64 }
 
-func (c *fakeClock) now() time.Time         { return time.Unix(0, c.ns) }
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.ns) }
 func (c *fakeClock) advance(d time.Duration) { c.ns += int64(d) }
 
 // testSpec is the scaled-down shape every engine test uses: 60s compliance
@@ -234,7 +234,7 @@ func TestAvailabilityObjective(t *testing.T) {
 
 func TestSpecValidation(t *testing.T) {
 	bad := []Spec{
-		{},                                        // no objectives
+		{}, // no objectives
 		{Objectives: []Objective{{Kind: "nope"}}}, // unknown kind
 		{Objectives: []Objective{{Kind: KindAvailability, TargetPct: 100}}},
 		{Objectives: []Objective{{Kind: KindViolationRate}}},

@@ -173,13 +173,13 @@ type Spec struct {
 
 // Default windows and thresholds.
 const (
-	defaultWindow    = Duration(time.Hour)
-	defaultFastShort = Duration(5 * time.Minute)
-	defaultFastLong  = Duration(time.Hour)
-	defaultFastBurn  = 14.4
-	defaultSlowShort = Duration(time.Hour)
-	defaultSlowLong  = Duration(6 * time.Hour)
-	defaultSlowBurn  = 6.0
+	defaultWindow     = Duration(time.Hour)
+	defaultFastShort  = Duration(5 * time.Minute)
+	defaultFastLong   = Duration(time.Hour)
+	defaultFastBurn   = 14.4
+	defaultSlowShort  = Duration(time.Hour)
+	defaultSlowLong   = Duration(6 * time.Hour)
+	defaultSlowBurn   = 6.0
 	defaultClearRatio = 0.9
 )
 

@@ -1,0 +1,179 @@
+// Package sse provides the one fan-out hub behind every Server-Sent-Events
+// stream in the tree: the telemetry live GC-event feed, gcassertd's
+// per-tenant violation/event streams, and the server-wide SLO alert stream.
+//
+// The contract every publisher relies on: publishing NEVER blocks. Frames
+// are fanned out to subscriber channels with non-blocking sends, and a
+// subscriber that cannot keep up loses frames — each loss counted, both on
+// the hub and (optionally) on a metrics counter — rather than stalling the
+// publisher, which is frequently inside a stop-the-world GC pause.
+//
+// The hub is a zero-value-ready struct so it embeds directly in owners
+// (configure ReplayLimit / DropMetric before the first Subscribe or
+// Publish). Three optional behaviors cover the historical hub variants:
+//
+//   - Close support: a closeable hub (tenant deleted, server shut down)
+//     closes every subscriber channel and rejects new subscriptions; a hub
+//     that is never closed simply never calls Close.
+//   - Replay ring: with ReplayLimit > 0 the hub retains the last N frames
+//     and SubscribeReplay hands them to a new subscriber, so rare-and-bursty
+//     streams (SLO alerts) are visible to late attachers.
+//   - Marshal-once: PublishJSON marshals the value only when at least one
+//     subscriber is attached, so pause-critical publishers pay nothing for
+//     an unwatched stream.
+package sse
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// DropCounter receives one Inc per frame lost to a slow subscriber. It is
+// an interface (rather than a concrete metrics type) so this package stays
+// a leaf: telemetry imports sse, never the reverse.
+type DropCounter interface{ Inc() }
+
+// Hub fans pre-marshaled frames out to subscribers. The zero value is ready
+// to use; set ReplayLimit and DropMetric (if wanted) before first use.
+type Hub struct {
+	// ReplayLimit bounds the retained frame ring handed to SubscribeReplay
+	// callers. Zero (the default) retains nothing.
+	ReplayLimit int
+	// DropMetric, when non-nil, mirrors the dropped-frame count into a
+	// metrics counter.
+	DropMetric DropCounter
+
+	mu     sync.Mutex
+	subs   map[chan []byte]struct{}
+	closed bool
+	replay [][]byte
+
+	dropped atomic.Uint64
+}
+
+// Subscribe registers a subscriber with the given channel buffer (minimum
+// 1). It returns ok=false when the hub is already closed. The cancel
+// function is idempotent and closes the channel, so readers may range over
+// it; it is safe to call concurrently with Close.
+func (h *Hub) Subscribe(buf int) (frames <-chan []byte, cancel func(), ok bool) {
+	if buf < 1 {
+		buf = 1
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, nil, false
+	}
+	ch := make(chan []byte, buf)
+	if h.subs == nil {
+		h.subs = make(map[chan []byte]struct{})
+	}
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	cancel = func() {
+		once.Do(func() {
+			h.mu.Lock()
+			// Close may have won the race and already closed the channel.
+			if _, live := h.subs[ch]; live {
+				delete(h.subs, ch)
+				close(ch)
+			}
+			h.mu.Unlock()
+		})
+	}
+	return ch, cancel, true
+}
+
+// SubscribeReplay is Subscribe plus a copy of the retained replay ring
+// (newest last). Delivery around attach time is at-least-once: a frame
+// racing the subscription may appear in both the replay slice and the live
+// channel, so consumers needing exactly-once must key on frame content.
+func (h *Hub) SubscribeReplay(buf int) (frames <-chan []byte, replay [][]byte, cancel func(), ok bool) {
+	frames, cancel, ok = h.Subscribe(buf)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	h.mu.Lock()
+	replay = append([][]byte(nil), h.replay...)
+	h.mu.Unlock()
+	return frames, replay, cancel, true
+}
+
+// Publish records the frame in the replay ring (if enabled) and sends it to
+// every subscriber, dropping on full channels. Never blocks. Publishing on
+// a closed hub is a no-op.
+func (h *Hub) Publish(frame []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	if h.ReplayLimit > 0 {
+		h.replay = append(h.replay, frame)
+		if len(h.replay) > h.ReplayLimit {
+			h.replay = h.replay[len(h.replay)-h.ReplayLimit:]
+		}
+	}
+	h.publishLocked(frame)
+}
+
+// PublishJSON marshals v and fans it out — but only when at least one
+// subscriber is attached, so publishers on pause-critical paths pay a
+// mutex and a length check for an unwatched stream, never a marshal.
+// Intended for hubs without a replay ring (the skipped marshal also skips
+// ring recording); replayed streams marshal up front and call Publish.
+func (h *Hub) PublishJSON(v any) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || len(h.subs) == 0 {
+		return
+	}
+	frame, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	h.publishLocked(frame)
+}
+
+// publishLocked fans one frame out under h.mu.
+func (h *Hub) publishLocked(frame []byte) {
+	for ch := range h.subs {
+		select {
+		case ch <- frame:
+		default:
+			// Slow subscriber: drop the frame, never block the publisher.
+			h.dropped.Add(1)
+			if h.DropMetric != nil {
+				h.DropMetric.Inc()
+			}
+		}
+	}
+}
+
+// Close closes every subscriber channel and rejects future subscriptions.
+// Safe to call more than once, and concurrently with Subscribe/Publish.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
+
+// Dropped reports frames lost to slow subscribers. A rising value means
+// some consumer is not keeping up — the publisher is unaffected.
+func (h *Hub) Dropped() uint64 { return h.dropped.Load() }
+
+// SubscriberCount reports the number of attached subscribers.
+func (h *Hub) SubscriberCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}

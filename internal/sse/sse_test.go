@@ -1,0 +1,177 @@
+package sse
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countInc is a DropCounter double.
+type countInc struct{ n atomic.Uint64 }
+
+func (c *countInc) Inc() { c.n.Add(1) }
+
+// TestHubSemantics is the single table-driven pin for every semantic the
+// three historical hand-rolled hubs relied on. Run under -race (CI does):
+// each case hammers the hub from concurrent publishers, subscribers and
+// cancellers before asserting its invariant.
+func TestHubSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"deliver_in_order", func(t *testing.T) {
+			var h Hub
+			ch, cancel, ok := h.Subscribe(16)
+			if !ok {
+				t.Fatal("subscribe on fresh hub refused")
+			}
+			defer cancel()
+			for i := 0; i < 10; i++ {
+				h.Publish([]byte(fmt.Sprintf("f%d", i)))
+			}
+			for i := 0; i < 10; i++ {
+				if got := string(<-ch); got != fmt.Sprintf("f%d", i) {
+					t.Fatalf("frame %d = %q", i, got)
+				}
+			}
+			if h.Dropped() != 0 {
+				t.Fatalf("dropped = %d, want 0", h.Dropped())
+			}
+		}},
+		{"nonblocking_send_drops_and_counts", func(t *testing.T) {
+			var metric countInc
+			h := Hub{DropMetric: &metric}
+			ch, cancel, _ := h.Subscribe(1)
+			defer cancel()
+			h.Publish([]byte("kept"))
+			h.Publish([]byte("dropped1"))
+			h.Publish([]byte("dropped2"))
+			if got := string(<-ch); got != "kept" {
+				t.Fatalf("first frame = %q, want kept", got)
+			}
+			if h.Dropped() != 2 || metric.n.Load() != 2 {
+				t.Fatalf("dropped = %d, metric = %d, want 2/2", h.Dropped(), metric.n.Load())
+			}
+		}},
+		{"marshal_once_skips_unwatched", func(t *testing.T) {
+			var h Hub
+			h.PublishJSON(map[string]int{"seq": 1}) // no subscribers: dropped silently
+			ch, cancel, _ := h.Subscribe(4)
+			defer cancel()
+			h.PublishJSON(map[string]int{"seq": 2})
+			if got := string(<-ch); got != `{"seq":2}` {
+				t.Fatalf("frame = %q", got)
+			}
+			h.PublishJSON(func() {}) // unmarshalable: dropped, must not panic
+			if h.Dropped() != 0 {
+				t.Fatalf("dropped = %d, want 0", h.Dropped())
+			}
+		}},
+		{"cancel_idempotent_closes_channel", func(t *testing.T) {
+			var h Hub
+			ch, cancel, _ := h.Subscribe(1)
+			cancel()
+			cancel() // second cancel must not double-close
+			if _, open := <-ch; open {
+				t.Fatal("channel still open after cancel")
+			}
+			if h.SubscriberCount() != 0 {
+				t.Fatalf("subscriberCount = %d after cancel", h.SubscriberCount())
+			}
+			h.Publish([]byte("x")) // publish after cancel must not panic
+		}},
+		{"close_ends_subscribers_and_rejects_new", func(t *testing.T) {
+			var h Hub
+			ch, cancel, _ := h.Subscribe(1)
+			h.Close()
+			h.Close() // idempotent
+			if _, open := <-ch; open {
+				t.Fatal("channel still open after hub close")
+			}
+			cancel() // cancel after close must not double-close
+			if _, _, ok := h.Subscribe(1); ok {
+				t.Fatal("subscribe succeeded on closed hub")
+			}
+			h.Publish([]byte("x")) // no-op, must not panic
+		}},
+		{"replay_ring_bounded_newest_last", func(t *testing.T) {
+			h := Hub{ReplayLimit: 3}
+			for i := 0; i < 5; i++ {
+				h.Publish([]byte(fmt.Sprintf("f%d", i)))
+			}
+			_, replay, cancel, ok := h.SubscribeReplay(1)
+			if !ok {
+				t.Fatal("subscribeReplay refused")
+			}
+			defer cancel()
+			want := []string{"f2", "f3", "f4"}
+			if len(replay) != len(want) {
+				t.Fatalf("replay len = %d, want %d", len(replay), len(want))
+			}
+			for i, w := range want {
+				if string(replay[i]) != w {
+					t.Fatalf("replay[%d] = %q, want %q", i, replay[i], w)
+				}
+			}
+		}},
+		{"no_replay_without_limit", func(t *testing.T) {
+			var h Hub
+			h.Publish([]byte("early"))
+			_, replay, cancel, _ := h.SubscribeReplay(1)
+			defer cancel()
+			if len(replay) != 0 {
+				t.Fatalf("replay len = %d on ReplayLimit=0 hub", len(replay))
+			}
+		}},
+		{"concurrent_publish_subscribe_cancel_close", func(t *testing.T) {
+			var metric countInc
+			h := Hub{ReplayLimit: 8, DropMetric: &metric}
+			var wg sync.WaitGroup
+			for p := 0; p < 4; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						h.Publish([]byte(fmt.Sprintf("p%d-%d", p, i)))
+						h.PublishJSON(map[string]int{"p": p, "i": i})
+					}
+				}(p)
+			}
+			for s := 0; s < 4; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						ch, _, cancel, ok := h.SubscribeReplay(2)
+						if !ok {
+							return // closer won
+						}
+						select {
+						case <-ch:
+						default:
+						}
+						cancel()
+						cancel()
+					}
+				}()
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h.Close()
+			}()
+			wg.Wait()
+			if h.Dropped() != metric.n.Load() {
+				t.Fatalf("dropped = %d but metric = %d", h.Dropped(), metric.n.Load())
+			}
+			if _, _, ok := h.Subscribe(1); ok {
+				t.Fatal("subscribe succeeded after close")
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
+	}
+}

@@ -5,7 +5,8 @@
 // log-bucketed pause histogram) rendered in Prometheus text exposition
 // format, and an opt-in net/http surface.
 //
-// The package is a leaf: it imports only the standard library. The
+// The package is a leaf: it imports only the standard library and the
+// equally leaf-like internal/sse fan-out hub behind the live feed. The
 // collector, assertion engine and runtime feed it through the
 // collector.Observer hook wired up by internal/rt; when telemetry is
 // disabled nothing here is ever constructed and the collector pays one
@@ -121,6 +122,12 @@ type Event struct {
 	// Threads is per-thread cumulative allocation volume at event time (nil
 	// without cost attribution).
 	Threads []ThreadAlloc `json:"threads,omitempty"`
+	// Request is the request tag active when the collection began (the
+	// tracing layer sets Runtime.SetRequestTag around each traced request,
+	// typically to the request's span ID). Empty when tracing is off or no
+	// request was executing — the cost of the feature is then one string
+	// copy of "".
+	Request string `json:"request,omitempty"`
 }
 
 // PhaseNs returns the duration of the named phase in nanoseconds (0 if the

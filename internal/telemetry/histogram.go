@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -27,6 +28,24 @@ type Histogram struct {
 	count  atomic.Uint64
 	sumNs  atomic.Int64
 	maxNs  atomic.Int64
+
+	// Exemplars (OpenMetrics): at most one retained per bucket, newest
+	// wins. The observe hot path never touches them — only SetExemplar
+	// (called for tail-sampled kept traces, which are rare by design) and
+	// the /metrics render take the mutex.
+	exMu sync.Mutex
+	ex   map[int]Exemplar
+}
+
+// Exemplar links one observation in a histogram bucket to the trace that
+// produced it, rendered in OpenMetrics exemplar syntax on the bucket line.
+type Exemplar struct {
+	// Value is the observed value in the histogram's native unit (seconds).
+	Value float64
+	// TraceID is the 32-hex-digit trace identifier.
+	TraceID string
+	// UnixNs is the observation's wall-clock time.
+	UnixNs int64
 }
 
 // NewHistogram creates a histogram over the given ascending upper bounds
@@ -115,6 +134,37 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 // next to the raw buckets, and cmd/gctrace prints it after the event log.
 func (h *Histogram) Summary() (p50, p95, p99 time.Duration) {
 	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+}
+
+// SetExemplar attaches a trace exemplar to the bucket the value falls in,
+// replacing that bucket's previous exemplar. Call it only for observations
+// whose trace was actually retained, so every exemplar a scraper follows
+// resolves to a stored trace.
+func (h *Histogram) SetExemplar(value float64, traceID string, unixNs int64) {
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, value)
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = make(map[int]Exemplar)
+	}
+	h.ex[i] = Exemplar{Value: value, TraceID: traceID, UnixNs: unixNs}
+	h.exMu.Unlock()
+}
+
+// exemplars returns a copy of the per-bucket exemplars (nil when none).
+func (h *Histogram) exemplars() map[int]Exemplar {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if len(h.ex) == 0 {
+		return nil
+	}
+	out := make(map[int]Exemplar, len(h.ex))
+	for k, v := range h.ex {
+		out[k] = v
+	}
+	return out
 }
 
 // snapshot returns the per-bucket counts (for Prometheus rendering).

@@ -6,20 +6,182 @@ import (
 	"strconv"
 )
 
-// Handler returns the tracer's HTTP surface:
-//
-//	/metrics                     Prometheus text exposition
-//	/debug/gcassert/trace        GC event trace; ?format=jsonl (default),
-//	                             gctrace, or chrome (open in Perfetto)
-//	/debug/gcassert/violations   recent violation reports, oldest first
-//	/debug/gcassert/heap         live-heap profile by type
-//	/debug/gcassert/census       per-type census snapshots (JSON); ?last=N
-//	                             bounds the returned snapshots
-//	/debug/gcassert/leaks        leak suspects ranked over recent snapshots
-//	                             (JSON); ?window=N and ?top=N tune the diff
-//	/debug/gcassert/fr           flight-recorder forensic bundle (JSON with
-//	                             an embedded pprof heap profile)
-//	/debug/gcassert/             index of the endpoints above
+// endpoint describes one entry of the tracer's HTTP surface: the mux
+// pattern it is registered under, its handler, a one-line description for
+// the index, and — for endpoints that need an installed backing source — a
+// probe plus the option that installs it. Handler and writeIndex both
+// iterate this table, so the index can never list a route that is not
+// registered, nor miss one that is (TestIndexMatchesRoutes pins this).
+type endpoint struct {
+	pattern   string
+	desc      string
+	handler   http.HandlerFunc
+	installed func() bool // nil = always available
+	enable    string      // what turns an uninstalled endpoint on
+}
+
+// endpoints returns the tracer's route table. The index route itself
+// (/debug/gcassert/) is registered separately in Handler — it renders this
+// table rather than appearing in it.
+func (t *Tracer) endpoints() []endpoint {
+	return []endpoint{
+		{
+			pattern: "/metrics",
+			desc:    "Prometheus text exposition",
+			handler: func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+				_ = t.WriteMetrics(w)
+			},
+		},
+		{
+			pattern: "/debug/gcassert/trace",
+			desc:    "GC event trace (?format=jsonl|gctrace|chrome)",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				switch f := r.URL.Query().Get("format"); f {
+				case "chrome":
+					w.Header().Set("Content-Type", "application/json")
+					_ = t.WriteChromeTrace(w)
+				case "gctrace":
+					w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+					_ = t.WriteGoTrace(w)
+				case "", "jsonl":
+					w.Header().Set("Content-Type", "application/x-ndjson")
+					_ = t.WriteJSONL(w)
+				default:
+					http.Error(w, fmt.Sprintf("unknown format %q (want jsonl, gctrace or chrome)", f), http.StatusBadRequest)
+				}
+			},
+		},
+		{
+			pattern: "/debug/gcassert/violations",
+			desc:    "recent violation reports",
+			handler: func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				reports, total := t.Violations()
+				fmt.Fprintf(w, "# %d violations logged, %d retained\n", total, len(reports))
+				for _, rep := range reports {
+					fmt.Fprintln(w, rep)
+				}
+			},
+		},
+		{
+			pattern:   "/debug/gcassert/heap",
+			desc:      "live-heap profile by type",
+			installed: func() bool { return t.heapProfileFn() != nil },
+			enable:    "a heap profile source",
+			handler: func(w http.ResponseWriter, _ *http.Request) {
+				f := t.heapProfileFn()
+				if f == nil {
+					http.Error(w, "no heap profile source installed", http.StatusNotFound)
+					return
+				}
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				if err := f(w); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			},
+		},
+		{
+			pattern:   "/debug/gcassert/census",
+			desc:      "per-type census snapshots (?last=N)",
+			installed: func() bool { return t.censusSourceFn() != nil },
+			enable:    "Introspection",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				f := t.censusSourceFn()
+				if f == nil {
+					http.Error(w, "no census source installed (enable Introspection)", http.StatusNotFound)
+					return
+				}
+				n, err := intParam(r, "last", 0)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				if err := f(w, n); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			},
+		},
+		{
+			pattern:   "/debug/gcassert/leaks",
+			desc:      "leak suspects (?window=N&top=N)",
+			installed: func() bool { return t.leakSourceFn() != nil },
+			enable:    "Introspection",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				f := t.leakSourceFn()
+				if f == nil {
+					http.Error(w, "no leak source installed (enable Introspection)", http.StatusNotFound)
+					return
+				}
+				window, err := intParam(r, "window", 0)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				top, err := intParam(r, "top", 10)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				if err := f(w, window, top); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			},
+		},
+		{
+			pattern:   "/debug/gcassert/fr",
+			desc:      "flight-recorder bundle",
+			installed: func() bool { return t.flightSourceFn() != nil },
+			enable:    "FlightRecorder",
+			handler: func(w http.ResponseWriter, _ *http.Request) {
+				f := t.flightSourceFn()
+				if f == nil {
+					http.Error(w, "no flight recorder installed (enable FlightRecorder)", http.StatusNotFound)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				if err := f(w); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			},
+		},
+		{
+			pattern:   "/debug/gcassert/fleet",
+			desc:      "fleet exporter status (POST ?export=now to ship a census)",
+			installed: func() bool { return t.fleetSourceFn() != nil },
+			enable:    "a fleet exporter (FleetURL)",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				f := t.fleetSourceFn()
+				if f == nil {
+					http.Error(w, "no fleet exporter installed (set FleetURL)", http.StatusNotFound)
+					return
+				}
+				export := r.URL.Query().Get("export") == "now"
+				if export && r.Method != http.MethodPost {
+					http.Error(w, "POST to trigger an on-demand export", http.StatusMethodNotAllowed)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				if err := f(w, export); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			},
+		},
+		{
+			pattern: "/debug/gcassert/live",
+			desc:    "live GC event stream (SSE; ?replay=N resends recent events)",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				t.serveLive(w, r)
+			},
+		},
+	}
+}
+
+// Handler returns the tracer's HTTP surface. Every route comes from the
+// endpoints table, plus /debug/gcassert/ itself, which serves an index of
+// that same table.
 //
 // Every endpoint except /debug/gcassert/heap reads only atomics and
 // mutex-guarded copies, so it is safe to scrape while the workload runs.
@@ -30,115 +192,13 @@ import (
 // concurrently too.
 func (t *Tracer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = t.WriteMetrics(w)
-	})
-	mux.HandleFunc("/debug/gcassert/trace", func(w http.ResponseWriter, r *http.Request) {
-		switch f := r.URL.Query().Get("format"); f {
-		case "chrome":
-			w.Header().Set("Content-Type", "application/json")
-			_ = t.WriteChromeTrace(w)
-		case "gctrace":
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			_ = t.WriteGoTrace(w)
-		case "", "jsonl":
-			w.Header().Set("Content-Type", "application/x-ndjson")
-			_ = t.WriteJSONL(w)
-		default:
-			http.Error(w, fmt.Sprintf("unknown format %q (want jsonl, gctrace or chrome)", f), http.StatusBadRequest)
-		}
-	})
-	mux.HandleFunc("/debug/gcassert/violations", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		reports, total := t.Violations()
-		fmt.Fprintf(w, "# %d violations logged, %d retained\n", total, len(reports))
-		for _, rep := range reports {
-			fmt.Fprintln(w, rep)
-		}
-	})
-	mux.HandleFunc("/debug/gcassert/heap", func(w http.ResponseWriter, _ *http.Request) {
-		f := t.heapProfileFn()
-		if f == nil {
-			http.Error(w, "no heap profile source installed", http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if err := f(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/debug/gcassert/census", func(w http.ResponseWriter, r *http.Request) {
-		f := t.censusSourceFn()
-		if f == nil {
-			http.Error(w, "no census source installed (enable Introspection)", http.StatusNotFound)
-			return
-		}
-		n, err := intParam(r, "last", 0)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := f(w, n); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/debug/gcassert/leaks", func(w http.ResponseWriter, r *http.Request) {
-		f := t.leakSourceFn()
-		if f == nil {
-			http.Error(w, "no leak source installed (enable Introspection)", http.StatusNotFound)
-			return
-		}
-		window, err := intParam(r, "window", 0)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		top, err := intParam(r, "top", 10)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := f(w, window, top); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/debug/gcassert/fr", func(w http.ResponseWriter, _ *http.Request) {
-		f := t.flightSourceFn()
-		if f == nil {
-			http.Error(w, "no flight recorder installed (enable FlightRecorder)", http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := f(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/debug/gcassert/fleet", func(w http.ResponseWriter, r *http.Request) {
-		f := t.fleetSourceFn()
-		if f == nil {
-			http.Error(w, "no fleet exporter installed (set FleetURL)", http.StatusNotFound)
-			return
-		}
-		export := r.URL.Query().Get("export") == "now"
-		if export && r.Method != http.MethodPost {
-			http.Error(w, "POST to trigger an on-demand export", http.StatusMethodNotAllowed)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := f(w, export); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/debug/gcassert/live", func(w http.ResponseWriter, r *http.Request) {
-		t.serveLive(w, r)
-	})
-	mux.HandleFunc("/debug/gcassert/", func(w http.ResponseWriter, r *http.Request) {
+	for _, ep := range t.endpoints() {
+		mux.HandleFunc(ep.pattern, ep.handler)
+	}
+	mux.HandleFunc(indexPattern, func(w http.ResponseWriter, r *http.Request) {
 		// The pattern is a subtree match; anything but the index itself is an
 		// unknown endpoint.
-		if r.URL.Path != "/debug/gcassert/" {
+		if r.URL.Path != indexPattern {
 			http.NotFound(w, r)
 			return
 		}
@@ -147,32 +207,23 @@ func (t *Tracer) Handler() http.Handler {
 	return mux
 }
 
-// writeIndex renders the endpoint index served at /debug/gcassert/.
-// Endpoints whose backing source is not installed are listed as
-// unavailable, with the option that enables them.
+// indexPattern is where the endpoint index itself is served.
+const indexPattern = "/debug/gcassert/"
+
+// writeIndex renders the endpoint index served at /debug/gcassert/ from the
+// live route table. Endpoints whose backing source is not installed are
+// listed as unavailable, with the option that enables them.
 func (t *Tracer) writeIndex(w http.ResponseWriter) {
-	avail := func(ok bool, enable string) string {
-		if ok {
-			return ""
-		}
-		return fmt.Sprintf("  [unavailable: enable %s]", enable)
-	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "gcassert debug endpoints\n\n")
-	fmt.Fprintf(w, "/metrics                     Prometheus text exposition\n")
-	fmt.Fprintf(w, "/debug/gcassert/trace        GC event trace (?format=jsonl|gctrace|chrome)\n")
-	fmt.Fprintf(w, "/debug/gcassert/violations   recent violation reports\n")
-	fmt.Fprintf(w, "/debug/gcassert/heap         live-heap profile by type%s\n",
-		avail(t.heapProfileFn() != nil, "a heap profile source"))
-	fmt.Fprintf(w, "/debug/gcassert/census       per-type census snapshots (?last=N)%s\n",
-		avail(t.censusSourceFn() != nil, "Introspection"))
-	fmt.Fprintf(w, "/debug/gcassert/leaks        leak suspects (?window=N&top=N)%s\n",
-		avail(t.leakSourceFn() != nil, "Introspection"))
-	fmt.Fprintf(w, "/debug/gcassert/fr           flight-recorder bundle%s\n",
-		avail(t.flightSourceFn() != nil, "FlightRecorder"))
-	fmt.Fprintf(w, "/debug/gcassert/fleet        fleet exporter status (POST ?export=now to ship a census)%s\n",
-		avail(t.fleetSourceFn() != nil, "a fleet exporter (FleetURL)"))
-	fmt.Fprintf(w, "/debug/gcassert/live         live GC event stream (SSE; ?replay=N resends recent events)\n")
+	for _, ep := range t.endpoints() {
+		suffix := ""
+		if ep.installed != nil && !ep.installed() {
+			suffix = fmt.Sprintf("  [unavailable: enable %s]", ep.enable)
+		}
+		fmt.Fprintf(w, "%-28s %s%s\n", ep.pattern, ep.desc, suffix)
+	}
+	fmt.Fprintf(w, "%-28s %s\n", indexPattern, "this index")
 }
 
 // intParam parses an optional non-negative integer query parameter.

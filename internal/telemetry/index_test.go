@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestIndexMatchesRoutes pins the satellite contract of the debug index:
+// the set of paths the index advertises is exactly the set of routes the
+// mux registers. Both derive from the same endpoints table, so this guards
+// against a future hand-added route (or hand-edited index line) splitting
+// them apart again.
+func TestIndexMatchesRoutes(t *testing.T) {
+	tr := New(Config{})
+	h := tr.Handler()
+
+	// Paths the index advertises: first column of each body line after the
+	// header.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", indexPattern, nil))
+	if rec.Code != 200 {
+		t.Fatalf("index returned %d", rec.Code)
+	}
+	indexed := map[string]bool{}
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if !strings.HasPrefix(line, "/") {
+			continue
+		}
+		indexed[strings.Fields(line)[0]] = true
+	}
+
+	// Routes the mux registers, from the same table Handler consumed, plus
+	// the index itself.
+	registered := map[string]bool{indexPattern: true}
+	for _, ep := range tr.endpoints() {
+		registered[ep.pattern] = true
+	}
+
+	for p := range registered {
+		if !indexed[p] {
+			t.Errorf("registered route %s missing from index", p)
+		}
+	}
+	for p := range indexed {
+		if !registered[p] {
+			t.Errorf("index advertises %s but no such route is registered", p)
+		}
+	}
+
+	// And every advertised path actually resolves on the mux: nothing in
+	// the index may 404. (Uninstalled sources return 404 from their own
+	// handler with an explanatory body — distinguish by body text.) The
+	// request context is pre-canceled so streaming endpoints (the SSE live
+	// feed) return instead of blocking the test.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for p := range indexed {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", p, nil).WithContext(ctx))
+		if rec.Code == 404 && strings.Contains(rec.Body.String(), "page not found") {
+			t.Errorf("index advertises %s but the mux does not route it", p)
+		}
+	}
+}

@@ -4,83 +4,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sync"
-	"sync/atomic"
 )
 
-// liveHub fans completed GC events out to live subscribers (the
-// /debug/gcassert/live SSE endpoint and in-process dashboards). Publishing
-// happens inside the stop-the-world pause, so it must never block: the
-// event is marshaled once (and only when someone is listening) and sends
-// are non-blocking — a subscriber that cannot keep up loses frames rather
-// than stalling the collector.
-type liveHub struct {
-	mu   sync.Mutex
-	subs map[chan []byte]struct{}
-
-	// dropped counts frames lost to slow subscribers (full channels); it is
-	// the visible cost of the never-block-the-pause rule. droppedMetric, when
-	// set, mirrors it into the metrics registry.
-	dropped       atomic.Uint64
-	droppedMetric *Counter
-}
-
-// subscribe registers a new subscriber with the given channel buffer
-// (minimum 1) and returns the frame channel plus a cancel function. Cancel
-// is idempotent and closes the channel, so readers range over it.
-func (h *liveHub) subscribe(buf int) (<-chan []byte, func()) {
-	if buf < 1 {
-		buf = 1
-	}
-	ch := make(chan []byte, buf)
-	h.mu.Lock()
-	if h.subs == nil {
-		h.subs = make(map[chan []byte]struct{})
-	}
-	h.subs[ch] = struct{}{}
-	h.mu.Unlock()
-	var once sync.Once
-	cancel := func() {
-		once.Do(func() {
-			h.mu.Lock()
-			delete(h.subs, ch)
-			h.mu.Unlock()
-			close(ch)
-		})
-	}
-	return ch, cancel
-}
-
-// subscriberCount reports the number of live subscribers (tests).
-func (h *liveHub) subscriberCount() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.subs)
-}
-
-// publish sends one event to every subscriber. No-op without subscribers.
-func (h *liveHub) publish(ev *Event) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.subs) == 0 {
-		return
-	}
-	frame, err := json.Marshal(ev)
-	if err != nil {
-		return
-	}
-	for ch := range h.subs {
-		select {
-		case ch <- frame:
-		default:
-			// Slow subscriber: drop the frame, never block the pause.
-			h.dropped.Add(1)
-			if h.droppedMetric != nil {
-				h.droppedMetric.Inc()
-			}
-		}
-	}
-}
+// The live GC-event feed (the /debug/gcassert/live SSE endpoint and
+// in-process dashboards) fans out through a shared sse.Hub (the Tracer's
+// live field). Publishing happens inside the stop-the-world pause, so the
+// hub's contract is load-bearing here: the event is marshaled once (and
+// only when someone is listening, via PublishJSON) and sends are
+// non-blocking — a subscriber that cannot keep up loses frames rather than
+// stalling the collector.
 
 // serveLive implements /debug/gcassert/live: a Server-Sent Events stream
 // pushing one `data: <event JSON>` frame per completed collection.
@@ -108,7 +40,7 @@ func (t *Tracer) serveLive(w http.ResponseWriter, r *http.Request) {
 	// Subscribe before replaying so no collection can fall in the gap (a
 	// cycle finishing during the replay may be sent twice; consumers key on
 	// Seq).
-	ch, cancel := t.live.subscribe(64)
+	ch, cancel, _ := t.live.Subscribe(64) // the live hub never closes
 	defer cancel()
 	if replay > 0 {
 		evs := t.Events()
@@ -147,12 +79,13 @@ func (t *Tracer) serveLive(w http.ResponseWriter, r *http.Request) {
 // LiveDropped returns the number of live frames dropped because a
 // subscriber's channel was full. A rising value means some dashboard is not
 // keeping up — the collector is unaffected.
-func (t *Tracer) LiveDropped() uint64 { return t.live.dropped.Load() }
+func (t *Tracer) LiveDropped() uint64 { return t.live.Dropped() }
 
 // SubscribeLive registers a live subscriber fed one JSON-encoded Event per
 // completed collection (buf bounds the per-subscriber queue; slow readers
 // lose frames, they are never allowed to block a collection). The returned
 // cancel must be called when done; it closes the channel.
 func (t *Tracer) SubscribeLive(buf int) (<-chan []byte, func()) {
-	return t.live.subscribe(buf)
+	ch, cancel, _ := t.live.Subscribe(buf) // the live hub never closes
+	return ch, cancel
 }

@@ -182,7 +182,7 @@ func TestLiveSSESlowClientDropsFrames(t *testing.T) {
 	defer resp.Body.Close()
 
 	deadline := time.Now().Add(5 * time.Second)
-	for tr.live.subscriberCount() == 0 {
+	for tr.live.SubscriberCount() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("SSE subscription never registered")
 		}

@@ -270,15 +270,18 @@ func writeHist(w io.Writer, name, labels string, h *Histogram) error {
 		}
 	}
 	counts := h.snapshot()
+	exemplars := h.exemplars()
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += counts[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, histLabels(labels, formatFloat(b)), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, histLabels(labels, formatFloat(b)),
+			cum, exemplarSuffix(exemplars, i)); err != nil {
 			return err
 		}
 	}
 	cum += counts[len(counts)-1]
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, histLabels(labels, "+Inf"), cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, histLabels(labels, "+Inf"),
+		cum, exemplarSuffix(exemplars, len(counts)-1)); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum().Seconds())); err != nil {
@@ -286,4 +289,17 @@ func writeHist(w io.Writer, name, labels string, h *Histogram) error {
 	}
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
 	return err
+}
+
+// exemplarSuffix renders a bucket's trace exemplar in OpenMetrics syntax
+// (" # {trace_id=\"...\"} value timestamp"), or "" when the bucket has
+// none. Prometheus's text parser ignores the suffix; OpenMetrics scrapers
+// and humans get a trace ID that resolves against the trace store.
+func exemplarSuffix(ex map[int]Exemplar, bucket int) string {
+	e, ok := ex[bucket]
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s %s",
+		e.TraceID, formatFloat(e.Value), formatFloat(float64(e.UnixNs)/1e9))
 }

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"gcassert/internal/sse"
 )
 
 // Config configures a Tracer.
@@ -38,7 +40,7 @@ type Tracer struct {
 	liveObjects *Gauge
 	violTotal   *Counter
 
-	live liveHub
+	live sse.Hub
 
 	vmu      sync.Mutex
 	viols    []string
@@ -91,7 +93,7 @@ func New(cfg Config) *Tracer {
 		violTotal: reg.Counter("gcassert_violations_logged_total",
 			"Assertion violations delivered to the telemetry log."),
 	}
-	t.live.droppedMetric = reg.Counter("gcassert_live_dropped_frames_total",
+	t.live.DropMetric = reg.Counter("gcassert_live_dropped_frames_total",
 		"Live-feed frames dropped because a subscriber could not keep up.")
 	return t
 }
@@ -194,7 +196,7 @@ func (t *Tracer) Record(ev *Event) {
 			"Allocation-rate EWMA at the most recent collection trigger (words/second, rounded).").
 			Set(int64(ev.AllocRateWps + 0.5))
 	}
-	t.live.publish(ev)
+	t.live.PublishJSON(ev)
 	if t.onRecord != nil {
 		t.onRecord(ev)
 	}

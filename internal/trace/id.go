@@ -1,0 +1,98 @@
+// Package trace is the request-to-GC distributed tracing layer: a span
+// model with W3C traceparent propagation, a builder that turns one driven
+// request batch into a span tree whose GC collections are child spans of
+// the requests they paused (annotated with trigger reason, per-assertion-
+// kind cost, pause decomposition, and violation provenance), tail-based
+// sampling, and a bounded per-tenant store.
+//
+// The package also owns the two-cursor pause/request intersection sweep
+// that PR 7 introduced inside internal/loadlab; it lives here now so the
+// offline latency lab and the live tracer share one implementation
+// (IntersectPauses) instead of forking it.
+package trace
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// TraceID is a 16-byte W3C trace identifier.
+type TraceID [16]byte
+
+// SpanID is an 8-byte W3C span identifier.
+type SpanID [8]byte
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports the all-zero (invalid per W3C) trace ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports the all-zero (invalid per W3C) span ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// idFallback seeds deterministic IDs when the system entropy source fails
+// (it cannot on the platforms we run on, but an all-zero ID is invalid on
+// the wire, so the fallback must exist).
+var idFallback atomic.Uint64
+
+func randomBytes(b []byte) {
+	if _, err := crand.Read(b); err == nil {
+		for _, c := range b {
+			if c != 0 {
+				return
+			}
+		}
+	}
+	binary.BigEndian.PutUint64(b[len(b)-8:], idFallback.Add(1)|1<<63)
+}
+
+// NewTraceID returns a fresh random trace ID, never all-zero.
+func NewTraceID() TraceID {
+	var t TraceID
+	randomBytes(t[:])
+	return t
+}
+
+// NewSpanID returns a fresh random span ID, never all-zero.
+func NewSpanID() SpanID {
+	var s SpanID
+	randomBytes(s[:])
+	return s
+}
+
+// ParseTraceID parses 32 hex digits.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, fmt.Errorf("trace id %q: want 32 hex digits", s)
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return t, fmt.Errorf("trace id %q: %v", s, err)
+	}
+	if t.IsZero() {
+		return t, fmt.Errorf("trace id %q: all-zero is invalid", s)
+	}
+	return t, nil
+}
+
+// ParseSpanID parses 16 hex digits.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 16 {
+		return id, fmt.Errorf("span id %q: want 16 hex digits", s)
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return id, fmt.Errorf("span id %q: %v", s, err)
+	}
+	if id.IsZero() {
+		return id, fmt.Errorf("span id %q: all-zero is invalid", s)
+	}
+	return id, nil
+}

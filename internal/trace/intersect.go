@@ -1,0 +1,57 @@
+package trace
+
+import "gcassert/internal/telemetry"
+
+// Window is one half-open wall-clock interval [StartNs, EndNs), in Unix
+// nanoseconds. Request service windows and queue waits are both Windows.
+type Window struct {
+	StartNs int64
+	EndNs   int64
+}
+
+// Overlap returns the length of the intersection of [aStart, aEnd) and
+// [bStart, bEnd), or 0 when they are disjoint.
+func Overlap(aStart, aEnd, bStart, bEnd int64) int64 {
+	lo, hi := aStart, aEnd
+	if bStart > lo {
+		lo = bStart
+	}
+	if bEnd < hi {
+		hi = bEnd
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// IntersectPauses runs the event-major two-cursor sweep that attributes GC
+// stop-the-world pauses to request windows (PR 7's loadlab algorithm,
+// lifted here so the live tracer and the offline latency lab share one
+// implementation). fn is invoked once per (event, window) pair with a
+// positive overlap.
+//
+// Preconditions: events are chronological by pause start with
+// non-overlapping pause windows (the STW collector guarantees both);
+// windows are chronological with monotone starts and ends (a serial
+// request loop guarantees both; loadlab's open-loop records satisfy it
+// separately for service windows and queue waits). Under those
+// preconditions each cursor only ever moves forward, so the sweep is
+// O(events + windows + hits).
+func IntersectPauses(events []telemetry.Event, windows []Window, fn func(eventIdx, windowIdx int, overlapNs int64)) {
+	wi := 0
+	for ei := range events {
+		es, ee := events[ei].PauseWindow()
+		// Skip windows that ended before this pause began; they cannot
+		// intersect it or any later pause.
+		for wi < len(windows) && windows[wi].EndNs <= es {
+			wi++
+		}
+		// At most a few windows straddle one pause.
+		for j := wi; j < len(windows) && windows[j].StartNs < ee; j++ {
+			if o := Overlap(windows[j].StartNs, windows[j].EndNs, es, ee); o > 0 {
+				fn(ei, j, o)
+			}
+		}
+	}
+}

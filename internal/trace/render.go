@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteTree renders a stored trace as a human-readable span tree (the
+// cmd/gctrace drill-down view): one line per span with duration and
+// attributes, violations called out with their "Allocated at:" provenance.
+func WriteTree(w io.Writer, d *Document) error {
+	if _, err := fmt.Fprintf(w, "trace %s  tenant=%s  reason=%s  %s  requests=%d gcs=%d violations=%d pause=%s\n",
+		d.TraceID, orDash(d.Tenant), orDash(d.SampledReason), fmtNs(d.DurNs()),
+		d.Requests, d.GCs, d.Violations, fmtNs(d.GCPauseNs)); err != nil {
+		return err
+	}
+	root := d.Span(d.RootSpanID)
+	if root == nil {
+		_, err := fmt.Fprintln(w, "  (no root span)")
+		return err
+	}
+	return writeSpanTree(w, d, root, "")
+}
+
+func writeSpanTree(w io.Writer, d *Document, s *Span, indent string) error {
+	if _, err := fmt.Fprintf(w, "%s%s (%s)%s\n", indent, s.Name, fmtNs(s.DurNs()), attrSuffix(s.Attrs)); err != nil {
+		return err
+	}
+	for _, ev := range s.Events {
+		line := indent + "  ! " + ev.Name
+		if t, ok := ev.Attrs["type"].(string); ok {
+			line += "  type=" + t
+		}
+		if site, ok := ev.Attrs["allocated_at"].(string); ok {
+			line += "  Allocated at: " + site
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	kids := d.Children(s.SpanID)
+	sort.Slice(kids, func(i, j int) bool {
+		return d.Spans[kids[i]].StartUnixNs < d.Spans[kids[j]].StartUnixNs
+	})
+	for _, k := range kids {
+		if err := writeSpanTree(w, d, &d.Spans[k], indent+"  "); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// attrSuffix renders attributes deterministically (sorted keys), skipping
+// the bulky ones the tree already shows structurally.
+func attrSuffix(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("  %s=%v", k, attrs[k])
+	}
+	return out
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// fmtNs renders a nanosecond duration compactly (µs under 1ms, ms above).
+func fmtNs(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	}
+}
+
+// chromeEvent / chromeTrace mirror the Chrome trace_event JSON layout the
+// telemetry exporter established; spans render as "X" (complete) events so
+// chrome://tracing and Perfetto show the same tree the text view prints.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders a stored trace as Chrome trace_event JSON. Each span
+// depth gets its own tid so the nesting reads as stacked tracks;
+// violations become instant ("i") events at their wall-clock time.
+func WriteChrome(w io.Writer, d *Document) error {
+	var evs []chromeEvent
+	base := d.StartUnixNs
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		evs = append(evs, chromeEvent{
+			Name: s.Name,
+			Cat:  "trace",
+			Ph:   "X",
+			Ts:   float64(s.StartUnixNs-base) / 1e3,
+			Dur:  float64(s.DurNs()) / 1e3,
+			Pid:  1,
+			Tid:  depth + 1,
+			Args: s.Attrs,
+		})
+		for _, ev := range s.Events {
+			ts := float64(ev.UnixNs-base) / 1e3
+			if ev.UnixNs == 0 {
+				ts = float64(s.StartUnixNs-base) / 1e3
+			}
+			evs = append(evs, chromeEvent{
+				Name: ev.Name, Cat: "violation", Ph: "i",
+				Ts: ts, Pid: 1, Tid: depth + 1, Args: ev.Attrs,
+			})
+		}
+		kids := d.Children(s.SpanID)
+		sort.Slice(kids, func(i, j int) bool {
+			return d.Spans[kids[i]].StartUnixNs < d.Spans[kids[j]].StartUnixNs
+		})
+		for _, k := range kids {
+			walk(&d.Spans[k], depth+1)
+		}
+	}
+	if root := d.Span(d.RootSpanID); root != nil {
+		walk(root, 0)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,57 @@
+package trace
+
+import "math/rand"
+
+// Tail-sampling keep reasons, stamped into Document.SampledReason.
+const (
+	// KeepViolation: the batch tripped at least one assertion violation.
+	KeepViolation = "violation"
+	// KeepSLOBad: at least one request was SLO-bad at record time.
+	KeepSLOBad = "slo-bad"
+	// KeepSlowPause: some collection's pause met the configured threshold.
+	KeepSlowPause = "slow-pause"
+	// KeepProbability: kept by the probabilistic sampler.
+	KeepProbability = "probability"
+)
+
+// Sampler makes the tail-based keep/drop decision for a finished trace.
+// The interesting traces are always kept — violations, SLO-bad requests,
+// slow pauses — and the healthy remainder is sampled down to Probability,
+// which is what makes always-on tracing affordable.
+type Sampler struct {
+	// SlowPauseNs keeps any trace containing a collection whose
+	// stop-the-world pause is >= this many nanoseconds. 0 disables the
+	// criterion.
+	SlowPauseNs int64
+	// Probability in [0, 1] keeps that fraction of traces matching no
+	// always-keep criterion.
+	Probability float64
+	// Rand overrides the uniform [0,1) source (tests). Nil uses math/rand.
+	Rand func() float64
+}
+
+// Keep decides whether a finished trace is retained and why.
+func (s Sampler) Keep(hasViolation, sloBad bool, maxPauseNs int64) (keep bool, reason string) {
+	switch {
+	case hasViolation:
+		return true, KeepViolation
+	case sloBad:
+		return true, KeepSLOBad
+	case s.SlowPauseNs > 0 && maxPauseNs >= s.SlowPauseNs:
+		return true, KeepSlowPause
+	}
+	if s.Probability <= 0 {
+		return false, ""
+	}
+	if s.Probability >= 1 {
+		return true, KeepProbability
+	}
+	rnd := s.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	if rnd() < s.Probability {
+		return true, KeepProbability
+	}
+	return false, ""
+}

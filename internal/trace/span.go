@@ -1,0 +1,91 @@
+package trace
+
+// DocumentSchemaVersion stamps stored trace documents so fleet consumers
+// can reject layouts they don't understand.
+const DocumentSchemaVersion = 1
+
+// Span is one node of a trace: a named wall-clock window with a parent,
+// free-form attributes, and point-in-time events. IDs are wire-format hex
+// strings (32 digits for the trace, 16 for spans) so documents round-trip
+// through JSON without a custom codec.
+type Span struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	// Parent is the parent span ID; for the root span it names the remote
+	// caller's span (from the incoming traceparent) or is empty when the
+	// trace originated here.
+	Parent      string `json:"parent_id,omitempty"`
+	Name        string `json:"name"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	EndUnixNs   int64  `json:"end_unix_ns"`
+	// Attrs annotate the span (trigger reason, per-kind assert cost, pause
+	// decomposition, ...). Values are JSON scalars.
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// Events are point-in-time annotations inside the span's window —
+	// assertion violations, with their allocation-site provenance, land
+	// here.
+	Events []SpanEvent `json:"events,omitempty"`
+}
+
+// DurNs is the span's wall-clock duration.
+func (s *Span) DurNs() int64 { return s.EndUnixNs - s.StartUnixNs }
+
+// SpanEvent is one point-in-time annotation on a span.
+type SpanEvent struct {
+	Name   string         `json:"name"`
+	UnixNs int64          `json:"unix_ns,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// Document is one stored trace: the span tree for a single driven request
+// batch, plus the tail-sampling verdict and rollup counters the store and
+// fleet listings surface without walking the spans.
+type Document struct {
+	SchemaVersion int    `json:"schema_version"`
+	TraceID       string `json:"trace_id"`
+	// Tenant and Instance locate the trace in the fleet.
+	Tenant   string `json:"tenant,omitempty"`
+	Instance string `json:"instance,omitempty"`
+	// RootSpanID names the entry span (the drive); its Parent, when set, is
+	// the remote caller's span from the incoming traceparent.
+	RootSpanID  string `json:"root_span_id"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	EndUnixNs   int64  `json:"end_unix_ns"`
+	// SampledReason records why tail sampling kept this trace: "violation",
+	// "slo-bad", "slow-pause" or "probability".
+	SampledReason string `json:"sampled_reason,omitempty"`
+	// Rollup counters.
+	Requests       int   `json:"requests"`
+	GCs            int   `json:"gcs"`
+	Violations     int   `json:"violations"`
+	GCPauseNs      int64 `json:"gc_pause_ns"`
+	MaxPauseNs     int64 `json:"max_pause_ns,omitempty"`
+	ServicePauseNs int64 `json:"service_pause_ns"`
+
+	Spans []Span `json:"spans"`
+}
+
+// DurNs is the trace's end-to-end duration.
+func (d *Document) DurNs() int64 { return d.EndUnixNs - d.StartUnixNs }
+
+// Span finds a span by ID (nil when absent).
+func (d *Document) Span(id string) *Span {
+	for i := range d.Spans {
+		if d.Spans[i].SpanID == id {
+			return &d.Spans[i]
+		}
+	}
+	return nil
+}
+
+// Children returns the indices of id's child spans, in stored (= start
+// time) order.
+func (d *Document) Children(id string) []int {
+	var out []int
+	for i := range d.Spans {
+		if d.Spans[i].Parent == id {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Header is the W3C trace-context header name carried on every gcassertd
+// request and response.
+const Header = "traceparent"
+
+// SpanContext is a propagated trace position: which trace, which span is
+// the current parent, and whether the upstream chose to sample.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// IsValid reports whether both IDs are non-zero.
+func (sc SpanContext) IsValid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the context in W3C form:
+// "00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>".
+func (sc SpanContext) Traceparent() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return fmt.Sprintf("00-%s-%s-%s", sc.TraceID, sc.SpanID, flags)
+}
+
+// ParseTraceparent parses a W3C traceparent header. It accepts any
+// non-"ff" version (per spec, future versions must stay parseable as
+// version 00 up to their extra fields) and rejects malformed or all-zero
+// IDs. ok=false means "no usable upstream context" — never an error the
+// request should fail on.
+func ParseTraceparent(h string) (sc SpanContext, ok bool) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return SpanContext{}, false
+	}
+	ver, tid, sid, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(ver) != 2 || ver == "ff" || !isHex(ver) {
+		return SpanContext{}, false
+	}
+	if ver == "00" && len(parts) != 4 {
+		return SpanContext{}, false
+	}
+	// The wire format is lowercase hex only (hex.Decode would also accept
+	// uppercase, which the W3C spec forbids).
+	if !isHex(tid) || !isHex(sid) {
+		return SpanContext{}, false
+	}
+	t, err := ParseTraceID(tid)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	s, err := ParseSpanID(sid)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	if len(flags) != 2 || !isHex(flags) {
+		return SpanContext{}, false
+	}
+	sc = SpanContext{TraceID: t, SpanID: s, Sampled: flags[1]&1 == 1}
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
+}
